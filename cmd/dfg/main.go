@@ -1,0 +1,182 @@
+// Command dfg inspects and converts data-flow-graph designs: it parses a
+// behavioral .hls source (or a .json graph file), prints statistics, and
+// converts between formats.
+//
+// Usage:
+//
+//	dfg -stats design.hls           # op counts, critical path, inputs
+//	dfg -json design.hls            # behavioral source -> JSON graph
+//	dfg -dot design.hls             # Graphviz rendering
+//	dfg -sched-dot -cs 4 design.hls # scheduled rendering (MFS at cs)
+//	dfg -eval 'a=1,b=2' design.hls  # evaluate on concrete inputs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/behav"
+	"repro/internal/dfg"
+	"repro/internal/dfgio"
+	"repro/internal/mfs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dfg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dfg", flag.ContinueOnError)
+	stats := fs.Bool("stats", false, "print design statistics")
+	toJSON := fs.Bool("json", false, "emit the graph as JSON")
+	toDOT := fs.Bool("dot", false, "emit the graph as Graphviz dot")
+	schedDOT := fs.Bool("sched-dot", false, "schedule with MFS and emit a step-clustered dot")
+	cs := fs.Int("cs", 0, "time constraint for -sched-dot")
+	evalStr := fs.String("eval", "", "evaluate with inputs 'a=1,b=2'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dfg [flags] design.{hls,json}")
+	}
+	g, consts, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	did := false
+	if *stats {
+		printStats(out, g)
+		did = true
+	}
+	if *toJSON {
+		data, err := dfgio.EncodeGraph(g)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		did = true
+	}
+	if *toDOT {
+		fmt.Fprint(out, dfgio.DOT(g))
+		did = true
+	}
+	if *schedDOT {
+		if *cs < 1 {
+			return fmt.Errorf("-sched-dot needs -cs")
+		}
+		s, err := mfs.Schedule(g, mfs.Options{CS: *cs})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, dfgio.ScheduleDOT(s))
+		did = true
+	}
+	if *evalStr != "" {
+		in, err := parseInputs(*evalStr)
+		if err != nil {
+			return err
+		}
+		for k, v := range consts {
+			if _, ok := in[k]; !ok {
+				in[k] = v
+			}
+		}
+		vals, err := g.Eval(in)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(vals))
+		for k := range vals {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(out, "%s = %d\n", k, vals[k])
+		}
+		did = true
+	}
+	if !did {
+		printStats(out, g)
+	}
+	return nil
+}
+
+// load reads a design from behavioral source (.hls) or a JSON graph.
+func load(path string) (*dfg.Graph, map[string]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if strings.HasSuffix(path, ".json") {
+		g, err := dfgio.DecodeGraph(data)
+		return g, nil, err
+	}
+	return behav.BuildSource(string(data))
+}
+
+func printStats(out io.Writer, g *dfg.Graph) {
+	counts := make(map[string]int)
+	multicycle, tagged, loops := 0, 0, 0
+	for _, n := range g.Nodes() {
+		if n.IsLoop() {
+			loops++
+		} else {
+			counts[n.Op.String()]++
+		}
+		if n.Cycles > 1 {
+			multicycle++
+		}
+		if len(n.Excl) > 0 {
+			tagged++
+		}
+	}
+	fmt.Fprintf(out, "design %s: %d operations, %d inputs, %d outputs\n",
+		g.Name, g.Len(), len(g.Inputs()), len(g.Outputs()))
+	fmt.Fprintf(out, "critical path: %d control steps\n", g.CriticalPathCycles())
+	syms := make([]string, 0, len(counts))
+	for s := range counts {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	for _, s := range syms {
+		fmt.Fprintf(out, "  %-4s %d\n", s, counts[s])
+	}
+	if multicycle > 0 {
+		fmt.Fprintf(out, "multicycle operations: %d\n", multicycle)
+	}
+	if tagged > 0 {
+		fmt.Fprintf(out, "conditional operations: %d\n", tagged)
+	}
+	if loops > 0 {
+		fmt.Fprintf(out, "folded loops: %d\n", loops)
+	}
+}
+
+func parseInputs(s string) (map[string]int64, error) {
+	out := make(map[string]int64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad input %q (want name=value)", part)
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(kv[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q", part)
+		}
+		out[strings.TrimSpace(kv[0])] = v
+	}
+	return out, nil
+}

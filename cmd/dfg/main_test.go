@@ -1,0 +1,131 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const design = `
+design tool
+input a, b
+s = a + b
+m = s * b @2
+if s < 9 {
+    t1 = s + 1
+} else {
+    t2 = s - 1
+}
+`
+
+func write(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStats(t *testing.T) {
+	path := write(t, "d.hls", design)
+	var out strings.Builder
+	if err := run([]string{"-stats", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"design tool", "critical path: 3", "multicycle operations: 1", "conditional operations: 2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDefaultIsStats(t *testing.T) {
+	path := write(t, "d.hls", design)
+	var out strings.Builder
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "design tool") {
+		t.Error("default run did not print stats")
+	}
+}
+
+func TestJSONRoundTripThroughTool(t *testing.T) {
+	path := write(t, "d.hls", design)
+	var out strings.Builder
+	if err := run([]string{"-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := write(t, "d.json", out.String())
+	var out2 strings.Builder
+	if err := run([]string{"-stats", jsonPath}, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "critical path: 3") {
+		t.Errorf("JSON round trip lost structure:\n%s", out2.String())
+	}
+}
+
+func TestDOT(t *testing.T) {
+	path := write(t, "d.hls", design)
+	var out strings.Builder
+	if err := run([]string{"-dot", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"digraph", `"s" -> "m"`, "[2 cyc]", "{c1.b0}"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("dot missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSchedDOT(t *testing.T) {
+	path := write(t, "d.hls", design)
+	var out strings.Builder
+	if err := run([]string{"-sched-dot", "-cs", "4", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "cluster_t1") || !strings.Contains(got, "step 1") {
+		t.Errorf("sched dot missing clusters:\n%s", got)
+	}
+	if err := run([]string{"-sched-dot", path}, &out); err == nil {
+		t.Error("-sched-dot without -cs accepted")
+	}
+}
+
+func TestEval(t *testing.T) {
+	path := write(t, "d.hls", design)
+	var out strings.Builder
+	if err := run([]string{"-eval", "a=2, b=3", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "s = 5") || !strings.Contains(got, "m = 15") {
+		t.Errorf("eval output:\n%s", got)
+	}
+	if err := run([]string{"-eval", "garbage", path}, &out); err == nil {
+		t.Error("bad eval inputs accepted")
+	}
+	if err := run([]string{"-eval", "a=x", path}, &out); err == nil {
+		t.Error("non-numeric eval input accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no file accepted")
+	}
+	if err := run([]string{"/nope.hls"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := write(t, "bad.json", "{")
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("bad json accepted")
+	}
+}

@@ -1,0 +1,80 @@
+// Command frameviz renders the paper's placement-grid figures: the
+// present/next position walk of Figure 1, the PF/RF/FF/MF frame
+// construction of Figure 2, or the frames of any operation of a
+// user-supplied design at its moment of placement.
+//
+// Usage:
+//
+//	frameviz -fig 1
+//	frameviz -fig 2
+//	frameviz -cs 4 -node m4 design.hls
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/behav"
+	"repro/internal/dfg"
+	"repro/internal/experiments"
+	"repro/internal/mfs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "frameviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("frameviz", flag.ContinueOnError)
+	fig := fs.Int("fig", 0, "render the paper's figure 1 or 2")
+	cs := fs.Int("cs", 0, "time constraint for -node mode")
+	node := fs.String("node", "", "signal whose placement frames to render")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *fig == 1:
+		fmt.Fprintln(out, experiments.Figure1())
+	case *fig == 2:
+		f, err := experiments.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, f)
+	case *node != "":
+		if fs.NArg() != 1 || *cs < 1 {
+			return fmt.Errorf("usage: frameviz -cs N -node SIG design.hls")
+		}
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		g, _, err := behav.BuildSource(string(src))
+		if err != nil {
+			return err
+		}
+		var target dfg.NodeID = -1
+		for _, n := range g.Nodes() {
+			if n.Name == *node {
+				target = n.ID
+			}
+		}
+		if target < 0 {
+			return fmt.Errorf("no signal %q in design", *node)
+		}
+		in, err := mfs.FramesFor(g, mfs.Options{CS: *cs}, target)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, in.Render())
+	default:
+		return fmt.Errorf("pick -fig 1, -fig 2, or -node SIG with a design file")
+	}
+	return nil
+}

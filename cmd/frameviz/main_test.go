@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFigures(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Oip") {
+		t.Errorf("figure 1 output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-fig", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "MF = PF") {
+		t.Errorf("figure 2 output:\n%s", out.String())
+	}
+}
+
+func TestNodeMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.hls")
+	src := `
+design d
+input a, b
+s = a + b
+p = s * b
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-cs", "3", "-node", "p", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `operation "p"`) {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-node", "x"}, &out); err == nil {
+		t.Error("node mode without file/cs accepted")
+	}
+	path := filepath.Join(t.TempDir(), "d.hls")
+	os.WriteFile(path, []byte("design d\ninput a\nx = a + a\n"), 0o644)
+	if err := run([]string{"-cs", "2", "-node", "nosuch", path}, &out); err == nil {
+		t.Error("unknown node accepted")
+	}
+}

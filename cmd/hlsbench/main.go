@@ -1,0 +1,104 @@
+// Command hlsbench regenerates the paper's evaluation: Tables 1 and 2,
+// the comparison and style-overhead studies, CPU times, the textual
+// Figures 1 and 2, and the ablation tables.
+//
+// Usage:
+//
+//	hlsbench                  # everything
+//	hlsbench -table 1         # Table 1 only
+//	hlsbench -table 2         # Table 2 only
+//	hlsbench -table compare   # baseline comparison
+//	hlsbench -table style     # style-2 overhead
+//	hlsbench -table runtime   # CPU times
+//	hlsbench -table ablation  # ablation studies
+//	hlsbench -fig 1|2         # figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hlsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hlsbench", flag.ContinueOnError)
+	table := fs.String("table", "", "which table to print (1, 2, compare, style, runtime, ablation); empty = all")
+	fig := fs.Int("fig", 0, "which figure to print (1 or 2); 0 = per -table selection")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *fig != 0 {
+		return printFigure(out, *fig)
+	}
+	sections := map[string][]func() (*report.Table, error){
+		"1":            {experiments.Table1},
+		"2":            {experiments.Table2},
+		"compare":      {experiments.Compare},
+		"phases":       {experiments.Phases},
+		"interconnect": {experiments.Interconnect},
+		"style":        {experiments.StyleOverhead},
+		"runtime":      {experiments.Runtime},
+		"ablation":     {experiments.AblationLiapunov, experiments.AblationWeights, experiments.AblationRedundantFrame},
+	}
+	order := []string{"1", "2", "compare", "phases", "interconnect", "style", "runtime", "ablation"}
+	if *table != "" {
+		fns, ok := sections[*table]
+		if !ok {
+			return fmt.Errorf("unknown table %q", *table)
+		}
+		for _, fn := range fns {
+			if err := printTable(out, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, key := range order {
+		for _, fn := range sections[key] {
+			if err := printTable(out, fn); err != nil {
+				return err
+			}
+		}
+	}
+	if err := printFigure(out, 1); err != nil {
+		return err
+	}
+	return printFigure(out, 2)
+}
+
+func printTable(out io.Writer, fn func() (*report.Table, error)) error {
+	t, err := fn()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, t.String())
+	return nil
+}
+
+func printFigure(out io.Writer, n int) error {
+	switch n {
+	case 1:
+		fmt.Fprintln(out, experiments.Figure1())
+	case 2:
+		f, err := experiments.Figure2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, f)
+	default:
+		return fmt.Errorf("unknown figure %d", n)
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTables(t *testing.T) {
+	cases := map[string]string{
+		"1":       "Table 1",
+		"2":       "Table 2",
+		"compare": "Comparison",
+		"style":   "overhead",
+		"runtime": "CPU time",
+	}
+	for arg, want := range cases {
+		var out strings.Builder
+		if err := run([]string{"-table", arg}, &out); err != nil {
+			t.Fatalf("-table %s: %v", arg, err)
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-table %s output missing %q", arg, want)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "ablation"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"Liapunov function choice", "Liapunov terms", "redundant frame"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestFigureFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 1") {
+		t.Error("figure 1 missing")
+	}
+	if err := run([]string{"-fig", "3"}, &out); err == nil {
+		t.Error("bad figure accepted")
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "bogus"}, &out); err == nil {
+		t.Error("unknown table accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Command mfs schedules a behavioral description with Move Frame
+// Scheduling and prints the schedule and functional-unit usage.
+//
+// Usage:
+//
+//	mfs -cs 4 design.hls                 # time-constrained
+//	mfs -limits '*=1,+=1' design.hls     # resource-constrained
+//	mfs -cs 4 -clock 100 design.hls      # with chaining (100ns step)
+//	mfs -cs 8 -latency 4 design.hls      # functional pipelining
+//	mfs -cs 9 -pipelined '*' design.hls  # structural pipelining
+//
+// The input language is documented in the repository README; see
+// examples/ for complete designs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/behav"
+	"repro/internal/mfs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mfs", flag.ContinueOnError)
+	cs := fs.Int("cs", 0, "time constraint in control steps (0 = resource-constrained)")
+	limitsFlag := fs.String("limits", "", "per-type FU limits, e.g. '*=1,+=2'")
+	clock := fs.Float64("clock", 0, "control-step clock period in ns (enables chaining)")
+	latency := fs.Int("latency", 0, "functional-pipelining initiation interval")
+	pipelined := fs.String("pipelined", "", "comma-separated op symbols on pipelined units")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: mfs [flags] design.hls")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	g, _, err := behav.BuildSource(string(src))
+	if err != nil {
+		return err
+	}
+	limits, err := parseLimits(*limitsFlag)
+	if err != nil {
+		return err
+	}
+	opt := mfs.Options{
+		CS: *cs, Limits: limits, ClockNs: *clock, Latency: *latency,
+		PipelinedTypes: make(map[string]bool),
+	}
+	for _, sym := range splitList(*pipelined) {
+		opt.PipelinedTypes[sym] = true
+	}
+	design, err := mfs.ScheduleLoops(g, opt)
+	if err != nil {
+		return err
+	}
+	s := design.Schedule
+	fmt.Fprint(out, s.String())
+	fmt.Fprint(out, s.Gantt())
+	fmt.Fprintln(out, "functional units:")
+	inst := s.InstancesPerType()
+	typs := make([]string, 0, len(inst))
+	for typ := range inst {
+		typs = append(typs, typ)
+	}
+	sort.Strings(typs)
+	for _, typ := range typs {
+		fmt.Fprintf(out, "  %-8s %d\n", typ, inst[typ])
+	}
+	for id, inner := range design.Inner {
+		fmt.Fprintf(out, "folded loop %q (local schedule):\n%s", g.Node(id).Name, inner.Schedule.String())
+	}
+	return nil
+}
+
+func parseLimits(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range splitList(s) {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad limit %q (want sym=count)", part)
+		}
+		n, err := strconv.Atoi(kv[1])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad limit count %q", kv[1])
+		}
+		out[kv[0]] = n
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mfs:", err)
+	os.Exit(1)
+}

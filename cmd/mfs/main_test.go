@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDesign(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "design.hls")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testDesign = `
+design cli
+input a, b
+s = a + b
+p = s * b
+q = p - a
+`
+
+func TestRunTimeConstrained(t *testing.T) {
+	path := writeDesign(t, testDesign)
+	var out strings.Builder
+	if err := run([]string{"-cs", "3", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"schedule cli cs=3", "functional units:", "*", "+"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunResourceConstrained(t *testing.T) {
+	path := writeDesign(t, testDesign)
+	var out strings.Builder
+	if err := run([]string{"-limits", "+=1,*=1,-=1", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cs=3") {
+		t.Errorf("resource-constrained output:\n%s", out.String())
+	}
+}
+
+func TestRunWithLoop(t *testing.T) {
+	path := writeDesign(t, `
+design l
+input x
+loop acc cycles 2 binds v = x yields r {
+    r = v + 1
+}
+out = acc * x
+`)
+	var out strings.Builder
+	if err := run([]string{"-cs", "4", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "folded loop") {
+		t.Errorf("loop schedule not printed:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeDesign(t, testDesign)
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no file accepted")
+	}
+	if err := run([]string{"-cs", "3", "/nonexistent.hls"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-cs", "1", path}, &out); err == nil {
+		t.Error("infeasible cs accepted")
+	}
+	if err := run([]string{"-limits", "broken", path}, &out); err == nil {
+		t.Error("bad limits accepted")
+	}
+	if err := run([]string{"-limits", "+=0", path}, &out); err == nil {
+		t.Error("zero limit accepted")
+	}
+	bad := writeDesign(t, "nonsense")
+	if err := run([]string{"-cs", "3", bad}, &out); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestParseLimits(t *testing.T) {
+	m, err := parseLimits("*=1, +=2")
+	if err != nil || m["*"] != 1 || m["+"] != 2 {
+		t.Errorf("parseLimits = %v, %v", m, err)
+	}
+	if m, err := parseLimits(""); err != nil || m != nil {
+		t.Errorf("empty limits = %v, %v", m, err)
+	}
+}

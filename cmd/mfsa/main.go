@@ -1,0 +1,134 @@
+// Command mfsa synthesizes a behavioral description with Move Frame
+// Scheduling-Allocation: it prints the schedule, the allocated RTL
+// structure with its Table 2-style cost breakdown, and optionally the
+// FSM controller and a structural netlist.
+//
+// Usage:
+//
+//	mfsa -cs 4 design.hls               # style-1 synthesis
+//	mfsa -cs 4 -style 2 design.hls      # self-testable style 2
+//	mfsa -cs 4 -netlist out.v design.hls
+//	mfsa -cs 4 -ctrl design.hls         # print the controller
+//	mfsa -cs 4 -check 5 design.hls      # verify on 5 random vectors
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/emit"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mfsa:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mfsa", flag.ContinueOnError)
+	cs := fs.Int("cs", 0, "time constraint in control steps (required)")
+	style := fs.Int("style", 1, "datapath style: 1 unrestricted, 2 no ALU self-loops")
+	clock := fs.Float64("clock", 0, "control-step clock period in ns (enables chaining)")
+	latency := fs.Int("latency", 0, "functional-pipelining initiation interval")
+	netlist := fs.String("netlist", "", "write a structural netlist to this file")
+	printCtrl := fs.Bool("ctrl", false, "print the FSM controller")
+	report := fs.Bool("report", false, "print the full synthesis report instead of the summary")
+	check := fs.Int("check", 3, "random vectors for the post-synthesis self-check (0 disables)")
+	regInputs := fs.Bool("reg-inputs", false, "allocate registers for primary inputs")
+	optimize := fs.Bool("optimize", false, "run frontend passes (fold, CSE, DCE) before synthesis")
+	vcdPath := fs.String("vcd", "", "simulate one random vector and write a VCD waveform to this file")
+	tbPath := fs.String("tb", "", "write a self-checking testbench (3 random vectors) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: mfsa [flags] design.hls")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	d, err := core.SynthesizeSource(string(src), core.Config{
+		CS: *cs, Style: *style, ClockNs: *clock, Latency: *latency,
+		RegisterInputs: *regInputs, Optimize: *optimize,
+	})
+	if err != nil {
+		return err
+	}
+	if *check > 0 {
+		if err := d.SelfCheck(*check); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "self-check passed on %d random vectors\n", *check)
+	}
+	if *report {
+		rep, err := d.Report()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rep)
+	} else {
+		fmt.Fprint(out, d.Schedule.String())
+		fmt.Fprint(out, d.Schedule.Gantt())
+		c := d.Cost
+		fmt.Fprintf(out, "RTL structure (style %d):\n", *style)
+		fmt.Fprintf(out, "  ALUs:        %s\n", d.Datapath.ALUSummary())
+		fmt.Fprintf(out, "  total cost:  %.0f um^2 (ALU %.0f, MUX %.0f, REG %.0f)\n",
+			c.Total, c.ALUArea, c.MuxArea, c.RegArea)
+		fmt.Fprintf(out, "  registers:   %d\n", c.NumRegs)
+		fmt.Fprintf(out, "  multiplexers: %d with %d inputs total\n", c.NumMux, c.NumMuxInputs)
+	}
+	if *printCtrl {
+		fmt.Fprint(out, d.Controller.String())
+	}
+	if *netlist != "" {
+		v, err := d.Netlist()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*netlist, []byte(v), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "netlist written to %s\n", *netlist)
+	}
+	if *vcdPath != "" {
+		in := sim.RandomInputs(d.Graph, 1)
+		for k, v := range d.Consts {
+			in[k] = v
+		}
+		var buf bytes.Buffer
+		if err := sim.TraceVCD(d.Schedule, in, &buf); err != nil {
+			return err
+		}
+		if err := os.WriteFile(*vcdPath, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "VCD waveform written to %s\n", *vcdPath)
+	}
+	if *tbPath != "" {
+		var vectors []map[string]int64
+		for seed := int64(1); seed <= 3; seed++ {
+			in := sim.RandomInputs(d.Graph, seed)
+			for k, v := range d.Consts {
+				in[k] = v
+			}
+			vectors = append(vectors, in)
+		}
+		tb, err := emit.Testbench(d.Graph, d.Schedule, vectors)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*tbPath, []byte(tb), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "testbench written to %s\n", *tbPath)
+	}
+	return nil
+}

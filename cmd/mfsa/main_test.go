@@ -1,0 +1,123 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testDesign = `
+design cli
+input a, b
+s = a + b
+p = s * b
+q = p - a
+`
+
+func writeDesign(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "design.hls")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasic(t *testing.T) {
+	path := writeDesign(t, testDesign)
+	var out strings.Builder
+	if err := run([]string{"-cs", "3", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"self-check passed", "RTL structure (style 1)", "ALUs:",
+		"total cost:", "registers:", "unit", // Gantt header
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunStyle2AndController(t *testing.T) {
+	path := writeDesign(t, testDesign)
+	var out strings.Builder
+	if err := run([]string{"-cs", "3", "-style", "2", "-ctrl", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "style 2") || !strings.Contains(got, "controller cli") {
+		t.Errorf("output:\n%s", got)
+	}
+}
+
+func TestRunNetlist(t *testing.T) {
+	path := writeDesign(t, testDesign)
+	nl := filepath.Join(t.TempDir(), "out.v")
+	var out strings.Builder
+	if err := run([]string{"-cs", "3", "-netlist", nl, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "module cli") {
+		t.Errorf("netlist:\n%s", data)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeDesign(t, testDesign)
+	var out strings.Builder
+	if err := run([]string{path}, &out); err == nil {
+		t.Error("missing -cs accepted")
+	}
+	if err := run([]string{"-cs", "3"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-cs", "1", path}, &out); err == nil {
+		t.Error("infeasible cs accepted")
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	path := writeDesign(t, testDesign)
+	var out strings.Builder
+	if err := run([]string{"-cs", "3", "-report", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"synthesis report", "utilization", "bus alternative", "FSM states"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunVCDAndTestbench(t *testing.T) {
+	path := writeDesign(t, testDesign)
+	dir := t.TempDir()
+	vcd := filepath.Join(dir, "wave.vcd")
+	tb := filepath.Join(dir, "tb.v")
+	var out strings.Builder
+	if err := run([]string{"-cs", "3", "-vcd", vcd, "-tb", tb, path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	wave, err := os.ReadFile(vcd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(wave), "$enddefinitions") {
+		t.Error("VCD malformed")
+	}
+	bench, err := os.ReadFile(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(bench), "module cli_tb") {
+		t.Error("testbench malformed")
+	}
+}

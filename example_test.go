@@ -1,0 +1,76 @@
+package hls_test
+
+import (
+	"fmt"
+	"log"
+
+	hls "repro"
+)
+
+// ExampleSynthesizeSource synthesizes a small behavior and prints its
+// cost structure.
+func ExampleSynthesizeSource() {
+	d, err := hls.SynthesizeSource(`
+design ex
+input a, b
+s = a + b
+p = s * b
+`, hls.Config{CS: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ALUs:", d.Datapath.ALUSummary())
+	fmt.Println("steps:", d.Schedule.CS)
+	vals, _ := d.Simulate(map[string]int64{"a": 2, "b": 3})
+	fmt.Println("p =", vals["p"])
+	// Output:
+	// ALUs: (*); (+)
+	// steps: 2
+	// p = 15
+}
+
+// ExampleScheduleGraph runs resource-constrained MFS on a programmatic
+// graph.
+func ExampleScheduleGraph() {
+	g := hls.NewGraph("rc")
+	if err := g.AddInput("a"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := g.AddOp("x", hls.Mul, "a", "a"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := g.AddOp("y", hls.Mul, "a", "a"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := g.AddOp("z", hls.Add, "x", "y"); err != nil {
+		log.Fatal(err)
+	}
+	d, err := hls.ScheduleGraph(g, hls.Config{Limits: map[string]int{"*": 1, "+": 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("steps with one multiplier:", d.Schedule.CS)
+	// Output:
+	// steps with one multiplier: 3
+}
+
+// ExampleParseBehavior shows the conditional/mutual-exclusion surface.
+func ExampleParseBehavior() {
+	g, _, err := hls.ParseBehavior(`
+design cond
+input a, b
+if a < b {
+    lo = a + 1
+} else {
+    hi = b - 1
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, _ := g.Lookup("lo")
+	hi, _ := g.Lookup("hi")
+	fmt.Println("exclusive:", g.MutuallyExclusive(lo.ID, hi.ID))
+	// Output:
+	// exclusive: true
+}

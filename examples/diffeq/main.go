@@ -1,0 +1,100 @@
+// Diffeq: the HAL differential-equation benchmark (y” + 3xy' + 3y = 0),
+// the workload the paper's introduction motivates. The example builds
+// the data-flow graph programmatically, sweeps the time constraint with
+// MFS to expose the time/hardware trade-off, compares against
+// force-directed scheduling, and then runs MFSA to get a full RTL
+// structure at each point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	hls "repro"
+)
+
+func buildDiffeq() *hls.Graph {
+	g := hls.NewGraph("diffeq")
+	for _, in := range []string{"x", "y", "u", "dx", "a", "three"} {
+		must(g.AddInput(in))
+	}
+	op := func(name string, k hls.OpKind, args ...string) {
+		if _, err := g.AddOp(name, k, args...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	op("m1", hls.Mul, "u", "dx")      // u·dx
+	op("m2", hls.Mul, "three", "x")   // 3x
+	op("m3", hls.Mul, "three", "y")   // 3y
+	op("m4", hls.Mul, "m1", "m2")     // 3x·u·dx
+	op("m5", hls.Mul, "m3", "dx")     // 3y·dx
+	op("m6", hls.Mul, "u", "dx")      // u·dx for the y update
+	op("sub1", hls.Sub, "u", "m4")    // u − 3x·u·dx
+	op("sub2", hls.Sub, "sub1", "m5") // u' = u − 3x·u·dx − 3y·dx
+	op("add1", hls.Add, "x", "dx")    // x' = x + dx
+	op("add2", hls.Add, "y", "m6")    // y' = y + u·dx
+	op("cmp", hls.Lt, "add1", "a")    // loop condition x' < a
+	return g
+}
+
+func main() {
+	fmt.Println("time/hardware trade-off for the HAL differential equation")
+	fmt.Println("T   MFS FUs                    FDS FUs                    MFSA cost (um^2)")
+	for _, cs := range []int{4, 5, 6, 8} {
+		g := buildDiffeq()
+		d, err := hls.ScheduleGraph(g, hls.Config{CS: cs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fds, err := hls.ForceDirected(buildDiffeq(), cs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		syn, err := hls.Synthesize(buildDiffeq(), hls.Config{CS: cs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-3d %-26s %-26s %.0f\n", cs,
+			fuString(d.Schedule.InstancesPerType()),
+			fuString(fds.InstancesPerType()),
+			syn.Cost.Total)
+	}
+
+	// Resource-constrained view: how fast can one multiplier go?
+	g := buildDiffeq()
+	d, err := hls.ScheduleGraph(g, hls.Config{
+		Limits: map[string]int{"*": 1, "+": 1, "-": 1, "<": 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwith a single FU of each type, MFS needs %d control steps\n", d.Schedule.CS)
+
+	if err := d.SelfCheck(5); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schedules verified against the behavioral reference")
+}
+
+func fuString(inst map[string]int) string {
+	typs := make([]string, 0, len(inst))
+	for typ := range inst {
+		typs = append(typs, typ)
+	}
+	sort.Strings(typs)
+	out := ""
+	for i, typ := range typs {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", typ, inst[typ])
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

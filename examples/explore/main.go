@@ -1,0 +1,74 @@
+// Explore: design-space exploration over the time constraint — the
+// trade-off study a user of the paper's tool runs before committing to a
+// constraint. A 16-tap FIR filter written in the behavioral language is
+// synthesized at every feasible T; the Pareto frontier of (control
+// steps, total area) is printed with the chosen ALU sets.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	hls "repro"
+)
+
+func firSource() string {
+	var b strings.Builder
+	b.WriteString("design fir8\ninput ")
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "x%d, h%d", i, i)
+	}
+	b.WriteString("\n")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "p%d = x%d * h%d @2\n", i, i, i)
+	}
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&b, "a%d = p%d + p%d\n", i, 2*i, 2*i+1)
+	}
+	b.WriteString("b0 = a0 + a1\nb1 = a2 + a3\ny = b0 + b1\n")
+	return b.String()
+}
+
+func main() {
+	g, _, err := hls.ParseBehavior(firSource())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cp := g.CriticalPathCycles()
+	fmt.Printf("8-tap FIR, 2-cycle multipliers, critical path %d steps\n\n", cp)
+
+	points, err := hls.Sweep(g, hls.Config{}, cp, cp+8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("T    cost(um^2)  pareto  ALUs")
+	for _, p := range points {
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		fmt.Printf("%-4d %-11.0f %-7s %s\n", p.CS, p.Cost.Total, mark, p.ALUs)
+	}
+
+	// Pick the knee: the cheapest Pareto point.
+	best := points[0]
+	for _, p := range points {
+		if p.Pareto && p.Cost.Total < best.Cost.Total {
+			best = p
+		}
+	}
+	fmt.Printf("\ncheapest frontier point: T=%d at %.0f um^2\n", best.CS, best.Cost.Total)
+
+	d, err := hls.SynthesizeSource(firSource(), hls.Config{CS: best.CS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.SelfCheck(5); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("chosen design verified against the behavioral reference")
+}

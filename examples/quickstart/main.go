@@ -1,0 +1,66 @@
+// Quickstart: synthesize a three-operation behavior end to end — parse,
+// run MFSA, print the cost breakdown, simulate, and emit a netlist.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hls "repro"
+)
+
+const design = `
+design quick
+input a, b, c
+s = a + b     # adder
+p = s * c     # multiplier
+d = p - 7     # subtract a constant
+`
+
+func main() {
+	d, err := hls.SynthesizeSource(design, hls.Config{CS: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== schedule ===")
+	fmt.Print(d.Schedule.String())
+
+	fmt.Println("=== RTL cost ===")
+	fmt.Printf("ALUs:  %s\n", d.Datapath.ALUSummary())
+	fmt.Printf("total: %.0f um^2  (%d registers, %d mux inputs)\n",
+		d.Cost.Total, d.Cost.NumRegs, d.Cost.NumMuxInputs)
+
+	fmt.Println("=== simulation ===")
+	vals, err := d.Simulate(map[string]int64{"a": 2, "b": 3, "c": 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("a=2 b=3 c=4  =>  s=%d p=%d d=%d\n", vals["s"], vals["p"], vals["d"])
+
+	if err := d.SelfCheck(5); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("self-check passed on 5 random vectors")
+
+	net, err := d.Netlist()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== netlist (first lines) ===")
+	for i, line := range splitLines(net, 8) {
+		fmt.Printf("%d| %s\n", i+1, line)
+	}
+}
+
+func splitLines(s string, n int) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s) && len(out) < n; i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return out
+}

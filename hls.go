@@ -1,0 +1,222 @@
+// Package hls is a high-level synthesis library implementing Move Frame
+// Scheduling (MFS) and Move Frame Scheduling-Allocation (MFSA) from
+// Nourani and Papachristou, "Move Frame Scheduling and Mixed
+// Scheduling-Allocation for the Automated Synthesis of Digital Systems"
+// (DAC 1992), together with the substrates a real synthesis flow needs:
+// a behavioral input language, ASAP/ALAP analysis, a cell-library cost
+// model, RTL datapath construction with multiplexer and register
+// optimization, FSM controller generation, structural netlist emission,
+// a cycle-accurate verifying simulator, and baseline schedulers (list
+// scheduling and force-directed scheduling) for comparison.
+//
+// # Quick start
+//
+//	design := `
+//	design quick
+//	input a, b, c
+//	s = a + b
+//	p = s * c
+//	`
+//	d, err := hls.SynthesizeSource(design, hls.Config{CS: 3})
+//	if err != nil { ... }
+//	fmt.Println(d.Cost.Total)          // datapath area in µm²
+//	netlist, _ := d.Netlist()          // structural Verilog-style text
+//	vals, _ := d.Simulate(map[string]int64{"a": 1, "b": 2, "c": 3})
+//
+// Graphs can also be built programmatically with NewGraph/AddOp, then
+// scheduled with Schedule (time- or resource-constrained MFS) or
+// synthesized with Synthesize (MFSA, producing a full RTL datapath).
+// All scheduling extensions of the paper's §5 are available through
+// Config: conditional mutual exclusion, folded loops, multicycle
+// operations, chaining, and structural and functional pipelining.
+package hls
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/behav"
+	"repro/internal/core"
+	"repro/internal/ctrl"
+	"repro/internal/dfg"
+	"repro/internal/library"
+	"repro/internal/mfsa"
+	"repro/internal/op"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Core data-flow-graph types. A Graph is a DAG of operations over named
+// signals; see NewGraph.
+type (
+	// Graph is a behavioral data-flow graph.
+	Graph = dfg.Graph
+	// Node is one operation in a Graph.
+	Node = dfg.Node
+	// NodeID identifies a node within its Graph.
+	NodeID = dfg.NodeID
+	// CondTag marks membership in one branch of a conditional; nodes
+	// tagged with the same Cond but different Branch are mutually
+	// exclusive and may share hardware.
+	CondTag = dfg.CondTag
+)
+
+// OpKind identifies an operation type (Add, Mul, Lt, ...).
+type OpKind = op.Kind
+
+// Re-exported operation kinds.
+const (
+	Add = op.Add
+	Sub = op.Sub
+	Mul = op.Mul
+	Div = op.Div
+	And = op.And
+	Or  = op.Or
+	Xor = op.Xor
+	Not = op.Not
+	Lt  = op.Lt
+	Gt  = op.Gt
+	Le  = op.Le
+	Ge  = op.Ge
+	Eq  = op.Eq
+	Ne  = op.Ne
+	Shl = op.Shl
+	Shr = op.Shr
+	Neg = op.Neg
+	Mov = op.Mov
+)
+
+// NewGraph returns an empty data-flow graph with the given name. Build
+// it with AddInput and AddOp (arguments must already exist), annotate
+// multicycle operations with SetCycles and conditionals with Tag, then
+// pass it to Schedule or Synthesize.
+func NewGraph(name string) *Graph { return dfg.New(name) }
+
+// Cell-library types for allocation (MFSA).
+type (
+	// Library is a set of functional-unit cells plus register and
+	// multiplexer cost models.
+	Library = library.Library
+	// Unit is one functional-unit cell.
+	Unit = library.Unit
+)
+
+// NCRLibrary returns the synthetic stand-in for the NCR ASIC data book
+// the paper costs designs against (see DESIGN.md §3).
+func NCRLibrary() *Library { return library.NCRLike() }
+
+// ComposeALU builds a multi-function ALU cell covering the given kinds
+// with a synthetic area (dearest member plus 30% of the rest).
+func ComposeALU(kinds ...OpKind) *Unit { return library.Compose(kinds...) }
+
+// Result types.
+type (
+	// Config parameterizes a synthesis run; see the field docs.
+	Config = core.Config
+	// Design is a completed synthesis result.
+	Design = core.Design
+	// Schedule maps operations to control steps and FU instances.
+	Schedule = sched.Schedule
+	// Placement is one operation's slot in a Schedule.
+	Placement = sched.Placement
+	// Datapath is the bound RTL structure MFSA produces.
+	Datapath = rtl.Datapath
+	// Cost is a datapath's Table 2-style cost breakdown.
+	Cost = rtl.Cost
+)
+
+// Schedule runs Move Frame Scheduling on a graph: time-constrained when
+// cfg.CS > 0, resource-constrained (minimizing control steps under
+// cfg.Limits) when cfg.CS == 0.
+func ScheduleGraph(g *Graph, cfg Config) (*Design, error) {
+	return core.ScheduleOnly(g, cfg)
+}
+
+// Synthesize runs Move Frame Scheduling-Allocation on a graph, producing
+// a schedule, a bound RTL datapath, a controller and a cost breakdown.
+func Synthesize(g *Graph, cfg Config) (*Design, error) {
+	return core.Synthesize(g, cfg)
+}
+
+// SynthesizeSource parses a behavioral description (see ParseBehavior
+// for the language) and synthesizes it with MFSA.
+func SynthesizeSource(src string, cfg Config) (*Design, error) {
+	return core.SynthesizeSource(src, cfg)
+}
+
+// ScheduleSource parses a behavioral description and schedules it with
+// MFS, folding nested loops per the paper's §5.2.
+func ScheduleSource(src string, cfg Config) (*Design, error) {
+	d, _, err := core.ScheduleSource(src, cfg)
+	return d, err
+}
+
+// Allocate binds an externally produced schedule (from ScheduleGraph,
+// ForceDirected, ListSchedule, ...) to an RTL datapath using MFSA's cost
+// machinery with the operations' control steps frozen — the sequential
+// two-phase flow the paper's introduction contrasts with MFSA.
+func Allocate(s *Schedule, cfg Config) (*Design, error) {
+	res, err := mfsa.Allocate(s, mfsa.Options{
+		Lib:            cfg.Lib,
+		Style:          mfsa.Style(cfg.Style),
+		Limits:         cfg.Limits,
+		RegisterInputs: cfg.RegisterInputs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c, err := ctrl.Build(s.Graph, res.Schedule, res.Datapath)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{
+		Graph:      s.Graph,
+		Schedule:   res.Schedule,
+		Datapath:   res.Datapath,
+		Controller: c,
+		Cost:       res.Cost,
+	}, nil
+}
+
+// SweepPoint is one design point of a time-constraint sweep.
+type SweepPoint = core.SweepPoint
+
+// Sweep synthesizes g with MFSA at every time constraint in [csLo,
+// csHi] (clamped to the critical path) and returns the cost/time design
+// points with the Pareto frontier marked.
+func Sweep(g *Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
+	return core.Sweep(g, cfg, csLo, csHi)
+}
+
+// ParseBehavior lowers a behavioral description to a graph plus the
+// values of its literal constants. The language supports `design`,
+// `input`/`output` declarations, `const NAME = <int>`, assignments over
+// the usual operators with precedence and parentheses, `@k` multicycle
+// annotations, `if/else` blocks (mutual exclusion), and nested
+// `loop ... cycles k binds ... yields ...` blocks (folded loops).
+func ParseBehavior(src string) (*Graph, map[string]int64, error) {
+	return behav.BuildSource(src)
+}
+
+// RandomInputs generates reproducible input vectors for simulation.
+func RandomInputs(g *Graph, seed int64) map[string]int64 {
+	return sim.RandomInputs(g, seed)
+}
+
+// Baseline schedulers, for comparison studies.
+
+// ForceDirected runs HAL-style force-directed scheduling under a time
+// constraint.
+func ForceDirected(g *Graph, cs int) (*Schedule, error) {
+	return baseline.ForceDirected(g, cs)
+}
+
+// ListSchedule runs priority list scheduling under resource limits
+// (op-symbol keyed).
+func ListSchedule(g *Graph, limits map[string]int) (*Schedule, error) {
+	return baseline.List(g, limits)
+}
+
+// ASAPSchedule returns the as-soon-as-possible schedule.
+func ASAPSchedule(g *Graph) (*Schedule, error) {
+	return baseline.ASAP(g)
+}

@@ -1,0 +1,181 @@
+package hls_test
+
+import (
+	"strings"
+	"testing"
+
+	hls "repro"
+)
+
+const quick = `
+design quick
+input a, b, c
+s = a + b
+p = s * c
+`
+
+func TestFacadeSynthesizeSource(t *testing.T) {
+	d, err := hls.SynthesizeSource(quick, hls.Config{CS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cost.Total <= 0 {
+		t.Error("no cost")
+	}
+	net, err := d.Netlist()
+	if err != nil || !strings.Contains(net, "module quick") {
+		t.Errorf("netlist err=%v", err)
+	}
+	vals, err := d.Simulate(map[string]int64{"a": 1, "b": 2, "c": 3})
+	if err != nil || vals["p"] != 9 {
+		t.Errorf("p = %d, err=%v", vals["p"], err)
+	}
+}
+
+func TestFacadeGraphBuilding(t *testing.T) {
+	g := hls.NewGraph("manual")
+	if err := g.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	x, err := g.AddOp("x", hls.Add, "a", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := g.AddOp("y", hls.Mul, "x", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetCycles(y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Tag(x, hls.CondTag{Cond: 1, Branch: 0}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := hls.ScheduleGraph(g, hls.Config{CS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SelfCheck(3); err != nil {
+		t.Error(err)
+	}
+	// Resource-constrained mode.
+	d2, err := hls.ScheduleGraph(g, hls.Config{Limits: map[string]int{"+": 1, "*": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Schedule.CS < 3 {
+		t.Errorf("resource-constrained CS = %d", d2.Schedule.CS)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	g, _, err := hls.ParseBehavior(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hls.ForceDirected(g, 3); err != nil {
+		t.Error(err)
+	}
+	if _, err := hls.ListSchedule(g, map[string]int{"+": 1, "*": 1}); err != nil {
+		t.Error(err)
+	}
+	if _, err := hls.ASAPSchedule(g); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeLibrary(t *testing.T) {
+	lib := hls.NCRLibrary()
+	if err := lib.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	alu := hls.ComposeALU(hls.Add, hls.Sub)
+	if !alu.Can(hls.Add) || !alu.Can(hls.Sub) {
+		t.Error("composed ALU broken")
+	}
+	g, _, err := hls.ParseBehavior(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := hls.Synthesize(g, hls.Config{CS: 3, Lib: lib, Style: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SelfCheck(2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFacadeRandomInputs(t *testing.T) {
+	g, _, err := hls.ParseBehavior(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := hls.RandomInputs(g, 1)
+	if len(in) != 3 {
+		t.Errorf("inputs = %v", in)
+	}
+}
+
+func TestFacadeScheduleSourceLoops(t *testing.T) {
+	src := `
+design l
+input x
+loop acc cycles 2 binds v = x yields r {
+    r = v + 1
+}
+out = acc * x
+`
+	d, err := hls.ScheduleSource(src, hls.Config{CS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := d.Simulate(map[string]int64{"x": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["out"] != 42 {
+		t.Errorf("out = %d", vals["out"])
+	}
+}
+
+func TestFacadeAllocate(t *testing.T) {
+	g, _, err := hls.ParseBehavior(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := hls.ForceDirected(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := hls.Allocate(s, hls.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cost.Total <= 0 || d.Controller == nil {
+		t.Fatalf("incomplete allocation: %+v", d.Cost)
+	}
+	if err := d.SelfCheck(3); err != nil {
+		t.Error(err)
+	}
+	// Steps stay put.
+	for _, n := range g.Nodes() {
+		if d.Schedule.Placements[n.ID].Step != s.Placements[n.ID].Step {
+			t.Errorf("node %q moved", n.Name)
+		}
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	g, _, err := hls.ParseBehavior(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := hls.Sweep(g, hls.Config{}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 || !pts[0].Pareto {
+		t.Errorf("sweep = %+v", pts)
+	}
+}

@@ -1,0 +1,168 @@
+// Package baseline implements the comparison schedulers of the paper's
+// related-work discussion: priority list scheduling under resource
+// constraints ([4], Slicer-style), force-directed scheduling under time
+// constraints ([6], HAL), and the trivial ASAP schedule ([2],
+// FACET-style). The experiment harness runs them against MFS/MFSA on the
+// same benchmarks to reproduce §6's comparative claims.
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/mfs"
+	"repro/internal/sched"
+)
+
+// ASAP schedules every operation at its earliest feasible step, using as
+// many functional units per type as that requires.
+func ASAP(g *dfg.Graph) (*sched.Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	cs := g.CriticalPathCycles()
+	frames, err := sched.ComputeFrames(g, cs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	out := sched.NewSchedule(g, cs)
+	next := make(map[string]map[int]int) // type -> step -> next free index
+	for _, id := range g.TopoOrder() {
+		n := g.Node(id)
+		typ := mfs.TypeKey(n)
+		if next[typ] == nil {
+			next[typ] = make(map[int]int)
+		}
+		step := frames[id].ASAP
+		// All rows of a multicycle op must use one index; take the max of
+		// the per-row counters, then advance them all.
+		idx := 0
+		for i := 0; i < n.Cycles; i++ {
+			if c := next[typ][step+i]; c > idx {
+				idx = c
+			}
+		}
+		for i := 0; i < n.Cycles; i++ {
+			next[typ][step+i] = idx + 1
+		}
+		out.Place(id, sched.Placement{Step: step, Type: typ, Index: idx + 1})
+	}
+	if err := out.Verify(nil); err != nil {
+		return nil, fmt.Errorf("baseline: internal: %w", err)
+	}
+	return out, nil
+}
+
+// List performs priority list scheduling under resource constraints:
+// operations become ready when their predecessors complete; each step the
+// ready operations are issued in priority order (least ALAP slack first)
+// onto the limited units, and the schedule extends until everything is
+// placed.
+func List(g *dfg.Graph, limits map[string]int) (*sched.Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	if len(limits) == 0 {
+		return nil, fmt.Errorf("baseline: list scheduling needs resource limits")
+	}
+	cp := g.CriticalPathCycles()
+	frames, err := sched.ComputeFrames(g, cp, 0)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	for _, n := range g.Nodes() {
+		typ := mfs.TypeKey(n)
+		if lim, ok := limits[typ]; ok && lim < 1 {
+			return nil, fmt.Errorf("baseline: limit for %s is %d", typ, lim)
+		}
+	}
+	finish := make(map[dfg.NodeID]int) // completion step
+	placed := make(map[dfg.NodeID]sched.Placement)
+	busyUntil := make(map[string][]int) // type -> per-instance busy-until step
+	limitOf := func(typ string) int {
+		if lim, ok := limits[typ]; ok {
+			return lim
+		}
+		return math.MaxInt32
+	}
+	remaining := g.TopoOrder()
+	maxSteps := 0
+	for _, n := range g.Nodes() {
+		maxSteps += n.Cycles
+	}
+	maxSteps += cp + 1
+	for step := 1; len(remaining) > 0 && step <= maxSteps; step++ {
+		// Ready ops whose predecessors completed before this step.
+		var ready []dfg.NodeID
+		for _, id := range remaining {
+			ok := true
+			for _, p := range g.Node(id).Preds() {
+				if f, done := finish[p]; !done || f >= step {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, id)
+			}
+		}
+		sort.Slice(ready, func(i, j int) bool {
+			si, sj := frames[ready[i]].Mobility(), frames[ready[j]].Mobility()
+			if si != sj {
+				return si < sj
+			}
+			return ready[i] < ready[j]
+		})
+		for _, id := range ready {
+			n := g.Node(id)
+			typ := mfs.TypeKey(n)
+			// Find a unit instance free for the whole duration.
+			idx := -1
+			for i, until := range busyUntil[typ] {
+				if until < step {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				if len(busyUntil[typ]) >= limitOf(typ) {
+					continue // stall until a unit frees
+				}
+				busyUntil[typ] = append(busyUntil[typ], 0)
+				idx = len(busyUntil[typ]) - 1
+			}
+			busyUntil[typ][idx] = step + n.Cycles - 1
+			finish[id] = step + n.Cycles - 1
+			placed[id] = sched.Placement{Step: step, Type: typ, Index: idx + 1}
+			remaining = removeID(remaining, id)
+		}
+	}
+	if len(remaining) > 0 {
+		return nil, fmt.Errorf("baseline: list scheduling stalled with %d ops left", len(remaining))
+	}
+	cs := 0
+	for _, f := range finish {
+		if f > cs {
+			cs = f
+		}
+	}
+	out := sched.NewSchedule(g, cs)
+	for id, p := range placed {
+		out.Place(id, p)
+	}
+	if err := out.Verify(limits); err != nil {
+		return nil, fmt.Errorf("baseline: internal: %w", err)
+	}
+	return out, nil
+}
+
+func removeID(ids []dfg.NodeID, id dfg.NodeID) []dfg.NodeID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,175 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/dfg"
+	"repro/internal/mfs"
+	"repro/internal/op"
+)
+
+func TestASAPBasics(t *testing.T) {
+	ex := benchmarks.Facet()
+	s, err := ASAP(ex.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CS != ex.Graph.CriticalPathCycles() {
+		t.Errorf("ASAP cs = %d, want critical path %d", s.CS, ex.Graph.CriticalPathCycles())
+	}
+	// ASAP piles both adds into step 1.
+	if got := s.InstancesPerType()["+"]; got != 2 {
+		t.Errorf("ASAP adders = %d, want 2", got)
+	}
+}
+
+func TestListScheduling(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	limits := map[string]int{"*": 2, "+": 1, "-": 1, "<": 1}
+	s, err := List(ex.Graph, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(limits); err != nil {
+		t.Fatal(err)
+	}
+	// With 2 multipliers the classic diffeq fits 4 steps.
+	if s.CS > 5 {
+		t.Errorf("list-scheduled cs = %d, want <= 5", s.CS)
+	}
+	// One multiplier serializes: at least 6 steps.
+	s1, err := List(ex.Graph, map[string]int{"*": 1, "+": 1, "-": 1, "<": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.CS < 6 {
+		t.Errorf("one-multiplier cs = %d, want >= 6", s1.CS)
+	}
+}
+
+func TestListNeedsLimits(t *testing.T) {
+	ex := benchmarks.Facet()
+	if _, err := List(ex.Graph, nil); err == nil {
+		t.Error("nil limits accepted")
+	}
+	if _, err := List(ex.Graph, map[string]int{"+": 0}); err == nil {
+		t.Error("zero limit accepted")
+	}
+}
+
+func TestListMulticycle(t *testing.T) {
+	ex := benchmarks.ARLattice() // 2-cycle multipliers
+	limits := map[string]int{"*": 4, "+": 2}
+	s, err := List(ex.Graph, limits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(limits); err != nil {
+		t.Fatal(err)
+	}
+	// 16 two-cycle muls on 4 units: at least 8 steps.
+	if s.CS < 8 {
+		t.Errorf("cs = %d, want >= 8", s.CS)
+	}
+}
+
+func TestForceDirectedDiffeq(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	s, err := ForceDirected(ex.Graph, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(nil); err != nil {
+		t.Fatal(err)
+	}
+	// The published HAL result: 2 multipliers at cs=4.
+	if got := s.InstancesPerType()["*"]; got != 2 {
+		t.Errorf("FDS multipliers = %d, want 2", got)
+	}
+}
+
+func TestForceDirectedBeatsASAPOnBalance(t *testing.T) {
+	for _, mk := range []func() *benchmarks.Example{benchmarks.Facet, benchmarks.Diffeq, benchmarks.EWF} {
+		ex := mk()
+		cs := ex.Graph.CriticalPathCycles()
+		asap, err := ASAP(ex.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fds, err := ForceDirected(ex.Graph, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for typ, n := range fds.InstancesPerType() {
+			if n > asap.InstancesPerType()[typ] {
+				t.Errorf("%s: FDS uses more %s units (%d) than ASAP (%d)",
+					ex.Name, typ, n, asap.InstancesPerType()[typ])
+			}
+		}
+	}
+}
+
+func TestForceDirectedInfeasible(t *testing.T) {
+	ex := benchmarks.Facet()
+	if _, err := ForceDirected(ex.Graph, 2); err == nil {
+		t.Error("cs below critical path accepted")
+	}
+}
+
+func TestForceDirectedMatchesMFSOnEWF(t *testing.T) {
+	// §6's comparative claim: MFS results are within the ballpark of FDS.
+	// On the EWF stand-in both should find the 3-multiplier solution at
+	// the critical path, and MFS must never be worse than FDS by more
+	// than one unit of any type.
+	g := benchmarks.EWF().Graph
+	fds, err := ForceDirected(g, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mfsS, err := mfs.Schedule(benchmarks.EWF().Graph, mfs.Options{CS: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, mi := fds.InstancesPerType(), mfsS.InstancesPerType()
+	for typ := range mi {
+		if mi[typ] > fi[typ]+1 {
+			t.Errorf("MFS %s = %d vs FDS %d", typ, mi[typ], fi[typ])
+		}
+	}
+}
+
+func TestRandomAgreement(t *testing.T) {
+	// Property: on random DAGs at cp+slack, both FDS and MFS produce
+	// legal schedules and MFS's peak FU usage is within 2x of FDS's
+	// (they solve the same minimization).
+	r := rand.New(rand.NewSource(5))
+	kinds := []op.Kind{op.Add, op.Sub, op.Mul, op.Lt}
+	for trial := 0; trial < 15; trial++ {
+		g := dfg.New(fmt.Sprintf("ra%d", trial))
+		g.AddInput("i0")
+		names := []string{"i0"}
+		for i := 0; i < 10+r.Intn(12); i++ {
+			name := fmt.Sprintf("n%d", i)
+			g.AddOp(name, kinds[r.Intn(len(kinds))],
+				names[r.Intn(len(names))], names[r.Intn(len(names))])
+			names = append(names, name)
+		}
+		cs := g.CriticalPathCycles() + 2
+		fds, err := ForceDirected(g, cs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m, err := mfs.Schedule(g, mfs.Options{CS: cs})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for typ, n := range m.InstancesPerType() {
+			if f := fds.InstancesPerType()[typ]; f > 0 && n > 2*f {
+				t.Errorf("trial %d: MFS %s = %d vs FDS %d", trial, typ, n, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/mfs"
+	"repro/internal/sched"
+)
+
+// ForceDirected implements HAL's force-directed scheduling [6] under a
+// time constraint: operation start probabilities are spread uniformly
+// over their time frames, per-type distribution graphs measure expected
+// concurrency, and at each iteration the (operation, step) assignment
+// with the lowest total force — self force plus the forces induced on
+// direct predecessors and successors by window tightening — is committed.
+// The result balances concurrency, minimizing functional units, and is
+// the time-constrained baseline MFS is compared against in §6.
+func ForceDirected(g *dfg.Graph, cs int) (*sched.Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	frames, err := sched.ComputeFrames(g, cs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	win := make(map[dfg.NodeID][2]int, g.Len())
+	for id, f := range frames {
+		win[id] = [2]int{f.ASAP, f.ALAP}
+	}
+	fixed := make(map[dfg.NodeID]int)
+
+	for len(fixed) < g.Len() {
+		dg := distributions(g, win, cs)
+		bestForce := math.Inf(1)
+		var bestID dfg.NodeID
+		bestStep := 0
+		foundAny := false
+		for _, n := range g.Nodes() {
+			if _, done := fixed[n.ID]; done {
+				continue
+			}
+			w := win[n.ID]
+			for s := w[0]; s <= w[1]; s++ {
+				f, ok := totalForce(g, win, dg, cs, n, s)
+				if !ok {
+					continue
+				}
+				if !foundAny || f < bestForce-1e-12 ||
+					(math.Abs(f-bestForce) <= 1e-12 && (n.ID < bestID || (n.ID == bestID && s < bestStep))) {
+					bestForce, bestID, bestStep = f, n.ID, s
+					foundAny = true
+				}
+			}
+		}
+		if !foundAny {
+			return nil, fmt.Errorf("baseline: force-directed scheduling wedged with %d ops left",
+				g.Len()-len(fixed))
+		}
+		fixed[bestID] = bestStep
+		win[bestID] = [2]int{bestStep, bestStep}
+		if !tighten(g, win, bestID, bestStep) {
+			return nil, fmt.Errorf("baseline: window tightening emptied a frame")
+		}
+	}
+	return bindInstances(g, cs, fixed)
+}
+
+// distributions builds the per-type distribution graphs: for each type,
+// the expected number of operations active in each control step.
+func distributions(g *dfg.Graph, win map[dfg.NodeID][2]int, cs int) map[string][]float64 {
+	dg := make(map[string][]float64)
+	for _, n := range g.Nodes() {
+		typ := mfs.TypeKey(n)
+		if dg[typ] == nil {
+			dg[typ] = make([]float64, cs+2)
+		}
+		w := win[n.ID]
+		span := w[1] - w[0] + 1
+		p := 1.0 / float64(span)
+		for s := w[0]; s <= w[1]; s++ {
+			for c := 0; c < n.Cycles; c++ {
+				if s+c <= cs {
+					dg[typ][s+c] += p
+				}
+			}
+		}
+	}
+	return dg
+}
+
+// selfForce is the classic force of locking node n to start step s:
+// Σ_steps DG(step)·(p_after(step) − p_before(step)).
+func selfForce(dg []float64, n *dfg.Node, w [2]int, s int) float64 {
+	span := w[1] - w[0] + 1
+	p := 1.0 / float64(span)
+	force := 0.0
+	for t := w[0]; t <= w[1]; t++ {
+		for c := 0; c < n.Cycles; c++ {
+			step := t + c
+			if step >= len(dg) {
+				continue
+			}
+			after := 0.0
+			if t == s {
+				after = 1.0
+			}
+			force += dg[step] * (after - p)
+		}
+	}
+	return force
+}
+
+// totalForce evaluates locking n to step s including the induced forces
+// on direct predecessors and successors whose windows the lock tightens.
+// It returns ok=false when the lock would empty a neighbor's window.
+func totalForce(g *dfg.Graph, win map[dfg.NodeID][2]int, dg map[string][]float64, cs int, n *dfg.Node, s int) (float64, bool) {
+	force := selfForce(dg[mfs.TypeKey(n)], n, win[n.ID], s)
+	for _, pid := range n.Preds() {
+		pred := g.Node(pid)
+		w := win[pid]
+		hi := s - pred.Cycles
+		if hi < w[0] {
+			return 0, false
+		}
+		if hi < w[1] {
+			force += restrictForce(dg[mfs.TypeKey(pred)], pred, w, [2]int{w[0], hi})
+		}
+	}
+	for _, sid := range n.Succs() {
+		succ := g.Node(sid)
+		w := win[sid]
+		lo := s + n.Cycles
+		if lo > w[1] {
+			return 0, false
+		}
+		if lo > w[0] {
+			force += restrictForce(dg[mfs.TypeKey(succ)], succ, w, [2]int{lo, w[1]})
+		}
+	}
+	return force, true
+}
+
+// restrictForce is the force of narrowing node n's window from old to new.
+func restrictForce(dg []float64, n *dfg.Node, old, new [2]int) float64 {
+	pOld := 1.0 / float64(old[1]-old[0]+1)
+	pNew := 1.0 / float64(new[1]-new[0]+1)
+	force := 0.0
+	for t := old[0]; t <= old[1]; t++ {
+		contrib := -pOld
+		if t >= new[0] && t <= new[1] {
+			contrib += pNew
+		}
+		for c := 0; c < n.Cycles; c++ {
+			if step := t + c; step < len(dg) {
+				force += dg[step] * contrib
+			}
+		}
+	}
+	return force
+}
+
+// tighten propagates a fixed assignment through the dependence graph,
+// narrowing predecessor windows (transitively upward) and successor
+// windows (transitively downward). It reports false if any window
+// empties, which cannot happen for locks totalForce approved.
+func tighten(g *dfg.Graph, win map[dfg.NodeID][2]int, id dfg.NodeID, s int) bool {
+	return tightenUp(g, win, id) && tightenDown(g, win, id)
+}
+
+func tightenUp(g *dfg.Graph, win map[dfg.NodeID][2]int, id dfg.NodeID) bool {
+	for _, pid := range g.Node(id).Preds() {
+		pred := g.Node(pid)
+		w := win[pid]
+		if hi := win[id][1] - pred.Cycles; hi < w[1] {
+			if hi < w[0] {
+				return false
+			}
+			win[pid] = [2]int{w[0], hi}
+			if !tightenUp(g, win, pid) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func tightenDown(g *dfg.Graph, win map[dfg.NodeID][2]int, id dfg.NodeID) bool {
+	n := g.Node(id)
+	for _, sid := range n.Succs() {
+		w := win[sid]
+		if lo := win[id][0] + n.Cycles; lo > w[0] {
+			if lo > w[1] {
+				return false
+			}
+			win[sid] = [2]int{lo, w[1]}
+			if !tightenDown(g, win, sid) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// bindInstances converts fixed start steps into a verified schedule by
+// packing operations of each type onto instances left to right.
+func bindInstances(g *dfg.Graph, cs int, fixed map[dfg.NodeID]int) (*sched.Schedule, error) {
+	out := sched.NewSchedule(g, cs)
+	type key struct {
+		typ  string
+		step int
+	}
+	used := make(map[key]int)
+	ids := make([]dfg.NodeID, 0, len(fixed))
+	for id := range fixed {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if fixed[ids[i]] != fixed[ids[j]] {
+			return fixed[ids[i]] < fixed[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	for _, id := range ids {
+		n := g.Node(id)
+		typ := mfs.TypeKey(n)
+		s := fixed[id]
+		idx := 0
+		for c := 0; c < n.Cycles; c++ {
+			if u := used[key{typ, s + c}]; u > idx {
+				idx = u
+			}
+		}
+		for c := 0; c < n.Cycles; c++ {
+			used[key{typ, s + c}] = idx + 1
+		}
+		out.Place(id, sched.Placement{Step: s, Type: typ, Index: idx + 1})
+	}
+	if err := out.Verify(nil); err != nil {
+		return nil, fmt.Errorf("baseline: internal: %w", err)
+	}
+	return out, nil
+}

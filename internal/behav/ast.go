@@ -1,0 +1,99 @@
+package behav
+
+import "repro/internal/op"
+
+// Design is a parsed behavioral description.
+type Design struct {
+	Name    string
+	Inputs  []string
+	Outputs []string // declared outputs; empty = every sink node
+	Body    []Stmt
+}
+
+// Stmt is one statement: an assignment, a conditional, or a loop.
+type Stmt interface{ stmt() }
+
+// Assign binds a signal name to an expression, optionally with a cycle
+// count annotation (`@k`, the §5.3 multicycle marker, applied to the
+// expression's root operation).
+type Assign struct {
+	Name   string
+	Expr   Expr
+	Cycles int // 0 = default
+	Line   int
+}
+
+// If is a two-branch conditional; operations in the branches are mutually
+// exclusive (§5.1). Cond is evaluated unconditionally.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// Loop is a folded loop (§5.2): a nested body with its own inputs (the
+// bind keys), a local time constraint in control steps, and one yielded
+// signal that becomes the loop's value in the enclosing scope.
+type Loop struct {
+	Name   string
+	Cycles int
+	Binds  []Bind // inner input name = outer expression signal
+	Yields string // inner signal exposed as the loop's value
+	Body   []Stmt
+	Line   int
+}
+
+// Bind maps one loop-body input to an outer expression.
+type Bind struct {
+	Inner string
+	Outer Expr
+}
+
+// ConstDecl binds a name to an integer constant; it lowers to a
+// constant input signal (no operation), unlike a literal assignment
+// which costs a Mov.
+type ConstDecl struct {
+	Name  string
+	Value int64
+	Line  int
+}
+
+func (Assign) stmt()    {}
+func (If) stmt()        {}
+func (Loop) stmt()      {}
+func (ConstDecl) stmt() {}
+
+// Expr is an expression tree node.
+type Expr interface{ expr() }
+
+// Ref names a signal (input or previously assigned).
+type Ref struct {
+	Name string
+	Line int
+}
+
+// Lit is an integer literal; it lowers to a constant input signal.
+type Lit struct {
+	Value int64
+	Line  int
+}
+
+// Unary applies a one-operand operation (~, unary -).
+type Unary struct {
+	Op   op.Kind
+	X    Expr
+	Line int
+}
+
+// Binary applies a two-operand operation.
+type Binary struct {
+	Op   op.Kind
+	X, Y Expr
+	Line int
+}
+
+func (Ref) expr()    {}
+func (Lit) expr()    {}
+func (Unary) expr()  {}
+func (Binary) expr() {}

@@ -1,0 +1,372 @@
+package behav
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/op"
+)
+
+func mustBuild(t *testing.T, src string) (*dfg.Graph, map[string]int64) {
+	t.Helper()
+	g, consts, err := BuildSource(src)
+	if err != nil {
+		t.Fatalf("BuildSource: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return g, consts
+}
+
+func evalWith(t *testing.T, g *dfg.Graph, consts map[string]int64, in map[string]int64) map[string]int64 {
+	t.Helper()
+	all := make(map[string]int64)
+	for k, v := range consts {
+		all[k] = v
+	}
+	for k, v := range in {
+		all[k] = v
+	}
+	vals, err := g.Eval(all)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	return vals
+}
+
+func TestSimpleDesign(t *testing.T) {
+	g, consts := mustBuild(t, `
+design quick
+input a, b
+s = a + b
+p = s * 3
+`)
+	if g.Name != "quick" || g.Len() != 2 {
+		t.Fatalf("graph = %s len %d", g.Name, g.Len())
+	}
+	vals := evalWith(t, g, consts, map[string]int64{"a": 2, "b": 5})
+	if vals["s"] != 7 || vals["p"] != 21 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestPrecedenceAndParens(t *testing.T) {
+	g, consts := mustBuild(t, `
+design prec
+input a, b, c
+x = a + b * c
+y = (a + b) * c
+z = a < b + c
+w = a & b | c
+`)
+	vals := evalWith(t, g, consts, map[string]int64{"a": 2, "b": 3, "c": 4})
+	if vals["x"] != 14 {
+		t.Errorf("x = %d, want 14 (mul binds tighter)", vals["x"])
+	}
+	if vals["y"] != 20 {
+		t.Errorf("y = %d, want 20", vals["y"])
+	}
+	if vals["z"] != 1 {
+		t.Errorf("z = %d, want 1 (2 < 7)", vals["z"])
+	}
+	if vals["w"] != (2&3 | 4) {
+		t.Errorf("w = %d", vals["w"])
+	}
+}
+
+func TestUnaryAndShifts(t *testing.T) {
+	g, consts := mustBuild(t, `
+design un
+input a
+n = -a
+inv = ~a
+sh = a << 2
+shr = a >> 1
+eq = a == 6
+`)
+	vals := evalWith(t, g, consts, map[string]int64{"a": 6})
+	if vals["n"] != -6 || vals["inv"] != ^int64(6) || vals["sh"] != 24 || vals["shr"] != 3 || vals["eq"] != 1 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestLiteralsInterned(t *testing.T) {
+	g, consts := mustBuild(t, `
+design lits
+input a
+x = a + 3
+y = a * 3
+z = a - 7
+`)
+	if len(consts) != 2 {
+		t.Errorf("consts = %v, want lit_3 and lit_7 interned once", consts)
+	}
+	if consts["lit_3"] != 3 || consts["lit_7"] != 7 {
+		t.Errorf("consts = %v", consts)
+	}
+	_ = g
+}
+
+func TestMulticycleAnnotation(t *testing.T) {
+	g, _ := mustBuild(t, `
+design mc
+input a, b
+m = a * b @2
+s = m + a
+`)
+	m, ok := g.Lookup("m")
+	if !ok || m.Cycles != 2 {
+		t.Fatalf("m cycles = %+v", m)
+	}
+	if g.CriticalPathCycles() != 3 {
+		t.Errorf("critical path = %d, want 3", g.CriticalPathCycles())
+	}
+}
+
+func TestConditionalTags(t *testing.T) {
+	g, consts := mustBuild(t, `
+design cond
+input a, b
+if a < b {
+    small = a * 2
+} else {
+    big = b * 2
+}
+after = a + b
+`)
+	small, ok1 := g.Lookup("small")
+	big, ok2 := g.Lookup("big")
+	after, ok3 := g.Lookup("after")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("missing nodes")
+	}
+	if !g.MutuallyExclusive(small.ID, big.ID) {
+		t.Error("branch ops not mutually exclusive")
+	}
+	if g.MutuallyExclusive(small.ID, after.ID) {
+		t.Error("post-if op wrongly exclusive")
+	}
+	cond, ok := g.Lookup("cond1")
+	if !ok {
+		t.Fatal("condition node missing")
+	}
+	if cond.Op != op.Lt || len(cond.Excl) != 0 {
+		t.Errorf("condition = %+v", cond)
+	}
+	vals := evalWith(t, g, consts, map[string]int64{"a": 1, "b": 5})
+	if vals["small"] != 2 || vals["big"] != 10 {
+		t.Errorf("vals = %v (dataflow computes both branches)", vals)
+	}
+}
+
+func TestNestedConditionals(t *testing.T) {
+	g, _ := mustBuild(t, `
+design nest
+input a, b
+if a < b {
+    if a < 2 {
+        x1 = a + 1
+    } else {
+        x2 = a + 2
+    }
+} else {
+    x3 = a + 3
+}
+`)
+	x1, _ := g.Lookup("x1")
+	x2, _ := g.Lookup("x2")
+	x3, _ := g.Lookup("x3")
+	if !g.MutuallyExclusive(x1.ID, x2.ID) {
+		t.Error("inner branches not exclusive")
+	}
+	if !g.MutuallyExclusive(x1.ID, x3.ID) || !g.MutuallyExclusive(x2.ID, x3.ID) {
+		t.Error("inner ops not exclusive with outer else")
+	}
+}
+
+func TestSameNameInBothBranchesRejected(t *testing.T) {
+	_, _, err := BuildSource(`
+design phi
+input a
+if a < 2 {
+    x = a + 1
+} else {
+    x = a + 2
+}
+`)
+	if err == nil {
+		t.Fatal("phi-style double assignment accepted")
+	}
+}
+
+func TestLoopBlock(t *testing.T) {
+	g, consts := mustBuild(t, `
+design looped
+input x, dx
+loop acc cycles 2 binds s = x, d = dx yields nx {
+    nx = s + d
+}
+out = acc * 2
+`)
+	acc, ok := g.Lookup("acc")
+	if !ok || !acc.IsLoop() || acc.Cycles != 2 {
+		t.Fatalf("loop node = %+v", acc)
+	}
+	vals := evalWith(t, g, consts, map[string]int64{"x": 10, "dx": 3})
+	if vals["acc"] != 13 || vals["out"] != 26 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestLoopWithInnerLiteral(t *testing.T) {
+	g, consts := mustBuild(t, `
+design ll
+input x
+loop tripled cycles 1 binds v = x yields r {
+    r = v * 3
+}
+`)
+	vals := evalWith(t, g, consts, map[string]int64{"x": 7})
+	if vals["tripled"] != 21 {
+		t.Errorf("tripled = %d", vals["tripled"])
+	}
+	if _, ok := consts["lit_3"]; !ok {
+		t.Errorf("inner literal not surfaced: %v", consts)
+	}
+}
+
+func TestAliasBecomesMov(t *testing.T) {
+	g, _ := mustBuild(t, `
+design alias
+input a
+b = a
+c = 5
+`)
+	bn, _ := g.Lookup("b")
+	if bn.Op != op.Mov {
+		t.Errorf("alias op = %v, want mov", bn.Op)
+	}
+	cn, _ := g.Lookup("c")
+	if cn.Op != op.Mov {
+		t.Errorf("literal assign op = %v, want mov", cn.Op)
+	}
+}
+
+func TestComments(t *testing.T) {
+	g, _ := mustBuild(t, `
+# leading comment
+design c   # trailing comment
+input a
+x = a + a  # another
+`)
+	if g.Len() != 1 {
+		t.Errorf("len = %d", g.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                    // no design
+		"design",                              // missing name
+		"design d\nx = ",                      // missing expr
+		"design d\ninput a\nx a",              // missing =
+		"design d\ninput a\nx = a +",          // dangling op
+		"design d\ninput a\nx = (a",           // unclosed paren
+		"design d\ninput a\nif a < 1 { x = a", // unclosed brace
+		"design d\ninput a\nx = y + 1",        // undefined ref
+		"design d\ninput a\nx = a @0",         // bad cycles
+		"design d\ninput a\nloop l cycles 0 binds v = a yields r { r = v }",  // bad loop cycles
+		"design d\ninput a\nloop l cycles 1 binds v = a yields zz { r = v }", // bad yield
+		"design d\ninput a\nx = a\nx = a",                                    // duplicate signal
+		"design d\ninput a\nx = a $ a",                                       // bad char
+	}
+	for i, src := range cases {
+		if _, _, err := BuildSource(src); err == nil {
+			t.Errorf("case %d accepted:\n%s", i, src)
+		}
+	}
+}
+
+func TestDiffeqSource(t *testing.T) {
+	// The package-comment example, end to end.
+	src := `
+design diffeq
+input x, y, u, dx, a
+m1 = u * dx
+m2 = 3 * x @2
+xl = x + dx
+if xl < a {
+    up = u - m1
+} else {
+    un = u + m1
+}
+loop acc cycles 2 binds s = x, d = dx yields nx {
+    nx = s + d
+}
+out = acc * u
+`
+	g, consts := mustBuild(t, src)
+	if g.Len() < 8 {
+		t.Errorf("len = %d", g.Len())
+	}
+	vals := evalWith(t, g, consts, map[string]int64{"x": 1, "y": 2, "u": 3, "dx": 4, "a": 9})
+	if vals["out"] != (1+4)*3 {
+		t.Errorf("out = %d", vals["out"])
+	}
+	if !strings.Contains(g.Name, "diffeq") {
+		t.Errorf("name = %q", g.Name)
+	}
+}
+
+func TestOutputDeclarations(t *testing.T) {
+	g, _ := mustBuild(t, `
+design outs
+input a
+output y
+x = a + a
+y = x * 2
+`)
+	if g.Len() != 2 {
+		t.Errorf("len = %d", g.Len())
+	}
+	// An undeclared output is an error.
+	if _, _, err := BuildSource(`
+design bad
+input a
+output missing
+x = a + a
+`); err == nil {
+		t.Error("undeclared output accepted")
+	}
+}
+
+func TestConstDeclarations(t *testing.T) {
+	g, consts := mustBuild(t, `
+design withconst
+input a
+const gain = 12
+const offset = -3
+y = a * gain
+z = y + offset
+`)
+	if consts["gain"] != 12 || consts["offset"] != -3 {
+		t.Fatalf("consts = %v", consts)
+	}
+	// Constants are inputs, not Mov operations.
+	if g.Len() != 2 {
+		t.Errorf("len = %d, want 2 (y and z only)", g.Len())
+	}
+	vals := evalWith(t, g, consts, map[string]int64{"a": 5})
+	if vals["z"] != 5*12-3 {
+		t.Errorf("z = %d", vals["z"])
+	}
+	// Redeclaration collides.
+	if _, _, err := BuildSource("design d\ninput a\nconst a = 1\n"); err == nil {
+		t.Error("const colliding with input accepted")
+	}
+	if _, _, err := BuildSource("design d\nconst k = x\n"); err == nil {
+		t.Error("non-integer const accepted")
+	}
+}

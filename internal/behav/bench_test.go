@@ -1,0 +1,37 @@
+package behav
+
+import "testing"
+
+const benchSrc = `
+design bench
+input a, b, c, d
+x1 = a + b * c
+x2 = (a - d) * (b + c)
+if x1 < x2 {
+    lo = x1 + 1
+} else {
+    hi = x2 - 1
+}
+loop acc cycles 2 binds s = x1, t = x2 yields nx {
+    nx = s + t
+}
+out = acc * 3
+`
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildSource(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BuildSource(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

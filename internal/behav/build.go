@@ -1,0 +1,275 @@
+package behav
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/op"
+)
+
+// Build lowers a parsed Design to a data-flow graph. Integer literals
+// become constant input signals (named "lit_<value>"); the returned map
+// gives their values so simulators can bind them. Signals assigned inside
+// conditional branches carry the mutual-exclusion tags of §5.1; `loop`
+// blocks become folded-loop nodes (§5.2) whose bodies are built
+// recursively.
+//
+// Value merging across branches (phi nodes) is not part of the language:
+// assigning the same name in both branches is an error — give the two
+// branch values distinct names, exactly as the paper's DFG treatment of
+// conditionals does.
+func Build(d *Design) (*dfg.Graph, map[string]int64, error) {
+	b := &builder{
+		g:      dfg.New(d.Name),
+		consts: make(map[string]int64),
+	}
+	for _, in := range d.Inputs {
+		if err := b.g.AddInput(in); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := b.stmts(d.Body, nil); err != nil {
+		return nil, nil, err
+	}
+	for _, out := range d.Outputs {
+		if _, ok := b.g.Lookup(out); !ok {
+			return nil, nil, fmt.Errorf("behav: declared output %q is never assigned", out)
+		}
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return b.g, b.consts, nil
+}
+
+// BuildSource parses and lowers in one step.
+func BuildSource(src string) (*dfg.Graph, map[string]int64, error) {
+	d, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Build(d)
+}
+
+type builder struct {
+	g      *dfg.Graph
+	consts map[string]int64
+	conds  int // conditional counter for exclusion tags
+	temps  int
+}
+
+func (b *builder) stmts(ss []Stmt, tags []dfg.CondTag) error {
+	for _, s := range ss {
+		switch st := s.(type) {
+		case Assign:
+			if err := b.assign(st, tags); err != nil {
+				return err
+			}
+		case If:
+			if err := b.cond(st, tags); err != nil {
+				return err
+			}
+		case Loop:
+			if err := b.loop(st, tags); err != nil {
+				return err
+			}
+		case ConstDecl:
+			if b.isInput(st.Name) {
+				return fmt.Errorf("behav: line %d: const %q collides with an existing signal", st.Line, st.Name)
+			}
+			if err := b.g.AddInput(st.Name); err != nil {
+				return fmt.Errorf("behav: line %d: %w", st.Line, err)
+			}
+			b.consts[st.Name] = st.Value
+		default:
+			return fmt.Errorf("behav: unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (b *builder) assign(a Assign, tags []dfg.CondTag) error {
+	id, err := b.lowerNamed(a.Name, a.Expr, tags, a.Line)
+	if err != nil {
+		return err
+	}
+	if a.Cycles > 0 {
+		if err := b.g.SetCycles(id, a.Cycles); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) cond(s If, tags []dfg.CondTag) error {
+	// The condition itself executes unconditionally (under the enclosing
+	// tags only).
+	b.temps++
+	condName := fmt.Sprintf("cond%d", b.conds+1)
+	if _, err := b.lowerNamed(condName, s.Cond, tags, s.Line); err != nil {
+		return err
+	}
+	b.conds++
+	c := b.conds
+	thenTags := append(append([]dfg.CondTag(nil), tags...), dfg.CondTag{Cond: c, Branch: 0})
+	if err := b.stmts(s.Then, thenTags); err != nil {
+		return err
+	}
+	if len(s.Else) > 0 {
+		elseTags := append(append([]dfg.CondTag(nil), tags...), dfg.CondTag{Cond: c, Branch: 1})
+		if err := b.stmts(s.Else, elseTags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) loop(s Loop, tags []dfg.CondTag) error {
+	subDesign := &Design{Name: s.Name + "_body", Body: s.Body}
+	for _, bind := range s.Binds {
+		subDesign.Inputs = append(subDesign.Inputs, bind.Inner)
+	}
+	sub, subConsts, err := Build(subDesign)
+	if err != nil {
+		return fmt.Errorf("behav: loop %q: %w", s.Name, err)
+	}
+	binds := make(map[string]string, len(s.Binds))
+	for _, bind := range s.Binds {
+		sig, err := b.lowerToSignal(bind.Outer, tags, s.Line)
+		if err != nil {
+			return err
+		}
+		binds[bind.Inner] = sig
+	}
+	// The body's literal constants surface as extra inner inputs; bind
+	// them to same-named constant inputs of the enclosing graph.
+	for _, in := range sub.Inputs() {
+		if _, bound := binds[in]; bound {
+			continue
+		}
+		v, isConst := subConsts[in]
+		if !isConst {
+			return fmt.Errorf("behav: loop %q: body input %q is not bound", s.Name, in)
+		}
+		name, err := b.literal(v)
+		if err != nil {
+			return err
+		}
+		binds[in] = name
+	}
+	id, err := b.g.AddLoop(s.Name, sub, s.Yields, binds)
+	if err != nil {
+		return fmt.Errorf("behav: loop %q: %w", s.Name, err)
+	}
+	if err := b.g.SetCycles(id, s.Cycles); err != nil {
+		return err
+	}
+	return b.g.Tag(id, tags...)
+}
+
+// lowerNamed lowers an expression so its root node carries the given
+// name. A bare reference or literal becomes a Mov node (a register
+// transfer), so every assigned name is a real signal.
+func (b *builder) lowerNamed(name string, e Expr, tags []dfg.CondTag, line int) (dfg.NodeID, error) {
+	switch ex := e.(type) {
+	case Ref:
+		return b.addOp(name, op.Mov, tags, line, ex.Name)
+	case Lit:
+		lit, err := b.literal(ex.Value)
+		if err != nil {
+			return -1, err
+		}
+		return b.addOp(name, op.Mov, tags, line, lit)
+	case Unary:
+		x, err := b.lowerToSignal(ex.X, tags, line)
+		if err != nil {
+			return -1, err
+		}
+		return b.addOp(name, ex.Op, tags, line, x)
+	case Binary:
+		x, err := b.lowerToSignal(ex.X, tags, line)
+		if err != nil {
+			return -1, err
+		}
+		y, err := b.lowerToSignal(ex.Y, tags, line)
+		if err != nil {
+			return -1, err
+		}
+		return b.addOp(name, ex.Op, tags, line, x, y)
+	}
+	return -1, fmt.Errorf("behav: line %d: unknown expression %T", line, e)
+}
+
+// lowerToSignal lowers an expression to a signal name, creating temp
+// nodes for interior operations.
+func (b *builder) lowerToSignal(e Expr, tags []dfg.CondTag, line int) (string, error) {
+	switch ex := e.(type) {
+	case Ref:
+		if _, ok := b.g.Lookup(ex.Name); !ok && !b.isInput(ex.Name) {
+			return "", fmt.Errorf("behav: line %d: undefined signal %q", ex.Line, ex.Name)
+		}
+		return ex.Name, nil
+	case Lit:
+		return b.literal(ex.Value)
+	default:
+		b.temps++
+		name := fmt.Sprintf("t%d", b.temps)
+		if _, err := b.lowerNamed(name, e, tags, line); err != nil {
+			return "", err
+		}
+		return name, nil
+	}
+}
+
+func (b *builder) isInput(name string) bool {
+	for _, in := range b.g.Inputs() {
+		if in == name {
+			return true
+		}
+	}
+	return false
+}
+
+// literal interns an integer literal as a constant input signal.
+func (b *builder) literal(v int64) (string, error) {
+	name := "lit_" + strings.ReplaceAll(fmt.Sprint(v), "-", "m")
+	if _, done := b.consts[name]; !done {
+		if err := b.g.AddInput(name); err != nil {
+			return "", err
+		}
+		b.consts[name] = v
+	}
+	return name, nil
+}
+
+func (b *builder) addOp(name string, k op.Kind, tags []dfg.CondTag, line int, args ...string) (dfg.NodeID, error) {
+	for _, a := range args {
+		if _, ok := b.g.Lookup(a); !ok && !b.isInput(a) {
+			return -1, fmt.Errorf("behav: line %d: undefined signal %q", line, a)
+		}
+	}
+	id, err := b.g.AddOp(name, k, args...)
+	if err != nil {
+		return -1, fmt.Errorf("behav: line %d: %w", line, err)
+	}
+	if err := b.g.Tag(id, tags...); err != nil {
+		return -1, err
+	}
+	return id, nil
+}
+
+// Compile parses and lowers a source, additionally returning the
+// design's declared outputs (empty when none were declared) for
+// optimization and reporting passes.
+func Compile(src string) (*dfg.Graph, map[string]int64, []string, error) {
+	d, err := Parse(src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	g, consts, err := Build(d)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, consts, append([]string(nil), d.Outputs...), nil
+}

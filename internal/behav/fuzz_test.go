@@ -1,0 +1,48 @@
+package behav
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzBuildSource checks the frontend never panics and that anything it
+// accepts is a valid, evaluable graph. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzBuildSource` explores further.
+func FuzzBuildSource(f *testing.F) {
+	seeds := []string{
+		"design d\ninput a\nx = a + a\n",
+		"design d\ninput a, b\nx = (a + b) * 3 @2\n",
+		"design d\ninput a\nif a < 1 { x = a + 1 } else { y = a - 1 }\n",
+		"design d\ninput a\nloop l cycles 2 binds v = a yields r { r = v + 1 }\n",
+		"design d\ninput a\nx = -a\ny = ~x\nz = x << 2\n",
+		"design\n",
+		"design d\ninput a\nx = ",
+		"design d\ninput a\nx = a $ a",
+		"design d\n# comment only\n",
+		strings.Repeat("design d\n", 3),
+		"design d\ninput a\nx = a + a @999\n",
+		"design d\ninput a\nif a { if a { if a { x = a } } }\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, consts, err := BuildSource(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\nsource:\n%s", err, src)
+		}
+		in := make(map[string]int64)
+		for _, name := range g.Inputs() {
+			in[name] = 1
+		}
+		for k, v := range consts {
+			in[k] = v
+		}
+		if _, err := g.Eval(in); err != nil {
+			t.Fatalf("accepted graph fails evaluation: %v\nsource:\n%s", err, src)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+// Package behav implements the small behavioral description language the
+// synthesis tools accept, playing the role of the "initial behavior"
+// input the paper's §6 describes for SYNTEST. A description is a list of
+// signal assignments over expressions, with `if/else` blocks producing
+// the mutually exclusive operations of §5.1, nested `loop` blocks
+// producing the folded-loop super-operations of §5.2, and `@k` duration
+// annotations producing the multicycle operations of §5.3.
+//
+// Example:
+//
+//	design diffeq
+//	input x, y, u, dx, a
+//	m1 = u * dx
+//	m2 = 3 * x @2        # 2-cycle multiply
+//	if xl < a {
+//	    up = u - m1
+//	} else {
+//	    up = u + m1
+//	}
+//	loop acc cycles 2 binds s = x, d = dx yields nx {
+//	    nx = s + d
+//	}
+//	out = acc * u
+package behav
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNewline
+	tokIdent
+	tokNumber
+	tokOp     // operator symbol, possibly multi-rune
+	tokLBrace // {
+	tokRBrace // }
+	tokLParen // (
+	tokRParen // )
+	tokComma
+	tokAssign // =
+	tokAt     // @
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNewline:
+		return "newline"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits src into tokens. Comments run from '#' to end of line;
+// newlines are significant (statement separators).
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	rs := []rune(src)
+	emit := func(k tokenKind, s string) { toks = append(toks, token{k, s, line}) }
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			emit(tokNewline, "\n")
+			line++
+			i++
+		case r == ' ' || r == '\t' || r == '\r':
+			i++
+		case r == '#':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			emit(tokIdent, string(rs[i:j]))
+			i = j
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && unicode.IsDigit(rs[j]) {
+				j++
+			}
+			emit(tokNumber, string(rs[i:j]))
+			i = j
+		case r == '{':
+			emit(tokLBrace, "{")
+			i++
+		case r == '}':
+			emit(tokRBrace, "}")
+			i++
+		case r == '(':
+			emit(tokLParen, "(")
+			i++
+		case r == ')':
+			emit(tokRParen, ")")
+			i++
+		case r == ',':
+			emit(tokComma, ",")
+			i++
+		case r == '@':
+			emit(tokAt, "@")
+			i++
+		default:
+			// Operators, longest match first.
+			matched := false
+			for _, opText := range []string{"<<", ">>", "<=", ">=", "==", "!=", "+", "-", "*", "/", "&", "|", "^", "~", "<", ">", "="} {
+				if strings.HasPrefix(string(rs[i:]), opText) {
+					if opText == "=" {
+						emit(tokAssign, "=")
+					} else {
+						emit(tokOp, opText)
+					}
+					i += len(opText)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("behav: line %d: unexpected character %q", line, r)
+			}
+		}
+	}
+	emit(tokEOF, "")
+	return toks, nil
+}

@@ -1,0 +1,358 @@
+package behav
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/op"
+)
+
+// Parse turns a behavioral description into a Design AST.
+func Parse(src string) (*Design, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseDesign()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) skipNL() {
+	for p.peek().kind == tokNewline {
+		p.pos++
+	}
+}
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("behav: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokenKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errf(t, "expected %s, got %s", what, t)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(word string) error {
+	t := p.next()
+	if t.kind != tokIdent || t.text != word {
+		return p.errf(t, "expected %q, got %s", word, t)
+	}
+	return nil
+}
+
+func (p *parser) parseDesign() (*Design, error) {
+	p.skipNL()
+	if err := p.expectKeyword("design"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "design name")
+	if err != nil {
+		return nil, err
+	}
+	d := &Design{Name: name.text}
+	p.skipNL()
+	for p.peek().kind == tokIdent && (p.peek().text == "input" || p.peek().text == "output") {
+		kw := p.next().text
+		for {
+			id, err := p.expect(tokIdent, kw+" name")
+			if err != nil {
+				return nil, err
+			}
+			if kw == "input" {
+				d.Inputs = append(d.Inputs, id.text)
+			} else {
+				d.Outputs = append(d.Outputs, id.text)
+			}
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		p.skipNL()
+	}
+	body, err := p.parseStmts(tokEOF)
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	return d, nil
+}
+
+// parseStmts parses statements until the given closing token (EOF or }),
+// which is consumed.
+func (p *parser) parseStmts(closer tokenKind) ([]Stmt, error) {
+	var out []Stmt
+	for {
+		p.skipNL()
+		t := p.peek()
+		if t.kind == closer {
+			p.next()
+			return out, nil
+		}
+		if t.kind == tokEOF {
+			return nil, p.errf(t, "unexpected end of input")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf(t, "expected statement, got %s", t)
+	}
+	switch t.text {
+	case "if":
+		return p.parseIf()
+	case "loop":
+		return p.parseLoop()
+	case "const":
+		return p.parseConst()
+	}
+	name := p.next()
+	if _, err := p.expect(tokAssign, "'='"); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	a := Assign{Name: name.text, Expr: e, Line: name.line}
+	if p.peek().kind == tokAt {
+		p.next()
+		num, err := p.expect(tokNumber, "cycle count after @")
+		if err != nil {
+			return nil, err
+		}
+		k, err := strconv.Atoi(num.text)
+		if err != nil || k < 1 {
+			return nil, p.errf(num, "bad cycle count %q", num.text)
+		}
+		a.Cycles = k
+	}
+	return a, p.endOfStmt()
+}
+
+func (p *parser) endOfStmt() error {
+	t := p.peek()
+	switch t.kind {
+	case tokNewline, tokEOF, tokRBrace:
+		return nil
+	}
+	return p.errf(t, "unexpected %s after statement", t)
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	kw := p.next() // "if"
+	cond, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmts(tokRBrace)
+	if err != nil {
+		return nil, err
+	}
+	s := If{Cond: cond, Then: then, Line: kw.line}
+	p.skipNL()
+	if p.peek().kind == tokIdent && p.peek().text == "else" {
+		p.next()
+		if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+			return nil, err
+		}
+		els, err := p.parseStmts(tokRBrace)
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) parseLoop() (Stmt, error) {
+	kw := p.next() // "loop"
+	name, err := p.expect(tokIdent, "loop name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("cycles"); err != nil {
+		return nil, err
+	}
+	num, err := p.expect(tokNumber, "loop time constraint")
+	if err != nil {
+		return nil, err
+	}
+	cyc, err := strconv.Atoi(num.text)
+	if err != nil || cyc < 1 {
+		return nil, p.errf(num, "bad loop cycle count %q", num.text)
+	}
+	if err := p.expectKeyword("binds"); err != nil {
+		return nil, err
+	}
+	var binds []Bind
+	for {
+		inner, err := p.expect(tokIdent, "bind name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign, "'='"); err != nil {
+			return nil, err
+		}
+		outer, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		binds = append(binds, Bind{Inner: inner.text, Outer: outer})
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKeyword("yields"); err != nil {
+		return nil, err
+	}
+	yields, err := p.expect(tokIdent, "yielded signal")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmts(tokRBrace)
+	if err != nil {
+		return nil, err
+	}
+	return Loop{
+		Name: name.text, Cycles: cyc, Binds: binds,
+		Yields: yields.text, Body: body, Line: kw.line,
+	}, nil
+}
+
+func (p *parser) parseConst() (Stmt, error) {
+	kw := p.next() // "const"
+	name, err := p.expect(tokIdent, "constant name")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign, "'='"); err != nil {
+		return nil, err
+	}
+	neg := false
+	if t := p.peek(); t.kind == tokOp && t.text == "-" {
+		p.next()
+		neg = true
+	}
+	num, err := p.expect(tokNumber, "integer constant")
+	if err != nil {
+		return nil, err
+	}
+	v, err := strconv.ParseInt(num.text, 10, 64)
+	if err != nil {
+		return nil, p.errf(num, "bad constant %q", num.text)
+	}
+	if neg {
+		v = -v
+	}
+	return ConstDecl{Name: name.text, Value: v, Line: kw.line}, p.endOfStmt()
+}
+
+// Binding powers for the Pratt expression parser, lowest first.
+var binaryOps = map[string]struct {
+	kind op.Kind
+	prec int
+}{
+	"|":  {op.Or, 1},
+	"^":  {op.Xor, 2},
+	"&":  {op.And, 3},
+	"==": {op.Eq, 4},
+	"!=": {op.Ne, 4},
+	"<":  {op.Lt, 5},
+	">":  {op.Gt, 5},
+	"<=": {op.Le, 5},
+	">=": {op.Ge, 5},
+	"<<": {op.Shl, 6},
+	">>": {op.Shr, 6},
+	"+":  {op.Add, 7},
+	"-":  {op.Sub, 7},
+	"*":  {op.Mul, 8},
+	"/":  {op.Div, 8},
+}
+
+func (p *parser) parseExpr(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			return lhs, nil
+		}
+		info, ok := binaryOps[t.text]
+		if !ok || info.prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.parseExpr(info.prec + 1) // left associative
+		if err != nil {
+			return nil, err
+		}
+		lhs = Binary{Op: info.kind, X: lhs, Y: rhs, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tokOp && (t.text == "-" || t.text == "~") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		k := op.Neg
+		if t.text == "~" {
+			k = op.Not
+		}
+		return Unary{Op: k, X: x, Line: t.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		return Ref{Name: t.text, Line: t.line}, nil
+	case tokNumber:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t, "bad literal %q", t.text)
+		}
+		return Lit{Value: v, Line: t.line}, nil
+	case tokLParen:
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(t, "expected expression, got %s", t)
+}

@@ -1,0 +1,162 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"repro/internal/op"
+)
+
+func TestAllValid(t *testing.T) {
+	exs := All()
+	if len(exs) != 6 {
+		t.Fatalf("len(All()) = %d, want 6", len(exs))
+	}
+	for i, ex := range exs {
+		if ex.Num != i+1 {
+			t.Errorf("example %d has Num %d", i+1, ex.Num)
+		}
+		if err := ex.Graph.Validate(); err != nil {
+			t.Errorf("%s: %v", ex.Name, err)
+		}
+		if len(ex.TimeConstraints) == 0 {
+			t.Errorf("%s: no time constraints", ex.Name)
+		}
+	}
+}
+
+func opCounts(ex *Example) map[op.Kind]int {
+	c := make(map[op.Kind]int)
+	for _, n := range ex.Graph.Nodes() {
+		c[n.Op]++
+	}
+	return c
+}
+
+func TestFacetSignature(t *testing.T) {
+	ex := Facet()
+	c := opCounts(ex)
+	want := map[op.Kind]int{op.Add: 2, op.Mul: 1, op.Div: 1, op.Sub: 1, op.And: 1, op.Or: 1}
+	for k, n := range want {
+		if c[k] != n {
+			t.Errorf("facet %v count = %d, want %d", k, c[k], n)
+		}
+	}
+	if got := ex.Graph.CriticalPathCycles(); got != 4 {
+		t.Errorf("facet critical path = %d, want 4", got)
+	}
+}
+
+func TestChainedSignature(t *testing.T) {
+	ex := Chained()
+	c := opCounts(ex)
+	if c[op.Add] != 4 || c[op.Sub] != 4 {
+		t.Errorf("chained counts = %v, want 4 adds and 4 subs", c)
+	}
+	// Without chaining the kernel needs 8 steps; T=4 relies on ClockNs.
+	if got := ex.Graph.CriticalPathCycles(); got != 8 {
+		t.Errorf("chained critical path = %d, want 8", got)
+	}
+	if ex.ClockNs <= 0 || ex.Feature != "C" {
+		t.Errorf("chained example not configured for chaining: %+v", ex)
+	}
+}
+
+func TestDiffeqSignature(t *testing.T) {
+	ex := Diffeq()
+	c := opCounts(ex)
+	if c[op.Mul] != 6 || c[op.Sub] != 2 || c[op.Add] != 2 || c[op.Lt] != 1 {
+		t.Errorf("diffeq counts = %v, want 6*/2-/2+/1<", c)
+	}
+	if got := ex.Graph.CriticalPathCycles(); got != 4 {
+		t.Errorf("diffeq critical path = %d, want 4", got)
+	}
+	if ex.Latency == nil {
+		t.Fatal("diffeq has no latency function")
+	}
+	for _, cs := range ex.TimeConstraints {
+		if l := ex.Latency(cs); l < 1 || l > cs {
+			t.Errorf("diffeq Latency(%d) = %d", cs, l)
+		}
+	}
+}
+
+func TestARLatticeSignature(t *testing.T) {
+	ex := ARLattice()
+	c := opCounts(ex)
+	if c[op.Mul] != 16 || c[op.Add] != 12 {
+		t.Errorf("ar-lattice counts = %v, want 16*/12+", c)
+	}
+	for _, n := range ex.Graph.Nodes() {
+		if n.Op == op.Mul && n.Cycles != 2 {
+			t.Errorf("ar-lattice mul %q cycles = %d, want 2", n.Name, n.Cycles)
+		}
+	}
+	// Chain of 4 lattice stages: each stage is mul(2) + add(1) = 3 deep,
+	// plus the 2-level output tree.
+	if got := ex.Graph.CriticalPathCycles(); got > 8 {
+		t.Errorf("ar-lattice critical path = %d, want <= 8 (first T)", got)
+	}
+}
+
+func TestBandpassSignature(t *testing.T) {
+	ex := Bandpass()
+	c := opCounts(ex)
+	if c[op.Mul] != 8 || c[op.Add] != 6 || c[op.Sub] != 2 {
+		t.Errorf("bandpass counts = %v, want 8*/6+/2-", c)
+	}
+	if got := ex.Graph.CriticalPathCycles(); got > 9 {
+		t.Errorf("bandpass critical path = %d, want <= 9 (first T)", got)
+	}
+	if len(ex.PipelinedOps) == 0 || ex.Feature != "S" {
+		t.Error("bandpass not configured for structural pipelining")
+	}
+}
+
+func TestEWFSignature(t *testing.T) {
+	ex := EWF()
+	c := opCounts(ex)
+	if c[op.Add] != 26 || c[op.Mul] != 8 {
+		t.Errorf("ewf counts = %v, want 26+/8*", c)
+	}
+	if got := ex.Graph.CriticalPathCycles(); got != 17 {
+		t.Errorf("ewf critical path = %d, want 17", got)
+	}
+	for _, n := range ex.Graph.Nodes() {
+		if n.Op == op.Mul && n.Cycles != 2 {
+			t.Errorf("ewf mul %q cycles = %d, want 2", n.Name, n.Cycles)
+		}
+	}
+}
+
+func TestGraphsEvaluate(t *testing.T) {
+	// Every benchmark graph must be executable by the reference evaluator
+	// (this is what the datapath simulator cross-checks against).
+	for _, ex := range All() {
+		in := make(map[string]int64)
+		for i, name := range ex.Graph.Inputs() {
+			in[name] = int64(i + 1)
+		}
+		vals, err := ex.Graph.Eval(in)
+		if err != nil {
+			t.Errorf("%s: Eval: %v", ex.Name, err)
+			continue
+		}
+		if len(vals) < ex.Graph.Len() {
+			t.Errorf("%s: Eval returned %d values for %d nodes", ex.Name, len(vals), ex.Graph.Len())
+		}
+	}
+}
+
+func TestFreshConstruction(t *testing.T) {
+	// Each call returns an independent graph.
+	a, b := Facet(), Facet()
+	if a.Graph == b.Graph {
+		t.Error("Facet() returns a shared graph")
+	}
+	if err := a.Graph.AddInput("extra"); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Graph.Inputs()) == len(b.Graph.Inputs()) {
+		t.Error("mutating one instance affected the other")
+	}
+}

@@ -1,0 +1,92 @@
+package benchmarks
+
+import (
+	"fmt"
+
+	"repro/internal/op"
+)
+
+// Extended returns additional DSP kernels beyond the paper's six
+// examples, used by the stress tests and available to library users:
+// a 16-tap FIR filter, an IIR biquad section, and a 4×4 matrix-vector
+// product. All use 2-cycle multipliers.
+func Extended() []*Example {
+	return []*Example{FIR16(), IIRBiquad(), MatVec4()}
+}
+
+// FIR16 is a 16-tap finite-impulse-response filter: 16 two-cycle
+// coefficient multiplications feeding a binary adder tree (15 adds).
+func FIR16() *Example {
+	b := newBuilder("fir16")
+	for i := 0; i < 16; i++ {
+		b.in(fmt.Sprintf("x%d", i), fmt.Sprintf("h%d", i))
+		b.mul2(fmt.Sprintf("p%d", i), fmt.Sprintf("x%d", i), fmt.Sprintf("h%d", i))
+	}
+	level := make([]string, 16)
+	for i := range level {
+		level[i] = fmt.Sprintf("p%d", i)
+	}
+	stage := 0
+	for len(level) > 1 {
+		var next []string
+		for i := 0; i+1 < len(level); i += 2 {
+			name := fmt.Sprintf("a%d_%d", stage, i/2)
+			b.op(name, op.Add, level[i], level[i+1])
+			next = append(next, name)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+		stage++
+	}
+	return &Example{
+		Num: 7, Name: "fir16", Graph: b.g,
+		CycleNote:       "2",
+		TimeConstraints: []int{6, 8, 12},
+	}
+}
+
+// IIRBiquad is a direct-form-I biquad section:
+// y = b0·x + b1·x1 + b2·x2 − a1·y1 − a2·y2.
+func IIRBiquad() *Example {
+	b := newBuilder("iir-biquad")
+	b.in("x", "x1", "x2", "y1", "y2", "b0", "b1", "b2", "a1", "a2")
+	b.mul2("m0", "x", "b0")
+	b.mul2("m1", "x1", "b1")
+	b.mul2("m2", "x2", "b2")
+	b.mul2("m3", "y1", "a1")
+	b.mul2("m4", "y2", "a2")
+	b.op("s0", op.Add, "m0", "m1")
+	b.op("s1", op.Add, "s0", "m2")
+	b.op("s2", op.Sub, "s1", "m3")
+	b.op("y", op.Sub, "s2", "m4")
+	return &Example{
+		Num: 8, Name: "iir-biquad", Graph: b.g,
+		CycleNote:       "2",
+		TimeConstraints: []int{6, 8, 12},
+	}
+}
+
+// MatVec4 is a 4×4 matrix-vector product: 16 two-cycle multiplications
+// and 12 additions in four independent dot-product rows.
+func MatVec4() *Example {
+	b := newBuilder("matvec4")
+	for j := 0; j < 4; j++ {
+		b.in(fmt.Sprintf("v%d", j))
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			b.in(fmt.Sprintf("m%d%d", i, j))
+			b.mul2(fmt.Sprintf("p%d%d", i, j), fmt.Sprintf("m%d%d", i, j), fmt.Sprintf("v%d", j))
+		}
+		b.op(fmt.Sprintf("s%d0", i), op.Add, fmt.Sprintf("p%d0", i), fmt.Sprintf("p%d1", i))
+		b.op(fmt.Sprintf("s%d1", i), op.Add, fmt.Sprintf("p%d2", i), fmt.Sprintf("p%d3", i))
+		b.op(fmt.Sprintf("r%d", i), op.Add, fmt.Sprintf("s%d0", i), fmt.Sprintf("s%d1", i))
+	}
+	return &Example{
+		Num: 9, Name: "matvec4", Graph: b.g,
+		CycleNote:       "2",
+		TimeConstraints: []int{4, 6, 10},
+	}
+}

@@ -1,0 +1,85 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"repro/internal/op"
+)
+
+func TestExtendedValid(t *testing.T) {
+	exs := Extended()
+	if len(exs) != 3 {
+		t.Fatalf("len = %d", len(exs))
+	}
+	for _, ex := range exs {
+		if err := ex.Graph.Validate(); err != nil {
+			t.Errorf("%s: %v", ex.Name, err)
+		}
+		for _, n := range ex.Graph.Nodes() {
+			if n.Op == op.Mul && n.Cycles != 2 {
+				t.Errorf("%s: mul %q not 2-cycle", ex.Name, n.Name)
+			}
+		}
+		cp := ex.Graph.CriticalPathCycles()
+		if cp > ex.TimeConstraints[0] {
+			t.Errorf("%s: critical path %d exceeds first T %d", ex.Name, cp, ex.TimeConstraints[0])
+		}
+	}
+}
+
+func TestFIR16Signature(t *testing.T) {
+	ex := FIR16()
+	c := map[op.Kind]int{}
+	for _, n := range ex.Graph.Nodes() {
+		c[n.Op]++
+	}
+	if c[op.Mul] != 16 || c[op.Add] != 15 {
+		t.Errorf("fir16 counts = %v, want 16*/15+", c)
+	}
+	if got := ex.Graph.CriticalPathCycles(); got != 6 {
+		t.Errorf("fir16 critical path = %d, want 6 (2-cycle mul + 4 add levels)", got)
+	}
+}
+
+func TestIIRBiquadSemantics(t *testing.T) {
+	ex := IIRBiquad()
+	vals, err := ex.Graph.Eval(map[string]int64{
+		"x": 2, "x1": 3, "x2": 4, "y1": 5, "y2": 6,
+		"b0": 1, "b1": 2, "b2": 3, "a1": 4, "a2": 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2*1 + 3*2 + 4*3 - 5*4 - 6*5)
+	if vals["y"] != want {
+		t.Errorf("y = %d, want %d", vals["y"], want)
+	}
+}
+
+func TestMatVec4Semantics(t *testing.T) {
+	ex := MatVec4()
+	in := map[string]int64{"v0": 1, "v1": 2, "v2": 3, "v3": 4}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			in[matName(i, j)] = int64(i*4 + j)
+		}
+	}
+	vals, err := ex.Graph.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		want := int64(0)
+		for j := 0; j < 4; j++ {
+			want += in[matName(i, j)] * in[vecName(j)]
+		}
+		got := vals[rowName(i)]
+		if got != want {
+			t.Errorf("r%d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func matName(i, j int) string { return "m" + string(rune('0'+i)) + string(rune('0'+j)) }
+func vecName(j int) string    { return "v" + string(rune('0'+j)) }
+func rowName(i int) string    { return "r" + string(rune('0'+i)) }

@@ -1,0 +1,223 @@
+// Package core ties the paper's contribution together into the
+// end-to-end synthesis flow a SYNTEST-style tool would run (§6):
+// behavioral description → data-flow graph → MFS scheduling or MFSA mixed
+// scheduling-allocation → FSM controller → structural netlist, with
+// simulation-based verification against the behavioral reference at the
+// end. The exported entry points here back the public hls façade at the
+// repository root and the cmd/ tools.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/behav"
+	"repro/internal/ctrl"
+	"repro/internal/dfg"
+	"repro/internal/emit"
+	"repro/internal/library"
+	"repro/internal/mfs"
+	"repro/internal/mfsa"
+	"repro/internal/opt"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Config selects and parameterizes a synthesis run. The zero value is
+// invalid: set either CS (time-constrained) or Limits (resource-
+// constrained scheduling; MFSA always needs CS).
+type Config struct {
+	// CS is the time constraint in control steps.
+	CS int
+
+	// Limits caps functional units: op symbols for scheduling, library
+	// unit names for allocation.
+	Limits map[string]int
+
+	// ClockNs enables operation chaining (§5.4).
+	ClockNs float64
+
+	// Latency enables functional pipelining with the given initiation
+	// interval (§5.5.2).
+	Latency int
+
+	// PipelinedOps lists op symbols realized by structurally pipelined
+	// units (§5.5.1); scheduling treats their grids as pipelined, and
+	// allocation admits matching pipelined library cells.
+	PipelinedOps []string
+
+	// Lib is the allocation cell library; nil = library.NCRLike().
+	Lib *library.Library
+
+	// Style is the MFSA datapath style (1 or 2); 0 = style 1.
+	Style int
+
+	// Weights reweight MFSA's Liapunov terms (time, ALU, mux, register);
+	// zeros mean the balanced optimizer.
+	Weights [4]float64
+
+	// RegisterInputs allocates registers for primary inputs too.
+	RegisterInputs bool
+
+	// Optimize runs the frontend passes (constant folding, common
+	// subexpression elimination, dead-code elimination against the
+	// declared outputs) before scheduling.
+	Optimize bool
+}
+
+// Design is a complete synthesis result. Datapath, Controller and Cost
+// are populated by Synthesize (MFSA); Schedule alone by ScheduleOnly
+// (MFS).
+type Design struct {
+	Graph      *dfg.Graph
+	Consts     map[string]int64 // literal constants from the behavioral source
+	Schedule   *sched.Schedule
+	Datapath   *rtl.Datapath
+	Controller *ctrl.Controller
+	Cost       rtl.Cost
+}
+
+// ScheduleOnly runs MFS on a graph.
+func ScheduleOnly(g *dfg.Graph, cfg Config) (*Design, error) {
+	s, err := mfs.Schedule(g, mfsOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Graph: g, Schedule: s}, nil
+}
+
+// Synthesize runs MFSA on a graph and builds the controller.
+func Synthesize(g *dfg.Graph, cfg Config) (*Design, error) {
+	res, err := mfsa.Synthesize(g, mfsaOptions(cfg))
+	if err != nil {
+		return nil, err
+	}
+	c, err := ctrl.Build(g, res.Schedule, res.Datapath)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{
+		Graph:      g,
+		Schedule:   res.Schedule,
+		Datapath:   res.Datapath,
+		Controller: c,
+		Cost:       res.Cost,
+	}, nil
+}
+
+// SynthesizeSource parses a behavioral description and synthesizes it,
+// running the frontend optimization passes first when cfg.Optimize is
+// set.
+func SynthesizeSource(src string, cfg Config) (*Design, error) {
+	g, consts, err := frontend(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d, err := Synthesize(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d.Consts = consts
+	return d, nil
+}
+
+// frontend parses a source and optionally optimizes the graph.
+func frontend(src string, cfg Config) (*dfg.Graph, map[string]int64, error) {
+	g, consts, outputs, err := behav.Compile(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cfg.Optimize {
+		return g, consts, nil
+	}
+	res, err := opt.Pipeline(g, consts, outputs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Graph, res.Consts, nil
+}
+
+// ScheduleSource parses a behavioral description and schedules it with
+// MFS (loops are folded per §5.2).
+func ScheduleSource(src string, cfg Config) (*Design, *mfs.LoopDesign, error) {
+	g, consts, err := frontend(src, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ld, err := mfs.ScheduleLoops(g, mfsOptions(cfg))
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Design{Graph: g, Consts: consts, Schedule: ld.Schedule}, ld, nil
+}
+
+func mfsOptions(cfg Config) mfs.Options {
+	piped := make(map[string]bool, len(cfg.PipelinedOps))
+	for _, sym := range cfg.PipelinedOps {
+		piped[sym] = true
+	}
+	return mfs.Options{
+		CS:             cfg.CS,
+		Limits:         cfg.Limits,
+		ClockNs:        cfg.ClockNs,
+		Latency:        cfg.Latency,
+		PipelinedTypes: piped,
+	}
+}
+
+func mfsaOptions(cfg Config) mfsa.Options {
+	return mfsa.Options{
+		CS:      cfg.CS,
+		Lib:     cfg.Lib,
+		Style:   mfsa.Style(cfg.Style),
+		ClockNs: cfg.ClockNs,
+		Latency: cfg.Latency,
+		Weights: mfsa.Weights{
+			Time: cfg.Weights[0], ALU: cfg.Weights[1],
+			Mux: cfg.Weights[2], Reg: cfg.Weights[3],
+		},
+		UsePipelinedUnits: len(cfg.PipelinedOps) > 0,
+		Limits:            cfg.Limits,
+		RegisterInputs:    cfg.RegisterInputs,
+	}
+}
+
+// Netlist renders the design's structural netlist; it requires a full
+// Synthesize result.
+func (d *Design) Netlist() (string, error) {
+	if d.Datapath == nil || d.Controller == nil {
+		return "", fmt.Errorf("core: netlist needs an allocated design (run Synthesize)")
+	}
+	return emit.Verilog(d.Graph, d.Schedule, d.Datapath, d.Controller), nil
+}
+
+// Simulate runs the design cycle-accurately on the given inputs (merged
+// with any literal constants from the source) and returns every signal.
+func (d *Design) Simulate(inputs map[string]int64) (map[string]int64, error) {
+	all := make(map[string]int64, len(inputs)+len(d.Consts))
+	for k, v := range d.Consts {
+		all[k] = v
+	}
+	for k, v := range inputs {
+		all[k] = v
+	}
+	if d.Datapath != nil {
+		return sim.RunRTL(d.Schedule, d.Datapath, all)
+	}
+	return sim.Run(d.Schedule, all)
+}
+
+// SelfCheck cross-checks the synthesized design against the behavioral
+// reference on n random input vectors.
+func (d *Design) SelfCheck(n int) error {
+	for seed := int64(1); seed <= int64(n); seed++ {
+		in := sim.RandomInputs(d.Graph, seed)
+		for k, v := range d.Consts {
+			in[k] = v
+		}
+		if err := sim.CrossCheck(d.Schedule, d.Datapath, in); err != nil {
+			return fmt.Errorf("core: self-check seed %d: %w", seed, err)
+		}
+	}
+	return nil
+}

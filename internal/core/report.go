@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rtl"
+)
+
+// Report renders a complete human-readable synthesis report: the
+// schedule as a Gantt chart, per-type utilization, the RTL cost
+// breakdown, the §5.7 interconnect analysis (effective multiplexer
+// inputs after register line sharing) and the bus-plan alternative, and
+// the controller summary. Schedule-only designs get the scheduling
+// sections.
+func (d *Design) Report() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "synthesis report — %s\n", d.Graph.Name)
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("=", 20+len(d.Graph.Name)))
+	fmt.Fprintf(&b, "operations: %d   inputs: %d   control steps: %d\n",
+		d.Graph.Len(), len(d.Graph.Inputs()), d.Schedule.CS)
+	if d.Schedule.Latency > 0 {
+		fmt.Fprintf(&b, "functional pipelining: new iteration every %d steps\n", d.Schedule.Latency)
+	}
+	if d.Schedule.ClockNs > 0 {
+		fmt.Fprintf(&b, "chaining: %.0f ns control step\n", d.Schedule.ClockNs)
+	}
+	b.WriteString("\nschedule\n--------\n")
+	b.WriteString(d.Schedule.Gantt())
+
+	b.WriteString("\nutilization\n-----------\n")
+	util := d.Schedule.Utilization()
+	typs := make([]string, 0, len(util))
+	for typ := range util {
+		typs = append(typs, typ)
+	}
+	sort.Strings(typs)
+	for _, typ := range typs {
+		fmt.Fprintf(&b, "  %-16s %4.0f%%\n", typ, util[typ]*100)
+	}
+
+	if d.Datapath == nil {
+		b.WriteString("\n(schedule-only design: run Synthesize for the RTL sections)\n")
+		return b.String(), nil
+	}
+
+	c := d.Cost
+	b.WriteString("\nRTL structure\n-------------\n")
+	fmt.Fprintf(&b, "  ALUs:          %s\n", d.Datapath.ALUSummary())
+	fmt.Fprintf(&b, "  total cost:    %.0f um^2 (ALU %.0f, MUX %.0f, REG %.0f)\n",
+		c.Total, c.ALUArea, c.MuxArea, c.RegArea)
+	fmt.Fprintf(&b, "  registers:     %d\n", c.NumRegs)
+	fmt.Fprintf(&b, "  multiplexers:  %d with %d inputs\n", c.NumMux, c.NumMuxInputs)
+
+	ic, err := rtl.AnalyzeInterconnect(d.Graph, d.Schedule, d.Datapath)
+	if err != nil {
+		return "", err
+	}
+	b.WriteString("\ninterconnect (§5.7 line sharing)\n--------------------------------\n")
+	fmt.Fprintf(&b, "  point-to-point links:      %d\n", ic.NumLinks)
+	fmt.Fprintf(&b, "  mux inputs (per signal):   %d\n", ic.SignalInputs)
+	fmt.Fprintf(&b, "  mux inputs (per terminal): %d\n", ic.EffectiveInputs)
+	fmt.Fprintf(&b, "  effective mux area:        %.0f um^2\n", d.Datapath.EffectiveMuxArea(ic))
+
+	plan, err := rtl.PlanBuses(d.Graph, d.Schedule, d.Datapath)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "  bus alternative:           %d buses\n", plan.Buses)
+
+	ta := rtl.AnalyzeTestability(d.Graph, d.Datapath)
+	fmt.Fprintf(&b, "\ntestability\n-----------\n  %s\n", ta)
+
+	if d.Controller != nil {
+		guarded := 0
+		for _, st := range d.Controller.States {
+			for _, a := range st.Actions {
+				if a.Guarded() {
+					guarded++
+				}
+			}
+		}
+		b.WriteString("\ncontrol path\n------------\n")
+		fmt.Fprintf(&b, "  FSM states:          %d\n", len(d.Controller.States))
+		fmt.Fprintf(&b, "  guarded actions:     %d (conditional branches)\n", guarded)
+	}
+	return b.String(), nil
+}

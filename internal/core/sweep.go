@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/rtl"
+)
+
+// SweepPoint is one design point of a time-constraint sweep.
+type SweepPoint struct {
+	CS   int
+	Cost rtl.Cost
+	ALUs string
+
+	// Pareto marks points not dominated by any other point (no other
+	// point is both at most as slow and strictly cheaper, or strictly
+	// faster and at most as expensive).
+	Pareto bool
+}
+
+// Sweep synthesizes g with MFSA at every time constraint in [csLo, csHi]
+// (skipping constraints below the critical path) and returns the
+// cost/time design points with the Pareto frontier marked — the
+// trade-off exploration a user of the paper's tool would run before
+// committing to a constraint.
+func Sweep(g *dfg.Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
+	if csLo < 1 || csHi < csLo {
+		return nil, fmt.Errorf("core: bad sweep range [%d, %d]", csLo, csHi)
+	}
+	if cp := g.CriticalPathCycles(); csLo < cp {
+		csLo = cp
+	}
+	var points []SweepPoint
+	for cs := csLo; cs <= csHi; cs++ {
+		c := cfg
+		c.CS = cs
+		d, err := Synthesize(g, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at cs=%d: %w", cs, err)
+		}
+		points = append(points, SweepPoint{
+			CS:   cs,
+			Cost: d.Cost,
+			ALUs: d.Datapath.ALUSummary(),
+		})
+	}
+	markPareto(points)
+	return points, nil
+}
+
+func markPareto(points []SweepPoint) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			betterOrEqual := points[j].CS <= points[i].CS && points[j].Cost.Total <= points[i].Cost.Total
+			strictlyBetter := points[j].CS < points[i].CS || points[j].Cost.Total < points[i].Cost.Total
+			if betterOrEqual && strictlyBetter {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+)
+
+func TestSweepDiffeq(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	points, err := Sweep(ex.Graph, Config{}, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Range starts at the critical path (4), so 5 points.
+	if len(points) != 5 {
+		t.Fatalf("points = %d, want 5", len(points))
+	}
+	if points[0].CS != 4 {
+		t.Errorf("first point cs = %d, want critical path 4", points[0].CS)
+	}
+	// The fastest point is always on the frontier.
+	if !points[0].Pareto {
+		t.Error("fastest point not Pareto")
+	}
+	// At least one point on the frontier must be cheaper than the
+	// fastest (relaxing time buys hardware on this example).
+	cheaper := false
+	for _, p := range points[1:] {
+		if p.Pareto && p.Cost.Total < points[0].Cost.Total {
+			cheaper = true
+		}
+	}
+	if !cheaper {
+		t.Errorf("no cheaper frontier point found: %+v", points)
+	}
+	// Pareto correctness: no frontier point dominated by any other.
+	for i, p := range points {
+		for j, q := range points {
+			if i == j || !p.Pareto {
+				continue
+			}
+			if q.CS <= p.CS && q.Cost.Total < p.Cost.Total {
+				t.Errorf("frontier point cs=%d dominated by cs=%d", p.CS, q.CS)
+			}
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	ex := benchmarks.Facet()
+	if _, err := Sweep(ex.Graph, Config{}, 0, 5); err == nil {
+		t.Error("bad low bound accepted")
+	}
+	if _, err := Sweep(ex.Graph, Config{}, 5, 4); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestSweepRangeClampedToCriticalPath(t *testing.T) {
+	ex := benchmarks.Facet() // critical path 4
+	points, err := Sweep(ex.Graph, Config{}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].CS != 4 {
+		t.Errorf("points = %+v, want single cs=4", points)
+	}
+}

@@ -1,0 +1,200 @@
+// Package ctrl generates the control path for a synthesized design: a
+// Moore FSM with one state per control step that drives the datapath's
+// multiplexer selects, ALU function codes and register write enables.
+// The paper's flow (behavioral synthesis = data path synthesis + control
+// path design, §1) needs this step to make the RTL structure executable;
+// internal/sim runs designs through it and internal/emit prints it.
+package ctrl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/op"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+)
+
+// Action is one datapath operation issued in a state: the ALU that
+// executes it, the function code, and the two multiplexer selects
+// (indices into the ALU's L1/L2 input lists; -1 for an unused port).
+type Action struct {
+	Node    dfg.NodeID
+	Name    string // node name, for rendering
+	ALU     string
+	Func    op.Kind
+	Mux1Sel int
+	Mux2Sel int
+	Src1    string // signal selected on port 1 ("" if unused)
+	Src2    string
+
+	// Guards lists the conditional branches the operation belongs to
+	// (§5.1): the controller commits the action's result only when every
+	// guard's condition signal selects its branch. Unconditional actions
+	// have no guards.
+	Guards []dfg.CondTag
+}
+
+// Guarded reports whether the action's commit depends on branch
+// conditions.
+func (a Action) Guarded() bool { return len(a.Guards) > 0 }
+
+// RegWrite latches a signal into a register at the end of a state.
+type RegWrite struct {
+	Reg    int
+	Signal string
+}
+
+// State is one FSM state (control step).
+type State struct {
+	Step    int
+	Actions []Action
+	Writes  []RegWrite
+}
+
+// Controller is the complete control path.
+type Controller struct {
+	Design string
+	States []State
+
+	// Latency is the functional-pipelining initiation interval: when
+	// non-zero the FSM restarts every Latency steps instead of after the
+	// last state.
+	Latency int
+}
+
+// Build derives the controller from a bound design. The datapath must
+// contain a binding for every node of g that the schedule places, and
+// its register packing must already be assigned.
+func Build(g *dfg.Graph, s *sched.Schedule, dp *rtl.Datapath) (*Controller, error) {
+	c := &Controller{Design: g.Name, Latency: s.Latency}
+	states := make([]State, s.CS)
+	for i := range states {
+		states[i].Step = i + 1
+	}
+	for _, n := range g.Nodes() {
+		p, ok := s.Placements[n.ID]
+		if !ok {
+			return nil, fmt.Errorf("ctrl: node %q unscheduled", n.Name)
+		}
+		a, ok := dp.FindBinding(n.ID)
+		if !ok {
+			return nil, fmt.Errorf("ctrl: node %q unbound", n.Name)
+		}
+		act, err := action(n, a)
+		if err != nil {
+			return nil, err
+		}
+		states[p.Step-1].Actions = append(states[p.Step-1].Actions, act)
+	}
+	for r, grp := range dp.Registers {
+		for _, iv := range grp {
+			if iv.Birth < 1 || iv.Birth > s.CS {
+				continue // input captured before step 1 (or held past the end)
+			}
+			states[iv.Birth-1].Writes = append(states[iv.Birth-1].Writes,
+				RegWrite{Reg: r, Signal: iv.Name})
+		}
+	}
+	for i := range states {
+		sort.Slice(states[i].Actions, func(a, b int) bool {
+			return states[i].Actions[a].Name < states[i].Actions[b].Name
+		})
+		sort.Slice(states[i].Writes, func(a, b int) bool {
+			wa, wb := states[i].Writes[a], states[i].Writes[b]
+			if wa.Reg != wb.Reg {
+				return wa.Reg < wb.Reg
+			}
+			return wa.Signal < wb.Signal
+		})
+	}
+	c.States = states
+	return c, nil
+}
+
+func action(n *dfg.Node, a *rtl.ALU) (Action, error) {
+	act := Action{
+		Node: n.ID, Name: n.Name, ALU: a.Name, Func: n.Op,
+		Mux1Sel: -1, Mux2Sel: -1,
+		Guards: append([]dfg.CondTag(nil), n.Excl...),
+	}
+	var bind *rtl.Binding
+	for i := range a.Ops {
+		if a.Ops[i].Node == n.ID {
+			bind = &a.Ops[i]
+			break
+		}
+	}
+	if bind == nil {
+		return act, fmt.Errorf("ctrl: node %q missing from ALU %s op list", n.Name, a.Name)
+	}
+	src1, src2 := "", ""
+	switch {
+	case len(n.Args) == 1:
+		src1 = n.Args[0]
+	case bind.Swapped:
+		src1, src2 = n.Args[1], n.Args[0]
+	default:
+		src1, src2 = n.Args[0], n.Args[1]
+	}
+	if src1 != "" {
+		act.Mux1Sel = indexOf(a.L1, src1)
+		act.Src1 = src1
+		if act.Mux1Sel < 0 {
+			return act, fmt.Errorf("ctrl: %q: signal %q missing from %s.L1", n.Name, src1, a.Name)
+		}
+	}
+	if src2 != "" {
+		act.Mux2Sel = indexOf(a.L2, src2)
+		act.Src2 = src2
+		if act.Mux2Sel < 0 {
+			return act, fmt.Errorf("ctrl: %q: signal %q missing from %s.L2", n.Name, src2, a.Name)
+		}
+	}
+	return act, nil
+}
+
+func indexOf(l []string, s string) int {
+	for i, x := range l {
+		if x == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// NextState returns the state index following i, honoring functional
+// pipelining restarts and the steady loop back to state 0.
+func (c *Controller) NextState(i int) int {
+	if i+1 < len(c.States) {
+		return i + 1
+	}
+	return 0
+}
+
+// String renders the FSM as a readable state table.
+func (c *Controller) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "controller %s: %d states", c.Design, len(c.States))
+	if c.Latency > 0 {
+		fmt.Fprintf(&b, " (pipeline latency %d)", c.Latency)
+	}
+	b.WriteByte('\n')
+	for _, st := range c.States {
+		fmt.Fprintf(&b, "S%d:\n", st.Step)
+		for _, a := range st.Actions {
+			guard := ""
+			for _, g := range a.Guards {
+				guard += fmt.Sprintf(" if c%d=b%d", g.Cond, g.Branch)
+			}
+			fmt.Fprintf(&b, "  %-12s %s fn=%s mux1=%d(%s) mux2=%d(%s)%s\n",
+				a.Name, a.ALU, a.Func, a.Mux1Sel, a.Src1, a.Mux2Sel, a.Src2, guard)
+		}
+		for _, w := range st.Writes {
+			fmt.Fprintf(&b, "  R%d <= %s\n", w.Reg, w.Signal)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package dfg
+
+import "fmt"
+
+// Eval computes every node's output value from concrete primary-input
+// values, returning a map from signal name to value. It is the reference
+// against which internal/sim cross-checks synthesized datapaths.
+//
+// Conditional branches are all evaluated (data-flow semantics): a
+// mutually-exclusive pair simply produces two values, of which a real
+// controller would commit one. Folded loops evaluate their body once per
+// the loop-folding model (§5.2), with inner inputs bound from outer
+// signals.
+func (g *Graph) Eval(inputs map[string]int64) (map[string]int64, error) {
+	vals := make(map[string]int64, len(g.nodes)+len(g.inputs))
+	for in := range g.inputs {
+		v, ok := inputs[in]
+		if !ok {
+			return nil, fmt.Errorf("dfg %s: Eval: missing input %q", g.Name, in)
+		}
+		vals[in] = v
+	}
+	for _, id := range g.TopoOrder() {
+		n := g.nodes[id]
+		if n.IsLoop() {
+			sub := make(map[string]int64, len(n.SubIns))
+			for i, in := range n.SubIns {
+				sub[in] = vals[n.Args[i]]
+			}
+			inner, err := n.Sub.Eval(sub)
+			if err != nil {
+				return nil, fmt.Errorf("dfg %s: loop %q: %w", g.Name, n.Name, err)
+			}
+			vals[n.Name] = inner[n.SubOut]
+			continue
+		}
+		var a, b int64
+		a = vals[n.Args[0]]
+		if len(n.Args) > 1 {
+			b = vals[n.Args[1]]
+		}
+		vals[n.Name] = n.Op.Eval(a, b)
+	}
+	return vals, nil
+}

@@ -1,0 +1,184 @@
+package dfg
+
+import (
+	"testing"
+
+	"repro/internal/op"
+)
+
+// buildCondDup builds a conditional where both branches compute a+b.
+//
+//	if c: x = a+b; r0 = x*a   else: y = b+a; r1 = y*b
+func buildCondDup(t *testing.T) *Graph {
+	t.Helper()
+	g := New("conddup")
+	for _, in := range []string{"a", "b"} {
+		if err := g.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, _ := g.AddOp("x", op.Add, "a", "b")
+	r0, _ := g.AddOp("r0", op.Mul, "x", "a")
+	y, _ := g.AddOp("y", op.Add, "b", "a") // commutative duplicate of x
+	r1, _ := g.AddOp("r1", op.Mul, "y", "b")
+	g.Tag(x, CondTag{1, 0})
+	g.Tag(r0, CondTag{1, 0})
+	g.Tag(y, CondTag{1, 1})
+	g.Tag(r1, CondTag{1, 1})
+	return g
+}
+
+func TestMergeExclusiveDuplicates(t *testing.T) {
+	g := buildCondDup(t)
+	m, removed := g.MergeExclusiveDuplicates()
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged graph invalid: %v", err)
+	}
+	if m.Len() != g.Len()-1 {
+		t.Errorf("merged Len = %d, want %d", m.Len(), g.Len()-1)
+	}
+	if _, ok := m.Lookup("y"); ok {
+		t.Error("duplicate y survived")
+	}
+	r1, ok := m.Lookup("r1")
+	if !ok {
+		t.Fatal("r1 lost")
+	}
+	if r1.Args[0] != "x" {
+		t.Errorf("r1 args = %v, want rewired to x", r1.Args)
+	}
+	// Survivor became common to both branches: exclusion tags reduced to
+	// the shared set (none here).
+	x, _ := m.Lookup("x")
+	if len(x.Excl) != 0 {
+		t.Errorf("survivor tags = %v, want none", x.Excl)
+	}
+	// The consumers remain exclusive with each other.
+	r0, _ := m.Lookup("r0")
+	if !m.MutuallyExclusive(r0.ID, r1.ID) {
+		t.Error("r0,r1 lost exclusivity")
+	}
+}
+
+func TestMergePreservesSemantics(t *testing.T) {
+	g := buildCondDup(t)
+	m, _ := g.MergeExclusiveDuplicates()
+	in := map[string]int64{"a": 7, "b": 9}
+	want, err := g.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sig := range []string{"r0", "r1"} {
+		if got[sig] != want[sig] {
+			t.Errorf("%s = %d, want %d", sig, got[sig], want[sig])
+		}
+	}
+}
+
+func TestMergeNoDuplicates(t *testing.T) {
+	g := New("plain")
+	g.AddInput("a")
+	x, _ := g.AddOp("x", op.Add, "a", "a")
+	y, _ := g.AddOp("y", op.Sub, "a", "a")
+	g.Tag(x, CondTag{1, 0})
+	g.Tag(y, CondTag{1, 1})
+	m, removed := g.MergeExclusiveDuplicates()
+	if removed != 0 || m.Len() != 2 {
+		t.Errorf("removed=%d len=%d, want 0 and 2", removed, m.Len())
+	}
+}
+
+func TestMergeIgnoresNonExclusiveDuplicates(t *testing.T) {
+	// Identical unconditional computations are common subexpressions, not
+	// branch duplicates; §5.1's rule applies only across exclusive branches.
+	g := New("cse")
+	g.AddInput("a")
+	g.AddOp("x", op.Add, "a", "a")
+	g.AddOp("y", op.Add, "a", "a")
+	_, removed := g.MergeExclusiveDuplicates()
+	if removed != 0 {
+		t.Errorf("removed = %d, want 0 (nodes not exclusive)", removed)
+	}
+}
+
+func TestMergeRespectsCycles(t *testing.T) {
+	g := New("cyc")
+	g.AddInput("a")
+	x, _ := g.AddOp("x", op.Mul, "a", "a")
+	y, _ := g.AddOp("y", op.Mul, "a", "a")
+	g.Tag(x, CondTag{1, 0})
+	g.Tag(y, CondTag{1, 1})
+	g.SetCycles(y, 2) // different implementation duration: do not merge
+	_, removed := g.MergeExclusiveDuplicates()
+	if removed != 0 {
+		t.Errorf("removed = %d, want 0 (cycle counts differ)", removed)
+	}
+}
+
+func TestMergeChains(t *testing.T) {
+	// Three branches of one case all compute a+b; each branch's consumer
+	// multiplies it by a branch-distinct input, so only the adds merge.
+	g := New("chain3")
+	g.AddInput("a")
+	g.AddInput("b")
+	var consumers []NodeID
+	for br := 0; br < 3; br++ {
+		g.AddInput(sig("c", br))
+		add, _ := g.AddOp(sig("s", br), op.Add, "a", "b")
+		use, _ := g.AddOp(sig("u", br), op.Mul, sig("s", br), sig("c", br))
+		g.Tag(add, CondTag{1, br})
+		g.Tag(use, CondTag{1, br})
+		consumers = append(consumers, use)
+	}
+	m, removed := g.MergeExclusiveDuplicates()
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for br := range consumers {
+		u, ok := m.Lookup(sig("u", br))
+		if !ok {
+			t.Fatalf("consumer %d lost", br)
+		}
+		if u.Args[0] != "s0" {
+			t.Errorf("consumer %d reads %q, want s0", br, u.Args[0])
+		}
+	}
+}
+
+func TestMergeCascades(t *testing.T) {
+	// When branch-local consumers of merged duplicates become identical
+	// themselves, the merge cascades: the whole duplicated chain collapses.
+	g := New("cascade")
+	g.AddInput("a")
+	g.AddInput("b")
+	for br := 0; br < 3; br++ {
+		add, _ := g.AddOp(sig("s", br), op.Add, "a", "b")
+		use, _ := g.AddOp(sig("u", br), op.Mul, sig("s", br), "a")
+		g.Tag(add, CondTag{1, br})
+		g.Tag(use, CondTag{1, br})
+	}
+	m, removed := g.MergeExclusiveDuplicates()
+	if removed != 4 {
+		t.Fatalf("removed = %d, want 4", removed)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2 (one add, one mul)", m.Len())
+	}
+}
+
+func sig(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}

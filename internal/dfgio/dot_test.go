@@ -1,0 +1,65 @@
+package dfgio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/dfg"
+	"repro/internal/mfs"
+	"repro/internal/op"
+)
+
+func TestDOTStructure(t *testing.T) {
+	ex := benchmarks.Facet()
+	dot := DOT(ex.Graph)
+	if !strings.HasPrefix(dot, "digraph") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatalf("malformed dot:\n%s", dot)
+	}
+	// Every node declared and every edge present.
+	for _, n := range ex.Graph.Nodes() {
+		if !strings.Contains(dot, `"`+n.Name+`" [shape=`) {
+			t.Errorf("node %q not declared", n.Name)
+		}
+		for _, a := range n.Args {
+			if !strings.Contains(dot, `"`+a+`" -> "`+n.Name+`"`) {
+				t.Errorf("edge %s -> %s missing", a, n.Name)
+			}
+		}
+	}
+}
+
+func TestDOTAnnotations(t *testing.T) {
+	g := dfg.New("annot")
+	g.AddInput("a")
+	m, _ := g.AddOp("m", op.Mul, "a", "a")
+	g.SetCycles(m, 2)
+	g.Tag(m, dfg.CondTag{Cond: 3, Branch: 1})
+	body := dfg.New("body")
+	body.AddInput("p")
+	body.AddOp("q", op.Add, "p", "p")
+	g.AddLoop("l", body, "q", map[string]string{"p": "a"})
+	dot := DOT(g)
+	for _, want := range []string{"[2 cyc]", "{c3.b1}", "doubleoctagon", "loop(body)"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestScheduleDOT(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	s, err := mfs.Schedule(ex.Graph, mfs.Options{CS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := ScheduleDOT(s)
+	for step := 1; step <= 4; step++ {
+		if !strings.Contains(dot, "cluster_t"+string(rune('0'+step))) {
+			t.Errorf("cluster for step %d missing", step)
+		}
+	}
+	if !strings.Contains(dot, "@ *") {
+		t.Error("FU annotations missing")
+	}
+}

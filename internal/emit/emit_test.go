@@ -1,0 +1,114 @@
+package emit
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/ctrl"
+	"repro/internal/mfsa"
+)
+
+func TestVerilogStructure(t *testing.T) {
+	ex := benchmarks.Facet()
+	res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ctrl.Build(ex.Graph, res.Schedule, res.Datapath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Verilog(ex.Graph, res.Schedule, res.Datapath, c)
+	wants := []string{
+		"module facet",
+		"endmodule",
+		"input  wire        clk",
+		"input  wire [31:0] i1",
+		"output wire [31:0] out_",
+		"reg [31:0] R0",
+		"always @(posedge clk)",
+		"case (state)",
+		"assign w_add1 = w_i1 + w_i2",
+	}
+	for _, w := range wants {
+		if !strings.Contains(v, w) {
+			t.Errorf("netlist missing %q", w)
+		}
+	}
+	// Every node has a wire declaration and an assignment.
+	for _, n := range ex.Graph.Nodes() {
+		if !strings.Contains(v, "wire [31:0] w_"+n.Name+";") {
+			t.Errorf("missing wire for %q", n.Name)
+		}
+		if !strings.Contains(v, "assign w_"+n.Name+" =") {
+			t.Errorf("missing assignment for %q", n.Name)
+		}
+	}
+	// Balanced module/endmodule.
+	if strings.Count(v, "module ") != strings.Count(v, "endmodule") {
+		t.Error("unbalanced module/endmodule")
+	}
+}
+
+func TestVerilogInputWires(t *testing.T) {
+	// Input references must be prefixed consistently; the raw graph input
+	// names feed w_<name> wires via the port list. The emitter references
+	// operands as w_<sig>, so inputs used as operands appear as w_i1 etc.
+	ex := benchmarks.Diffeq()
+	res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ctrl.Build(ex.Graph, res.Schedule, res.Datapath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Verilog(ex.Graph, res.Schedule, res.Datapath, c)
+	if !strings.Contains(v, "w_dx") {
+		t.Error("input operand not referenced")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"abc":     "abc",
+		"a-b.c":   "a_b_c",
+		"":        "sig",
+		"x$1":     "x_1",
+		"Under_9": "Under_9",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBits(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 17: 5}
+	for n, want := range cases {
+		if got := bits(n); got != want {
+			t.Errorf("bits(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPipelinedRestartComment(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: 8, Latency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ctrl.Build(ex.Graph, res.Schedule, res.Datapath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Verilog(ex.Graph, res.Schedule, res.Datapath, c)
+	if !strings.Contains(v, "functional pipelining") {
+		t.Error("pipelined FSM not annotated")
+	}
+	if !strings.Contains(v, "state == 3") {
+		t.Error("restart bound should be latency-1 = 3")
+	}
+}

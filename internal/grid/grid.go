@@ -1,0 +1,220 @@
+// Package grid implements the paper's 2-dimensional placement tables
+// (Figure 1) and the frame algebra of MFS step 4: positions, rectangular
+// frames, the set relation MF = PF − (RF ∪ FF), occupancy with
+// mutual-exclusion sharing, and ASCII rendering used to reproduce the
+// paper's Figures 1 and 2.
+//
+// One Table exists per functional-unit type: rows are control steps
+// (1..CS, growing downward as in the paper's figures) and columns are FU
+// instances of that type (1..Max). The full search space is the union of
+// the per-type tables — the paper's third dimension.
+package grid
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+)
+
+// Pos is one grid position: control step (row) and FU instance (column),
+// both 1-based.
+type Pos struct {
+	Step  int // y in the paper: control step
+	Index int // x in the paper: FU instance within the type
+}
+
+func (p Pos) String() string { return fmt.Sprintf("(t%d,fu%d)", p.Step, p.Index) }
+
+// Frame is a set of grid positions. The paper's PF, RF, FF and MF are all
+// Frames; MF = PF − (RF ∪ FF) is set subtraction.
+type Frame map[Pos]bool
+
+// Rect returns the rectangular frame [stepLo..stepHi] × [idxLo..idxHi].
+// Empty or inverted ranges yield an empty frame.
+func Rect(stepLo, stepHi, idxLo, idxHi int) Frame {
+	f := make(Frame)
+	for s := stepLo; s <= stepHi; s++ {
+		for i := idxLo; i <= idxHi; i++ {
+			f[Pos{s, i}] = true
+		}
+	}
+	return f
+}
+
+// Union returns f ∪ o.
+func (f Frame) Union(o Frame) Frame {
+	out := make(Frame, len(f)+len(o))
+	for p := range f {
+		out[p] = true
+	}
+	for p := range o {
+		out[p] = true
+	}
+	return out
+}
+
+// Minus returns f − o.
+func (f Frame) Minus(o Frame) Frame {
+	out := make(Frame, len(f))
+	for p := range f {
+		if !o[p] {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// Contains reports membership.
+func (f Frame) Contains(p Pos) bool { return f[p] }
+
+// Empty reports whether the frame has no positions.
+func (f Frame) Empty() bool { return len(f) == 0 }
+
+// Positions returns the frame's positions sorted by (step, index) so
+// iteration is deterministic.
+func (f Frame) Positions() []Pos {
+	ps := make([]Pos, 0, len(f))
+	for p := range f {
+		ps = append(ps, p)
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Step != ps[j].Step {
+			return ps[i].Step < ps[j].Step
+		}
+		return ps[i].Index < ps[j].Index
+	})
+	return ps
+}
+
+// FrameSet bundles the four frames of one placement decision, for
+// inspection and for rendering Figure 2.
+type FrameSet struct {
+	PF, RF, FF, MF Frame
+}
+
+// Table is the placement grid of one FU type.
+type Table struct {
+	Type string // FU type key (op symbol in MFS, unit name in MFSA)
+	CS   int    // rows: control steps
+	Max  int    // columns: maximum FU instances (max_j)
+
+	// Latency > 0 folds occupancy modulo the functional-pipelining
+	// initiation interval (§5.5.2); Pipelined marks the type's units as
+	// structurally pipelined (§5.5.1), so an op's conflict footprint is
+	// its start row only.
+	Latency   int
+	Pipelined bool
+
+	cells map[Pos][]dfg.NodeID
+}
+
+// NewTable returns an empty cs × max table for the given FU type.
+func NewTable(typ string, cs, max int) *Table {
+	return &Table{Type: typ, CS: cs, Max: max, cells: make(map[Pos][]dfg.NodeID)}
+}
+
+// InBounds reports whether p lies on the table.
+func (t *Table) InBounds(p Pos) bool {
+	return p.Step >= 1 && p.Step <= t.CS && p.Index >= 1 && p.Index <= t.Max
+}
+
+// At returns the operations occupying p (more than one only for mutually
+// exclusive operations). The slice must not be modified.
+func (t *Table) At(p Pos) []dfg.NodeID { return t.cells[p] }
+
+// footprint returns the rows an operation of the given duration occupies
+// when started at step, honoring structural pipelining and latency
+// folding. Rows beyond CS are returned as-is so callers can reject them.
+func (t *Table) footprint(step, cycles int) []int {
+	if t.Pipelined {
+		cycles = 1
+	}
+	rows := make([]int, 0, cycles)
+	for i := 0; i < cycles; i++ {
+		r := step + i
+		if t.Latency > 0 {
+			r = ((r - 1) % t.Latency) + 1
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// CanPlace reports whether operation id (of the given duration, from
+// graph g) can start at position p: the whole footprint stays on the
+// table and every already-occupied footprint cell holds only operations
+// mutually exclusive with id.
+func (t *Table) CanPlace(g *dfg.Graph, id dfg.NodeID, p Pos, cycles int) bool {
+	// The completion bound always uses the full duration: even on a
+	// pipelined unit the operation must finish within the schedule.
+	if p.Index < 1 || p.Index > t.Max || p.Step < 1 || p.Step+cycles-1 > t.CS {
+		return false
+	}
+	for _, row := range t.footprint(p.Step, cycles) {
+		for _, occ := range t.cells[Pos{row, p.Index}] {
+			if !g.MutuallyExclusive(id, occ) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Place records operation id starting at p for the given duration. It
+// fails if CanPlace would.
+func (t *Table) Place(g *dfg.Graph, id dfg.NodeID, p Pos, cycles int) error {
+	if !t.CanPlace(g, id, p, cycles) {
+		return fmt.Errorf("grid %s: cannot place node %d at %v", t.Type, id, p)
+	}
+	for _, row := range t.footprint(p.Step, cycles) {
+		c := Pos{row, p.Index}
+		t.cells[c] = append(t.cells[c], id)
+	}
+	return nil
+}
+
+// Remove erases operation id's footprint starting at p.
+func (t *Table) Remove(id dfg.NodeID, p Pos, cycles int) {
+	for _, row := range t.footprint(p.Step, cycles) {
+		c := Pos{row, p.Index}
+		occ := t.cells[c]
+		for i, x := range occ {
+			if x == id {
+				t.cells[c] = append(occ[:i], occ[i+1:]...)
+				break
+			}
+		}
+		if len(t.cells[c]) == 0 {
+			delete(t.cells, c)
+		}
+	}
+}
+
+// UsedColumns returns the highest occupied column index, i.e. how many FU
+// instances of this type the current placement uses.
+func (t *Table) UsedColumns() int {
+	max := 0
+	for p := range t.cells {
+		if p.Index > max {
+			max = p.Index
+		}
+	}
+	return max
+}
+
+// OccupiedFrame returns every cell holding at least one operation that is
+// NOT mutually exclusive with id — the positions id cannot take for
+// occupancy reasons.
+func (t *Table) OccupiedFrame(g *dfg.Graph, id dfg.NodeID) Frame {
+	f := make(Frame)
+	for p, occ := range t.cells {
+		for _, o := range occ {
+			if !g.MutuallyExclusive(id, o) {
+				f[p] = true
+				break
+			}
+		}
+	}
+	return f
+}

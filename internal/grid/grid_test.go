@@ -1,0 +1,287 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dfg"
+	"repro/internal/op"
+)
+
+func testGraph(t *testing.T) (*dfg.Graph, dfg.NodeID, dfg.NodeID, dfg.NodeID) {
+	t.Helper()
+	g := dfg.New("g")
+	if err := g.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := g.AddOp("x", op.Add, "a", "a")
+	y, _ := g.AddOp("y", op.Sub, "a", "a")
+	z, _ := g.AddOp("z", op.Mul, "a", "a")
+	g.Tag(x, dfg.CondTag{Cond: 1, Branch: 0})
+	g.Tag(y, dfg.CondTag{Cond: 1, Branch: 1})
+	return g, x, y, z
+}
+
+func TestRect(t *testing.T) {
+	f := Rect(2, 4, 1, 3)
+	if len(f) != 9 {
+		t.Errorf("|Rect(2,4,1,3)| = %d, want 9", len(f))
+	}
+	if !f.Contains(Pos{2, 1}) || !f.Contains(Pos{4, 3}) || f.Contains(Pos{1, 1}) {
+		t.Error("Rect membership wrong")
+	}
+	if !Rect(3, 2, 1, 1).Empty() {
+		t.Error("inverted Rect not empty")
+	}
+}
+
+func TestFrameAlgebra(t *testing.T) {
+	a := Rect(1, 2, 1, 2) // 4 cells
+	b := Rect(2, 3, 1, 2) // 4 cells, 2 shared
+	u := a.Union(b)
+	if len(u) != 6 {
+		t.Errorf("|a∪b| = %d, want 6", len(u))
+	}
+	m := a.Minus(b)
+	if len(m) != 2 || !m.Contains(Pos{1, 1}) || !m.Contains(Pos{1, 2}) {
+		t.Errorf("a−b = %v", m.Positions())
+	}
+	// MF = PF − (RF ∪ FF) as in the paper.
+	mf := a.Minus(b.Union(Rect(1, 1, 1, 1)))
+	if len(mf) != 1 || !mf.Contains(Pos{1, 2}) {
+		t.Errorf("MF = %v", mf.Positions())
+	}
+}
+
+func TestFrameAlgebraProperties(t *testing.T) {
+	// Property: for random rectangles, |A−B| + |A∩B| == |A| where
+	// A∩B = A − (A−B).
+	f := func(a1, a2, b1, b2 uint8) bool {
+		A := Rect(int(a1%5)+1, int(a1%5)+1+int(a2%4), 1, 3)
+		B := Rect(int(b1%5)+1, int(b1%5)+1+int(b2%4), 2, 4)
+		diff := A.Minus(B)
+		inter := A.Minus(diff)
+		return len(diff)+len(inter) == len(A)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositionsSorted(t *testing.T) {
+	f := Frame{{3, 1}: true, {1, 2}: true, {1, 1}: true, {2, 5}: true}
+	ps := f.Positions()
+	for i := 1; i < len(ps); i++ {
+		a, b := ps[i-1], ps[i]
+		if a.Step > b.Step || (a.Step == b.Step && a.Index >= b.Index) {
+			t.Fatalf("Positions not sorted: %v", ps)
+		}
+	}
+}
+
+func TestPlaceAndConflict(t *testing.T) {
+	g, x, y, z := testGraph(t)
+	tb := NewTable("+", 4, 3)
+	if err := tb.Place(g, x, Pos{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// z (not exclusive with x) cannot share the cell.
+	if tb.CanPlace(g, z, Pos{1, 1}, 1) {
+		t.Error("non-exclusive sharing allowed")
+	}
+	// y (exclusive with x) can.
+	if !tb.CanPlace(g, y, Pos{1, 1}, 1) {
+		t.Error("exclusive sharing refused")
+	}
+	if err := tb.Place(g, y, Pos{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tb.At(Pos{1, 1})); got != 2 {
+		t.Errorf("occupants = %d, want 2", got)
+	}
+	// z can still go next to them.
+	if err := tb.Place(g, z, Pos{1, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if tb.UsedColumns() != 2 {
+		t.Errorf("UsedColumns = %d, want 2", tb.UsedColumns())
+	}
+}
+
+func TestPlaceBounds(t *testing.T) {
+	g, x, _, _ := testGraph(t)
+	tb := NewTable("+", 3, 2)
+	for _, p := range []Pos{{0, 1}, {1, 0}, {4, 1}, {1, 3}} {
+		if tb.CanPlace(g, x, p, 1) {
+			t.Errorf("CanPlace(%v) out of bounds accepted", p)
+		}
+	}
+	// Multicycle op spilling past CS.
+	if tb.CanPlace(g, x, Pos{3, 1}, 2) {
+		t.Error("multicycle spill accepted")
+	}
+	if !tb.CanPlace(g, x, Pos{2, 1}, 2) {
+		t.Error("fitting multicycle refused")
+	}
+	if err := tb.Place(g, x, Pos{4, 1}, 1); err == nil {
+		t.Error("Place out of bounds accepted")
+	}
+}
+
+func TestMulticycleFootprint(t *testing.T) {
+	g, x, _, z := testGraph(t)
+	tb := NewTable("*", 4, 2)
+	if err := tb.Place(g, z, Pos{1, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.At(Pos{1, 1})) != 1 || len(tb.At(Pos{2, 1})) != 1 {
+		t.Error("2-cycle footprint not recorded on both rows")
+	}
+	if tb.CanPlace(g, x, Pos{2, 1}, 1) {
+		t.Error("overlap with 2nd cycle accepted")
+	}
+	tb.Remove(z, Pos{1, 1}, 2)
+	if len(tb.At(Pos{1, 1})) != 0 || len(tb.At(Pos{2, 1})) != 0 {
+		t.Error("Remove left footprint behind")
+	}
+	if tb.UsedColumns() != 0 {
+		t.Error("UsedColumns after Remove != 0")
+	}
+}
+
+func TestPipelinedFootprint(t *testing.T) {
+	g, x, _, z := testGraph(t)
+	tb := NewTable("*", 4, 1)
+	tb.Pipelined = true
+	if err := tb.Place(g, z, Pos{1, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Stage frees next cycle: x can start at step 2 on the same unit.
+	if !tb.CanPlace(g, x, Pos{2, 1}, 2) {
+		t.Error("pipelined overlap refused")
+	}
+	if tb.CanPlace(g, x, Pos{1, 1}, 2) {
+		t.Error("same-start pipelined conflict accepted")
+	}
+	// Even on a pipelined unit the op must complete within the schedule.
+	if tb.CanPlace(g, x, Pos{4, 1}, 2) {
+		t.Error("pipelined op spilling past cs accepted")
+	}
+	if !tb.CanPlace(g, x, Pos{3, 1}, 2) {
+		t.Error("pipelined op finishing at cs refused")
+	}
+}
+
+func TestLatencyFolding(t *testing.T) {
+	g, x, _, z := testGraph(t)
+	tb := NewTable("+", 4, 1)
+	tb.Latency = 2
+	if err := tb.Place(g, z, Pos{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Step 3 folds onto step 1 (mod 2): conflict.
+	if tb.CanPlace(g, x, Pos{3, 1}, 1) {
+		t.Error("modular conflict accepted")
+	}
+	if !tb.CanPlace(g, x, Pos{2, 1}, 1) {
+		t.Error("non-conflicting fold refused")
+	}
+}
+
+func TestOccupiedFrame(t *testing.T) {
+	g, x, y, z := testGraph(t)
+	tb := NewTable("+", 3, 2)
+	tb.Place(g, x, Pos{1, 1}, 1)
+	tb.Place(g, z, Pos{2, 2}, 1)
+	// For y: x's cell is shareable (exclusive), z's is not.
+	f := tb.OccupiedFrame(g, y)
+	if f.Contains(Pos{1, 1}) {
+		t.Error("exclusive occupant blocked the cell")
+	}
+	if !f.Contains(Pos{2, 2}) {
+		t.Error("non-exclusive occupant not blocking")
+	}
+}
+
+func TestRender(t *testing.T) {
+	g, x, _, z := testGraph(t)
+	tb := NewTable("+", 3, 2)
+	tb.Place(g, x, Pos{1, 1}, 1)
+	fs := &FrameSet{
+		PF: Rect(1, 3, 1, 2),
+		RF: Rect(1, 3, 2, 2),
+		FF: Rect(1, 1, 1, 2),
+		MF: Rect(2, 3, 1, 1),
+	}
+	out := Render(tb, fs, map[Pos]string{{2, 1}: "r*"})
+	for _, want := range []string{"fu1", "fu2", "t1", "t3", "X", "M", "r*", "legend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+	// Without frames or labels it still renders.
+	plain := Render(tb, nil, nil)
+	if !strings.Contains(plain, "X") || strings.Contains(plain, "legend") {
+		t.Errorf("plain Render wrong:\n%s", plain)
+	}
+	_ = z
+}
+
+func TestPlaceRemoveInvariants(t *testing.T) {
+	// Property: any sequence of successful placements followed by their
+	// removals leaves the table empty; occupancy never exceeds one op
+	// per cell among non-exclusive ops.
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		g := dfg.New("pr")
+		g.AddInput("a")
+		type placed struct {
+			id     dfg.NodeID
+			p      Pos
+			cycles int
+		}
+		tb := NewTable("*", 6, 3)
+		var live []placed
+		for i := 0; i < 20; i++ {
+			name := fmt.Sprintf("n%d", i)
+			id, err := g.AddOp(name, op.Mul, "a", "a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cyc := 1 + r.Intn(2)
+			g.SetCycles(id, cyc)
+			p := Pos{Step: 1 + r.Intn(6), Index: 1 + r.Intn(3)}
+			if tb.CanPlace(g, id, p, cyc) {
+				if err := tb.Place(g, id, p, cyc); err != nil {
+					t.Fatalf("trial %d: CanPlace true but Place failed: %v", trial, err)
+				}
+				live = append(live, placed{id, p, cyc})
+			}
+		}
+		// No two live ops overlap (none are exclusive).
+		for i := 0; i < len(live); i++ {
+			for j := i + 1; j < len(live); j++ {
+				a, b := live[i], live[j]
+				if a.p.Index != b.p.Index {
+					continue
+				}
+				for ra := 0; ra < a.cycles; ra++ {
+					for rb := 0; rb < b.cycles; rb++ {
+						if a.p.Step+ra == b.p.Step+rb {
+							t.Fatalf("trial %d: overlap at %v", trial, a.p)
+						}
+					}
+				}
+			}
+		}
+		for _, pl := range live {
+			tb.Remove(pl.id, pl.p, pl.cycles)
+		}
+		if tb.UsedColumns() != 0 {
+			t.Fatalf("trial %d: table not empty after removals", trial)
+		}
+	}
+}

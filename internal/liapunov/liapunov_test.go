@@ -1,0 +1,132 @@
+package liapunov
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func TestTimeConstrainedOrdering(t *testing.T) {
+	// The defining property of §3.1: the LAST FU of step t is cheaper than
+	// the FIRST FU of step t+1.
+	n := 7
+	f := TimeConstrained{N: n}
+	for step := 1; step < 10; step++ {
+		last := f.Value(grid.Pos{Step: step, Index: n})
+		first := f.Value(grid.Pos{Step: step + 1, Index: 1})
+		if last >= first {
+			t.Fatalf("step %d: V(last fu)=%v not < V(next step first fu)=%v", step, last, first)
+		}
+	}
+}
+
+func TestResourceConstrainedOrdering(t *testing.T) {
+	// Dual property: the LAST step on FU i is cheaper than step 1 on FU i+1.
+	cs := 9
+	f := ResourceConstrained{CS: cs}
+	for idx := 1; idx < 6; idx++ {
+		last := f.Value(grid.Pos{Step: cs, Index: idx})
+		next := f.Value(grid.Pos{Step: 1, Index: idx + 1})
+		if last >= next {
+			t.Fatalf("fu %d: V(last step)=%v not < V(new fu)=%v", idx, last, next)
+		}
+	}
+}
+
+func TestProperties(t *testing.T) {
+	if err := CheckProperties(TimeConstrained{N: 5}, 12, 5); err != nil {
+		t.Error(err)
+	}
+	if err := CheckProperties(ResourceConstrained{CS: 12}, 12, 5); err != nil {
+		t.Error(err)
+	}
+}
+
+// badFunc violates positivity at (1,1).
+type badFunc struct{}
+
+func (badFunc) Value(p grid.Pos) float64 { return float64(p.Step) - 1 }
+func (badFunc) Name() string             { return "bad" }
+
+// flatFunc is constant, violating strict decrease.
+type flatFunc struct{}
+
+func (flatFunc) Value(p grid.Pos) float64 {
+	if p == (grid.Pos{}) {
+		return 0
+	}
+	return 1
+}
+func (flatFunc) Name() string { return "flat" }
+
+// offsetFunc violates V(equilibrium)=0.
+type offsetFunc struct{}
+
+func (offsetFunc) Value(p grid.Pos) float64 { return 1 + float64(p.Step+p.Index) }
+func (offsetFunc) Name() string             { return "offset" }
+
+func TestCheckPropertiesRejects(t *testing.T) {
+	if err := CheckProperties(badFunc{}, 3, 3); err == nil {
+		t.Error("non-positive function accepted")
+	}
+	if err := CheckProperties(flatFunc{}, 3, 3); err == nil {
+		t.Error("flat function accepted")
+	}
+	if err := CheckProperties(offsetFunc{}, 3, 3); err == nil {
+		t.Error("offset function accepted")
+	}
+}
+
+func TestTrajectory(t *testing.T) {
+	f := TimeConstrained{N: 4}
+	good := []grid.Pos{
+		{Step: 6, Index: 4}, {Step: 6, Index: 2}, {Step: 5, Index: 3}, {Step: 3, Index: 1},
+	}
+	if err := CheckTrajectory(f, good); err != nil {
+		t.Errorf("monotone trajectory rejected: %v", err)
+	}
+	bad := []grid.Pos{{Step: 3, Index: 1}, {Step: 3, Index: 1}}
+	if err := CheckTrajectory(f, bad); err == nil {
+		t.Error("stationary move accepted")
+	}
+	up := []grid.Pos{{Step: 3, Index: 1}, {Step: 4, Index: 1}}
+	if err := CheckTrajectory(f, up); err == nil {
+		t.Error("energy-increasing move accepted")
+	}
+	if err := CheckTrajectory(f, nil); err != nil {
+		t.Errorf("empty trajectory rejected: %v", err)
+	}
+}
+
+func TestMovePropertyQuick(t *testing.T) {
+	// Property (2) of the theorem: x' < x and y' < y implies V' < V, for
+	// both static functions.
+	fT := TimeConstrained{N: 10}
+	fR := ResourceConstrained{CS: 20}
+	prop := func(x, y, dx, dy uint8) bool {
+		p := grid.Pos{Step: int(y%20) + 2, Index: int(x%10) + 2}
+		q := grid.Pos{Step: p.Step - int(dy%uint8(p.Step-1)) - 1, Index: p.Index - int(dx%uint8(p.Index-1)) - 1}
+		return fT.Value(q) < fT.Value(p) && fR.Value(q) < fR.Value(p)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominanceConstant(t *testing.T) {
+	c := DominanceConstant(16000, 300, 1400)
+	// The §4.1 inequality: C·(y+1) + mins > C·y + maxes, i.e. C > sum of
+	// maxima (minima are zero).
+	if !(c > 16000+300+1400) {
+		t.Errorf("C = %v too small", c)
+	}
+	// Time dominance in action: step t with all worst-case hardware beats
+	// step t+1 with free hardware.
+	y := 3.0
+	worst := c*y + 16000 + 300 + 1400
+	nextFree := c * (y + 1)
+	if !(worst < nextFree) {
+		t.Errorf("time dominance broken: %v >= %v", worst, nextFree)
+	}
+}

@@ -1,0 +1,69 @@
+package mfs
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/op"
+	"repro/internal/sched"
+)
+
+// LoopDesign is the result of scheduling a hierarchical design with
+// folded loops (§5.2): the outer schedule plus one nested LoopDesign per
+// loop node, keyed by the loop node's ID in the enclosing graph.
+type LoopDesign struct {
+	Schedule *sched.Schedule
+	Inner    map[dfg.NodeID]*LoopDesign
+}
+
+// ScheduleLoops implements the paper's nested-loop procedure: the
+// innermost loop bodies are scheduled first, each under its own local
+// time constraint (the loop node's Cycles, set by the user per §5.2);
+// the enclosing graph then treats each loop as a single multicycle
+// operation with that execution time. The same Options apply at every
+// level except the time constraint, which is per-loop, and pipelining
+// options, which apply only to the outermost level.
+func ScheduleLoops(g *dfg.Graph, opt Options) (*LoopDesign, error) {
+	design := &LoopDesign{Inner: make(map[dfg.NodeID]*LoopDesign)}
+	for _, n := range g.Nodes() {
+		if !n.IsLoop() {
+			continue
+		}
+		bodyOpt := opt
+		bodyOpt.CS = n.Cycles
+		bodyOpt.Latency = 0
+		bodyOpt.PipelinedTypes = nil
+		inner, err := ScheduleLoops(n.Sub, bodyOpt)
+		if err != nil {
+			return nil, fmt.Errorf("mfs: loop %q: %w", n.Name, err)
+		}
+		design.Inner[n.ID] = inner
+	}
+	outer, err := Schedule(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	design.Schedule = outer
+	return design, nil
+}
+
+// AddLoopControl appends the paper's loop-control operations to a loop
+// body (§5.2: "adding two more operations (increment and comparison)
+// into the DFG corresponding to the body of the loop"): given the name
+// of the iteration counter input and of the bound input, it adds
+// counter+1 and a counter+1 < bound comparison, returning the names of
+// the two new signals. Both inputs must already exist in the body.
+func AddLoopControl(body *dfg.Graph, counter, bound string) (next, cont string, err error) {
+	next = counter + "_next"
+	cont = counter + "_cont"
+	if err := body.AddInput("one"); err != nil {
+		return "", "", err
+	}
+	if _, err := body.AddOp(next, op.Add, counter, "one"); err != nil {
+		return "", "", err
+	}
+	if _, err := body.AddOp(cont, op.Lt, next, bound); err != nil {
+		return "", "", err
+	}
+	return next, cont, nil
+}

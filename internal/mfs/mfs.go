@@ -1,0 +1,416 @@
+// Package mfs implements Move Frame Scheduling (§3), the paper's
+// time- or resource-constrained scheduling algorithm, together with the
+// §5 extensions: mutually exclusive operations, loop folding, multicycle
+// operations, chaining, and structural and functional pipelining.
+//
+// MFS places one operation at a time into per-type placement grids
+// (control step × FU instance). For each operation it computes the move
+// frame MF = PF − (RF ∪ FF) and commits the operation to the empty MF
+// position with the least Liapunov energy: V = x + n·y under a time
+// constraint (fill a step before opening the next) or V = cs·x + y under
+// a resource constraint (use another step before adding hardware). When
+// an operation's move frame is exhausted, the running FU estimate
+// current_j grows by one and the operation is re-framed — the paper's
+// "local rescheduling".
+package mfs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/grid"
+	"repro/internal/liapunov"
+	"repro/internal/sched"
+)
+
+// Options configures a scheduling run.
+type Options struct {
+	// CS is the time constraint in control steps. CS > 0 selects
+	// time-constrained scheduling; CS == 0 selects resource-constrained
+	// scheduling, which finds the smallest feasible number of steps under
+	// Limits.
+	CS int
+
+	// Limits caps FU instances per type key (operation symbol). Under a
+	// time constraint absent entries default to the upper bound observed
+	// in the ASAP/ALAP schedules (MFS step 2); under a resource
+	// constraint Limits is required.
+	Limits map[string]int
+
+	// ClockNs enables the chaining extension (§5.4): data-dependent
+	// single-cycle operations share a control step while their summed
+	// combinational delay fits this clock period. 0 disables chaining.
+	ClockNs float64
+
+	// Latency enables functional pipelining (§5.5.2) with initiation
+	// interval L: operations in steps t and t+k·L execute concurrently,
+	// so their grid occupancy folds modulo L. 0 disables it.
+	Latency int
+
+	// PipelinedTypes marks FU types realized by structurally pipelined
+	// units (§5.5.1): an instance accepts a new operation every step.
+	PipelinedTypes map[string]bool
+
+	// Liapunov overrides the guiding function; nil selects the §3.1
+	// function matching the constraint mode. Used by ablation benchmarks.
+	Liapunov liapunov.Func
+
+	// NoRedundantFrame disables the RF balancing mechanism: current_j
+	// starts at max_j instead of ⌈N_j/steps⌉, so every column is
+	// available immediately. Ablation use only.
+	NoRedundantFrame bool
+
+	// MaxCS bounds the resource-constrained search for the smallest
+	// schedule; 0 defaults to 4·critical-path + 8 steps.
+	MaxCS int
+}
+
+// TypeKey returns the FU-type grid an operation competes in. In pure
+// scheduling every operation type has its own single-function unit, so
+// the key is the operation symbol; folded loops are singleton types.
+func TypeKey(n *dfg.Node) string {
+	if n.IsLoop() {
+		return "loop:" + n.Name
+	}
+	return n.Op.String()
+}
+
+// Schedule runs MFS on g and returns a verified schedule.
+func Schedule(g *dfg.Graph, opt Options) (*sched.Schedule, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("mfs: %w", err)
+	}
+	if opt.Latency > 0 && opt.CS == 0 {
+		return nil, fmt.Errorf("mfs: functional pipelining needs a time constraint")
+	}
+	if opt.CS > 0 {
+		return scheduleTimeConstrained(g, opt)
+	}
+	return scheduleResourceConstrained(g, opt)
+}
+
+func scheduleTimeConstrained(g *dfg.Graph, opt Options) (*sched.Schedule, error) {
+	s, err := runOnce(g, opt.CS, opt, false)
+	if err == nil {
+		return s, nil
+	}
+	// The ASAP/ALAP bound on max_j is usually sufficient but not a
+	// guarantee; for types the user left unbounded, widen and retry a few
+	// times before giving up (time-constrained runs must keep cs fixed).
+	for extra := 1; extra <= 3; extra++ {
+		s, retryErr := runOnce(g, opt.CS, opt, false, extra)
+		if retryErr == nil {
+			return s, nil
+		}
+	}
+	return nil, err
+}
+
+func scheduleResourceConstrained(g *dfg.Graph, opt Options) (*sched.Schedule, error) {
+	if len(opt.Limits) == 0 {
+		return nil, fmt.Errorf("mfs: resource-constrained scheduling needs Limits")
+	}
+	lo := g.CriticalPathCycles()
+	hi := opt.MaxCS
+	if hi == 0 {
+		hi = 4*lo + 8
+	}
+	var lastErr error
+	for cs := lo; cs <= hi; cs++ {
+		s, err := runOnce(g, cs, opt, true)
+		if err == nil {
+			return s, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("mfs: no schedule within %d steps: %w", hi, lastErr)
+}
+
+// scheduler carries the state of one fixed-cs run.
+type scheduler struct {
+	g        *dfg.Graph
+	cs       int
+	opt      Options
+	resource bool
+
+	frames  sched.Frames
+	lf      liapunov.Func
+	tables  map[string]*grid.Table
+	maxj    map[string]int
+	current map[string]int
+	placed  map[dfg.NodeID]sched.Placement
+}
+
+func runOnce(g *dfg.Graph, cs int, opt Options, resource bool, extraMax ...int) (*sched.Schedule, error) {
+	frames, err := sched.ComputeFrames(g, cs, opt.ClockNs)
+	if err != nil {
+		return nil, fmt.Errorf("mfs: %w", err)
+	}
+	s := &scheduler{
+		g: g, cs: cs, opt: opt, resource: resource,
+		frames:  frames,
+		tables:  make(map[string]*grid.Table),
+		maxj:    make(map[string]int),
+		current: make(map[string]int),
+		placed:  make(map[dfg.NodeID]sched.Placement),
+	}
+	s.initBounds(extraMax...)
+	s.initLiapunov()
+	s.initTables()
+
+	// MFS step 4: schedule every operation in priority order. Because an
+	// operation's ALAP is always strictly earlier than its successors',
+	// the priority order is topological: predecessors are committed
+	// before their consumers, so frames only ever tighten from above.
+	for _, id := range sched.PriorityOrder(g, frames) {
+		if err := s.placeOne(id); err != nil {
+			return nil, err
+		}
+	}
+	return s.finish()
+}
+
+// initBounds sets max_j per type: the user limit if given, otherwise the
+// maximum concurrency observed in the ASAP and ALAP schedules (MFS
+// step 2), never below the ⌈N_j/steps⌉ floor. extraMax widens unbounded
+// types on retry.
+func (s *scheduler) initBounds(extraMax ...int) {
+	widen := 0
+	if len(extraMax) > 0 {
+		widen = extraMax[0]
+	}
+	counts := make(map[string]int)
+	asapConc := s.concurrency(func(f sched.Frame) int { return f.ASAP })
+	alapConc := s.concurrency(func(f sched.Frame) int { return f.ALAP })
+	for _, n := range s.g.Nodes() {
+		counts[TypeKey(n)]++
+	}
+	for typ, nj := range counts {
+		if lim, ok := s.opt.Limits[typ]; ok {
+			s.maxj[typ] = lim
+		} else {
+			m := asapConc[typ]
+			if alapConc[typ] > m {
+				m = alapConc[typ]
+			}
+			if m < 1 {
+				m = 1
+			}
+			s.maxj[typ] = m + widen
+		}
+		if s.opt.NoRedundantFrame {
+			s.current[typ] = s.maxj[typ]
+			continue
+		}
+		span := s.cs
+		if s.opt.Latency > 0 && s.opt.Latency < span {
+			span = s.opt.Latency
+		}
+		floor := (nj + span - 1) / span
+		if floor < 1 {
+			floor = 1
+		}
+		s.current[typ] = floor
+		if s.current[typ] > s.maxj[typ] {
+			s.current[typ] = s.maxj[typ]
+		}
+	}
+}
+
+// concurrency counts, per type, the peak number of operations whose
+// footprint covers a step when every operation starts at the given frame
+// bound (ASAP or ALAP) — the paper's upper-bound estimate for max_j.
+func (s *scheduler) concurrency(start func(sched.Frame) int) map[string]int {
+	perStep := make(map[string]map[int]int)
+	for _, n := range s.g.Nodes() {
+		typ := TypeKey(n)
+		if perStep[typ] == nil {
+			perStep[typ] = make(map[int]int)
+		}
+		cyc := n.Cycles
+		if s.opt.PipelinedTypes[typ] {
+			cyc = 1
+		}
+		for i := 0; i < cyc; i++ {
+			step := start(s.frames[n.ID]) + i
+			if s.opt.Latency > 0 {
+				step = ((step - 1) % s.opt.Latency) + 1
+			}
+			perStep[typ][step]++
+		}
+	}
+	out := make(map[string]int, len(perStep))
+	for typ, steps := range perStep {
+		for _, c := range steps {
+			if c > out[typ] {
+				out[typ] = c
+			}
+		}
+	}
+	return out
+}
+
+func (s *scheduler) initLiapunov() {
+	if s.opt.Liapunov != nil {
+		s.lf = s.opt.Liapunov
+		return
+	}
+	if s.resource {
+		s.lf = liapunov.ResourceConstrained{CS: s.cs + 1}
+		return
+	}
+	n := 1
+	for _, m := range s.maxj {
+		if m > n {
+			n = m
+		}
+	}
+	s.lf = liapunov.TimeConstrained{N: n + 1}
+}
+
+func (s *scheduler) initTables() {
+	for typ, m := range s.maxj {
+		t := grid.NewTable(typ, s.cs, m)
+		t.Latency = s.opt.Latency
+		t.Pipelined = s.opt.PipelinedTypes[typ]
+		s.tables[typ] = t
+	}
+}
+
+// placeOne schedules one operation: frame it, walk its move frame in
+// Liapunov order, commit the first legal position, growing current_j and
+// re-framing when the frame is exhausted (local rescheduling).
+func (s *scheduler) placeOne(id dfg.NodeID) error {
+	n := s.g.Node(id)
+	typ := TypeKey(n)
+	table := s.tables[typ]
+	for {
+		fs, err := s.frameSet(id)
+		if err != nil {
+			return err
+		}
+		if p, ok := s.bestPosition(table, id, n.Cycles, fs.MF); ok {
+			if err := table.Place(s.g, id, p, n.Cycles); err != nil {
+				return fmt.Errorf("mfs: %w", err)
+			}
+			s.placed[id] = sched.Placement{Step: p.Step, Type: typ, Index: p.Index}
+			return nil
+		}
+		if s.current[typ] < s.maxj[typ] {
+			s.current[typ]++ // local rescheduling: allow one more FU
+			continue
+		}
+		return fmt.Errorf("mfs: %s: no position for %q within %d %s units and %d steps",
+			s.g.Name, n.Name, s.maxj[typ], typ, s.cs)
+	}
+}
+
+// bestPosition returns the cheapest legal MF position, filtering occupied
+// cells, footprint conflicts, and chaining overflows.
+func (s *scheduler) bestPosition(table *grid.Table, id dfg.NodeID, cycles int, mf grid.Frame) (grid.Pos, bool) {
+	positions := mf.Positions()
+	sort.SliceStable(positions, func(i, j int) bool {
+		vi, vj := s.lf.Value(positions[i]), s.lf.Value(positions[j])
+		if vi != vj {
+			return vi < vj
+		}
+		if positions[i].Step != positions[j].Step {
+			return positions[i].Step < positions[j].Step
+		}
+		return positions[i].Index < positions[j].Index
+	})
+	for _, p := range positions {
+		if !table.CanPlace(s.g, id, p, cycles) {
+			continue
+		}
+		if s.opt.ClockNs > 0 && !s.chainOK(id, p.Step) {
+			continue
+		}
+		return p, true
+	}
+	return grid.Pos{}, false
+}
+
+// frameSet computes the PF/RF/FF/MF of an operation against the current
+// placement state (see FramesFor for the exported inspection entry
+// point used to reproduce Figure 2).
+func (s *scheduler) frameSet(id dfg.NodeID) (*grid.FrameSet, error) {
+	n := s.g.Node(id)
+	typ := TypeKey(n)
+	base := s.frames[id]
+	lo, hi := base.ASAP, base.ALAP
+	// Placed predecessors raise the earliest start (FF in the paper);
+	// placed successors lower the latest start. Chaining admits sharing a
+	// step; the chainOK filter verifies the delay budget.
+	ffTop := 0 // last step forbidden by predecessors
+	for _, pid := range n.Preds() {
+		pp, ok := s.placed[pid]
+		if !ok {
+			continue
+		}
+		pred := s.g.Node(pid)
+		bound := pp.Step + pred.Cycles
+		if s.chainable(pred, n) {
+			bound = pp.Step
+		}
+		if bound > lo {
+			lo = bound
+		}
+		if end := pp.Step + pred.Cycles - 1; end > ffTop && bound > pp.Step {
+			ffTop = end
+		}
+	}
+	for _, sid := range n.Succs() {
+		sp, ok := s.placed[sid]
+		if !ok {
+			continue
+		}
+		succ := s.g.Node(sid)
+		bound := sp.Step - n.Cycles
+		if s.chainable(n, succ) {
+			bound = sp.Step
+		}
+		if bound < hi {
+			hi = bound
+		}
+	}
+	maxj := s.maxj[typ]
+	cur := s.current[typ]
+	pf := grid.Rect(lo, hi, 1, maxj)
+	rf := grid.Rect(lo, hi, cur+1, maxj)
+	ff := grid.Rect(1, ffTop, 1, maxj)
+	mf := pf.Minus(rf.Union(ff))
+	return &grid.FrameSet{PF: pf, RF: rf, FF: ff, MF: mf}, nil
+}
+
+func (s *scheduler) chainable(pred, succ *dfg.Node) bool {
+	return s.opt.ClockNs > 0 && pred.Cycles == 1 && succ.Cycles == 1 &&
+		!pred.IsLoop() && !succ.IsLoop()
+}
+
+// chainOK tentatively assigns id to step and checks every intra-step
+// combinational chain over the placed set still fits the clock period.
+func (s *scheduler) chainOK(id dfg.NodeID, step int) bool {
+	steps := make(map[dfg.NodeID]int, len(s.placed))
+	for x, p := range s.placed {
+		steps[x] = p.Step
+	}
+	return sched.ChainFits(s.g, s.opt.ClockNs, steps, id, step)
+}
+
+func (s *scheduler) finish() (*sched.Schedule, error) {
+	out := sched.NewSchedule(s.g, s.cs)
+	out.ClockNs = s.opt.ClockNs
+	out.Latency = s.opt.Latency
+	for typ, p := range s.opt.PipelinedTypes {
+		out.PipelinedTypes[typ] = p
+	}
+	for id, p := range s.placed {
+		out.Place(id, p)
+	}
+	if err := out.Verify(s.opt.Limits); err != nil {
+		return nil, fmt.Errorf("mfs: internal: produced illegal schedule: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package mfs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/dfg"
+	"repro/internal/op"
+)
+
+func TestExpandPipelinedDiffeq(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	for _, cs := range ex.TimeConstraints {
+		lat := ex.Latency(cs)
+		s, err := Schedule(ex.Graph, Options{CS: cs, Latency: lat})
+		if err != nil {
+			t.Fatalf("cs=%d: %v", cs, err)
+		}
+		x, err := ExpandPipelined(s)
+		if err != nil {
+			t.Fatalf("cs=%d: %v", cs, err)
+		}
+		if x.CS != cs+lat {
+			t.Errorf("expanded CS = %d, want %d", x.CS, cs+lat)
+		}
+		if x.Graph.Len() != 2*ex.Graph.Len() {
+			t.Errorf("expanded graph has %d nodes, want %d", x.Graph.Len(), 2*ex.Graph.Len())
+		}
+		// The expansion uses exactly the same FU instances as the folded
+		// schedule: overlap adds no hardware.
+		folded := s.InstancesPerType()
+		expanded := x.InstancesPerType()
+		for typ, n := range expanded {
+			if n != folded[typ] {
+				t.Errorf("cs=%d: expansion changed %s instances: %d vs %d", cs, typ, n, folded[typ])
+			}
+		}
+	}
+}
+
+func TestExpandPipelinedRandom(t *testing.T) {
+	// Property: every folded schedule expands to a legal two-instance
+	// overlap — the §5.5.2 equivalence.
+	r := rand.New(rand.NewSource(31))
+	kinds := []op.Kind{op.Add, op.Sub, op.Mul, op.And}
+	for trial := 0; trial < 15; trial++ {
+		g := dfg.New(fmt.Sprintf("fp%d", trial))
+		g.AddInput("i0")
+		names := []string{"i0"}
+		for i := 0; i < 6+r.Intn(10); i++ {
+			name := fmt.Sprintf("n%d", i)
+			g.AddOp(name, kinds[r.Intn(len(kinds))],
+				names[r.Intn(len(names))], names[r.Intn(len(names))])
+			names = append(names, name)
+		}
+		cs := g.CriticalPathCycles() + 2
+		lat := cs/2 + 1
+		s, err := Schedule(g, Options{CS: cs, Latency: lat})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if _, err := ExpandPipelined(s); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestExpandPipelinedRejectsUnpipelined(t *testing.T) {
+	ex := benchmarks.Facet()
+	s, err := Schedule(ex.Graph, Options{CS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpandPipelined(s); err == nil {
+		t.Error("unpipelined schedule expanded")
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	ex := benchmarks.Facet()
+	s, err := Schedule(ex.Graph, Options{CS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gantt := s.Gantt()
+	for _, want := range []string{"unit", "t1", "t4", "add1", "mul", "+#1"} {
+		if !strings.Contains(gantt, want) {
+			t.Errorf("Gantt missing %q:\n%s", want, gantt)
+		}
+	}
+	// Multicycle ops extend with dots.
+	ar := benchmarks.ARLattice()
+	s2, err := Schedule(ar.Graph, Options{CS: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 := s2.Gantt(); !strings.Contains(g2, "..") {
+		t.Errorf("multicycle continuation missing:\n%s", g2)
+	}
+}
+
+func TestGanttExclusiveStacking(t *testing.T) {
+	g := dfg.New("mx")
+	g.AddInput("a")
+	x, _ := g.AddOp("x", op.Mul, "a", "a")
+	y, _ := g.AddOp("y", op.Mul, "a", "a")
+	g.AddOp("ux", op.Add, "x", "a")
+	g.AddOp("uy", op.Sub, "y", "a")
+	g.Tag(x, dfg.CondTag{Cond: 1, Branch: 0})
+	g.Tag(y, dfg.CondTag{Cond: 1, Branch: 1})
+	s, err := Schedule(g, Options{CS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gantt := s.Gantt(); !strings.Contains(gantt, "/") {
+		t.Errorf("exclusive co-residents not stacked:\n%s", gantt)
+	}
+}

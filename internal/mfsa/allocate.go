@@ -1,0 +1,159 @@
+package mfsa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/grid"
+	"repro/internal/library"
+	"repro/internal/sched"
+)
+
+// Allocate binds an externally produced schedule (MFS, force-directed,
+// list-scheduled, ...) to a datapath using MFSA's cost machinery with
+// the time dimension frozen: every operation keeps its control step and
+// only the ALU choice is optimized (incremental ALU + MUX + REG terms,
+// §4.1 without f^TIME). This is the "independent phases" flow the
+// paper's introduction argues against; the experiments package compares
+// it with full MFSA to reproduce that motivation quantitatively.
+//
+// The input schedule's FU types are ignored; only steps matter. Style
+// and weights behave as in Synthesize.
+func Allocate(s *sched.Schedule, opt Options) (*Result, error) {
+	g := s.Graph
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("mfsa: %w", err)
+	}
+	if opt.Lib == nil {
+		opt.Lib = library.NCRLike()
+	}
+	if err := opt.Lib.Validate(); err != nil {
+		return nil, fmt.Errorf("mfsa: %w", err)
+	}
+	if opt.Style == 0 {
+		opt.Style = Style1
+	}
+	opt.CS = s.CS
+	opt.ClockNs = s.ClockNs
+	opt.Latency = s.Latency
+	for _, n := range g.Nodes() {
+		if n.IsLoop() {
+			return nil, fmt.Errorf("mfsa: Allocate does not bind loop nodes (node %q)", n.Name)
+		}
+		if len(candidateUnits(opt, n)) == 0 {
+			return nil, fmt.Errorf("mfsa: library has no unit for %q", n.Name)
+		}
+		if _, ok := s.Placements[n.ID]; !ok {
+			return nil, fmt.Errorf("mfsa: node %q unscheduled", n.Name)
+		}
+	}
+
+	st := allocState(g, opt)
+	for _, id := range allocationOrder(s) {
+		if err := st.bindOne(s, id); err != nil {
+			return nil, err
+		}
+	}
+	return st.finishAlloc()
+}
+
+// allocationOrder visits operations by start step (then ID), so reuse
+// decisions see a growing prefix of the timeline.
+func allocationOrder(s *sched.Schedule) []dfg.NodeID {
+	ids := make([]dfg.NodeID, 0, s.Graph.Len())
+	for _, n := range s.Graph.Nodes() {
+		ids = append(ids, n.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		si, sj := s.Placements[ids[i]].Step, s.Placements[ids[j]].Step
+		if si != sj {
+			return si < sj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+func allocState(g *dfg.Graph, opt Options) *state {
+	// Reuse the Synthesize state with trivial frames; the binder never
+	// consults them.
+	return newState(g, opt, make(sched.Frames))
+}
+
+// bindOne chooses the cheapest ALU instance for a fixed (node, step):
+// reuse an existing compatible instance if its footprint is free, else
+// open the cheapest new one.
+func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
+	n := st.g.Node(id)
+	step := s.Placements[id].Step
+	units := candidateUnits(st.opt, n)
+	var best candidate
+	found := false
+	consider := func(u *library.Unit, idx int) {
+		table := st.tables[u.Name]
+		p := grid.Pos{Step: step, Index: idx}
+		if !table.CanPlace(st.g, id, p, n.Cycles) {
+			return
+		}
+		if st.opt.Style == Style2 && st.neighborsOnALU(n, cell{u.Name, idx}) {
+			return
+		}
+		v, swapped := st.value(n, u, p)
+		c := candidate{unit: u, pos: p, value: v, swapped: swapped}
+		if !found || less(c, best) {
+			best, found = c, true
+		}
+	}
+	for _, u := range units {
+		// Existing instances plus one fresh column per unit type.
+		maxIdx := 0
+		for key := range st.alus {
+			if key.unit == u.Name && key.index > maxIdx {
+				maxIdx = key.index
+			}
+		}
+		limit := maxIdx + 1
+		if lim, ok := st.opt.Limits[u.Name]; ok && limit > lim {
+			limit = lim
+		}
+		if limit > st.maxInst[u.Name] {
+			limit = st.maxInst[u.Name]
+		}
+		for idx := 1; idx <= limit; idx++ {
+			consider(u, idx)
+		}
+	}
+	if !found {
+		return fmt.Errorf("mfsa: no ALU for %q at step %d", n.Name, step)
+	}
+	return st.commit(n, best)
+}
+
+func (st *state) finishAlloc() (*Result, error) {
+	out := sched.NewSchedule(st.g, st.opt.CS)
+	out.ClockNs = st.opt.ClockNs
+	out.Latency = st.opt.Latency
+	for name, t := range st.tables {
+		if t.Pipelined {
+			out.PipelinedTypes[name] = true
+		}
+	}
+	for id, p := range st.placed {
+		out.Place(id, p)
+	}
+	if err := out.Verify(st.opt.Limits); err != nil {
+		return nil, fmt.Errorf("mfsa: allocation produced an illegal binding: %w", err)
+	}
+	st.dp.ReoptimizeMuxes(st.g)
+	st.dp.AssignRegisters(st.intervals(nil, 0))
+	if err := st.dp.Validate(); err != nil {
+		return nil, fmt.Errorf("mfsa: allocation produced an invalid datapath: %w", err)
+	}
+	if st.opt.Style == Style2 {
+		if err := VerifyStyle2(st.g, st.dp); err != nil {
+			return nil, fmt.Errorf("mfsa: %w", err)
+		}
+	}
+	return &Result{Schedule: out, Datapath: st.dp, Cost: st.dp.Cost()}, nil
+}

@@ -1,0 +1,572 @@
+// Package mfsa implements Move Frame Scheduling-Allocation (§4), the
+// paper's simultaneous scheduling and allocation algorithm. It reuses the
+// move-frame machinery of MFS but searches a three-dimensional space —
+// control step × ALU instance × ALU type from the cell library — guided
+// by the dynamic Liapunov function
+//
+//	V = Σ ( w_T·C·y + w_A·f^ALU + w_M·f^MUX + w_R·f^REG )
+//
+// where f^ALU is the incremental cost of opening a new ALU instance (zero
+// for reuse), f^MUX the incremental multiplexer cost under best-case input
+// sharing (§5.6, including the commutative-swap optimization), and f^REG
+// the incremental register cost from the left-edge lifetime packer
+// (§5.8). The constant C dominates every possible hardware contribution
+// so control step t is still preferred over t+1 — the time-constrained
+// guarantee of §3.1 — unless the user reweights the terms.
+//
+// Two design styles are supported (§4.2): style 1 is the unrestricted
+// datapath, style 2 forbids binding an operation to an ALU that already
+// executes one of its direct predecessors or successors, which removes
+// self-loops around ALUs and yields the self-testable structures of
+// [18][20] at a small cost overhead.
+package mfsa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/grid"
+	"repro/internal/liapunov"
+	"repro/internal/library"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+)
+
+// Style selects the RTL structure restriction.
+type Style int
+
+const (
+	// Style1 is the conventional, unrestricted datapath.
+	Style1 Style = 1
+	// Style2 forbids an operation from sharing an ALU with any of its
+	// direct predecessors or successors (no self-loop around an ALU).
+	Style2 Style = 2
+)
+
+// Weights are the user emphasis factors of §4.1's weighted Liapunov
+// function. The zero value is replaced by the overall optimizer
+// (all weights 1).
+type Weights struct {
+	Time, ALU, Mux, Reg float64
+}
+
+func (w Weights) orDefault() Weights {
+	if w == (Weights{}) {
+		return Weights{1, 1, 1, 1}
+	}
+	return w
+}
+
+// Options configures a synthesis run.
+type Options struct {
+	// CS is the time constraint in control steps (required).
+	CS int
+
+	// Lib is the cell library; nil selects library.NCRLike().
+	Lib *library.Library
+
+	// Style selects the datapath restriction; 0 means Style1.
+	Style Style
+
+	// Weights reweight the Liapunov terms; zero value = all ones.
+	Weights Weights
+
+	// ClockNs enables chaining (§5.4); Latency enables functional
+	// pipelining (§5.5.2), both as in MFS.
+	ClockNs float64
+	Latency int
+
+	// UsePipelinedUnits admits structurally pipelined library cells for
+	// operations whose cycle count matches the cell's stage count
+	// (§5.5.1).
+	UsePipelinedUnits bool
+
+	// Limits caps instances per library unit name.
+	Limits map[string]int
+
+	// RegisterInputs, when true, also allocates registers for primary
+	// inputs (by default inputs are externally registered ports, keeping
+	// register counts comparable to Table 2).
+	RegisterInputs bool
+}
+
+// Result is a completed synthesis: the schedule (FU types are library
+// unit names), the bound RTL datapath, and its cost breakdown.
+type Result struct {
+	Schedule *sched.Schedule
+	Datapath *rtl.Datapath
+	Cost     rtl.Cost
+}
+
+// Synthesize runs MFSA on g.
+func Synthesize(g *dfg.Graph, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("mfsa: %w", err)
+	}
+	if opt.CS < 1 {
+		return nil, fmt.Errorf("mfsa: a time constraint is required")
+	}
+	if opt.Lib == nil {
+		opt.Lib = library.NCRLike()
+	}
+	if err := opt.Lib.Validate(); err != nil {
+		return nil, fmt.Errorf("mfsa: %w", err)
+	}
+	if opt.Style == 0 {
+		opt.Style = Style1
+	}
+	for _, n := range g.Nodes() {
+		if n.IsLoop() {
+			return nil, fmt.Errorf("mfsa: fold loops with mfs.ScheduleLoops and synthesize bodies separately (node %q)", n.Name)
+		}
+		if len(candidateUnits(opt, n)) == 0 {
+			return nil, fmt.Errorf("mfsa: library has no unit for %q (op %v, %d cycles)", n.Name, n.Op, n.Cycles)
+		}
+	}
+	frames, err := sched.ComputeFrames(g, opt.CS, opt.ClockNs)
+	if err != nil {
+		return nil, fmt.Errorf("mfsa: %w", err)
+	}
+	s := newState(g, opt, frames)
+	for _, id := range sched.PriorityOrder(g, frames) {
+		if err := s.placeOne(id); err != nil {
+			return nil, err
+		}
+	}
+	return s.finish()
+}
+
+// candidateUnits returns the library cells that can execute node n under
+// the options: non-pipelined cells always qualify; pipelined cells only
+// when admitted and their depth matches the operation's cycle count.
+func candidateUnits(opt Options, n *dfg.Node) []*library.Unit {
+	var out []*library.Unit
+	for _, u := range opt.Lib.UnitsFor(n.Op) {
+		if u.Pipelined() {
+			if opt.UsePipelinedUnits && u.Stages == n.Cycles {
+				out = append(out, u)
+			}
+			continue
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+type state struct {
+	g      *dfg.Graph
+	opt    Options
+	w      Weights
+	c      float64 // time-dominance constant
+	frames sched.Frames
+
+	tables  map[string]*grid.Table // per unit name
+	maxInst map[string]int
+	current map[string]int
+
+	placed map[dfg.NodeID]sched.Placement
+	steps  map[dfg.NodeID]int // start steps, for ChainFits
+
+	dp   *rtl.Datapath
+	alus map[cell]*rtl.ALU // live ALU instances by (unit, column)
+}
+
+type cell struct {
+	unit  string
+	index int
+}
+
+func newState(g *dfg.Graph, opt Options, frames sched.Frames) *state {
+	s := &state{
+		g: g, opt: opt,
+		w:       opt.Weights.orDefault(),
+		frames:  frames,
+		tables:  make(map[string]*grid.Table),
+		maxInst: make(map[string]int),
+		current: make(map[string]int),
+		placed:  make(map[dfg.NodeID]sched.Placement),
+		steps:   make(map[dfg.NodeID]int),
+		dp:      rtl.NewDatapath(opt.Lib),
+		alus:    make(map[cell]*rtl.ALU),
+	}
+	s.c = liapunov.DominanceConstant(
+		opt.Lib.MaxUnitArea(),
+		2*opt.Lib.MaxMuxStep(),
+		2*opt.Lib.RegArea,
+	)
+	// Per-unit instance bounds: a unit can never need more instances than
+	// the operations it can serve; user limits tighten that.
+	span := opt.CS
+	if opt.Latency > 0 && opt.Latency < span {
+		span = opt.Latency
+	}
+	capable := make(map[string]int)
+	primary := make(map[string]int)
+	for _, n := range g.Nodes() {
+		units := candidateUnits(opt, n)
+		var cheapest *library.Unit
+		for _, u := range units {
+			capable[u.Name]++
+			if cheapest == nil || u.Area < cheapest.Area {
+				cheapest = u
+			}
+		}
+		primary[cheapest.Name]++
+	}
+	for _, u := range opt.Lib.Units() {
+		m := capable[u.Name]
+		if lim, ok := opt.Limits[u.Name]; ok && lim < m {
+			m = lim
+		}
+		if m == 0 {
+			continue
+		}
+		s.maxInst[u.Name] = m
+		// The ⌈N_j/steps⌉ floor of MFS step 4, with N_j counting only
+		// the operations whose cheapest implementation is this unit.
+		// Units that are nobody's first choice (dearer multi-function
+		// ALUs) start at zero instances: they enter the datapath through
+		// the redundant-frame growth mechanism or by zero-cost reuse,
+		// never as a gratuitous early-step purchase.
+		s.current[u.Name] = (primary[u.Name] + span - 1) / span
+		if s.current[u.Name] > m {
+			s.current[u.Name] = m
+		}
+		t := grid.NewTable(u.Name, opt.CS, m)
+		t.Latency = opt.Latency
+		t.Pipelined = u.Pipelined()
+		s.tables[u.Name] = t
+	}
+	return s
+}
+
+// placeOne evaluates the dynamic Liapunov function over every empty
+// move-frame position of every candidate ALU type and commits the
+// minimum (§4.2 step 4).
+func (s *state) placeOne(id dfg.NodeID) error {
+	n := s.g.Node(id)
+	units := candidateUnits(s.opt, n)
+	for {
+		best, ok := s.bestCandidate(n, units)
+		if ok {
+			return s.commit(n, best)
+		}
+		// Local rescheduling: open one more instance of exactly one
+		// capable type — the cheapest with headroom — and re-frame.
+		// Growing one type at a time keeps the redundant frame tight for
+		// every other operation; growing them all would license
+		// gratuitous early-step ALU purchases elsewhere.
+		var grow *library.Unit
+		for _, u := range units {
+			if s.current[u.Name] >= s.maxInst[u.Name] {
+				continue
+			}
+			if grow == nil || u.Area < grow.Area ||
+				(u.Area == grow.Area && u.Name < grow.Name) {
+				grow = u
+			}
+		}
+		if grow == nil {
+			return fmt.Errorf("mfsa: %s: no position for %q within %d steps", s.g.Name, n.Name, s.opt.CS)
+		}
+		s.current[grow.Name]++
+	}
+}
+
+// candidate is one evaluated (unit, position) choice.
+type candidate struct {
+	unit    *library.Unit
+	pos     grid.Pos
+	value   float64
+	swapped bool
+}
+
+func (s *state) bestCandidate(n *dfg.Node, units []*library.Unit) (candidate, bool) {
+	lo, hi := s.window(n)
+	var best candidate
+	found := false
+	for _, u := range units {
+		table := s.tables[u.Name]
+		cur := s.current[u.Name]
+		for _, p := range s.movePositions(table, n, lo, hi, cur) {
+			if s.opt.ClockNs > 0 && !sched.ChainFits(s.g, s.opt.ClockNs, s.steps, n.ID, p.Step) {
+				continue
+			}
+			if s.opt.Style == Style2 && s.neighborsOnALU(n, cell{u.Name, p.Index}) {
+				continue
+			}
+			v, swapped := s.value(n, u, p)
+			cand := candidate{unit: u, pos: p, value: v, swapped: swapped}
+			if !found || less(cand, best) {
+				best, found = cand, true
+			}
+		}
+	}
+	return best, found
+}
+
+func less(a, b candidate) bool {
+	if a.value != b.value {
+		return a.value < b.value
+	}
+	if a.pos.Step != b.pos.Step {
+		return a.pos.Step < b.pos.Step
+	}
+	if a.unit.Name != b.unit.Name {
+		return a.unit.Name < b.unit.Name
+	}
+	return a.pos.Index < b.pos.Index
+}
+
+// window returns the node's current time frame, tightened by placed
+// predecessors (successors are never placed first; see sched.PriorityOrder).
+func (s *state) window(n *dfg.Node) (int, int) {
+	f := s.frames[n.ID]
+	lo, hi := f.ASAP, f.ALAP
+	for _, pid := range n.Preds() {
+		pp, ok := s.placed[pid]
+		if !ok {
+			continue
+		}
+		pred := s.g.Node(pid)
+		bound := pp.Step + pred.Cycles
+		if s.opt.ClockNs > 0 && pred.Cycles == 1 && n.Cycles == 1 {
+			bound = pp.Step
+		}
+		if bound > lo {
+			lo = bound
+		}
+	}
+	return lo, hi
+}
+
+// movePositions lists the free positions of the unit's move frame
+// MF = PF − RF (FF is folded into the window's lower bound), sorted for
+// deterministic iteration.
+func (s *state) movePositions(table *grid.Table, n *dfg.Node, lo, hi, cur int) []grid.Pos {
+	if cur > table.Max {
+		cur = table.Max
+	}
+	var out []grid.Pos
+	for step := lo; step <= hi; step++ {
+		for idx := 1; idx <= cur; idx++ {
+			p := grid.Pos{Step: step, Index: idx}
+			if table.CanPlace(s.g, n.ID, p, n.Cycles) {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Step != out[j].Step {
+			return out[i].Step < out[j].Step
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// neighborsOnALU reports whether the ALU instance already executes a
+// direct predecessor or successor of n (style 2's forbidden self-loop).
+func (s *state) neighborsOnALU(n *dfg.Node, c cell) bool {
+	a, ok := s.alus[c]
+	if !ok {
+		return false
+	}
+	for _, pid := range n.Preds() {
+		if a.HasNode(pid) {
+			return true
+		}
+	}
+	for _, sid := range n.Succs() {
+		if a.HasNode(sid) {
+			return true
+		}
+	}
+	return false
+}
+
+// value evaluates the weighted dynamic Liapunov function for one
+// candidate position.
+func (s *state) value(n *dfg.Node, u *library.Unit, p grid.Pos) (float64, bool) {
+	fTime := s.c * float64(p.Step)
+
+	fALU := 0.0
+	a, exists := s.alus[cell{u.Name, p.Index}]
+	if !exists {
+		fALU = u.Area
+	}
+
+	fMux := 0.0
+	swapped := false
+	if exists {
+		before := s.opt.Lib.MuxArea(len(a.L1)) + s.opt.Lib.MuxArea(len(a.L2))
+		g1, sw := s.muxAfter(a, n)
+		fMux = g1 - before
+		swapped = sw
+	} else {
+		// A fresh ALU: ports have one source each, so no mux yet.
+		fMux = 0
+	}
+
+	fReg := float64(s.regDelta(n, p.Step)) * s.opt.Lib.RegArea
+
+	v := s.w.Time*fTime + s.w.ALU*fALU + s.w.Mux*fMux + s.w.Reg*fReg
+	return v, swapped
+}
+
+// muxAfter returns the two-port mux area after adding n to ALU a with the
+// best operand orientation.
+func (s *state) muxAfter(a *rtl.ALU, n *dfg.Node) (area float64, swapped bool) {
+	l1, l2 := len(a.L1), len(a.L2)
+	args := n.Args
+	count := func(l []string, sig string) int {
+		for _, x := range l {
+			if x == sig {
+				return 0
+			}
+		}
+		return 1
+	}
+	if len(args) == 1 {
+		return s.opt.Lib.MuxArea(l1+count(a.L1, args[0])) + s.opt.Lib.MuxArea(l2), false
+	}
+	direct := s.opt.Lib.MuxArea(l1+count(a.L1, args[0])) + s.opt.Lib.MuxArea(l2+count(a.L2, args[1]))
+	if !n.Op.Commutative() {
+		return direct, false
+	}
+	crossed := s.opt.Lib.MuxArea(l1+count(a.L1, args[1])) + s.opt.Lib.MuxArea(l2+count(a.L2, args[0]))
+	if crossed < direct {
+		return crossed, true
+	}
+	return direct, false
+}
+
+// regDelta returns how many additional registers the left-edge packer
+// needs when n consumes its inputs at the given step (§4.1's f^REG: zero,
+// one or two).
+func (s *state) regDelta(n *dfg.Node, step int) int {
+	before := len(rtl.PackRegisters(s.intervals(nil, 0)))
+	after := len(rtl.PackRegisters(s.intervals(n, step)))
+	d := after - before
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// intervals derives the value lifetimes of the committed placement,
+// optionally extending them with `extra` consuming its inputs at
+// extraStep. Outputs with no placed consumer are held one boundary.
+func (s *state) intervals(extra *dfg.Node, extraStep int) []rtl.Interval {
+	birth := make(map[string]int) // signal -> producer finish step
+	death := make(map[string]int) // signal -> latest consumer step
+	have := make(map[string]bool) // signals with a committed producer
+	for id, p := range s.placed {
+		pn := s.g.Node(id)
+		birth[pn.Name] = p.Step + pn.Cycles - 1
+		have[pn.Name] = true
+	}
+	if s.opt.RegisterInputs {
+		for _, in := range s.g.Inputs() {
+			birth[in] = 0
+			have[in] = true
+		}
+	}
+	consume := func(n *dfg.Node, step int) {
+		for _, a := range n.Args {
+			if !have[a] {
+				continue
+			}
+			if step > death[a] {
+				death[a] = step
+			}
+		}
+	}
+	for id, p := range s.placed {
+		consume(s.g.Node(id), p.Step)
+	}
+	if extra != nil {
+		consume(extra, extraStep)
+	}
+	names := make([]string, 0, len(have))
+	for sig := range have {
+		names = append(names, sig)
+	}
+	sort.Strings(names)
+	out := make([]rtl.Interval, 0, len(names))
+	for _, sig := range names {
+		d := death[sig]
+		if d == 0 { // no consumer yet: hold the value one boundary
+			d = birth[sig] + 1
+		}
+		out = append(out, rtl.Interval{Name: sig, Birth: birth[sig], Death: d})
+	}
+	return out
+}
+
+// commit places n at the chosen candidate: grid footprint, datapath
+// binding, and bookkeeping.
+func (s *state) commit(n *dfg.Node, c candidate) error {
+	table := s.tables[c.unit.Name]
+	if err := table.Place(s.g, n.ID, c.pos, n.Cycles); err != nil {
+		return fmt.Errorf("mfsa: %w", err)
+	}
+	key := cell{c.unit.Name, c.pos.Index}
+	a, ok := s.alus[key]
+	if !ok {
+		a = s.dp.AddALU(c.unit)
+		s.alus[key] = a
+	}
+	a.Bind(n, n.Args, c.pos.Step)
+	s.placed[n.ID] = sched.Placement{Step: c.pos.Step, Type: c.unit.Name, Index: c.pos.Index}
+	s.steps[n.ID] = c.pos.Step
+	return nil
+}
+
+func (s *state) finish() (*Result, error) {
+	out := sched.NewSchedule(s.g, s.opt.CS)
+	out.ClockNs = s.opt.ClockNs
+	out.Latency = s.opt.Latency
+	for name, t := range s.tables {
+		if t.Pipelined {
+			out.PipelinedTypes[name] = true
+		}
+	}
+	for id, p := range s.placed {
+		out.Place(id, p)
+	}
+	if err := out.Verify(s.opt.Limits); err != nil {
+		return nil, fmt.Errorf("mfsa: internal: produced illegal schedule: %w", err)
+	}
+	// §5.6 post-pass: re-derive each ALU's input lists jointly over all
+	// its bound operations (the incremental lists are order-dependent).
+	s.dp.ReoptimizeMuxes(s.g)
+	s.dp.AssignRegisters(s.intervals(nil, 0))
+	if err := s.dp.Validate(); err != nil {
+		return nil, fmt.Errorf("mfsa: internal: produced invalid datapath: %w", err)
+	}
+	if s.opt.Style == Style2 {
+		if err := VerifyStyle2(s.g, s.dp); err != nil {
+			return nil, fmt.Errorf("mfsa: internal: %w", err)
+		}
+	}
+	return &Result{Schedule: out, Datapath: s.dp, Cost: s.dp.Cost()}, nil
+}
+
+// VerifyStyle2 checks the style-2 restriction on a finished datapath: no
+// ALU executes two operations connected by a data edge.
+func VerifyStyle2(g *dfg.Graph, dp *rtl.Datapath) error {
+	for _, a := range dp.ALUs {
+		for _, b := range a.Ops {
+			n := g.Node(b.Node)
+			for _, pid := range n.Preds() {
+				if a.HasNode(pid) {
+					return fmt.Errorf("style 2 violated: %q and its predecessor %q share %s",
+						n.Name, g.Node(pid).Name, a.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

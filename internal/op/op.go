@@ -1,0 +1,205 @@
+// Package op defines the operation model shared by every layer of the
+// synthesis system: the kinds of operations a data-flow graph may contain,
+// their algebraic properties (commutativity, arity), and their default
+// timing (execution cycles and combinational delay used for chaining).
+package op
+
+import "fmt"
+
+// Kind identifies an operation type. The zero value is Invalid.
+type Kind int
+
+// The operation kinds supported by the synthesis system. They cover the
+// operator sets of the six literature examples reproduced in the paper's
+// evaluation (§6) plus the comparison/logic operators used by conditional
+// behaviors.
+const (
+	Invalid Kind = iota
+	Add          // +
+	Sub          // -
+	Mul          // *
+	Div          // /
+	And          // &
+	Or           // |
+	Xor          // ^
+	Not          // ~ (unary)
+	Lt           // <
+	Gt           // >
+	Le           // <=
+	Ge           // >=
+	Eq           // ==
+	Ne           // !=
+	Shl          // <<
+	Shr          // >>
+	Neg          // unary minus
+	Mov          // register-to-register move / identity
+	numKinds
+)
+
+// NumKinds reports how many distinct valid kinds exist (excluding Invalid).
+func NumKinds() int { return int(numKinds) - 1 }
+
+var names = [...]string{
+	Invalid: "invalid",
+	Add:     "+",
+	Sub:     "-",
+	Mul:     "*",
+	Div:     "/",
+	And:     "&",
+	Or:      "|",
+	Xor:     "^",
+	Not:     "~",
+	Lt:      "<",
+	Gt:      ">",
+	Le:      "<=",
+	Ge:      ">=",
+	Eq:      "==",
+	Ne:      "!=",
+	Shl:     "<<",
+	Shr:     ">>",
+	Neg:     "neg",
+	Mov:     "mov",
+}
+
+// String returns the operator symbol (e.g. "+", "*", "<").
+func (k Kind) String() string {
+	if k < 0 || k >= numKinds {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return names[k]
+}
+
+// Valid reports whether k names a real operation kind.
+func (k Kind) Valid() bool { return k > Invalid && k < numKinds }
+
+// Commutative reports whether the operation's two inputs may be swapped
+// without changing its result. MFSA's multiplexer-input optimization (§5.6)
+// exploits this freedom when constructing the L1/L2 input lists.
+func (k Kind) Commutative() bool {
+	switch k {
+	case Add, Mul, And, Or, Xor, Eq, Ne:
+		return true
+	}
+	return false
+}
+
+// Arity returns the number of data inputs the operation consumes (1 or 2).
+func (k Kind) Arity() int {
+	switch k {
+	case Not, Neg, Mov:
+		return 1
+	case Invalid:
+		return 0
+	}
+	return 2
+}
+
+// Kinds returns all valid kinds in a fixed order.
+func Kinds() []Kind {
+	ks := make([]Kind, 0, NumKinds())
+	for k := Add; k < numKinds; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// Parse maps an operator symbol back to its Kind. It returns Invalid and an
+// error for unknown symbols.
+func Parse(s string) (Kind, error) {
+	for k := Add; k < numKinds; k++ {
+		if names[k] == s {
+			return k, nil
+		}
+	}
+	return Invalid, fmt.Errorf("op: unknown operator %q", s)
+}
+
+// DefaultCycles returns the default number of control steps the operation
+// occupies. Multiplication and division default to 1 here; benchmarks that
+// model 2-cycle multipliers (Table 1, examples #4–#6) override per-node
+// cycle counts explicitly.
+func (k Kind) DefaultCycles() int { return 1 }
+
+// DefaultDelayNs returns a nominal combinational propagation delay in
+// nanoseconds, used by the chaining extension (§5.4) to decide how many
+// data-dependent operations fit in one control step of clock period T.
+// The absolute values are synthetic; only their relative magnitudes matter
+// (multiply/divide slowest, logic fastest), mirroring a late-80s standard
+// cell library.
+func (k Kind) DefaultDelayNs() float64 {
+	switch k {
+	case Mul:
+		return 80
+	case Div:
+		return 100
+	case Add, Sub, Neg:
+		return 40
+	case Lt, Gt, Le, Ge, Eq, Ne:
+		return 35
+	case Shl, Shr:
+		return 20
+	case And, Or, Xor, Not:
+		return 10
+	case Mov:
+		return 5
+	}
+	return 0
+}
+
+// Eval computes the operation on concrete signed integer operands; the
+// datapath simulator (internal/sim) and the DFG reference evaluator use it
+// to cross-check synthesized designs. Comparison operators yield 0 or 1.
+// Division by zero yields 0, matching the simulator's defined-result
+// convention (real hardware would flag it; the cross-check only needs both
+// sides to agree).
+func (k Kind) Eval(a, b int64) int64 {
+	switch k {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Not:
+		return ^a
+	case Lt:
+		return b2i(a < b)
+	case Gt:
+		return b2i(a > b)
+	case Le:
+		return b2i(a <= b)
+	case Ge:
+		return b2i(a >= b)
+	case Eq:
+		return b2i(a == b)
+	case Ne:
+		return b2i(a != b)
+	case Shl:
+		return a << uint(b&63)
+	case Shr:
+		return a >> uint(b&63)
+	case Neg:
+		return -a
+	case Mov:
+		return a
+	}
+	return 0
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}

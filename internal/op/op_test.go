@@ -1,0 +1,179 @@
+package op
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("Parse(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+}
+
+func TestParseUnknown(t *testing.T) {
+	for _, s := range []string{"", "?", "plus", "**", "invalid"} {
+		if k, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) = %v, want error", s, k)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if Invalid.Valid() {
+		t.Error("Invalid.Valid() = true")
+	}
+	if Kind(-1).Valid() || Kind(999).Valid() {
+		t.Error("out-of-range kinds reported valid")
+	}
+	for _, k := range Kinds() {
+		if !k.Valid() {
+			t.Errorf("%v.Valid() = false", k)
+		}
+	}
+}
+
+func TestInvalidString(t *testing.T) {
+	if got := Kind(999).String(); got != "Kind(999)" {
+		t.Errorf("Kind(999).String() = %q", got)
+	}
+	if got := Invalid.String(); got != "invalid" {
+		t.Errorf("Invalid.String() = %q", got)
+	}
+}
+
+func TestNumKinds(t *testing.T) {
+	if got := len(Kinds()); got != NumKinds() {
+		t.Errorf("len(Kinds()) = %d, NumKinds() = %d", got, NumKinds())
+	}
+}
+
+func TestArity(t *testing.T) {
+	unary := map[Kind]bool{Not: true, Neg: true, Mov: true}
+	for _, k := range Kinds() {
+		want := 2
+		if unary[k] {
+			want = 1
+		}
+		if got := k.Arity(); got != want {
+			t.Errorf("%v.Arity() = %d, want %d", k, got, want)
+		}
+	}
+	if Invalid.Arity() != 0 {
+		t.Error("Invalid.Arity() != 0")
+	}
+}
+
+func TestCommutativeEval(t *testing.T) {
+	// Property: for every kind flagged commutative, Eval(a,b) == Eval(b,a).
+	f := func(a, b int64) bool {
+		for _, k := range Kinds() {
+			if k.Commutative() && k.Eval(a, b) != k.Eval(b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNonCommutativeWitness(t *testing.T) {
+	// Each binary non-commutative kind must have a witness pair proving it
+	// is genuinely order-sensitive (guards against over-conservative flags).
+	for _, k := range Kinds() {
+		if k.Commutative() || k.Arity() != 2 {
+			continue
+		}
+		found := false
+		pairs := [][2]int64{{1, 2}, {5, 3}, {7, -2}, {0, 4}, {8, 1}}
+		for _, p := range pairs {
+			if k.Eval(p[0], p[1]) != k.Eval(p[1], p[0]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%v flagged non-commutative but no witness found", k)
+		}
+	}
+}
+
+func TestEvalBasics(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		a, b int64
+		want int64
+	}{
+		{Add, 3, 4, 7},
+		{Sub, 3, 4, -1},
+		{Mul, 3, 4, 12},
+		{Div, 12, 4, 3},
+		{Div, 7, 0, 0}, // defined-result convention
+		{And, 6, 3, 2},
+		{Or, 6, 3, 7},
+		{Xor, 6, 3, 5},
+		{Not, 0, 0, -1},
+		{Lt, 3, 4, 1},
+		{Lt, 4, 3, 0},
+		{Gt, 4, 3, 1},
+		{Le, 4, 4, 1},
+		{Ge, 3, 4, 0},
+		{Eq, 5, 5, 1},
+		{Ne, 5, 5, 0},
+		{Shl, 1, 4, 16},
+		{Shr, 16, 4, 1},
+		{Neg, 9, 0, -9},
+		{Mov, 42, 0, 42},
+	}
+	for _, c := range cases {
+		if got := c.k.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v.Eval(%d,%d) = %d, want %d", c.k, c.a, c.b, got, c.want)
+		}
+	}
+	if Invalid.Eval(1, 2) != 0 {
+		t.Error("Invalid.Eval != 0")
+	}
+}
+
+func TestShiftMasksCount(t *testing.T) {
+	// Shift counts are masked to 6 bits so huge counts cannot panic.
+	if got := Shl.Eval(1, 64); got != 1 {
+		t.Errorf("Shl.Eval(1,64) = %d, want 1 (count masked)", got)
+	}
+	if got := Shr.Eval(4, 66); got != 1 {
+		t.Errorf("Shr.Eval(4,66) = %d, want 1", got)
+	}
+}
+
+func TestDelaysPositive(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.DefaultDelayNs() <= 0 {
+			t.Errorf("%v.DefaultDelayNs() = %v, want > 0", k, k.DefaultDelayNs())
+		}
+		if k.DefaultCycles() != 1 {
+			t.Errorf("%v.DefaultCycles() = %d, want 1", k, k.DefaultCycles())
+		}
+	}
+}
+
+func TestDelayOrdering(t *testing.T) {
+	// The chaining extension relies on mul/div being the slowest operators
+	// and pure logic the fastest.
+	if !(Mul.DefaultDelayNs() > Add.DefaultDelayNs()) {
+		t.Error("mul should be slower than add")
+	}
+	if !(Div.DefaultDelayNs() >= Mul.DefaultDelayNs()) {
+		t.Error("div should be at least as slow as mul")
+	}
+	if !(Add.DefaultDelayNs() > And.DefaultDelayNs()) {
+		t.Error("add should be slower than and")
+	}
+}

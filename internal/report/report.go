@@ -1,0 +1,83 @@
+// Package report formats the fixed-width text tables the experiment
+// harness prints when regenerating the paper's Tables 1 and 2.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	Title   string
+	columns []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, columns: columns}
+}
+
+// Add appends a row; missing cells render empty, extras are dropped.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Addf appends a row of formatted cells: each argument is rendered with
+// %v.
+func (t *Table) Addf(cells ...interface{}) {
+	ss := make([]string, len(cells))
+	for i, c := range cells {
+		ss[i] = fmt.Sprintf("%v", c)
+	}
+	t.Add(ss...)
+}
+
+// Len reports the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		width[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.columns)
+	sep := make([]string, len(t.columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Table 1: results", "Ex", "T", "FUs")
+	tb.Add("#1", "4", "*,++")
+	tb.Addf("#2", 5, 3.5)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Table 1: results" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Ex") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "--") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	// Columns align: every data line has the same prefix width up to col 2.
+	idx := strings.Index(lines[1], "T")
+	for _, l := range lines[3:] {
+		if len(l) <= idx {
+			t.Errorf("short row %q", l)
+		}
+	}
+	if !strings.Contains(out, "3.5") {
+		t.Error("Addf cell missing")
+	}
+}
+
+func TestRowPadding(t *testing.T) {
+	tb := New("", "A", "B")
+	tb.Add("only")
+	tb.Add("x", "y", "dropped")
+	out := tb.String()
+	if strings.Contains(out, "dropped") {
+		t.Error("extra cell not dropped")
+	}
+	if !strings.Contains(out, "only") {
+		t.Error("short row lost")
+	}
+	if strings.HasPrefix(out, "\n") {
+		t.Error("empty title should not emit a blank line")
+	}
+}

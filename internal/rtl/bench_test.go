@@ -1,0 +1,33 @@
+package rtl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPackRegisters(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ivals := make([]Interval, 64)
+	for i := range ivals {
+		birth := r.Intn(20)
+		ivals[i] = Interval{Name: fmt.Sprintf("v%d", i), Birth: birth, Death: birth + 1 + r.Intn(6)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PackRegisters(ivals)
+	}
+}
+
+func BenchmarkOptimizeMuxListsExact(b *testing.B) {
+	sigs := []string{"a", "b", "c", "d", "e"}
+	r := rand.New(rand.NewSource(2))
+	ops := make([]MuxOp, 12)
+	for i := range ops {
+		ops[i] = MuxOp{A: sigs[r.Intn(5)], B: sigs[r.Intn(5)], Commutative: true}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OptimizeMuxLists(ops)
+	}
+}

@@ -1,0 +1,247 @@
+package rtl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+	"repro/internal/sched"
+)
+
+// Interconnect is the §5.7 physical-connection analysis of a bound
+// design. The mux input lists L1/L2 are per-signal; physically a
+// multiplexer input is a wire from a source terminal — a register
+// output, a primary-input port, or another ALU's output (for chained
+// reads) — and several signals that share a register arrive over the
+// same wire. Line sharing therefore reduces the effective multiplexer
+// input count below the signal count, the "secondary effect on
+// Cost(MUX)" the paper describes.
+type Interconnect struct {
+	// Sources lists, per ALU name, the distinct source terminals feeding
+	// each of its two ports. Terminal syntax: "reg:<k>", "in:<name>",
+	// "alu:<name>" (chained), sorted.
+	Sources map[string][2][]string
+
+	// NumLinks is the total number of distinct point-to-point links
+	// (terminal → ALU port) in the design.
+	NumLinks int
+
+	// SignalInputs and EffectiveInputs compare the per-signal mux input
+	// count with the post-sharing terminal count.
+	SignalInputs    int
+	EffectiveInputs int
+}
+
+// AnalyzeInterconnect maps every operand read in the design to its
+// physical source terminal and aggregates the per-port terminal sets.
+// It needs the schedule to distinguish chained reads (direct ALU-to-ALU
+// lines) from registered reads, and the datapath's register packing to
+// name the register terminals.
+func AnalyzeInterconnect(g *dfg.Graph, s *sched.Schedule, dp *Datapath) (*Interconnect, error) {
+	regOf := make(map[string]int) // signal -> register index
+	for r, grp := range dp.Registers {
+		for _, iv := range grp {
+			regOf[iv.Name] = r
+		}
+	}
+	isInput := make(map[string]bool)
+	for _, in := range g.Inputs() {
+		isInput[in] = true
+	}
+	aluOf := make(map[dfg.NodeID]*ALU)
+	for _, a := range dp.ALUs {
+		for _, b := range a.Ops {
+			aluOf[b.Node] = a
+		}
+	}
+
+	out := &Interconnect{Sources: make(map[string][2][]string)}
+	perPort := make(map[string][2]map[string]bool)
+	for _, a := range dp.ALUs {
+		perPort[a.Name] = [2]map[string]bool{make(map[string]bool), make(map[string]bool)}
+		out.SignalInputs += muxable(len(a.L1)) + muxable(len(a.L2))
+	}
+
+	for _, n := range g.Nodes() {
+		a, ok := aluOf[n.ID]
+		if !ok {
+			return nil, fmt.Errorf("rtl: node %q unbound", n.Name)
+		}
+		p, ok := s.Placements[n.ID]
+		if !ok {
+			return nil, fmt.Errorf("rtl: node %q unscheduled", n.Name)
+		}
+		var bind *Binding
+		for i := range a.Ops {
+			if a.Ops[i].Node == n.ID {
+				bind = &a.Ops[i]
+			}
+		}
+		ports := operandPorts(n, bind)
+		for port, sig := range ports {
+			if sig == "" {
+				continue
+			}
+			term, err := terminal(g, s, dp, regOf, isInput, aluOf, sig, p.Step)
+			if err != nil {
+				return nil, err
+			}
+			perPort[a.Name][port][term] = true
+		}
+	}
+
+	for name, ports := range perPort {
+		var srcs [2][]string
+		for i := 0; i < 2; i++ {
+			for t := range ports[i] {
+				srcs[i] = append(srcs[i], t)
+			}
+			sort.Strings(srcs[i])
+			out.NumLinks += len(srcs[i])
+			out.EffectiveInputs += muxable(len(srcs[i]))
+		}
+		out.Sources[name] = srcs
+	}
+	return out, nil
+}
+
+func muxable(n int) int {
+	if n >= 2 {
+		return n
+	}
+	return 0
+}
+
+// operandPorts returns the signal on port 0 (MUX1) and port 1 (MUX2),
+// honoring the commutative swap.
+func operandPorts(n *dfg.Node, bind *Binding) [2]string {
+	var ports [2]string
+	switch {
+	case len(n.Args) == 1:
+		ports[0] = n.Args[0]
+	case bind != nil && bind.Swapped:
+		ports[0], ports[1] = n.Args[1], n.Args[0]
+	default:
+		ports[0], ports[1] = n.Args[0], n.Args[1]
+	}
+	return ports
+}
+
+// terminal resolves a signal read at readStep to its physical source.
+func terminal(g *dfg.Graph, s *sched.Schedule, dp *Datapath,
+	regOf map[string]int, isInput map[string]bool, aluOf map[dfg.NodeID]*ALU,
+	sig string, readStep int) (string, error) {
+	if isInput[sig] {
+		if r, ok := regOf[sig]; ok {
+			return fmt.Sprintf("reg:%d", r), nil
+		}
+		return "in:" + sig, nil
+	}
+	prod, ok := g.Lookup(sig)
+	if !ok {
+		return "", fmt.Errorf("rtl: unknown signal %q", sig)
+	}
+	pp := s.Placements[prod.ID]
+	finish := pp.Step + prod.Cycles - 1
+	if finish == readStep {
+		// Chained: a direct combinational line from the producing ALU.
+		if a, ok := aluOf[prod.ID]; ok {
+			return "alu:" + a.Name, nil
+		}
+		return "", fmt.Errorf("rtl: chained producer %q unbound", sig)
+	}
+	r, ok := regOf[sig]
+	if !ok {
+		return "", fmt.Errorf("rtl: signal %q read at step %d but not registered", sig, readStep)
+	}
+	return fmt.Sprintf("reg:%d", r), nil
+}
+
+// EffectiveMuxArea recomputes the design's multiplexer area from the
+// interconnect analysis: each port's area is priced by its distinct
+// terminal count instead of its signal count, quantifying the §5.7
+// sharing gain.
+func (d *Datapath) EffectiveMuxArea(ic *Interconnect) float64 {
+	area := 0.0
+	for _, srcs := range ic.Sources {
+		area += d.Lib.MuxArea(len(srcs[0])) + d.Lib.MuxArea(len(srcs[1]))
+	}
+	return area
+}
+
+// BusPlan is the paper's alternative interconnect style ("multiplexers
+// (or buses)", §4.1): instead of per-port multiplexers, shared buses
+// carry one transfer each per control step.
+type BusPlan struct {
+	// Buses is the minimum number of buses: the peak number of
+	// simultaneous distinct transfers (source terminal → port) in any
+	// control step.
+	Buses int
+
+	// TransfersPerStep records the distinct transfer count per step.
+	TransfersPerStep []int
+}
+
+// PlanBuses sizes a bus-based interconnect for the design: in each
+// control step, every operand read is one transfer, with reads of the
+// same terminal in the same step sharing a bus grant per destination.
+func PlanBuses(g *dfg.Graph, s *sched.Schedule, dp *Datapath) (*BusPlan, error) {
+	regOf := make(map[string]int)
+	for r, grp := range dp.Registers {
+		for _, iv := range grp {
+			regOf[iv.Name] = r
+		}
+	}
+	isInput := make(map[string]bool)
+	for _, in := range g.Inputs() {
+		isInput[in] = true
+	}
+	aluOf := make(map[dfg.NodeID]*ALU)
+	for _, a := range dp.ALUs {
+		for _, b := range a.Ops {
+			aluOf[b.Node] = a
+		}
+	}
+	perStep := make([]map[string]bool, s.CS+1)
+	for i := range perStep {
+		perStep[i] = make(map[string]bool)
+	}
+	for _, n := range g.Nodes() {
+		p := s.Placements[n.ID]
+		a := aluOf[n.ID]
+		var bind *Binding
+		if a != nil {
+			for i := range a.Ops {
+				if a.Ops[i].Node == n.ID {
+					bind = &a.Ops[i]
+				}
+			}
+		}
+		for port, sig := range operandPorts(n, bind) {
+			if sig == "" {
+				continue
+			}
+			term, err := terminal(g, s, dp, regOf, isInput, aluOf, sig, p.Step)
+			if err != nil {
+				return nil, err
+			}
+			if strings.HasPrefix(term, "alu:") {
+				continue // chained lines bypass the buses
+			}
+			dest := "?"
+			if a != nil {
+				dest = a.Name
+			}
+			perStep[p.Step][fmt.Sprintf("%s->%s.%d", term, dest, port)] = true
+		}
+	}
+	plan := &BusPlan{TransfersPerStep: make([]int, s.CS+1)}
+	for step := 1; step <= s.CS; step++ {
+		plan.TransfersPerStep[step] = len(perStep[step])
+		if plan.TransfersPerStep[step] > plan.Buses {
+			plan.Buses = plan.TransfersPerStep[step]
+		}
+	}
+	return plan, nil
+}

@@ -1,0 +1,238 @@
+package rtl
+
+import (
+	"sort"
+
+	"repro/internal/dfg"
+)
+
+// MuxOp is one operation's operand pair as seen by an ALU's input ports.
+type MuxOp struct {
+	A, B        string // operand signals (B == "" for unary)
+	Commutative bool
+}
+
+// OptimizeMuxLists implements §5.6's constructive algorithm: given the
+// full set of operations assigned to one ALU, build the two input lists
+// L1 and L2 with |L1| + |L2| minimal. Non-commutative operations fix
+// their operands to their ports; each commutative operation may be
+// swapped. For up to exactSearchLimit commutative operations the
+// orientation space is searched exhaustively (branch and bound on the
+// running list sizes); beyond that a greedy pass with one improvement
+// sweep is used. The returned swapped slice parallels ops and reports
+// each operation's chosen orientation.
+func OptimizeMuxLists(ops []MuxOp) (l1, l2 []string, swapped []bool) {
+	swapped = make([]bool, len(ops))
+	set1, set2 := map[string]bool{}, map[string]bool{}
+	var flex []int
+	for i, op := range ops {
+		switch {
+		case op.B == "":
+			set1[op.A] = true
+		case !op.Commutative:
+			set1[op.A] = true
+			set2[op.B] = true
+		default:
+			flex = append(flex, i)
+		}
+	}
+	if len(flex) <= exactSearchLimit {
+		best := 1 << 30
+		bestMask := 0
+		search(ops, flex, 0, 0, cloneSet(set1), cloneSet(set2), &best, &bestMask)
+		applyMask(ops, flex, bestMask, set1, set2, swapped)
+	} else {
+		greedyOrient(ops, flex, set1, set2, swapped)
+		improveOnce(ops, flex, set1, set2, swapped)
+	}
+	return sortedKeys(set1), sortedKeys(set2), swapped
+}
+
+const exactSearchLimit = 16
+
+// search explores orientation assignments for flex[idx:], pruning when
+// the running size already meets the best found.
+func search(ops []MuxOp, flex []int, idx, mask int, s1, s2 map[string]bool, best *int, bestMask *int) {
+	if size := len(s1) + len(s2); size >= *best {
+		return // cannot improve: sizes only grow
+	}
+	if idx == len(flex) {
+		*best = len(s1) + len(s2)
+		*bestMask = mask
+		return
+	}
+	op := ops[flex[idx]]
+	// Try the orientation that adds fewer new signals first.
+	direct := addCount(s1, op.A) + addCount(s2, op.B)
+	crossed := addCount(s1, op.B) + addCount(s2, op.A)
+	order := []bool{false, true}
+	if crossed < direct {
+		order = []bool{true, false}
+	}
+	for _, swap := range order {
+		a, b := op.A, op.B
+		if swap {
+			a, b = b, a
+		}
+		added1 := !s1[a]
+		added2 := !s2[b]
+		s1[a], s2[b] = true, true
+		m := mask
+		if swap {
+			m |= 1 << idx
+		}
+		search(ops, flex, idx+1, m, s1, s2, best, bestMask)
+		if added1 {
+			delete(s1, a)
+		}
+		if added2 {
+			delete(s2, b)
+		}
+	}
+}
+
+func applyMask(ops []MuxOp, flex []int, mask int, s1, s2 map[string]bool, swapped []bool) {
+	for idx, i := range flex {
+		swap := mask&(1<<idx) != 0
+		swapped[i] = swap
+		a, b := ops[i].A, ops[i].B
+		if swap {
+			a, b = b, a
+		}
+		s1[a] = true
+		s2[b] = true
+	}
+}
+
+func greedyOrient(ops []MuxOp, flex []int, s1, s2 map[string]bool, swapped []bool) {
+	for _, i := range flex {
+		op := ops[i]
+		direct := addCount(s1, op.A) + addCount(s2, op.B)
+		crossed := addCount(s1, op.B) + addCount(s2, op.A)
+		swap := crossed < direct
+		swapped[i] = swap
+		a, b := op.A, op.B
+		if swap {
+			a, b = b, a
+		}
+		s1[a] = true
+		s2[b] = true
+	}
+}
+
+// improveOnce re-derives the sets and flips any single orientation whose
+// flip shrinks |L1|+|L2|, repeating until a full sweep makes no progress.
+func improveOnce(ops []MuxOp, flex []int, s1, s2 map[string]bool, swapped []bool) {
+	for changed := true; changed; {
+		changed = false
+		for _, i := range flex {
+			cur := rebuildSize(ops, flex, swapped)
+			swapped[i] = !swapped[i]
+			if rebuildSize(ops, flex, swapped) < cur {
+				changed = true
+			} else {
+				swapped[i] = !swapped[i]
+			}
+		}
+	}
+	// Rebuild the final sets.
+	for k := range s1 {
+		delete(s1, k)
+	}
+	for k := range s2 {
+		delete(s2, k)
+	}
+	for i, op := range ops {
+		switch {
+		case op.B == "":
+			s1[op.A] = true
+		case !op.Commutative:
+			s1[op.A] = true
+			s2[op.B] = true
+		default:
+			a, b := op.A, op.B
+			if swapped[i] {
+				a, b = b, a
+			}
+			s1[a] = true
+			s2[b] = true
+		}
+	}
+}
+
+func rebuildSize(ops []MuxOp, flex []int, swapped []bool) int {
+	s1, s2 := map[string]bool{}, map[string]bool{}
+	for i, op := range ops {
+		switch {
+		case op.B == "":
+			s1[op.A] = true
+		case !op.Commutative:
+			s1[op.A] = true
+			s2[op.B] = true
+		default:
+			a, b := op.A, op.B
+			if swapped[i] {
+				a, b = b, a
+			}
+			s1[a] = true
+			s2[b] = true
+		}
+	}
+	return len(s1) + len(s2)
+}
+
+func addCount(s map[string]bool, sig string) int {
+	if sig == "" || s[sig] {
+		return 0
+	}
+	return 1
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func sortedKeys(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReoptimizeMuxes runs the §5.6 constructive algorithm over every ALU of
+// a finished datapath, replacing the incrementally built L1/L2 lists and
+// orientations with the jointly optimized ones. It returns how many mux
+// inputs were eliminated. The graph supplies each bound node's operands
+// and commutativity.
+func (d *Datapath) ReoptimizeMuxes(g *dfg.Graph) int {
+	saved := 0
+	for _, a := range d.ALUs {
+		ops := make([]MuxOp, len(a.Ops))
+		for i, b := range a.Ops {
+			n := g.Node(b.Node)
+			op := MuxOp{A: n.Args[0], Commutative: n.Op.Commutative()}
+			if len(n.Args) > 1 {
+				op.B = n.Args[1]
+			}
+			ops[i] = op
+		}
+		before := len(a.L1) + len(a.L2)
+		l1, l2, swapped := OptimizeMuxLists(ops)
+		after := len(l1) + len(l2)
+		if after > before {
+			continue // never regress (cannot happen, but stay safe)
+		}
+		a.L1, a.L2 = l1, l2
+		for i := range a.Ops {
+			a.Ops[i].Swapped = swapped[i]
+		}
+		saved += before - after
+	}
+	return saved
+}

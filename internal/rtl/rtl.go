@@ -1,0 +1,314 @@
+// Package rtl models the register-transfer-level datapath MFSA constructs:
+// ALU instances drawn from a cell library, the two multiplexers feeding
+// each ALU (with the §5.6 input-list optimization), registers allocated by
+// the §5.8 activity-selection (left-edge) packer, and the cost breakdown
+// reported in the paper's Table 2 (total area, register, multiplexer and
+// multiplexer-input counts).
+package rtl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/library"
+)
+
+// Binding records one operation's assignment to an ALU instance.
+type Binding struct {
+	Node dfg.NodeID
+	Step int // start control step
+
+	// Swapped is true when a commutative operation feeds its first
+	// operand to MUX2 and its second to MUX1 (the §5.6 optimization).
+	Swapped bool
+}
+
+// ALU is one functional-unit instance with its two input multiplexers.
+type ALU struct {
+	Name string
+	Unit *library.Unit
+	Ops  []Binding
+
+	// L1 and L2 are the signal lists feeding the ALU's first and second
+	// input port, deduplicated — each distinct signal is one multiplexer
+	// input (§5.7: shared lines between the same source and ALU cost one
+	// input).
+	L1, L2 []string
+}
+
+// has reports whether signal s is already in list l.
+func has(l []string, s string) bool {
+	for _, x := range l {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// addSig appends s to l if absent, returning the list and how many new
+// entries were created (0 or 1).
+func addSig(l []string, s string) ([]string, int) {
+	if s == "" || has(l, s) {
+		return l, 0
+	}
+	return append(l, s), 1
+}
+
+// MuxGrowth returns how many new multiplexer inputs binding node n to the
+// ALU would create, choosing the cheaper operand orientation for
+// commutative operations. args are the node's input signal names (one or
+// two). It does not modify the ALU.
+func (a *ALU) MuxGrowth(n *dfg.Node, args []string) (growth int, swapped bool) {
+	if len(args) == 1 {
+		_, g := addSig(a.L1, args[0])
+		return g, false
+	}
+	_, g1a := addSig(a.L1, args[0])
+	_, g1b := addSig(a.L2, args[1])
+	direct := g1a + g1b
+	if !n.Op.Commutative() {
+		return direct, false
+	}
+	_, g2a := addSig(a.L1, args[1])
+	_, g2b := addSig(a.L2, args[0])
+	crossed := g2a + g2b
+	if crossed < direct {
+		return crossed, true
+	}
+	return direct, false
+}
+
+// Bind commits node n (with input signals args) to the ALU at the given
+// step, using the orientation MuxGrowth would pick.
+func (a *ALU) Bind(n *dfg.Node, args []string, step int) {
+	_, swapped := a.MuxGrowth(n, args)
+	b := Binding{Node: n.ID, Step: step, Swapped: swapped}
+	switch {
+	case len(args) == 1:
+		a.L1, _ = addSig(a.L1, args[0])
+	case swapped:
+		a.L1, _ = addSig(a.L1, args[1])
+		a.L2, _ = addSig(a.L2, args[0])
+	default:
+		a.L1, _ = addSig(a.L1, args[0])
+		a.L2, _ = addSig(a.L2, args[1])
+	}
+	a.Ops = append(a.Ops, b)
+}
+
+// HasNode reports whether node id is bound to this ALU.
+func (a *ALU) HasNode(id dfg.NodeID) bool {
+	for _, b := range a.Ops {
+		if b.Node == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Interval is one value's storage lifetime in control steps: the value is
+// born at the end of step Birth (its producer's finish step; 0 for a
+// design input captured before step 1) and last read during step Death.
+// It needs register storage iff Death > Birth — i.e. it crosses at least
+// one step boundary.
+type Interval struct {
+	Name  string
+	Birth int
+	Death int
+}
+
+// Stored reports whether the value outlives its producing step.
+func (iv Interval) Stored() bool { return iv.Death > iv.Birth }
+
+// overlaps reports whether two stored intervals [Birth, Death) conflict.
+func (iv Interval) overlaps(o Interval) bool {
+	return iv.Birth < o.Death && o.Birth < iv.Death
+}
+
+// PackRegisters assigns the stored intervals to a minimal set of
+// registers with the left-edge algorithm ([19], which §5.8's activity
+// selection extends): intervals are sorted by birth (then death, then
+// name) and each goes to the first register whose occupants it does not
+// overlap. Left-edge first-fit is optimal for interval lifetimes — the
+// register count equals the maximum number of simultaneously live values.
+// The result is deterministic; unstored intervals are dropped.
+func PackRegisters(ivals []Interval) [][]Interval {
+	live := make([]Interval, 0, len(ivals))
+	for _, iv := range ivals {
+		if iv.Stored() {
+			live = append(live, iv)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool {
+		a, b := live[i], live[j]
+		if a.Birth != b.Birth {
+			return a.Birth < b.Birth
+		}
+		if a.Death != b.Death {
+			return a.Death < b.Death
+		}
+		return a.Name < b.Name
+	})
+	var regs [][]Interval
+next:
+	for _, iv := range live {
+		for r := range regs {
+			conflict := false
+			for _, o := range regs[r] {
+				if iv.overlaps(o) {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				regs[r] = append(regs[r], iv)
+				continue next
+			}
+		}
+		regs = append(regs, []Interval{iv})
+	}
+	return regs
+}
+
+// Datapath is the RTL structure under construction or completed.
+type Datapath struct {
+	Lib  *library.Library
+	ALUs []*ALU
+
+	// Registers is the left-edge packing of the design's value lifetimes,
+	// set by AssignRegisters.
+	Registers [][]Interval
+}
+
+// NewDatapath returns an empty datapath over the given library.
+func NewDatapath(lib *library.Library) *Datapath {
+	return &Datapath{Lib: lib}
+}
+
+// AddALU instantiates a new ALU of the given unit and returns it.
+func (d *Datapath) AddALU(u *library.Unit) *ALU {
+	a := &ALU{Name: fmt.Sprintf("%s#%d", u.Name, len(d.ALUs)+1), Unit: u}
+	d.ALUs = append(d.ALUs, a)
+	return a
+}
+
+// AssignRegisters runs the register allocator over the design's value
+// lifetimes and stores the packing.
+func (d *Datapath) AssignRegisters(ivals []Interval) {
+	d.Registers = PackRegisters(ivals)
+}
+
+// FindBinding returns the ALU executing node id, if bound.
+func (d *Datapath) FindBinding(id dfg.NodeID) (*ALU, bool) {
+	for _, a := range d.ALUs {
+		if a.HasNode(id) {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Cost is the Table 2 result row for one design.
+type Cost struct {
+	ALUArea float64
+	MuxArea float64
+	RegArea float64
+	Total   float64
+
+	NumALUs      int
+	NumRegs      int
+	NumMux       int // multiplexers with at least 2 inputs
+	NumMuxInputs int // total inputs across those multiplexers
+}
+
+// MuxCost returns the area of the ALU's two input multiplexers.
+func (d *Datapath) muxAreaOf(a *ALU) float64 {
+	return d.Lib.MuxArea(len(a.L1)) + d.Lib.MuxArea(len(a.L2))
+}
+
+// Cost computes the datapath's cost breakdown against its library.
+func (d *Datapath) Cost() Cost {
+	var c Cost
+	for _, a := range d.ALUs {
+		c.ALUArea += a.Unit.Area
+		c.MuxArea += d.muxAreaOf(a)
+		for _, l := range [][]string{a.L1, a.L2} {
+			if len(l) >= 2 {
+				c.NumMux++
+				c.NumMuxInputs += len(l)
+			}
+		}
+	}
+	c.NumALUs = len(d.ALUs)
+	c.NumRegs = len(d.Registers)
+	c.RegArea = float64(c.NumRegs) * d.Lib.RegArea
+	c.Total = c.ALUArea + c.MuxArea + c.RegArea
+	return c
+}
+
+// ALUSummary renders the allocation in the paper's Table 2 notation,
+// e.g. "2(+-); (*)": counts of identical capability sets.
+func (d *Datapath) ALUSummary() string {
+	counts := make(map[string]int)
+	for _, a := range d.ALUs {
+		counts[a.Unit.Symbol()]++
+	}
+	syms := make([]string, 0, len(counts))
+	for s := range counts {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	out := ""
+	for i, s := range syms {
+		if i > 0 {
+			out += "; "
+		}
+		if counts[s] > 1 {
+			out += fmt.Sprintf("%d%s", counts[s], s)
+		} else {
+			out += s
+		}
+	}
+	return out
+}
+
+// Validate checks structural sanity: every binding's step positive, no
+// node bound twice, mux lists deduplicated, and registers non-overlapping.
+func (d *Datapath) Validate() error {
+	seen := make(map[dfg.NodeID]string)
+	for _, a := range d.ALUs {
+		if a.Unit == nil {
+			return fmt.Errorf("rtl: ALU %s has no unit", a.Name)
+		}
+		for _, b := range a.Ops {
+			if b.Step < 1 {
+				return fmt.Errorf("rtl: ALU %s: node %d at step %d", a.Name, b.Node, b.Step)
+			}
+			if prev, dup := seen[b.Node]; dup {
+				return fmt.Errorf("rtl: node %d bound to both %s and %s", b.Node, prev, a.Name)
+			}
+			seen[b.Node] = a.Name
+		}
+		for _, l := range [][]string{a.L1, a.L2} {
+			names := make(map[string]bool)
+			for _, s := range l {
+				if names[s] {
+					return fmt.Errorf("rtl: ALU %s: duplicate mux input %q", a.Name, s)
+				}
+				names[s] = true
+			}
+		}
+	}
+	for r, grp := range d.Registers {
+		for i := 0; i < len(grp); i++ {
+			for j := i + 1; j < len(grp); j++ {
+				if grp[i].overlaps(grp[j]) {
+					return fmt.Errorf("rtl: register %d: %q overlaps %q", r, grp[i].Name, grp[j].Name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package rtl
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dfg"
+	"repro/internal/library"
+	"repro/internal/op"
+)
+
+func addNode(t *testing.T, g *dfg.Graph, name string, k op.Kind, args ...string) *dfg.Node {
+	t.Helper()
+	id, err := g.AddOp(name, k, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Node(id)
+}
+
+func testGraph(t *testing.T) *dfg.Graph {
+	t.Helper()
+	g := dfg.New("rtl")
+	for _, in := range []string{"a", "b", "c", "d"} {
+		if err := g.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestMuxGrowthCommutativeSharing(t *testing.T) {
+	g := testGraph(t)
+	n1 := addNode(t, g, "n1", op.Add, "a", "b")
+	n2 := addNode(t, g, "n2", op.Add, "b", "a") // swapped duplicate inputs
+	lib := library.NCRLike()
+	alu := NewDatapath(lib).AddALU(lib.Single(op.Add))
+	alu.Bind(n1, n1.Args, 1)
+	if len(alu.L1) != 1 || len(alu.L2) != 1 {
+		t.Fatalf("after first bind: L1=%v L2=%v", alu.L1, alu.L2)
+	}
+	// n2 reversed: the commutative swap makes its inputs free.
+	growth, swapped := alu.MuxGrowth(n2, n2.Args)
+	if growth != 0 || !swapped {
+		t.Errorf("MuxGrowth = %d swapped=%v, want 0,true", growth, swapped)
+	}
+	alu.Bind(n2, n2.Args, 2)
+	if len(alu.L1) != 1 || len(alu.L2) != 1 {
+		t.Errorf("swap not exploited: L1=%v L2=%v", alu.L1, alu.L2)
+	}
+	if !alu.Ops[1].Swapped {
+		t.Error("binding not recorded as swapped")
+	}
+}
+
+func TestMuxGrowthNonCommutative(t *testing.T) {
+	g := testGraph(t)
+	n1 := addNode(t, g, "n1", op.Sub, "a", "b")
+	n2 := addNode(t, g, "n2", op.Sub, "b", "a")
+	lib := library.NCRLike()
+	alu := NewDatapath(lib).AddALU(lib.Single(op.Sub))
+	alu.Bind(n1, n1.Args, 1)
+	growth, swapped := alu.MuxGrowth(n2, n2.Args)
+	if swapped {
+		t.Error("non-commutative op swapped")
+	}
+	if growth != 2 {
+		t.Errorf("growth = %d, want 2 (b and a are new on the opposite ports)", growth)
+	}
+}
+
+func TestMuxGrowthUnary(t *testing.T) {
+	g := testGraph(t)
+	n1 := addNode(t, g, "n1", op.Not, "a")
+	n2 := addNode(t, g, "n2", op.Not, "a")
+	lib := library.NCRLike()
+	alu := NewDatapath(lib).AddALU(lib.Single(op.Not))
+	alu.Bind(n1, n1.Args, 1)
+	if growth, _ := alu.MuxGrowth(n2, n2.Args); growth != 0 {
+		t.Errorf("unary shared-input growth = %d, want 0", growth)
+	}
+}
+
+func TestMuxGrowthDoesNotMutate(t *testing.T) {
+	g := testGraph(t)
+	n1 := addNode(t, g, "n1", op.Add, "a", "b")
+	lib := library.NCRLike()
+	alu := NewDatapath(lib).AddALU(lib.Single(op.Add))
+	alu.MuxGrowth(n1, n1.Args)
+	if len(alu.L1) != 0 || len(alu.L2) != 0 {
+		t.Error("MuxGrowth mutated the ALU")
+	}
+}
+
+func TestPackRegistersBasic(t *testing.T) {
+	// Three values: two disjoint lifetimes share a register, one overlaps.
+	regs := PackRegisters([]Interval{
+		{Name: "v1", Birth: 1, Death: 3},
+		{Name: "v2", Birth: 3, Death: 5},
+		{Name: "v3", Birth: 2, Death: 4},
+	})
+	if len(regs) != 2 {
+		t.Fatalf("registers = %d, want 2", len(regs))
+	}
+}
+
+func TestPackRegistersDropsUnstored(t *testing.T) {
+	regs := PackRegisters([]Interval{
+		{Name: "chained", Birth: 2, Death: 2}, // consumed within its step
+		{Name: "v", Birth: 1, Death: 2},
+	})
+	if len(regs) != 1 || len(regs[0]) != 1 || regs[0][0].Name != "v" {
+		t.Fatalf("packing = %v", regs)
+	}
+}
+
+func TestPackRegistersDeterministic(t *testing.T) {
+	ivals := []Interval{
+		{Name: "b", Birth: 1, Death: 4},
+		{Name: "a", Birth: 1, Death: 4},
+		{Name: "c", Birth: 4, Death: 6},
+	}
+	r1 := PackRegisters(ivals)
+	// Reversed input order must give the same packing.
+	rev := []Interval{ivals[2], ivals[1], ivals[0]}
+	r2 := PackRegisters(rev)
+	if len(r1) != len(r2) {
+		t.Fatalf("non-deterministic register count: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if len(r1[i]) != len(r2[i]) {
+			t.Fatalf("register %d differs", i)
+		}
+		for j := range r1[i] {
+			if r1[i][j].Name != r2[i][j].Name {
+				t.Fatalf("register %d slot %d: %q vs %q", i, j, r1[i][j].Name, r2[i][j].Name)
+			}
+		}
+	}
+}
+
+func TestPackRegistersProperties(t *testing.T) {
+	// Property: packing is legal (no overlap within a register) and no
+	// worse than the trivial one-register-per-value packing; count is
+	// also at least the max number of simultaneously live values (the
+	// left-edge optimum for interval graphs).
+	f := func(raw []struct{ B, L uint8 }) bool {
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		ivals := make([]Interval, 0, len(raw))
+		for i, r := range raw {
+			b := int(r.B % 12)
+			ivals = append(ivals, Interval{
+				Name:  string(rune('a' + i%26)),
+				Birth: b,
+				Death: b + 1 + int(r.L%5),
+			})
+		}
+		regs := PackRegisters(ivals)
+		for _, grp := range regs {
+			for i := 0; i < len(grp); i++ {
+				for j := i + 1; j < len(grp); j++ {
+					if grp[i].overlaps(grp[j]) {
+						return false
+					}
+				}
+			}
+		}
+		// Optimality for interval packing: #regs == max overlap depth.
+		depth := 0
+		for tm := 0; tm < 20; tm++ {
+			d := 0
+			for _, iv := range ivals {
+				if iv.Birth <= tm && tm < iv.Death {
+					d++
+				}
+			}
+			if d > depth {
+				depth = d
+			}
+		}
+		return len(regs) == depth
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDatapathCost(t *testing.T) {
+	g := testGraph(t)
+	n1 := addNode(t, g, "n1", op.Add, "a", "b")
+	n2 := addNode(t, g, "n2", op.Add, "c", "d")
+	lib := library.NCRLike()
+	dp := NewDatapath(lib)
+	alu := dp.AddALU(lib.Single(op.Add))
+	alu.Bind(n1, n1.Args, 1)
+	alu.Bind(n2, n2.Args, 2)
+	dp.AssignRegisters([]Interval{
+		{Name: "n1", Birth: 1, Death: 3},
+		{Name: "n2", Birth: 2, Death: 3},
+	})
+	if err := dp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := dp.Cost()
+	if c.NumALUs != 1 || c.NumRegs != 2 {
+		t.Errorf("cost = %+v", c)
+	}
+	if c.NumMux != 2 || c.NumMuxInputs != 4 {
+		t.Errorf("mux stats = %d/%d, want 2 muxes with 4 inputs", c.NumMux, c.NumMuxInputs)
+	}
+	wantTotal := lib.Single(op.Add).Area + 2*lib.MuxArea(2) + 2*lib.RegArea
+	if c.Total != wantTotal {
+		t.Errorf("Total = %v, want %v", c.Total, wantTotal)
+	}
+}
+
+func TestSingleSourcePortIsFree(t *testing.T) {
+	g := testGraph(t)
+	n1 := addNode(t, g, "n1", op.Add, "a", "b")
+	lib := library.NCRLike()
+	dp := NewDatapath(lib)
+	alu := dp.AddALU(lib.Single(op.Add))
+	alu.Bind(n1, n1.Args, 1)
+	c := dp.Cost()
+	// One signal per port: no multiplexers at all.
+	if c.NumMux != 0 || c.MuxArea != 0 {
+		t.Errorf("single-source ports should be free: %+v", c)
+	}
+}
+
+func TestALUSummary(t *testing.T) {
+	lib := library.NCRLike()
+	dp := NewDatapath(lib)
+	addsub, _ := lib.Lookup(library.ComposeName(op.Add, op.Sub))
+	dp.AddALU(addsub)
+	dp.AddALU(addsub)
+	dp.AddALU(lib.Single(op.Mul))
+	got := dp.ALUSummary()
+	if got != "(*); 2(+-)" {
+		t.Errorf("ALUSummary = %q", got)
+	}
+}
+
+func TestFindBinding(t *testing.T) {
+	g := testGraph(t)
+	n1 := addNode(t, g, "n1", op.Add, "a", "b")
+	lib := library.NCRLike()
+	dp := NewDatapath(lib)
+	alu := dp.AddALU(lib.Single(op.Add))
+	alu.Bind(n1, n1.Args, 1)
+	got, ok := dp.FindBinding(n1.ID)
+	if !ok || got != alu {
+		t.Error("FindBinding failed")
+	}
+	if _, ok := dp.FindBinding(99); ok {
+		t.Error("FindBinding(99) succeeded")
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	g := testGraph(t)
+	n1 := addNode(t, g, "n1", op.Add, "a", "b")
+	lib := library.NCRLike()
+	dp := NewDatapath(lib)
+	a1 := dp.AddALU(lib.Single(op.Add))
+	a2 := dp.AddALU(lib.Single(op.Add))
+	a1.Bind(n1, n1.Args, 1)
+	a2.Bind(n1, n1.Args, 2)
+	if err := dp.Validate(); err == nil {
+		t.Error("double binding accepted")
+	}
+
+	dp2 := NewDatapath(lib)
+	a := dp2.AddALU(lib.Single(op.Add))
+	a.L1 = []string{"x", "x"}
+	if err := dp2.Validate(); err == nil {
+		t.Error("duplicate mux input accepted")
+	}
+
+	dp3 := NewDatapath(lib)
+	dp3.Registers = [][]Interval{{
+		{Name: "p", Birth: 1, Death: 4},
+		{Name: "q", Birth: 2, Death: 3},
+	}}
+	dp3.ALUs = nil
+	if err := dp3.Validate(); err == nil {
+		t.Error("overlapping register occupants accepted")
+	}
+}
+
+func TestIntervalSemantics(t *testing.T) {
+	a := Interval{Name: "a", Birth: 1, Death: 3}
+	b := Interval{Name: "b", Birth: 3, Death: 5}
+	if a.overlaps(b) || b.overlaps(a) {
+		t.Error("touching intervals should not overlap (write at end of step 3, read gone)")
+	}
+	c := Interval{Name: "c", Birth: 2, Death: 4}
+	if !a.overlaps(c) {
+		t.Error("overlapping intervals not detected")
+	}
+	if (Interval{Birth: 2, Death: 2}).Stored() {
+		t.Error("same-step value flagged as stored")
+	}
+	sort.Strings(nil) // keep sort imported for the determinism test
+}

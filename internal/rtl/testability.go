@@ -1,0 +1,80 @@
+package rtl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dfg"
+)
+
+// Testability summarizes the structural self-test properties the paper's
+// style 2 targets ([18][20]): an ALU with a self-loop — it executes two
+// data-dependent operations, so its output feeds (a register feeding)
+// its own input — cannot be tested by the simple built-in self-test
+// schemes SYNTEST generates, because its response compaction and pattern
+// generation would share the unit under test.
+type Testability struct {
+	// SelfLoopALUs lists ALUs executing two operations connected by a
+	// data edge (style 2 forbids these).
+	SelfLoopALUs []string
+
+	// FeedbackPairs counts ordered ALU pairs (r, s) where some operation
+	// on r feeds an operation on s AND some operation on s feeds one on
+	// r — the 2-cycles of the ALU connectivity graph, the next-larger
+	// structures a test scheme must break.
+	FeedbackPairs int
+
+	// Testable reports the style-2 property: no self-loops.
+	Testable bool
+}
+
+// AnalyzeTestability inspects a bound datapath's ALU connectivity.
+func AnalyzeTestability(g *dfg.Graph, dp *Datapath) *Testability {
+	aluOf := make(map[dfg.NodeID]string)
+	for _, a := range dp.ALUs {
+		for _, b := range a.Ops {
+			aluOf[b.Node] = a.Name
+		}
+	}
+	selfLoops := make(map[string]bool)
+	edges := make(map[[2]string]bool) // producer ALU -> consumer ALU
+	for _, n := range g.Nodes() {
+		dst, ok := aluOf[n.ID]
+		if !ok {
+			continue
+		}
+		for _, pid := range n.Preds() {
+			src, ok := aluOf[pid]
+			if !ok {
+				continue
+			}
+			if src == dst {
+				selfLoops[dst] = true
+				continue
+			}
+			edges[[2]string{src, dst}] = true
+		}
+	}
+	out := &Testability{}
+	for name := range selfLoops {
+		out.SelfLoopALUs = append(out.SelfLoopALUs, name)
+	}
+	sort.Strings(out.SelfLoopALUs)
+	for e := range edges {
+		if edges[[2]string{e[1], e[0]}] && e[0] < e[1] {
+			out.FeedbackPairs++
+		}
+	}
+	out.Testable = len(out.SelfLoopALUs) == 0
+	return out
+}
+
+// String renders a one-line summary.
+func (t *Testability) String() string {
+	if t.Testable {
+		return fmt.Sprintf("testable (no ALU self-loops; %d feedback pairs)", t.FeedbackPairs)
+	}
+	return fmt.Sprintf("not self-testable: self-loops on %s (%d feedback pairs)",
+		strings.Join(t.SelfLoopALUs, ", "), t.FeedbackPairs)
+}

@@ -1,0 +1,68 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/sched"
+)
+
+func BenchmarkComputeFrames(b *testing.B) {
+	g := benchmarks.EWF().Graph
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.ComputeFrames(g, 21, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeFramesChained(b *testing.B) {
+	g := benchmarks.Chained().Graph
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.ComputeFrames(g, 4, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPriorityOrder(b *testing.B) {
+	g := benchmarks.EWF().Graph
+	frames, err := sched.ComputeFrames(g, 21, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sched.PriorityOrder(g, frames)
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	ss := legalScheduleForBench(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ss.Verify(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func legalScheduleForBench(b *testing.B) *sched.Schedule {
+	b.Helper()
+	g := benchmarks.EWF().Graph
+	frames, err := sched.ComputeFrames(g, 21, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Trivial one-op-per-instance schedule at ASAP steps.
+	s := sched.NewSchedule(g, 21)
+	idx := make(map[string]int)
+	for _, n := range g.Nodes() {
+		typ := n.Op.String()
+		idx[typ]++
+		s.Place(n.ID, sched.Placement{Step: frames[n.ID].ASAP, Type: typ, Index: idx[typ]})
+	}
+	return s
+}

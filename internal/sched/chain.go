@@ -1,0 +1,46 @@
+package sched
+
+import "repro/internal/dfg"
+
+// ChainFits reports whether tentatively starting node id at the given
+// step keeps every intra-step combinational chain within clockNs, given
+// the start steps of the already-placed operations. Multicycle and loop
+// operations are boundary-aligned and never participate in chains.
+// Schedulers call this to filter move-frame candidates when chaining
+// (§5.4) is enabled.
+func ChainFits(g *dfg.Graph, clockNs float64, placed map[dfg.NodeID]int, id dfg.NodeID, step int) bool {
+	n := g.Node(id)
+	if n.Cycles > 1 || n.IsLoop() {
+		return true
+	}
+	stepOf := func(x dfg.NodeID) (int, bool) {
+		if x == id {
+			return step, true
+		}
+		s, ok := placed[x]
+		return s, ok
+	}
+	acc := make(map[dfg.NodeID]float64)
+	for _, vid := range g.TopoOrder() {
+		v := g.Node(vid)
+		vs, ok := stepOf(vid)
+		if !ok || v.Cycles > 1 || v.IsLoop() {
+			continue
+		}
+		chain := 0.0
+		for _, pid := range v.Preds() {
+			ps, ok := stepOf(pid)
+			if !ok || ps != vs {
+				continue
+			}
+			if a := acc[pid]; a > chain {
+				chain = a
+			}
+		}
+		acc[vid] = chain + v.DelayNs
+		if acc[vid] > clockNs+1e-9 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/op"
+)
+
+func randomGraph(r *rand.Rand, n int) *dfg.Graph {
+	g := dfg.New("prop")
+	g.AddInput("i0")
+	names := []string{"i0"}
+	kinds := []op.Kind{op.Add, op.Sub, op.Mul, op.Lt}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("n%d", i)
+		id, err := g.AddOp(name, kinds[r.Intn(len(kinds))],
+			names[r.Intn(len(names))], names[r.Intn(len(names))])
+		if err != nil {
+			panic(err)
+		}
+		if r.Intn(4) == 0 {
+			g.SetCycles(id, 1+r.Intn(3))
+		}
+		names = append(names, name)
+	}
+	return g
+}
+
+// TestFrameInvariants checks, over random DAGs and time constraints:
+//  1. ASAP <= ALAP for every node.
+//  2. A node's ASAP respects its predecessors' ASAP completion.
+//  3. A node's ALAP leaves room for its successors.
+//  4. Loosening cs never shrinks a window and widens total mobility.
+func TestFrameInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(r, 6+r.Intn(20))
+		cp := g.CriticalPathCycles()
+		cs := cp + r.Intn(5)
+		fr, err := ComputeFrames(g, cs, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, n := range g.Nodes() {
+			f := fr[n.ID]
+			if f.ASAP > f.ALAP {
+				t.Fatalf("trial %d: %q ASAP %d > ALAP %d", trial, n.Name, f.ASAP, f.ALAP)
+			}
+			if f.ASAP < 1 || f.ALAP+n.Cycles-1 > cs {
+				t.Fatalf("trial %d: %q window [%d,%d] breaks bounds", trial, n.Name, f.ASAP, f.ALAP)
+			}
+			for _, pid := range n.Preds() {
+				p := g.Node(pid)
+				if fr[n.ID].ASAP < fr[pid].ASAP+p.Cycles {
+					t.Fatalf("trial %d: %q ASAP ignores pred %q", trial, n.Name, p.Name)
+				}
+				if fr[pid].ALAP+p.Cycles > fr[n.ID].ALAP {
+					t.Fatalf("trial %d: %q ALAP ignores succ %q", trial, p.Name, n.Name)
+				}
+			}
+		}
+		// Loosened constraint: windows only grow.
+		fr2, err := ComputeFrames(g, cs+3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range g.Nodes() {
+			if fr2[n.ID].ASAP != fr[n.ID].ASAP {
+				t.Fatalf("trial %d: ASAP changed with looser cs", trial)
+			}
+			if fr2[n.ID].ALAP != fr[n.ID].ALAP+3 {
+				t.Fatalf("trial %d: ALAP did not shift by the slack", trial)
+			}
+		}
+	}
+}
+
+// TestChainedFrameInvariants checks the continuous-time variant: chained
+// windows are never narrower than the unchained ones.
+func TestChainedFrameInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 25; trial++ {
+		g := randomGraph(r, 6+r.Intn(14))
+		cp := g.CriticalPathCycles()
+		cs := cp + 1
+		plain, err := ComputeFrames(g, cs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chained, err := ComputeFrames(g, cs, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range g.Nodes() {
+			pf, cf := plain[n.ID], chained[n.ID]
+			if cf.ASAP > pf.ASAP {
+				t.Fatalf("trial %d: %q chained ASAP %d later than plain %d",
+					trial, n.Name, cf.ASAP, pf.ASAP)
+			}
+			if cf.ALAP < pf.ALAP {
+				t.Fatalf("trial %d: %q chained ALAP %d earlier than plain %d",
+					trial, n.Name, cf.ALAP, pf.ALAP)
+			}
+		}
+	}
+}

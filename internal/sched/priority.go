@@ -1,0 +1,91 @@
+package sched
+
+import "repro/internal/dfg"
+
+// PriorityOrder implements MFS step 2: operations are ranked by walking
+// the ALAP schedule from the first control step onward, and within a step
+// the operation with the smaller mobility goes first. Two refinements from
+// §5.3 apply to multicycle operations: when the mobility difference
+// between two k-cycle operations is smaller than k the rule inverts (the
+// more mobile one goes first, since it can always fall back on empty
+// positions), and remaining ties go to the operation whose predecessors
+// finish earlier. Final ties break on node ID so runs are deterministic
+// (the paper breaks them "arbitrarily").
+func PriorityOrder(g *dfg.Graph, frames Frames) []dfg.NodeID {
+	ids := g.TopoOrder()
+	earliest := make(map[dfg.NodeID]int, len(ids))
+	for _, id := range ids {
+		n := g.Node(id)
+		e := 0
+		for _, p := range n.Preds() {
+			if f := frames[p].ASAP + g.Node(p).Cycles - 1; f > e {
+				e = f
+			}
+		}
+		earliest[id] = e // latest finishing step among predecessors' ASAPs
+	}
+	higher := func(a, b dfg.NodeID) bool {
+		fa, fb := frames[a], frames[b]
+		if fa.ALAP != fb.ALAP {
+			return fa.ALAP < fb.ALAP
+		}
+		na, nb := g.Node(a), g.Node(b)
+		ma, mb := fa.Mobility(), fb.Mobility()
+		if ma != mb {
+			k := na.Cycles
+			if nb.Cycles > k {
+				k = nb.Cycles
+			}
+			if k > 1 && abs(ma-mb) < k {
+				return ma > mb // inverted rule for close multicycle ops
+			}
+			return ma < mb
+		}
+		if earliest[a] != earliest[b] {
+			return earliest[a] < earliest[b]
+		}
+		return a < b
+	}
+	// Emit nodes by priority, constrained to topological order: without
+	// chaining an operation's ALAP is strictly earlier than its
+	// successors', so this reproduces the plain priority sort exactly;
+	// chaining can tie ALAPs across an edge, and committing a consumer
+	// before its producer would let the consumer's placement strand the
+	// producer without a legal chain slot.
+	out := make([]dfg.NodeID, 0, len(ids))
+	pending := make(map[dfg.NodeID]int, len(ids)) // unprocessed pred count
+	for _, id := range ids {
+		pending[id] = len(g.Node(id).Preds())
+	}
+	ready := make([]dfg.NodeID, 0, len(ids))
+	for _, id := range ids {
+		if pending[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	for len(ready) > 0 {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if higher(ready[i], ready[best]) {
+				best = i
+			}
+		}
+		id := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		out = append(out, id)
+		for _, s := range g.Node(id).Succs() {
+			pending[s]--
+			if pending[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,130 @@
+// Package sched provides the scheduling substrate shared by MFS, MFSA and
+// the baseline schedulers: ASAP/ALAP time frames (with the multicycle and
+// chaining extensions of §5.3–5.4), operation mobilities and priority
+// ordering (MFS step 2), the Schedule result type, and an independent
+// legality verifier used throughout the test suite.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dfg"
+)
+
+// Placement records where one operation landed: its start control step and
+// the functional-unit instance executing it. For MFS the Type is the
+// operation symbol (single-function units); for MFSA it is the library
+// unit name. Steps and indices are 1-based, matching the paper's grid.
+type Placement struct {
+	Step  int    // start control step, 1..CS
+	Type  string // FU type key (grid identifier)
+	Index int    // FU instance within the type, 1..max_j
+}
+
+// Schedule is the result of a scheduling (or scheduling-allocation) run.
+type Schedule struct {
+	Graph *dfg.Graph
+	CS    int // total control steps
+
+	// Placements maps every node to its placement.
+	Placements map[dfg.NodeID]Placement
+
+	// ClockNs is the control-step clock period when chaining is enabled
+	// (§5.4); 0 means one operation level per step.
+	ClockNs float64
+
+	// Latency is the functional-pipelining initiation interval L (§5.5.2);
+	// 0 means no functional pipelining. Operations in steps t and t+k·L
+	// execute concurrently.
+	Latency int
+
+	// PipelinedTypes marks FU types implemented by structurally pipelined
+	// units (§5.5.1): instances accept a new operation every step, so two
+	// operations on one instance conflict only when they start together.
+	PipelinedTypes map[string]bool
+}
+
+// NewSchedule returns an empty schedule over g with cs control steps.
+func NewSchedule(g *dfg.Graph, cs int) *Schedule {
+	return &Schedule{
+		Graph:          g,
+		CS:             cs,
+		Placements:     make(map[dfg.NodeID]Placement, g.Len()),
+		PipelinedTypes: make(map[string]bool),
+	}
+}
+
+// Place records node id at p.
+func (s *Schedule) Place(id dfg.NodeID, p Placement) {
+	s.Placements[id] = p
+}
+
+// StepsOf returns the control-step rows node id occupies, honoring
+// multicycle duration, structural pipelining (a pipelined instance holds
+// an op only at its start row for conflict purposes), and functional
+// pipelining (rows fold modulo Latency). The rows are the conflict
+// footprint on the instance, not the externally visible latency.
+func (s *Schedule) StepsOf(id dfg.NodeID) []int {
+	p, ok := s.Placements[id]
+	if !ok {
+		return nil
+	}
+	n := s.Graph.Node(id)
+	cycles := n.Cycles
+	if s.PipelinedTypes[p.Type] {
+		cycles = 1 // the instance frees its first stage the next step
+	}
+	rows := make([]int, 0, cycles)
+	for i := 0; i < cycles; i++ {
+		r := p.Step + i
+		if s.Latency > 0 {
+			r = ((r - 1) % s.Latency) + 1
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// InstancesPerType counts the distinct FU instances the schedule uses per
+// type — Table 1's result columns.
+func (s *Schedule) InstancesPerType() map[string]int {
+	max := make(map[string]int)
+	for _, p := range s.Placements {
+		if p.Index > max[p.Type] {
+			max[p.Type] = p.Index
+		}
+	}
+	return max
+}
+
+// TypeNames returns the used FU type keys in sorted order.
+func (s *Schedule) TypeNames() []string {
+	seen := make(map[string]bool)
+	for _, p := range s.Placements {
+		seen[p.Type] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders a compact per-step listing for debugging.
+func (s *Schedule) String() string {
+	byStep := make(map[int][]string)
+	for id, p := range s.Placements {
+		n := s.Graph.Node(id)
+		byStep[p.Step] = append(byStep[p.Step],
+			fmt.Sprintf("%s@%s%d", n.Name, p.Type, p.Index))
+	}
+	out := fmt.Sprintf("schedule %s cs=%d\n", s.Graph.Name, s.CS)
+	for t := 1; t <= s.CS; t++ {
+		names := byStep[t]
+		sort.Strings(names)
+		out += fmt.Sprintf("  t%-3d %v\n", t, names)
+	}
+	return out
+}

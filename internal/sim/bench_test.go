@@ -1,0 +1,23 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/mfs"
+)
+
+func BenchmarkRunEWF(b *testing.B) {
+	ex := benchmarks.EWF()
+	s, err := mfs.Schedule(ex.Graph, mfs.Options{CS: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := RandomInputs(ex.Graph, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(s, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
