@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	hls "repro"
 	"repro/internal/benchmarks"
 	"repro/internal/experiments"
 	"repro/internal/mfs"
@@ -170,6 +171,39 @@ func BenchmarkAblationRedundantFrame(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AblationRedundantFrame(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sweepBenchRange is the diffeq cs range both sweep benchmarks cover —
+// critical path through critical path + 12, the same window
+// experiments.MeasurePerf records in BENCH_sweep.json.
+func sweepBenchRange() (*benchmarks.Example, int, int) {
+	ex := benchmarks.Diffeq()
+	cp := ex.Graph.CriticalPathCycles()
+	return ex, cp, cp + 12
+}
+
+// BenchmarkSweep times the design-space sweep with the pool forced to a
+// single worker — the sequential baseline the parallel path is compared
+// against.
+func BenchmarkSweep(b *testing.B) {
+	ex, lo, hi := sweepBenchRange()
+	for i := 0; i < b.N; i++ {
+		if _, err := hls.Sweep(ex.Graph, hls.Config{Parallelism: 1}, lo, hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallelSweep times the same sweep with the default worker
+// pool (GOMAXPROCS workers). The ratio to BenchmarkSweep is the sweep
+// speedup the parallel engine delivers.
+func BenchmarkParallelSweep(b *testing.B) {
+	ex, lo, hi := sweepBenchRange()
+	for i := 0; i < b.N; i++ {
+		if _, err := hls.Sweep(ex.Graph, hls.Config{}, lo, hi); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,10 @@
 // Command hlsbench regenerates the paper's evaluation: Tables 1 and 2,
 // the comparison and style-overhead studies, CPU times, the textual
-// Figures 1 and 2, and the ablation tables.
+// Figures 1 and 2, and the ablation tables. With -json it instead
+// measures the machine-readable performance baseline (wall time per
+// table, sequential vs parallel sweep throughput) and writes it to
+// BENCH_sweep.json so later changes have a perf trajectory to regress
+// against.
 //
 // Usage:
 //
@@ -12,9 +16,12 @@
 //	hlsbench -table runtime   # CPU times
 //	hlsbench -table ablation  # ablation studies
 //	hlsbench -fig 1|2         # figures
+//	hlsbench -json            # write perf baseline to BENCH_sweep.json
+//	hlsbench -json -out p.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,10 +42,15 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hlsbench", flag.ContinueOnError)
 	table := fs.String("table", "", "which table to print (1, 2, compare, style, runtime, ablation); empty = all")
 	fig := fs.Int("fig", 0, "which figure to print (1 or 2); 0 = per -table selection")
+	jsonOut := fs.Bool("json", false, "measure the perf baseline and write it as JSON to -out")
+	outPath := fs.String("out", "BENCH_sweep.json", "output path for -json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *jsonOut {
+		return writeBaseline(out, *outPath)
+	}
 	if *fig != 0 {
 		return printFigure(out, *fig)
 	}
@@ -76,6 +88,25 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	return printFigure(out, 2)
+}
+
+func writeBaseline(out io.Writer, path string) error {
+	p, err := experiments.MeasurePerf()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: sweep %s cs %d..%d, %.1f ms sequential, %.1f ms parallel (%.2fx on %d procs, identical=%v)\n",
+		path, p.Sweep.Graph, p.Sweep.CSLo, p.Sweep.CSHi,
+		p.Sweep.SequentialMs, p.Sweep.ParallelMs, p.Sweep.Speedup,
+		p.GOMAXPROCS, p.Sweep.Identical)
+	return nil
 }
 
 func printTable(out io.Writer, fn func() (*report.Table, error)) error {

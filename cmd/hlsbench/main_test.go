@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 func TestTables(t *testing.T) {
@@ -54,5 +59,36 @@ func TestUnknownTable(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-table", "bogus"}, &out); err == nil {
 		t.Error("unknown table accepted")
+	}
+}
+
+func TestJSONBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	var out strings.Builder
+	if err := run([]string{"-json", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Errorf("missing confirmation line: %q", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p experiments.PerfBaseline
+	if err := json.Unmarshal(data, &p); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if p.SchemaVersion != 1 {
+		t.Errorf("schema version = %d", p.SchemaVersion)
+	}
+	if len(p.Tables) != 10 {
+		t.Errorf("tables = %d, want 10", len(p.Tables))
+	}
+	if p.Sweep.Points < 2 || p.Sweep.SequentialMs <= 0 || p.Sweep.ParallelMs <= 0 {
+		t.Errorf("implausible sweep timing: %+v", p.Sweep)
+	}
+	if !p.Sweep.Identical {
+		t.Error("parallel sweep diverged from sequential")
 	}
 }

@@ -1,8 +1,10 @@
 // Explore: design-space exploration over the time constraint — the
 // trade-off study a user of the paper's tool runs before committing to a
-// constraint. A 16-tap FIR filter written in the behavioral language is
-// synthesized at every feasible T; the Pareto frontier of (control
-// steps, total area) is printed with the chosen ALU sets.
+// constraint. Three FIR filter variants written in the behavioral
+// language are swept concurrently with SweepGraphs (every design × every
+// feasible T runs on the shared worker pool); the Pareto frontier of
+// (control steps, total area) is printed per design with the chosen ALU
+// sets, and the knee of the largest filter is synthesized and verified.
 package main
 
 import (
@@ -13,57 +15,81 @@ import (
 	hls "repro"
 )
 
-func firSource() string {
+// firSource emits an n-tap FIR filter (n a power of two): n parallel
+// 2-cycle multiplies followed by a log-depth adder reduction tree.
+func firSource(taps int) string {
 	var b strings.Builder
-	b.WriteString("design fir8\ninput ")
-	for i := 0; i < 8; i++ {
+	fmt.Fprintf(&b, "design fir%d\ninput ", taps)
+	for i := 0; i < taps; i++ {
 		if i > 0 {
 			b.WriteString(", ")
 		}
 		fmt.Fprintf(&b, "x%d, h%d", i, i)
 	}
 	b.WriteString("\n")
-	for i := 0; i < 8; i++ {
-		fmt.Fprintf(&b, "p%d = x%d * h%d @2\n", i, i, i)
+	for i := 0; i < taps; i++ {
+		fmt.Fprintf(&b, "t0_%d = x%d * h%d @2\n", i, i, i)
 	}
-	for i := 0; i < 4; i++ {
-		fmt.Fprintf(&b, "a%d = p%d + p%d\n", i, 2*i, 2*i+1)
+	// Adder tree: level l sums pairs from level l-1 until one value is left.
+	width := taps
+	for level := 1; width > 1; level++ {
+		for i := 0; i < width/2; i++ {
+			fmt.Fprintf(&b, "t%d_%d = t%d_%d + t%d_%d\n", level, i, level-1, 2*i, level-1, 2*i+1)
+		}
+		width /= 2
 	}
-	b.WriteString("b0 = a0 + a1\nb1 = a2 + a3\ny = b0 + b1\n")
 	return b.String()
 }
 
 func main() {
-	g, _, err := hls.ParseBehavior(firSource())
-	if err != nil {
-		log.Fatal(err)
-	}
-	cp := g.CriticalPathCycles()
-	fmt.Printf("8-tap FIR, 2-cycle multipliers, critical path %d steps\n\n", cp)
-
-	points, err := hls.Sweep(g, hls.Config{}, cp, cp+8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("T    cost(um^2)  pareto  ALUs")
-	for _, p := range points {
-		mark := ""
-		if p.Pareto {
-			mark = "*"
+	taps := []int{4, 8, 16}
+	graphs := make([]*hls.Graph, len(taps))
+	// One shared cs window wide enough for every variant; SweepGraphs
+	// clamps each design's lower bound to its own critical path.
+	lo, hi := 1, 0
+	for i, n := range taps {
+		g, _, err := hls.ParseBehavior(firSource(n))
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("%-4d %-11.0f %-7s %s\n", p.CS, p.Cost.Total, mark, p.ALUs)
+		graphs[i] = g
+		if end := g.CriticalPathCycles() + 8; end > hi {
+			hi = end
+		}
 	}
 
-	// Pick the knee: the cheapest Pareto point.
+	// All designs × all constraints fan out on one worker pool.
+	tables, err := hls.SweepGraphs(graphs, hls.Config{}, lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, points := range tables {
+		fmt.Printf("%d-tap FIR, 2-cycle multipliers, critical path %d steps\n",
+			taps[i], graphs[i].CriticalPathCycles())
+		fmt.Println("T    cost(um^2)  pareto  ALUs")
+		for _, p := range points {
+			mark := ""
+			if p.Pareto {
+				mark = "*"
+			}
+			fmt.Printf("%-4d %-11.0f %-7s %s\n", p.CS, p.Cost.Total, mark, p.ALUs)
+		}
+		fmt.Println()
+	}
+
+	// Pick the knee of the largest filter: the cheapest Pareto point.
+	points := tables[len(tables)-1]
 	best := points[0]
 	for _, p := range points {
 		if p.Pareto && p.Cost.Total < best.Cost.Total {
 			best = p
 		}
 	}
-	fmt.Printf("\ncheapest frontier point: T=%d at %.0f um^2\n", best.CS, best.Cost.Total)
+	fmt.Printf("cheapest fir%d frontier point: T=%d at %.0f um^2\n",
+		taps[len(taps)-1], best.CS, best.Cost.Total)
 
-	d, err := hls.SynthesizeSource(firSource(), hls.Config{CS: best.CS})
+	d, err := hls.SynthesizeSource(firSource(taps[len(taps)-1]), hls.Config{CS: best.CS})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -182,9 +182,19 @@ type SweepPoint = core.SweepPoint
 
 // Sweep synthesizes g with MFSA at every time constraint in [csLo,
 // csHi] (clamped to the critical path) and returns the cost/time design
-// points with the Pareto frontier marked.
+// points with the Pareto frontier marked. Points are synthesized
+// concurrently on cfg.Parallelism workers (0 = GOMAXPROCS); results are
+// identical at every parallelism setting.
 func Sweep(g *Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
 	return core.Sweep(g, cfg, csLo, csHi)
+}
+
+// SweepGraphs sweeps several designs at once over one shared worker
+// pool, flattening the graphs × constraints grid into independent
+// synthesis jobs. The result is indexed like gs; each row carries its
+// own Pareto marks and equals the corresponding Sweep call exactly.
+func SweepGraphs(gs []*Graph, cfg Config, csLo, csHi int) ([][]SweepPoint, error) {
+	return core.SweepGraphs(gs, cfg, csLo, csHi)
 }
 
 // ParseBehavior lowers a behavioral description to a graph plus the

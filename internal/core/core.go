@@ -63,6 +63,13 @@ type Config struct {
 	// subexpression elimination, dead-code elimination against the
 	// declared outputs) before scheduling.
 	Optimize bool
+
+	// Parallelism bounds the worker pool used by the parallel hot paths
+	// (Sweep, SweepGraphs, and the resource-constrained MFS search):
+	// 0 = GOMAXPROCS, 1 = sequential, n > 1 = at most n workers. Every
+	// setting produces identical results — the knob only trades
+	// wall-clock time for CPU share (see DESIGN.md, "Concurrency model").
+	Parallelism int
 }
 
 // Design is a complete synthesis result. Datapath, Controller and Cost
@@ -162,6 +169,7 @@ func mfsOptions(cfg Config) mfs.Options {
 		ClockNs:        cfg.ClockNs,
 		Latency:        cfg.Latency,
 		PipelinedTypes: piped,
+		Parallelism:    cfg.Parallelism,
 	}
 }
 

@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"repro/internal/dfg"
+	"repro/internal/pool"
 	"repro/internal/rtl"
 )
 
@@ -23,7 +26,10 @@ type SweepPoint struct {
 // (skipping constraints below the critical path) and returns the
 // cost/time design points with the Pareto frontier marked — the
 // trade-off exploration a user of the paper's tool would run before
-// committing to a constraint.
+// committing to a constraint. Every point is an independent synthesis
+// over the same read-only graph, so the points are computed concurrently
+// on cfg.Parallelism workers; results come back in cs order and are
+// identical at every parallelism setting.
 func Sweep(g *dfg.Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
 	if csLo < 1 || csHi < csLo {
 		return nil, fmt.Errorf("core: bad sweep range [%d, %d]", csLo, csHi)
@@ -31,38 +37,118 @@ func Sweep(g *dfg.Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
 	if cp := g.CriticalPathCycles(); csLo < cp {
 		csLo = cp
 	}
-	var points []SweepPoint
-	for cs := csLo; cs <= csHi; cs++ {
-		c := cfg
-		c.CS = cs
-		d, err := Synthesize(g, c)
-		if err != nil {
-			return nil, fmt.Errorf("core: sweep at cs=%d: %w", cs, err)
-		}
-		points = append(points, SweepPoint{
-			CS:   cs,
-			Cost: d.Cost,
-			ALUs: d.Datapath.ALUSummary(),
+	points, err := pool.Map(pool.Size(cfg.Parallelism), csHi-csLo+1,
+		func(i int) (SweepPoint, error) {
+			c := cfg
+			c.CS = csLo + i
+			d, err := Synthesize(g, c)
+			if err != nil {
+				return SweepPoint{}, fmt.Errorf("core: sweep at cs=%d: %w", c.CS, err)
+			}
+			return SweepPoint{
+				CS:   c.CS,
+				Cost: d.Cost,
+				ALUs: d.Datapath.ALUSummary(),
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	markPareto(points)
 	return points, nil
 }
 
-func markPareto(points []SweepPoint) {
-	for i := range points {
-		dominated := false
-		for j := range points {
-			if i == j {
-				continue
-			}
-			betterOrEqual := points[j].CS <= points[i].CS && points[j].Cost.Total <= points[i].Cost.Total
-			strictlyBetter := points[j].CS < points[i].CS || points[j].Cost.Total < points[i].Cost.Total
-			if betterOrEqual && strictlyBetter {
-				dominated = true
-				break
-			}
+// SweepGraphs sweeps several designs over one shared worker pool: the
+// whole graphs × constraints grid is flattened into independent
+// synthesis jobs, so a multi-design exploration saturates the machine
+// even when individual sweep ranges are short. Each graph's range is
+// clamped to its own critical path, exactly as Sweep would clamp it, and
+// the returned slice is indexed like gs with per-graph Pareto marks.
+func SweepGraphs(gs []*dfg.Graph, cfg Config, csLo, csHi int) ([][]SweepPoint, error) {
+	if csLo < 1 || csHi < csLo {
+		return nil, fmt.Errorf("core: bad sweep range [%d, %d]", csLo, csHi)
+	}
+	type job struct {
+		g      *dfg.Graph
+		gi, cs int
+	}
+	var jobs []job
+	counts := make([]int, len(gs))
+	for gi, g := range gs {
+		if g == nil {
+			return nil, fmt.Errorf("core: sweep graphs: nil graph at %d", gi)
 		}
-		points[i].Pareto = !dominated
+		lo := csLo
+		if cp := g.CriticalPathCycles(); lo < cp {
+			lo = cp
+		}
+		for cs := lo; cs <= csHi; cs++ {
+			jobs = append(jobs, job{g, gi, cs})
+			counts[gi]++
+		}
+	}
+	flat, err := pool.Map(pool.Size(cfg.Parallelism), len(jobs),
+		func(i int) (SweepPoint, error) {
+			c := cfg
+			c.CS = jobs[i].cs
+			d, err := Synthesize(jobs[i].g, c)
+			if err != nil {
+				return SweepPoint{}, fmt.Errorf("core: sweep %s at cs=%d: %w",
+					jobs[i].g.Name, jobs[i].cs, err)
+			}
+			return SweepPoint{
+				CS:   jobs[i].cs,
+				Cost: d.Cost,
+				ALUs: d.Datapath.ALUSummary(),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]SweepPoint, len(gs))
+	next := 0
+	for gi := range gs {
+		if counts[gi] == 0 {
+			continue
+		}
+		out[gi] = flat[next : next+counts[gi] : next+counts[gi]]
+		next += counts[gi]
+		markPareto(out[gi])
+	}
+	return out, nil
+}
+
+// markPareto marks the non-dominated points in one sort plus a linear
+// scan: points are visited in (CS, Total) order, and a point survives
+// iff it matches the cheapest total of its own CS group and undercuts
+// the cheapest total of every strictly faster group. Equivalent to the
+// quadratic all-pairs check (sweep_test.go keeps that as the reference
+// oracle) at O(n log n).
+func markPareto(points []SweepPoint) {
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa.CS != pb.CS {
+			return pa.CS < pb.CS
+		}
+		return pa.Cost.Total < pb.Cost.Total
+	})
+	bestPrev := math.Inf(1) // cheapest total over strictly faster groups
+	for i := 0; i < len(idx); {
+		j := i
+		for ; j < len(idx) && points[idx[j]].CS == points[idx[i]].CS; j++ {
+		}
+		groupMin := points[idx[i]].Cost.Total // group sorted cheapest-first
+		for k := i; k < j; k++ {
+			p := &points[idx[k]]
+			p.Pareto = p.Cost.Total <= groupMin && p.Cost.Total < bestPrev
+		}
+		if groupMin < bestPrev {
+			bestPrev = groupMin
+		}
+		i = j
 	}
 }

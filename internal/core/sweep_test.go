@@ -1,9 +1,13 @@
 package core
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/benchmarks"
+	"repro/internal/dfg"
+	"repro/internal/rtl"
 )
 
 func TestSweepDiffeq(t *testing.T) {
@@ -54,6 +58,107 @@ func TestSweepErrors(t *testing.T) {
 	}
 	if _, err := Sweep(ex.Graph, Config{}, 5, 4); err == nil {
 		t.Error("inverted range accepted")
+	}
+}
+
+// TestSweepParallelIdentical is the sweep determinism guard: the same
+// range computed sequentially and at several worker counts must produce
+// byte-identical points and Pareto marks.
+func TestSweepParallelIdentical(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	want, err := Sweep(ex.Graph, Config{Parallelism: 1}, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 16} {
+		got, err := Sweep(ex.Graph, Config{Parallelism: workers}, 1, 10)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallelism %d: points differ\ngot  %+v\nwant %+v", workers, got, want)
+		}
+	}
+}
+
+// TestSweepGraphs checks the multi-design entry point agrees with
+// per-graph Sweep calls: same points, same Pareto marks, per-graph
+// critical-path clamping intact.
+func TestSweepGraphs(t *testing.T) {
+	exs := []*benchmarks.Example{benchmarks.Facet(), benchmarks.Diffeq(), benchmarks.ARLattice()}
+	gs := make([]*dfg.Graph, len(exs))
+	for i, ex := range exs {
+		gs[i] = ex.Graph
+	}
+	multi, err := SweepGraphs(gs, Config{}, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi) != len(gs) {
+		t.Fatalf("len = %d, want %d", len(multi), len(gs))
+	}
+	for i, g := range gs {
+		single, err := Sweep(g, Config{}, 1, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if !reflect.DeepEqual(multi[i], single) {
+			t.Errorf("%s: SweepGraphs row differs from Sweep\ngot  %+v\nwant %+v",
+				g.Name, multi[i], single)
+		}
+	}
+	if _, err := SweepGraphs(gs, Config{}, 0, 9); err == nil {
+		t.Error("bad low bound accepted")
+	}
+	if _, err := SweepGraphs([]*dfg.Graph{nil}, Config{}, 1, 4); err == nil {
+		t.Error("nil graph accepted")
+	}
+}
+
+// brute is the original quadratic all-pairs Pareto marker, kept as the
+// reference oracle for the sort-then-scan implementation.
+func brutePareto(points []SweepPoint) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			betterOrEqual := points[j].CS <= points[i].CS && points[j].Cost.Total <= points[i].Cost.Total
+			strictlyBetter := points[j].CS < points[i].CS || points[j].Cost.Total < points[i].Cost.Total
+			if betterOrEqual && strictlyBetter {
+				dominated = true
+				break
+			}
+		}
+		points[i].Pareto = !dominated
+	}
+}
+
+// TestMarkParetoMatchesBruteForce drives the O(n log n) marker against
+// the quadratic oracle on random point sets, including duplicate CS
+// values and duplicate (CS, Total) pairs (neither occurs in a plain
+// sweep, but markPareto must not silently depend on that).
+func TestMarkParetoMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(40)
+		fast := make([]SweepPoint, n)
+		for i := range fast {
+			fast[i] = SweepPoint{
+				CS:   1 + r.Intn(8),
+				Cost: rtl.Cost{Total: float64(100 * (1 + r.Intn(12)))},
+			}
+		}
+		slow := append([]SweepPoint(nil), fast...)
+		markPareto(fast)
+		brutePareto(slow)
+		for i := range fast {
+			if fast[i].Pareto != slow[i].Pareto {
+				t.Fatalf("trial %d: point %d (cs=%d total=%.0f): fast=%v brute=%v\nall: %+v",
+					trial, i, fast[i].CS, fast[i].Cost.Total, fast[i].Pareto, slow[i].Pareto, fast)
+			}
+		}
 	}
 }
 

@@ -22,11 +22,11 @@ import (
 func AblationLiapunov() (*report.Table, error) {
 	t := report.New("Ablation — Liapunov function choice under a time constraint",
 		"Ex", "T", "time-constrained V", "resource-constrained V")
-	for _, ex := range benchmarks.All() {
-		if ex.ClockNs > 0 || ex.Latency != nil {
-			continue
-		}
-		cs := ex.TimeConstraints[0]
+	jobs := firstConstraintJobs(func(ex *benchmarks.Example) bool {
+		return ex.ClockNs == 0 && ex.Latency == nil
+	})
+	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+		ex, cs := jobs[i].ex, jobs[i].cs
 		a, err := mfs.Schedule(ex.Graph, mfs.Options{CS: cs})
 		if err != nil {
 			return nil, err
@@ -38,8 +38,11 @@ func AblationLiapunov() (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Addf(fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
-			fuNotation(a.InstancesPerType()), fuNotation(b.InstancesPerType()))
+		return []interface{}{fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
+			fuNotation(a.InstancesPerType()), fuNotation(b.InstancesPerType())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -67,8 +70,9 @@ func AblationWeights() (*report.Table, error) {
 		{Time: 1, ALU: 1, Mux: 1, Reg: 0},
 		{Time: 1, ALU: 0, Mux: 1, Reg: 1},
 	}
-	for _, ex := range benchmarks.All() {
-		cs := ex.TimeConstraints[0]
+	jobs := firstConstraintJobs(nil)
+	err = parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+		ex, cs := jobs[i].ex, jobs[i].cs
 		cells := []interface{}{fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs}
 		for _, w := range configs {
 			res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{
@@ -79,7 +83,10 @@ func AblationWeights() (*report.Table, error) {
 			}
 			cells = append(cells, fmt.Sprintf("%.0f", res.Cost.Total))
 		}
-		t.Addf(cells...)
+		return cells, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -103,11 +110,11 @@ func sharedALULibrary() (*library.Library, error) {
 func AblationRedundantFrame() (*report.Table, error) {
 	t := report.New("Ablation — redundant frame (RF) starting estimate",
 		"Ex", "T", "with RF", "without RF (current_j = max_j)")
-	for _, ex := range benchmarks.All() {
-		if ex.ClockNs > 0 || ex.Latency != nil {
-			continue
-		}
-		cs := ex.TimeConstraints[0]
+	jobs := firstConstraintJobs(func(ex *benchmarks.Example) bool {
+		return ex.ClockNs == 0 && ex.Latency == nil
+	})
+	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+		ex, cs := jobs[i].ex, jobs[i].cs
 		with, err := mfs.Schedule(ex.Graph, mfs.Options{CS: cs})
 		if err != nil {
 			return nil, err
@@ -126,8 +133,11 @@ func AblationRedundantFrame() (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Addf(fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
-			fuNotation(with.InstancesPerType()), fuNotation(without.InstancesPerType()))
+		return []interface{}{fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
+			fuNotation(with.InstancesPerType()), fuNotation(without.InstancesPerType())}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -5,6 +5,13 @@
 // comparison against the force-directed baseline, and the ablations
 // DESIGN.md calls out. cmd/hlsbench prints these tables; the repository
 // root's bench_test.go wraps each in a testing.B benchmark.
+//
+// Every table cell is an independent synthesis run over a read-only
+// graph, so the builders fan the examples × constraints grid out over
+// the shared worker pool (internal/pool) and append rows in their
+// deterministic order afterwards; only Runtime stays sequential, because
+// it measures per-example wall time and concurrent runs would contend
+// for cores and distort the numbers.
 package experiments
 
 import (
@@ -22,10 +29,44 @@ import (
 	"repro/internal/mfs"
 	"repro/internal/mfsa"
 	"repro/internal/op"
+	"repro/internal/pool"
 	"repro/internal/report"
 	"repro/internal/rtl"
 	"repro/internal/sched"
 )
+
+// exJob is one cell of an examples × constraints grid.
+type exJob struct {
+	ex *benchmarks.Example
+	cs int
+}
+
+// firstConstraintJobs returns one job per example at its tightest time
+// constraint, keeping only examples the filter admits (nil = all).
+func firstConstraintJobs(filter func(*benchmarks.Example) bool) []exJob {
+	var jobs []exJob
+	for _, ex := range benchmarks.All() {
+		if filter != nil && !filter(ex) {
+			continue
+		}
+		jobs = append(jobs, exJob{ex, ex.TimeConstraints[0]})
+	}
+	return jobs
+}
+
+// parRows computes n table rows concurrently on the shared pool and
+// appends them to t in index order, so a parallelized table is
+// byte-identical to its sequential ancestor.
+func parRows(t *report.Table, n int, row func(i int) ([]interface{}, error)) error {
+	rows, err := pool.Map(pool.Size(0), n, row)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		t.Addf(r...)
+	}
+	return nil
+}
 
 // fuNotation renders instance counts in the paper's Table 1 notation:
 // {"*":2, "+":3} -> "**,+++".
@@ -77,24 +118,32 @@ func mfsOptions(ex *benchmarks.Example, cs int, pipelined bool) mfs.Options {
 func Table1() (*report.Table, error) {
 	t := report.New("Table 1 — MFS results for the six design examples",
 		"Ex", "Cyc", "Feat", "T", "FUs", "FUs (pipelined)")
+	var jobs []exJob
 	for _, ex := range benchmarks.All() {
 		for _, cs := range ex.TimeConstraints {
-			s, err := mfs.Schedule(ex.Graph, mfsOptions(ex, cs, false))
-			if err != nil {
-				return nil, fmt.Errorf("%s T=%d: %w", ex.Name, cs, err)
-			}
-			plain := fuNotation(s.InstancesPerType())
-			piped := ""
-			if len(ex.PipelinedOps) > 0 {
-				sp, err := mfs.Schedule(ex.Graph, mfsOptions(ex, cs, true))
-				if err != nil {
-					return nil, fmt.Errorf("%s T=%d pipelined: %w", ex.Name, cs, err)
-				}
-				piped = fuNotation(sp.InstancesPerType())
-			}
-			t.Addf(fmt.Sprintf("#%d %s", ex.Num, ex.Name), ex.CycleNote, ex.Feature,
-				fmt.Sprintf("T=%d", cs), plain, piped)
+			jobs = append(jobs, exJob{ex, cs})
 		}
+	}
+	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+		ex, cs := jobs[i].ex, jobs[i].cs
+		s, err := mfs.Schedule(ex.Graph, mfsOptions(ex, cs, false))
+		if err != nil {
+			return nil, fmt.Errorf("%s T=%d: %w", ex.Name, cs, err)
+		}
+		plain := fuNotation(s.InstancesPerType())
+		piped := ""
+		if len(ex.PipelinedOps) > 0 {
+			sp, err := mfs.Schedule(ex.Graph, mfsOptions(ex, cs, true))
+			if err != nil {
+				return nil, fmt.Errorf("%s T=%d pipelined: %w", ex.Name, cs, err)
+			}
+			piped = fuNotation(sp.InstancesPerType())
+		}
+		return []interface{}{fmt.Sprintf("#%d %s", ex.Num, ex.Name), ex.CycleNote, ex.Feature,
+			fmt.Sprintf("T=%d", cs), plain, piped}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -105,20 +154,32 @@ func Table1() (*report.Table, error) {
 func Table2() (*report.Table, error) {
 	t := report.New("Table 2 — MFSA RTL results (NCR-like library, µm²)",
 		"Ex", "T", "Style", "ALUs", "Cost", "REG", "MUX", "MUXin")
+	type styleJob struct {
+		ex    *benchmarks.Example
+		style mfsa.Style
+	}
+	var jobs []styleJob
 	for _, ex := range benchmarks.All() {
-		cs := ex.TimeConstraints[0]
 		for _, style := range []mfsa.Style{mfsa.Style1, mfsa.Style2} {
-			res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{
-				CS: cs, Style: style, ClockNs: ex.ClockNs,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s style %d: %w", ex.Name, style, err)
-			}
-			c := res.Cost
-			t.Addf(fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs, int(style),
-				res.Datapath.ALUSummary(), fmt.Sprintf("%.0f", c.Total),
-				c.NumRegs, c.NumMux, c.NumMuxInputs)
+			jobs = append(jobs, styleJob{ex, style})
 		}
+	}
+	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+		ex, style := jobs[i].ex, jobs[i].style
+		cs := ex.TimeConstraints[0]
+		res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{
+			CS: cs, Style: style, ClockNs: ex.ClockNs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s style %d: %w", ex.Name, style, err)
+		}
+		c := res.Cost
+		return []interface{}{fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs, int(style),
+			res.Datapath.ALUSummary(), fmt.Sprintf("%.0f", c.Total),
+			c.NumRegs, c.NumMux, c.NumMuxInputs}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -129,8 +190,9 @@ func Table2() (*report.Table, error) {
 func StyleOverhead() (*report.Table, error) {
 	t := report.New("Style 2 overhead vs style 1 (total cost)",
 		"Ex", "T", "Style1", "Style2", "Overhead")
-	for _, ex := range benchmarks.All() {
-		cs := ex.TimeConstraints[0]
+	jobs := firstConstraintJobs(nil)
+	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+		ex, cs := jobs[i].ex, jobs[i].cs
 		c1, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: cs, Style: mfsa.Style1, ClockNs: ex.ClockNs})
 		if err != nil {
 			return nil, err
@@ -140,9 +202,12 @@ func StyleOverhead() (*report.Table, error) {
 			return nil, err
 		}
 		over := (c2.Cost.Total/c1.Cost.Total - 1) * 100
-		t.Addf(fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
+		return []interface{}{fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
 			fmt.Sprintf("%.0f", c1.Cost.Total), fmt.Sprintf("%.0f", c2.Cost.Total),
-			fmt.Sprintf("%+.1f%%", over))
+			fmt.Sprintf("%+.1f%%", over)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -154,11 +219,10 @@ func StyleOverhead() (*report.Table, error) {
 func Compare() (*report.Table, error) {
 	t := report.New("Comparison — MFS/MFSA vs force-directed baseline",
 		"Ex", "T", "MFS FUs", "FDS FUs", "MFSA cost", "FDS+naive cost", "Δcost")
-	for _, ex := range benchmarks.All() {
-		if ex.ClockNs > 0 {
-			continue // FDS baseline has no chaining support
-		}
-		cs := ex.TimeConstraints[0]
+	// FDS baseline has no chaining support.
+	jobs := firstConstraintJobs(func(ex *benchmarks.Example) bool { return ex.ClockNs == 0 })
+	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+		ex, cs := jobs[i].ex, jobs[i].cs
 		ms, err := mfs.Schedule(ex.Graph, mfs.Options{CS: cs})
 		if err != nil {
 			return nil, err
@@ -177,10 +241,13 @@ func Compare() (*report.Table, error) {
 		}
 		nc := naive.Cost()
 		delta := (res.Cost.Total/nc.Total - 1) * 100
-		t.Addf(fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
+		return []interface{}{fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
 			fuNotation(ms.InstancesPerType()), fuNotation(fs.InstancesPerType()),
 			fmt.Sprintf("%.0f", res.Cost.Total), fmt.Sprintf("%.0f", nc.Total),
-			fmt.Sprintf("%+.1f%%", delta))
+			fmt.Sprintf("%+.1f%%", delta)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -244,7 +311,9 @@ func lifetimes(s *sched.Schedule) []rtl.Interval {
 }
 
 // Runtime measures wall-clock synthesis time per example, mirroring §6's
-// "< 0.2 s MFS, < 0.4 s MFSA per example on a SPARC SLC".
+// "< 0.2 s MFS, < 0.4 s MFSA per example on a SPARC SLC". Unlike the
+// result tables it deliberately stays sequential: concurrent runs would
+// contend for cores and inflate the per-example timings.
 func Runtime() (*report.Table, error) {
 	t := report.New("CPU time per example (this machine)",
 		"Ex", "T", "MFS", "MFSA")
@@ -309,11 +378,10 @@ func Figure2() (string, error) {
 func Phases() (*report.Table, error) {
 	t := report.New("Simultaneous vs sequential scheduling/allocation (total cost, µm²)",
 		"Ex", "T", "MFSA (simultaneous)", "MFS→alloc", "FDS→alloc")
-	for _, ex := range benchmarks.All() {
-		if ex.Latency != nil {
-			continue // the FDS baseline is not pipelining-aware
-		}
-		cs := ex.TimeConstraints[0]
+	// The FDS baseline is not pipelining-aware.
+	jobs := firstConstraintJobs(func(ex *benchmarks.Example) bool { return ex.Latency == nil })
+	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+		ex, cs := jobs[i].ex, jobs[i].cs
 		sim1, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: cs, ClockNs: ex.ClockNs})
 		if err != nil {
 			return nil, err
@@ -338,10 +406,13 @@ func Phases() (*report.Table, error) {
 			}
 			fdsCell = fmt.Sprintf("%.0f", seq2.Cost.Total)
 		}
-		t.Addf(fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
+		return []interface{}{fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
 			fmt.Sprintf("%.0f", sim1.Cost.Total),
 			fmt.Sprintf("%.0f", seq1.Cost.Total),
-			fdsCell)
+			fdsCell}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -352,8 +423,9 @@ func Phases() (*report.Table, error) {
 func Interconnect() (*report.Table, error) {
 	t := report.New("Interconnect — §5.7 line sharing and bus alternative",
 		"Ex", "T", "links", "mux inputs (signal)", "mux inputs (shared)", "buses")
-	for _, ex := range benchmarks.All() {
-		cs := ex.TimeConstraints[0]
+	jobs := firstConstraintJobs(nil)
+	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+		ex, cs := jobs[i].ex, jobs[i].cs
 		res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: cs, ClockNs: ex.ClockNs})
 		if err != nil {
 			return nil, err
@@ -366,8 +438,11 @@ func Interconnect() (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Addf(fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
-			ic.NumLinks, ic.SignalInputs, ic.EffectiveInputs, plan.Buses)
+		return []interface{}{fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs,
+			ic.NumLinks, ic.SignalInputs, ic.EffectiveInputs, plan.Buses}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

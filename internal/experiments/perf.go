@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/benchmarks"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// PerfBaseline is the machine-readable performance snapshot `hlsbench
+// -json` writes to BENCH_sweep.json: wall time per evaluation table plus
+// the sequential-vs-parallel sweep comparison. Later changes regress
+// against these numbers, so the schema is versioned and additions must
+// keep existing fields.
+type PerfBaseline struct {
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+
+	// Tables is the wall time of one regeneration of each evaluation
+	// table, in hlsbench's print order.
+	Tables []TableTiming `json:"tables"`
+
+	// Sweep is the sequential-vs-parallel design-space sweep comparison
+	// on the diffeq example over its full cs range.
+	Sweep SweepTiming `json:"sweep"`
+}
+
+// TableTiming is one table's regeneration time.
+type TableTiming struct {
+	Name   string  `json:"name"`
+	Rows   int     `json:"rows"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// SweepTiming compares the sequential and parallel sweep paths on one
+// graph and records the throughput the pool achieves.
+type SweepTiming struct {
+	Graph                string  `json:"graph"`
+	CSLo                 int     `json:"cs_lo"`
+	CSHi                 int     `json:"cs_hi"`
+	Points               int     `json:"points"`
+	SequentialMs         float64 `json:"sequential_ms"`
+	ParallelMs           float64 `json:"parallel_ms"`
+	Speedup              float64 `json:"speedup"`
+	ParallelPointsPerSec float64 `json:"parallel_points_per_sec"`
+
+	// Identical records that the parallel sweep returned byte-identical
+	// points and Pareto marks — the determinism guarantee, asserted at
+	// measurement time so a regression shows up in the baseline itself.
+	Identical bool `json:"identical_results"`
+}
+
+// perfSweepRange returns the sweep the baseline measures: diffeq from
+// its critical path to critical path + 12, matching BenchmarkSweep and
+// BenchmarkParallelSweep in bench_test.go.
+func perfSweepRange() (*benchmarks.Example, int, int) {
+	ex := benchmarks.Diffeq()
+	cp := ex.Graph.CriticalPathCycles()
+	return ex, cp, cp + 12
+}
+
+// MeasurePerf regenerates every evaluation table once, times the
+// sequential and parallel sweep paths (best of three runs each, to
+// shave scheduler noise), and returns the snapshot.
+func MeasurePerf() (*PerfBaseline, error) {
+	p := &PerfBaseline{
+		SchemaVersion: 1,
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+	tables := []struct {
+		name string
+		fn   func() (*report.Table, error)
+	}{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"compare", Compare},
+		{"phases", Phases},
+		{"interconnect", Interconnect},
+		{"style", StyleOverhead},
+		{"runtime", Runtime},
+		{"ablation-liapunov", AblationLiapunov},
+		{"ablation-weights", AblationWeights},
+		{"ablation-rf", AblationRedundantFrame},
+	}
+	for _, tb := range tables {
+		start := time.Now()
+		t, err := tb.fn()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: perf baseline: %s: %w", tb.name, err)
+		}
+		p.Tables = append(p.Tables, TableTiming{
+			Name:   tb.name,
+			Rows:   t.Len(),
+			WallMs: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+
+	ex, lo, hi := perfSweepRange()
+	seqPoints, seqMs, err := timeSweep(ex, core.Config{Parallelism: 1}, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	parPoints, parMs, err := timeSweep(ex, core.Config{}, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	p.Sweep = SweepTiming{
+		Graph:                ex.Graph.Name,
+		CSLo:                 lo,
+		CSHi:                 hi,
+		Points:               len(parPoints),
+		SequentialMs:         seqMs,
+		ParallelMs:           parMs,
+		Speedup:              seqMs / parMs,
+		ParallelPointsPerSec: float64(len(parPoints)) / (parMs / 1000),
+		Identical:            reflect.DeepEqual(seqPoints, parPoints),
+	}
+	return p, nil
+}
+
+func timeSweep(ex *benchmarks.Example, cfg core.Config, lo, hi int) ([]core.SweepPoint, float64, error) {
+	var points []core.SweepPoint
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		p, err := core.Sweep(ex.Graph, cfg, lo, hi)
+		if err != nil {
+			return nil, 0, fmt.Errorf("experiments: perf baseline sweep: %w", err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if rep == 0 || ms < best {
+			best = ms
+		}
+		points = p
+	}
+	return points, best, nil
+}

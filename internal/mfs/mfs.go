@@ -21,6 +21,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/grid"
 	"repro/internal/liapunov"
+	"repro/internal/pool"
 	"repro/internal/sched"
 )
 
@@ -64,6 +65,13 @@ type Options struct {
 	// MaxCS bounds the resource-constrained search for the smallest
 	// schedule; 0 defaults to 4·critical-path + 8 steps.
 	MaxCS int
+
+	// Parallelism bounds the worker pool of the resource-constrained
+	// search, which probes a window of candidate cs values speculatively
+	// and commits the smallest feasible one: 0 = GOMAXPROCS, 1 =
+	// sequential, n > 1 = at most n concurrent probes. Every setting
+	// returns the identical schedule (see pool.SearchMin).
+	Parallelism int
 }
 
 // TypeKey returns the FU-type grid an operation competes in. In pure
@@ -91,7 +99,13 @@ func Schedule(g *dfg.Graph, opt Options) (*sched.Schedule, error) {
 }
 
 func scheduleTimeConstrained(g *dfg.Graph, opt Options) (*sched.Schedule, error) {
-	s, err := runOnce(g, opt.CS, opt, false)
+	// Frames depend only on (graph, cs, clock), so the widening retries
+	// below share one computation.
+	frames, err := sched.ComputeFrames(g, opt.CS, opt.ClockNs)
+	if err != nil {
+		return nil, fmt.Errorf("mfs: %w", err)
+	}
+	s, err := runOnce(g, opt.CS, opt, false, frames)
 	if err == nil {
 		return s, nil
 	}
@@ -99,7 +113,7 @@ func scheduleTimeConstrained(g *dfg.Graph, opt Options) (*sched.Schedule, error)
 	// guarantee; for types the user left unbounded, widen and retry a few
 	// times before giving up (time-constrained runs must keep cs fixed).
 	for extra := 1; extra <= 3; extra++ {
-		s, retryErr := runOnce(g, opt.CS, opt, false, extra)
+		s, retryErr := runOnce(g, opt.CS, opt, false, frames, extra)
 		if retryErr == nil {
 			return s, nil
 		}
@@ -107,24 +121,36 @@ func scheduleTimeConstrained(g *dfg.Graph, opt Options) (*sched.Schedule, error)
 	return nil, err
 }
 
+// scheduleResourceConstrained finds the smallest feasible cs under the
+// resource limits. Candidate cs values are independent fixed-cs runs, so
+// a window of them is probed speculatively in parallel and the smallest
+// feasible one commits — pool.SearchMin guarantees the result is exactly
+// the sequential loop's. Frames are computed once at the critical path
+// and shifted per candidate instead of recomputed (Frames.Shifted).
 func scheduleResourceConstrained(g *dfg.Graph, opt Options) (*sched.Schedule, error) {
 	if len(opt.Limits) == 0 {
 		return nil, fmt.Errorf("mfs: resource-constrained scheduling needs Limits")
 	}
 	lo := g.CriticalPathCycles()
+	if lo < 1 {
+		lo = 1 // empty graph: one empty step is a legal schedule
+	}
 	hi := opt.MaxCS
 	if hi == 0 {
 		hi = 4*lo + 8
 	}
-	var lastErr error
-	for cs := lo; cs <= hi; cs++ {
-		s, err := runOnce(g, cs, opt, true)
-		if err == nil {
-			return s, nil
-		}
-		lastErr = err
+	frames, err := sched.ComputeFrames(g, lo, opt.ClockNs)
+	if err != nil {
+		return nil, fmt.Errorf("mfs: %w", err)
 	}
-	return nil, fmt.Errorf("mfs: no schedule within %d steps: %w", hi, lastErr)
+	_, s, err := pool.SearchMin(pool.Size(opt.Parallelism), hi-lo+1,
+		func(i int) (*sched.Schedule, error) {
+			return runOnce(g, lo+i, opt, true, frames.Shifted(i))
+		})
+	if err != nil {
+		return nil, fmt.Errorf("mfs: no schedule within %d steps: %w", hi, err)
+	}
+	return s, nil
 }
 
 // scheduler carries the state of one fixed-cs run.
@@ -142,11 +168,11 @@ type scheduler struct {
 	placed  map[dfg.NodeID]sched.Placement
 }
 
-func runOnce(g *dfg.Graph, cs int, opt Options, resource bool, extraMax ...int) (*sched.Schedule, error) {
-	frames, err := sched.ComputeFrames(g, cs, opt.ClockNs)
-	if err != nil {
-		return nil, fmt.Errorf("mfs: %w", err)
-	}
+// runOnce performs one fixed-cs scheduling run against precomputed
+// frames (which must match cs; see ComputeFrames and Frames.Shifted).
+// It reads g and frames but mutates neither, so concurrent runs over the
+// same graph are safe — the speculative search depends on that.
+func runOnce(g *dfg.Graph, cs int, opt Options, resource bool, frames sched.Frames, extraMax ...int) (*sched.Schedule, error) {
 	s := &scheduler{
 		g: g, cs: cs, opt: opt, resource: resource,
 		frames:  frames,

@@ -1,0 +1,93 @@
+package mfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/dfg"
+	"repro/internal/op"
+)
+
+// symbolLimits builds a resource-limit map covering every op symbol in
+// the example's graph.
+func symbolLimits(ex *benchmarks.Example, n int) map[string]int {
+	limits := make(map[string]int)
+	for _, node := range ex.Graph.Nodes() {
+		limits[TypeKey(node)] = n
+	}
+	return limits
+}
+
+// TestSpeculativeSearchMatchesSequential is the determinism guard for
+// the parallel resource-constrained mode: on every benchmark graph and
+// several limit tightnesses, the speculative windowed search must return
+// the same schedule — same cs and same placement of every operation —
+// as the sequential cs loop.
+func TestSpeculativeSearchMatchesSequential(t *testing.T) {
+	for _, ex := range benchmarks.All() {
+		for _, n := range []int{1, 2} {
+			opt := Options{Limits: symbolLimits(ex, n), ClockNs: ex.ClockNs}
+
+			seqOpt := opt
+			seqOpt.Parallelism = 1
+			want, err := Schedule(ex.Graph, seqOpt)
+			if err != nil {
+				t.Fatalf("%s limits=%d sequential: %v", ex.Name, n, err)
+			}
+
+			for _, workers := range []int{2, 4, 16} {
+				parOpt := opt
+				parOpt.Parallelism = workers
+				got, err := Schedule(ex.Graph, parOpt)
+				if err != nil {
+					t.Fatalf("%s limits=%d workers=%d: %v", ex.Name, n, workers, err)
+				}
+				if got.CS != want.CS {
+					t.Errorf("%s limits=%d workers=%d: cs = %d, want %d",
+						ex.Name, n, workers, got.CS, want.CS)
+				}
+				if len(got.Placements) != len(want.Placements) {
+					t.Fatalf("%s limits=%d workers=%d: %d placements, want %d",
+						ex.Name, n, workers, len(got.Placements), len(want.Placements))
+				}
+				for id, wp := range want.Placements {
+					if gp := got.Placements[id]; gp != wp {
+						t.Errorf("%s limits=%d workers=%d: node %d placed %+v, want %+v",
+							ex.Name, n, workers, id, gp, wp)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpeculativeSearchInfeasible checks the failure path matches too:
+// when no cs within MaxCS is feasible, every parallelism setting reports
+// the sequential loop's final error.
+func TestSpeculativeSearchInfeasible(t *testing.T) {
+	// Eight independent additions on one adder need eight steps; capping
+	// the search at four makes every probed cs fail.
+	g := dfg.New("infeasible")
+	g.AddInput("a")
+	g.AddInput("b")
+	for i := 0; i < 8; i++ {
+		if _, err := g.AddOp(fmt.Sprintf("s%d", i), op.Add, "a", "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := Options{Limits: map[string]int{"+": 1}, MaxCS: 4}
+	opt.Parallelism = 1
+	_, seqErr := Schedule(g, opt)
+	if seqErr == nil {
+		t.Fatal("sequential run unexpectedly feasible")
+	}
+	opt.Parallelism = 8
+	_, parErr := Schedule(g, opt)
+	if parErr == nil {
+		t.Fatal("parallel run unexpectedly feasible")
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("error mismatch:\nsequential: %v\nparallel:   %v", seqErr, parErr)
+	}
+}

@@ -1,0 +1,146 @@
+// Package pool is the bounded worker pool behind every parallel hot
+// path of the synthesis engine: time-constraint sweeps (core.Sweep,
+// core.SweepGraphs), the speculative resource-constrained search in MFS,
+// and the experiment tables. Its primitives are deterministic: results
+// come back in input order, the error reported is the one the equivalent
+// sequential loop would have reported, and worker functions are expected
+// to be pure (no shared mutable state), so every parallelism setting —
+// including 1 — produces byte-identical output.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size resolves a parallelism setting to a worker count: n > 0 is used
+// as given, anything else selects runtime.GOMAXPROCS(0). Callers thread
+// a user-facing knob (core.Config.Parallelism, mfs.Options.Parallelism)
+// straight through, so 0 means "use the machine" and 1 means
+// "sequential".
+func Size(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) on at most workers goroutines and
+// returns the n results in index order. If any call fails, Map returns
+// the error with the smallest index — exactly the error a sequential
+// loop would have stopped on — and workers stop picking up new indices
+// (in-flight calls still complete). fn must be safe for concurrent use.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		out := make([]T, n)
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	out := make([]T, n)
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errIdx = n
+		first  error
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < errIdx {
+						errIdx, first = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// SearchMin returns the smallest i in [0, n) for which fn succeeds,
+// together with fn's result — the parallel form of the classic
+// "try cs = lo, lo+1, ... until one fits" loop. Windows of `workers`
+// consecutive candidates are probed speculatively and the smallest
+// success in the earliest non-empty window commits; every candidate
+// below it has provably failed, so the committed index (and, for a
+// deterministic fn, the committed result) is exactly the sequential
+// loop's. When no candidate succeeds, the error of the last (highest)
+// candidate is returned, again matching the sequential loop. Probes
+// above the committed index are wasted work, never observable state:
+// fn must be side-effect free and safe for concurrent use.
+func SearchMin[T any](workers, n int, fn func(i int) (T, error)) (int, T, error) {
+	var zero T
+	var lastErr error
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err == nil {
+				return i, v, nil
+			}
+			lastErr = err
+		}
+		return -1, zero, lastErr
+	}
+
+	type probe struct {
+		v   T
+		err error
+	}
+	for base := 0; base < n; base += workers {
+		w := workers
+		if base+w > n {
+			w = n - base
+		}
+		results := make([]probe, w)
+		var wg sync.WaitGroup
+		for j := 0; j < w; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				v, err := fn(base + j)
+				results[j] = probe{v, err}
+			}(j)
+		}
+		wg.Wait()
+		for j := 0; j < w; j++ {
+			if results[j].err == nil {
+				return base + j, results[j].v, nil
+			}
+		}
+		lastErr = results[w-1].err
+	}
+	return -1, zero, lastErr
+}

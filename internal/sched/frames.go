@@ -20,6 +20,24 @@ func (f Frame) Mobility() int { return f.ALAP - f.ASAP }
 // Frames holds the time frame of every node.
 type Frames map[dfg.NodeID]Frame
 
+// Shifted returns a copy of f with every ALAP raised by k steps — the
+// frames of the same graph under a time constraint k steps looser.
+// Earliest starts do not depend on the constraint, and relaxing the
+// deadline by k whole control steps moves every latest start by exactly
+// k (with or without chaining: the chained deadline shifts by k·clockNs,
+// which shifts every backward boundary computation by exactly k steps),
+// so Shifted(k) equals ComputeFrames at cs+k without redoing the graph
+// passes. The resource-constrained MFS search leans on this to probe
+// many cs values from one frame computation; frames_prop_test.go checks
+// the equivalence on every benchmark graph.
+func (f Frames) Shifted(k int) Frames {
+	out := make(Frames, len(f))
+	for id, fr := range f {
+		out[id] = Frame{ASAP: fr.ASAP, ALAP: fr.ALAP + k}
+	}
+	return out
+}
+
 // InfeasibleError reports a time constraint below the critical path.
 type InfeasibleError struct {
 	Graph string

@@ -78,6 +78,44 @@ func TestFrameInvariants(t *testing.T) {
 	}
 }
 
+// TestShiftedMatchesRecompute checks the identity the resource-
+// constrained search relies on: Shifted(k) over the frames at cs equals
+// ComputeFrames at cs+k, on random DAGs both with and without chaining
+// (chained delays exercise the floating-point boundary handling).
+func TestShiftedMatchesRecompute(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 40; trial++ {
+		g := randomGraph(r, 6+r.Intn(20))
+		cp := g.CriticalPathCycles()
+		for _, clockNs := range []float64{0, 50, 100} {
+			if clockNs > 0 {
+				// Random graphs keep default delays; skip configs where a
+				// single-cycle op cannot fit the clock.
+				if err := checkDelaysFit(g, clockNs); err != nil {
+					continue
+				}
+			}
+			base, err := ComputeFrames(g, cp, clockNs)
+			if err != nil {
+				t.Fatalf("trial %d clock %v: %v", trial, clockNs, err)
+			}
+			for _, k := range []int{0, 1, 3, 9} {
+				want, err := ComputeFrames(g, cp+k, clockNs)
+				if err != nil {
+					t.Fatalf("trial %d clock %v k=%d: %v", trial, clockNs, k, err)
+				}
+				got := base.Shifted(k)
+				for _, n := range g.Nodes() {
+					if got[n.ID] != want[n.ID] {
+						t.Fatalf("trial %d clock %v k=%d: %q Shifted %+v != recomputed %+v",
+							trial, clockNs, k, n.Name, got[n.ID], want[n.ID])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestChainedFrameInvariants checks the continuous-time variant: chained
 // windows are never narrower than the unchained ones.
 func TestChainedFrameInvariants(t *testing.T) {
