@@ -1,0 +1,190 @@
+// Command hlslint runs the cross-layer static verification framework
+// (internal/lint) over synthesized designs: every artifact — data-flow
+// graph, schedule with its recorded move-frame trajectory, Liapunov
+// descent, RTL datapath, FSM controller, and emitted netlist — is
+// checked by its analyzer, and findings are reported with stable HL
+// diagnostic codes.
+//
+// Usage:
+//
+//	hlslint -cs 4 design.hls            # synthesize with MFSA, lint all artifacts
+//	hlslint -cs 4 -json design.hls      # machine-readable findings
+//	hlslint -benchmarks                 # audit every paper benchmark (MFS + MFSA)
+//	hlslint -run dfg,frames -cs 4 f.hls # run selected analyzers only
+//	hlslint -list                       # list registered analyzers
+//
+// The exit status is non-zero when any error-severity diagnostic is
+// found, so the command gates CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/benchmarks"
+	"repro/internal/core"
+	"repro/internal/diag"
+	"repro/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hlslint:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hlslint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	runSel := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	bench := fs.Bool("benchmarks", false, "audit the six paper benchmarks instead of a source file")
+	cs := fs.Int("cs", 0, "time constraint in control steps (required with a source file)")
+	style := fs.Int("style", 1, "MFSA datapath style: 1 unrestricted, 2 no ALU self-loops")
+	clock := fs.Float64("clock", 0, "control-step clock period in ns (enables chaining)")
+	latency := fs.Int("latency", 0, "functional-pipelining initiation interval")
+	optimize := fs.Bool("optimize", false, "run frontend passes before synthesis")
+	par := fs.Int("par", 0, "max parallel analyzers and synthesis jobs (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(out, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+	var analyzers []string
+	if *runSel != "" {
+		analyzers = strings.Split(*runSel, ",")
+	}
+
+	var all diag.List
+	switch {
+	case *bench:
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-benchmarks takes no file arguments")
+		}
+		ds, err := lintBenchmarks(analyzers, *par)
+		if err != nil {
+			return err
+		}
+		all = ds
+	case fs.NArg() == 1:
+		if *cs <= 0 {
+			return fmt.Errorf("a time constraint is required: -cs N")
+		}
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		d, err := core.SynthesizeSource(string(src), core.Config{
+			CS: *cs, Style: *style, ClockNs: *clock, Latency: *latency,
+			Optimize: *optimize, Parallelism: *par,
+		})
+		if err != nil {
+			return err
+		}
+		all, err = d.Lint(analyzers...)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: hlslint [flags] design.hls | hlslint -benchmarks")
+	}
+
+	all.Sort()
+	if err := render(out, all, *jsonOut); err != nil {
+		return err
+	}
+	if n := all.Count(diag.Error); n > 0 {
+		return fmt.Errorf("%d error-severity diagnostic(s)", n)
+	}
+	return nil
+}
+
+// lintBenchmarks audits the six paper examples the way the evaluation
+// drives them: MFS at every Table 1 time constraint (plus the
+// structurally pipelined variant where the example has one) and MFSA in
+// both datapath styles at the tightest constraint, each run linted over
+// all its artifacts.
+func lintBenchmarks(analyzers []string, par int) (diag.List, error) {
+	var all diag.List
+	audit := func(label string, d *core.Design, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		ds, err := d.Lint(analyzers...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", label, err)
+		}
+		for i := range ds {
+			ds[i].Design = label
+		}
+		all = append(all, ds...)
+		return nil
+	}
+	for _, ex := range benchmarks.All() {
+		base := core.Config{ClockNs: ex.ClockNs, Parallelism: par}
+		for _, t := range ex.TimeConstraints {
+			cfg := base
+			cfg.CS = t
+			if ex.Latency != nil {
+				cfg.Latency = ex.Latency(t)
+			}
+			d, err := core.ScheduleOnly(ex.Graph, cfg)
+			if err := audit(fmt.Sprintf("%s/mfs/T=%d", ex.Name, t), d, err); err != nil {
+				return nil, err
+			}
+			if len(ex.PipelinedOps) > 0 {
+				cfg.PipelinedOps = ex.PipelinedOps
+				d, err := core.ScheduleOnly(ex.Graph, cfg)
+				if err := audit(fmt.Sprintf("%s/mfs-pipelined/T=%d", ex.Name, t), d, err); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, style := range []int{1, 2} {
+			cfg := base
+			cfg.CS = ex.TimeConstraints[0]
+			cfg.Style = style
+			d, err := core.Synthesize(ex.Graph, cfg)
+			if err := audit(fmt.Sprintf("%s/mfsa/style%d", ex.Name, style), d, err); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return all, nil
+}
+
+// jsonReport is the -json output shape.
+type jsonReport struct {
+	Diagnostics diag.List `json:"diagnostics"`
+	Errors      int       `json:"errors"`
+	Warnings    int       `json:"warnings"`
+}
+
+func render(out io.Writer, all diag.List, asJSON bool) error {
+	errs := all.Count(diag.Error)
+	warns := all.Count(diag.Warn) - errs
+	if asJSON {
+		rep := jsonReport{Diagnostics: all, Errors: errs, Warnings: warns}
+		if rep.Diagnostics == nil {
+			rep.Diagnostics = diag.List{}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	for _, d := range all {
+		fmt.Fprintln(out, d.String())
+	}
+	fmt.Fprintf(out, "%d diagnostic(s): %d error(s), %d warning(s)\n", len(all), errs, warns)
+	return nil
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGoldenJSON locks the -json output shape on two clean designs: the
+// HAL differential-equation solver and the wave-filter kernel. A change
+// to the diagnostic schema or to what the analyzers report on a clean
+// synthesis run shows up as a golden diff.
+func TestGoldenJSON(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"diffeq", []string{"-json", "-cs", "4", "testdata/diffeq.hls"}},
+		{"wavefilter", []string{"-json", "-cs", "12", "testdata/wavefilter.hls"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatalf("run(%v): %v\n%s", tc.args, err, buf.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden.json")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s",
+					golden, buf.String(), want)
+			}
+		})
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alloc", "ctrl", "dfg", "frames", "liapunov", "netlist"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list output lacks analyzer %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestBenchmarksFlagClean(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-benchmarks"}, &buf); err != nil {
+		t.Fatalf("-benchmarks: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "0 error(s)") {
+		t.Errorf("expected a clean benchmark audit:\n%s", buf.String())
+	}
+}
+
+func TestSelectedAnalyzersOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "dfg,frames", "-cs", "4", "testdata/diffeq.hls"}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if err := run([]string{"-run", "bogus", "-cs", "4", "testdata/diffeq.hls"}, &buf); err == nil {
+		t.Fatal("expected an error for an unknown analyzer name")
+	}
+}
+
+func TestErrorExitOnFindings(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "bad.hls")
+	// Critical path 2 > CS 1 fails synthesis outright, before linting.
+	if err := os.WriteFile(src, []byte("design bad\ninput a, b\nx = a + b\ny = x * b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-cs", "1", src}, &buf); err == nil {
+		t.Fatal("expected an error for an infeasible constraint")
+	}
+}

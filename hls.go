@@ -37,7 +37,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctrl"
 	"repro/internal/dfg"
+	"repro/internal/diag"
 	"repro/internal/library"
+	"repro/internal/lint"
 	"repro/internal/mfsa"
 	"repro/internal/op"
 	"repro/internal/rtl"
@@ -230,3 +232,35 @@ func ListSchedule(g *Graph, limits map[string]int) (*Schedule, error) {
 func ASAPSchedule(g *Graph) (*Schedule, error) {
 	return baseline.ASAP(g)
 }
+
+// Static verification (hlslint).
+
+type (
+	// Diagnostic is one typed lint finding with a stable HL code.
+	Diagnostic = diag.Diagnostic
+	// Diagnostics is a sortable list of findings that also satisfies
+	// error.
+	Diagnostics = diag.List
+	// LintUnit bundles the artifacts of one design for a lint run.
+	LintUnit = lint.Unit
+	// LintAnalyzer is one registered lint pass.
+	LintAnalyzer = lint.Analyzer
+	// LintOptions selects analyzers and bounds lint parallelism.
+	LintOptions = lint.Options
+)
+
+// Severity levels of a Diagnostic.
+const (
+	SeverityInfo  = diag.Info
+	SeverityWarn  = diag.Warn
+	SeverityError = diag.Error
+)
+
+// Lint runs the static verification analyzers over a unit; see
+// Design.Lint for the common case of auditing a synthesis result.
+func Lint(u *LintUnit, opts LintOptions) (Diagnostics, error) {
+	return lint.Run(u, opts)
+}
+
+// LintAnalyzers returns the registered lint passes sorted by name.
+func LintAnalyzers() []*LintAnalyzer { return lint.Analyzers() }

@@ -13,8 +13,10 @@ import (
 	"repro/internal/behav"
 	"repro/internal/ctrl"
 	"repro/internal/dfg"
+	"repro/internal/diag"
 	"repro/internal/emit"
 	"repro/internal/library"
+	"repro/internal/lint"
 	"repro/internal/mfs"
 	"repro/internal/mfsa"
 	"repro/internal/opt"
@@ -65,11 +67,18 @@ type Config struct {
 	Optimize bool
 
 	// Parallelism bounds the worker pool used by the parallel hot paths
-	// (Sweep, SweepGraphs, and the resource-constrained MFS search):
-	// 0 = GOMAXPROCS, 1 = sequential, n > 1 = at most n workers. Every
-	// setting produces identical results — the knob only trades
-	// wall-clock time for CPU share (see DESIGN.md, "Concurrency model").
+	// (Sweep, SweepGraphs, the resource-constrained MFS search, and the
+	// lint analyzers): 0 = GOMAXPROCS, 1 = sequential, n > 1 = at most n
+	// workers. Every setting produces identical results — the knob only
+	// trades wall-clock time for CPU share (see DESIGN.md, "Concurrency
+	// model").
 	Parallelism int
+
+	// Lint runs the internal/lint static verification passes over every
+	// produced artifact after synthesis and fails the run on any
+	// error-severity diagnostic (warnings and notes are kept on the
+	// Design for inspection via Design.Lint).
+	Lint bool
 }
 
 // Design is a complete synthesis result. Datapath, Controller and Cost
@@ -82,6 +91,12 @@ type Design struct {
 	Datapath   *rtl.Datapath
 	Controller *ctrl.Controller
 	Cost       rtl.Cost
+
+	// lint context captured at synthesis time so Design.Lint can audit
+	// the result under the constraints it was produced under.
+	limits      map[string]int
+	style2      bool
+	parallelism int
 }
 
 // ScheduleOnly runs MFS on a graph.
@@ -90,7 +105,12 @@ func ScheduleOnly(g *dfg.Graph, cfg Config) (*Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Design{Graph: g, Schedule: s}, nil
+	d := &Design{Graph: g, Schedule: s}
+	d.captureLintContext(cfg)
+	if err := d.lintGate(cfg); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Synthesize runs MFSA on a graph and builds the controller.
@@ -103,13 +123,66 @@ func Synthesize(g *dfg.Graph, cfg Config) (*Design, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Design{
+	d := &Design{
 		Graph:      g,
 		Schedule:   res.Schedule,
 		Datapath:   res.Datapath,
 		Controller: c,
 		Cost:       res.Cost,
-	}, nil
+	}
+	d.captureLintContext(cfg)
+	if err := d.lintGate(cfg); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Design) captureLintContext(cfg Config) {
+	d.limits = cfg.Limits
+	d.style2 = cfg.Style == 2
+	d.parallelism = cfg.Parallelism
+}
+
+// lintGate enforces cfg.Lint: any error-severity diagnostic fails the
+// synthesis run.
+func (d *Design) lintGate(cfg Config) error {
+	if !cfg.Lint {
+		return nil
+	}
+	ds, err := d.Lint()
+	if err != nil {
+		return err
+	}
+	var errs diag.List
+	for _, x := range ds {
+		if x.Severity >= diag.Error {
+			errs = append(errs, x)
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("core: lint found %d error(s): %w", len(errs), errs.ErrOrNil())
+	}
+	return nil
+}
+
+// Lint runs the static verification analyzers (internal/lint) over
+// every artifact the design has — graph, schedule with its recorded
+// trajectory, datapath, controller, and the emitted netlist when the
+// design is fully allocated — and returns the aggregated diagnostics.
+// Passing analyzer names restricts the run to those passes.
+func (d *Design) Lint(analyzers ...string) (diag.List, error) {
+	u := &lint.Unit{
+		Graph:      d.Graph,
+		Schedule:   d.Schedule,
+		Limits:     d.limits,
+		Datapath:   d.Datapath,
+		Style2:     d.style2,
+		Controller: d.Controller,
+	}
+	if d.Datapath != nil && d.Controller != nil {
+		u.Netlist = emit.Verilog(d.Graph, d.Schedule, d.Datapath, d.Controller)
+	}
+	return lint.Run(u, lint.Options{Analyzers: analyzers, Parallelism: d.parallelism})
 }
 
 // SynthesizeSource parses a behavioral description and synthesizes it,
@@ -155,7 +228,12 @@ func ScheduleSource(src string, cfg Config) (*Design, *mfs.LoopDesign, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Design{Graph: g, Consts: consts, Schedule: ld.Schedule}, ld, nil
+	d := &Design{Graph: g, Consts: consts, Schedule: ld.Schedule}
+	d.captureLintContext(cfg)
+	if err := d.lintGate(cfg); err != nil {
+		return nil, nil, err
+	}
+	return d, ld, nil
 }
 
 func mfsOptions(cfg Config) mfs.Options {

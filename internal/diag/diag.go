@@ -1,0 +1,149 @@
+// Package diag defines the typed diagnostic model shared by every
+// verification layer of the synthesis flow: the lint analyzers
+// (internal/lint), the schedule verifier (internal/sched), the datapath
+// validator (internal/rtl) and the style checker (internal/mfsa) all
+// report diag.Diagnostic values instead of first-error Go errors, so a
+// single run can surface every violation, machine-readably, with a
+// stable code per failure class.
+//
+// The package is a leaf: it imports nothing from the repository, so any
+// layer can depend on it without cycles.
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a diagnostic. Error-severity diagnostics indicate a
+// broken artifact (an illegal schedule, a malformed netlist); warnings
+// indicate suspicious-but-legal structure; info is commentary.
+type Severity int
+
+const (
+	Info Severity = iota
+	Warn
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warn:
+		return "warn"
+	default:
+		return "info"
+	}
+}
+
+// MarshalText renders the severity for JSON/CLI output.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// Diagnostic is one finding against one synthesis artifact.
+type Diagnostic struct {
+	// Code is the stable machine identifier of the failure class, e.g.
+	// "HL0116". Codes never change meaning; see Docs for the registry.
+	Code string `json:"code"`
+
+	Severity Severity `json:"severity"`
+
+	// Analyzer names the lint pass that produced the diagnostic; empty
+	// when a validator outside the lint driver produced it.
+	Analyzer string `json:"analyzer,omitempty"`
+
+	// Artifact names the layer the finding is about: "dfg", "schedule",
+	// "frames", "liapunov", "datapath", "controller" or "netlist".
+	Artifact string `json:"artifact,omitempty"`
+
+	// Design is the design (graph) name the artifact belongs to.
+	Design string `json:"design,omitempty"`
+
+	// Loc locates the finding inside the artifact: a node or signal
+	// name, an ALU instance, a netlist line ("line 17"), a state ("S3").
+	Loc string `json:"loc,omitempty"`
+
+	Message string `json:"message"`
+
+	// Fix, when non-empty, hints how to repair the artifact.
+	Fix string `json:"fix,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	b.WriteString(d.Code)
+	fmt.Fprintf(&b, " %s", d.Severity)
+	if d.Design != "" {
+		fmt.Fprintf(&b, " [%s]", d.Design)
+	}
+	if d.Loc != "" {
+		fmt.Fprintf(&b, " at %s", d.Loc)
+	}
+	b.WriteString(": ")
+	b.WriteString(d.Message)
+	return b.String()
+}
+
+// List is an ordered collection of diagnostics. It implements error so
+// legacy call sites can return it directly; the error text is the first
+// diagnostic's message (matching the historical first-error behavior)
+// with a count suffix when more follow.
+type List []Diagnostic
+
+// Error implements the error interface.
+func (l List) Error() string {
+	if len(l) == 0 {
+		return "no diagnostics"
+	}
+	if len(l) == 1 {
+		return l[0].Message
+	}
+	return fmt.Sprintf("%s (and %d more)", l[0].Message, len(l)-1)
+}
+
+// ErrOrNil returns the list as an error when non-empty, else nil. The
+// first diagnostic's Message is the error text, so callers migrating
+// from first-error validators keep their error strings.
+func (l List) ErrOrNil() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Count returns how many diagnostics have at least the given severity.
+func (l List) Count(min Severity) int {
+	n := 0
+	for _, d := range l {
+		if d.Severity >= min {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func (l List) HasErrors() bool { return l.Count(Error) > 0 }
+
+// Sort orders the list deterministically: by analyzer, then code, then
+// design, location and message. Aggregating concurrent analyzer output
+// through Sort makes lint runs byte-identical at every parallelism.
+func (l List) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i], l[j]
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Design != b.Design {
+			return a.Design < b.Design
+		}
+		if a.Loc != b.Loc {
+			return a.Loc < b.Loc
+		}
+		return a.Message < b.Message
+	})
+}

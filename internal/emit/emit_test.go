@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/benchmarks"
 	"repro/internal/ctrl"
+	"repro/internal/dfg"
 	"repro/internal/mfsa"
+	"repro/internal/op"
 )
 
 func TestVerilogStructure(t *testing.T) {
@@ -110,5 +112,69 @@ func TestPipelinedRestartComment(t *testing.T) {
 	}
 	if !strings.Contains(v, "state == 3") {
 		t.Error("restart bound should be latency-1 = 3")
+	}
+}
+
+func TestNamerCollisions(t *testing.T) {
+	// "a+b" and "a-b" both sanitize to "a_b"; the namer must keep the
+	// emitted identifiers distinct and must not shadow the FSM's fixed
+	// names (clk, rst, state).
+	g := dfg.New("collide")
+	for _, in := range []string{"a+b", "a-b", "state", "clk"} {
+		if err := g.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.AddOp("x.y", op.Add, "a+b", "a-b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddOp("x$y", op.Mul, "x.y", "state"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddOp("x*y", op.Add, "x$y", "clk"); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	res, err := mfsa.Synthesize(g, mfsa.Options{CS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ctrl.Build(g, res.Schedule, res.Datapath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Verilog(g, res.Schedule, res.Datapath, c)
+	// Distinct ports for the colliding inputs, uniqued away from the
+	// reserved names.
+	for _, want := range []string{
+		"input  wire [31:0] a_b,",
+		"input  wire [31:0] a_b_2,",
+		"input  wire [31:0] state_2,",
+		"input  wire [31:0] clk_2,",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("netlist missing port %q", want)
+		}
+	}
+	// Every emitted identifier is declared exactly once: collect
+	// declarations and check for duplicates.
+	decls := make(map[string]int)
+	for _, line := range strings.Split(v, "\n") {
+		line = strings.TrimSpace(line)
+		for _, pfx := range []string{"input  wire [31:0] ", "output wire [31:0] ", "wire [31:0] ", "reg [31:0] "} {
+			if rest, ok := strings.CutPrefix(line, pfx); ok {
+				id := strings.TrimRight(rest, ",;")
+				decls[id]++
+				break
+			}
+		}
+	}
+	for id, n := range decls {
+		if n > 1 {
+			t.Errorf("identifier %q declared %d times", id, n)
+		}
+	}
+	if len(decls) < 11 { // 4 ports + 1 output + 4 taps + 3 node wires at minimum
+		t.Errorf("unexpectedly few declarations: %d (%v)", len(decls), decls)
 	}
 }

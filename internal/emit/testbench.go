@@ -21,6 +21,7 @@ func Testbench(g *dfg.Graph, s *sched.Schedule, vectors []map[string]int64) (str
 		return "", fmt.Errorf("emit: testbench needs at least one vector")
 	}
 	name := sanitize(g.Name)
+	nm := newNamer(g)
 	outs := g.Outputs()
 	ins := g.Inputs()
 
@@ -30,18 +31,18 @@ func Testbench(g *dfg.Graph, s *sched.Schedule, vectors []map[string]int64) (str
 	fmt.Fprintf(&b, "module %s_tb;\n", name)
 	fmt.Fprintf(&b, "    reg clk = 0, rst = 1;\n")
 	for _, in := range ins {
-		fmt.Fprintf(&b, "    reg  [31:0] %s;\n", sanitize(in))
+		fmt.Fprintf(&b, "    reg  [31:0] %s;\n", nm.input(in))
 	}
 	for _, out := range outs {
-		fmt.Fprintf(&b, "    wire [31:0] out_%s;\n", sanitize(out))
+		fmt.Fprintf(&b, "    wire [31:0] %s;\n", nm.output(out))
 	}
 	fmt.Fprintf(&b, "    integer errors = 0;\n\n")
 	fmt.Fprintf(&b, "    %s dut (.clk(clk), .rst(rst)", name)
 	for _, in := range ins {
-		fmt.Fprintf(&b, ", .%s(%s)", sanitize(in), sanitize(in))
+		fmt.Fprintf(&b, ", .%s(%s)", nm.input(in), nm.input(in))
 	}
 	for _, out := range outs {
-		fmt.Fprintf(&b, ", .out_%s(out_%s)", sanitize(out), sanitize(out))
+		fmt.Fprintf(&b, ", .%s(%s)", nm.output(out), nm.output(out))
 	}
 	fmt.Fprintf(&b, ");\n\n")
 	fmt.Fprintf(&b, "    always #5 clk = ~clk;\n\n")
@@ -65,12 +66,12 @@ func Testbench(g *dfg.Graph, s *sched.Schedule, vectors []map[string]int64) (str
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			fmt.Fprintf(&b, "        %s = 32'd%d;\n", sanitize(k), uint32(vec[k]))
+			fmt.Fprintf(&b, "        %s = 32'd%d;\n", nm.input(k), uint32(vec[k]))
 		}
 		fmt.Fprintf(&b, "        repeat (%d) @(posedge clk);\n", s.CS)
 		for _, out := range outs {
-			fmt.Fprintf(&b, "        check(out_%s, 32'd%d, \"%s\");\n",
-				sanitize(out), uint32(expected[out]), sanitize(out))
+			fmt.Fprintf(&b, "        check(%s, 32'd%d, \"%s\");\n",
+				nm.output(out), uint32(expected[out]), sanitize(out))
 		}
 	}
 	fmt.Fprintf(&b, "        if (errors == 0) $display(\"PASS: %d vectors\");\n", len(vectors))

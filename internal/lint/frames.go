@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/dfg"
+	"repro/internal/diag"
+	"repro/internal/grid"
+	"repro/internal/sched"
+)
+
+// framesAnalyzer checks the schedule two ways: it re-runs the full
+// legality verifier (sched.VerifyAll — completeness, dependencies,
+// conflicts, limits), and when the scheduler recorded its move-frame
+// trajectory it replays every placement decision, independently
+// re-deriving PF, RF and FF exactly as MFS step 4 does and asserting
+// the paper's frame algebra MF = PF − (RF ∪ FF), move-frame membership
+// of the committed position, and ASAP/ALAP containment.
+var framesAnalyzer = &Analyzer{
+	Name: "frames",
+	Doc:  "schedule legality and move-frame audit: MF = PF − (RF ∪ FF), ASAP/ALAP containment",
+	Run:  runFrames,
+}
+
+func runFrames(u *Unit) diag.List {
+	s := u.Schedule
+	if s == nil || u.Graph == nil {
+		return nil
+	}
+	g := u.Graph
+	var out diag.List
+	out = append(out, s.VerifyAll(u.Limits)...)
+
+	frames, err := sched.ComputeFrames(g, s.CS, s.ClockNs)
+	if err != nil {
+		out = append(out, diag.Diagnostic{
+			Code: diag.CodeSchedWindow, Severity: diag.Error, Artifact: "frames",
+			Message: fmt.Sprintf("cannot recompute time frames: %v", err),
+		})
+		return out
+	}
+	report := func(code, loc, msg string) {
+		out = append(out, diag.Diagnostic{
+			Code: code, Severity: diag.Error, Artifact: "frames",
+			Loc: loc, Message: msg,
+		})
+	}
+
+	// Every placement must sit inside the independently recomputed
+	// ASAP/ALAP window.
+	for _, n := range g.Nodes() {
+		p, ok := s.Placements[n.ID]
+		if !ok {
+			continue // reported by VerifyAll
+		}
+		fr := frames[n.ID]
+		if p.Step < fr.ASAP || p.Step > fr.ALAP {
+			report(diag.CodeSchedWindow, n.Name,
+				fmt.Sprintf("node %q placed at step %d outside its time frame [%d, %d]",
+					n.Name, p.Step, fr.ASAP, fr.ALAP))
+		}
+	}
+
+	if s.Trace != nil {
+		auditTrace(g, s, frames, report)
+	}
+	return out
+}
+
+// auditTrace replays the recorded placement decisions in commit order,
+// re-deriving each operation's frames against the already-committed
+// prefix with the same rules the scheduler used (placed predecessors
+// raise the earliest start, placed successors lower the latest start,
+// chaining admits step sharing) and comparing them to what the
+// scheduler recorded. Steps without recorded frames (MFSA traces record
+// candidates instead) are skipped.
+func auditTrace(g *dfg.Graph, s *sched.Schedule, frames sched.Frames, report func(code, loc, msg string)) {
+	placed := make(map[dfg.NodeID]sched.Placement, len(s.Trace.Steps))
+	for i, st := range s.Trace.Steps {
+		if int(st.Node) < 0 || int(st.Node) >= g.Len() {
+			report(diag.CodeFrameMismatch, fmt.Sprintf("trace step %d", i),
+				fmt.Sprintf("trace step %d names node %d, which the graph does not have", i, st.Node))
+			continue
+		}
+		n := g.Node(st.Node)
+		if st.PF == nil {
+			// Allocation-style trace: no frames to audit, but the
+			// placement still joins the prefix for later steps.
+			placed[st.Node] = sched.Placement{Step: st.Pos.Step, Type: st.Type, Index: st.Pos.Index}
+			continue
+		}
+
+		// The recorded algebra must hold as recorded.
+		if want := st.PF.Minus(st.RF.Union(st.FF)); !frameEqual(st.MF, want) {
+			report(diag.CodeFrameIdentity, n.Name,
+				fmt.Sprintf("node %q: recorded MF (%d positions) != PF − (RF ∪ FF) (%d positions)",
+					n.Name, len(st.MF), len(want)))
+		}
+		if !st.MF.Contains(st.Pos) {
+			report(diag.CodeFrameMember, n.Name,
+				fmt.Sprintf("node %q committed to %v outside its recorded move frame", n.Name, st.Pos))
+		}
+		base := frames[st.Node]
+		for _, p := range st.PF.Positions() {
+			if p.Step < base.ASAP || p.Step > base.ALAP {
+				report(diag.CodeFrameBounds, n.Name,
+					fmt.Sprintf("node %q: recorded PF position %v outside the ASAP/ALAP window [%d, %d]",
+						n.Name, p, base.ASAP, base.ALAP))
+				break
+			}
+		}
+
+		// Independent re-derivation against the committed prefix.
+		pf, rf, ff := deriveFrames(g, s, frames, placed, n, st.CurrentJ, st.MaxJ)
+		if !frameEqual(st.PF, pf) || !frameEqual(st.RF, rf) || !frameEqual(st.FF, ff) {
+			report(diag.CodeFrameMismatch, n.Name,
+				fmt.Sprintf("node %q: recorded PF/RF/FF (%d/%d/%d positions) differ from the independent re-derivation (%d/%d/%d)",
+					n.Name, len(st.PF), len(st.RF), len(st.FF), len(pf), len(rf), len(ff)))
+		}
+		placed[st.Node] = sched.Placement{Step: st.Pos.Step, Type: st.Type, Index: st.Pos.Index}
+	}
+}
+
+// deriveFrames recomputes PF, RF and FF for node n against the placed
+// prefix, mirroring MFS step 4: the base ASAP/ALAP window tightened by
+// committed predecessors and successors (chaining admits sharing a
+// step), the redundant frame above current_j, and the forbidden frame
+// below the latest completing predecessor.
+func deriveFrames(g *dfg.Graph, s *sched.Schedule, frames sched.Frames,
+	placed map[dfg.NodeID]sched.Placement, n *dfg.Node, currentJ, maxJ int) (pf, rf, ff grid.Frame) {
+	base := frames[n.ID]
+	lo, hi := base.ASAP, base.ALAP
+	ffTop := 0
+	for _, pid := range n.Preds() {
+		pp, ok := placed[pid]
+		if !ok {
+			continue
+		}
+		pred := g.Node(pid)
+		bound := pp.Step + pred.Cycles
+		if chainableNodes(s.ClockNs, pred, n) {
+			bound = pp.Step
+		}
+		if bound > lo {
+			lo = bound
+		}
+		if end := pp.Step + pred.Cycles - 1; end > ffTop && bound > pp.Step {
+			ffTop = end
+		}
+	}
+	for _, sid := range n.Succs() {
+		sp, ok := placed[sid]
+		if !ok {
+			continue
+		}
+		succ := g.Node(sid)
+		bound := sp.Step - n.Cycles
+		if chainableNodes(s.ClockNs, n, succ) {
+			bound = sp.Step
+		}
+		if bound < hi {
+			hi = bound
+		}
+	}
+	pf = grid.Rect(lo, hi, 1, maxJ)
+	rf = grid.Rect(lo, hi, currentJ+1, maxJ)
+	ff = grid.Rect(1, ffTop, 1, maxJ)
+	return pf, rf, ff
+}
+
+func chainableNodes(clockNs float64, pred, succ *dfg.Node) bool {
+	return clockNs > 0 && pred.Cycles == 1 && succ.Cycles == 1 &&
+		!pred.IsLoop() && !succ.IsLoop()
+}
+
+func frameEqual(a, b grid.Frame) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}

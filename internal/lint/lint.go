@@ -1,0 +1,188 @@
+// Package lint is the cross-layer static verification framework of the
+// synthesis flow: a registry of analyzers in the style of go/analysis,
+// each inspecting one artifact layer of a synthesized design — the
+// data-flow graph, the schedule and its recorded move frames, the
+// Liapunov trajectory, the RTL datapath, the FSM controller, and the
+// emitted netlist text — and reporting typed diag.Diagnostic findings
+// with stable codes (see internal/diag's registry).
+//
+// Analyzers are independent and run concurrently on the shared worker
+// pool; aggregation is deterministic (input order, then diag.Sort), so
+// a lint run is byte-identical at every parallelism setting. The
+// cmd/hlslint CLI and core.Config.Lint both drive this package.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ctrl"
+	"repro/internal/dfg"
+	"repro/internal/diag"
+	"repro/internal/pool"
+	"repro/internal/rtl"
+	"repro/internal/sched"
+)
+
+// Unit bundles the artifacts of one synthesized design for a lint run.
+// Only Graph is mandatory; analyzers whose artifact is absent report
+// nothing, so a Unit holding just a graph and a schedule gets the DFG,
+// frames and Liapunov passes and skips the rest.
+type Unit struct {
+	// Design is the design name used in diagnostics; empty defaults to
+	// Graph.Name.
+	Design string
+
+	// Graph is the behavioral data-flow graph.
+	Graph *dfg.Graph
+
+	// Outputs lists the declared primary outputs. Empty means the graph's
+	// sinks are the outputs (every node feeds an output transitively), in
+	// which case the dead-node check is vacuous by construction.
+	Outputs []string
+
+	// Schedule is the MFS/MFSA result, with its recorded Trace when the
+	// scheduler produced one.
+	Schedule *sched.Schedule
+
+	// Limits are the per-type FU instance limits the schedule was run
+	// under, if any.
+	Limits map[string]int
+
+	// Datapath is the allocated RTL structure.
+	Datapath *rtl.Datapath
+
+	// Style2 asserts the datapath was built under the style-2 restriction
+	// (no ALU executes two data-dependent operations).
+	Style2 bool
+
+	// Controller is the FSM control path.
+	Controller *ctrl.Controller
+
+	// Netlist is the emitted structural Verilog text.
+	Netlist string
+}
+
+func (u *Unit) designName() string {
+	if u.Design != "" {
+		return u.Design
+	}
+	if u.Graph != nil {
+		return u.Graph.Name
+	}
+	return ""
+}
+
+// Analyzer is one registered lint pass.
+type Analyzer struct {
+	// Name is the pass identifier, unique in the registry, used for
+	// selection (-run) and stamped on every diagnostic the pass reports.
+	Name string
+
+	// Doc is a one-line description of what the pass checks.
+	Doc string
+
+	// Run inspects the unit and returns its findings. Run must be safe
+	// for concurrent use with other analyzers over the same (read-only)
+	// unit and must not mutate the unit's artifacts.
+	Run func(u *Unit) diag.List
+}
+
+// registry holds the built-in analyzers, ordered by name.
+var registry = []*Analyzer{
+	allocAnalyzer,
+	ctrlAnalyzer,
+	dfgAnalyzer,
+	framesAnalyzer,
+	liapunovAnalyzer,
+	netlistAnalyzer,
+}
+
+// Analyzers returns the registered passes sorted by name. The slice is
+// fresh; the Analyzer values are shared.
+func Analyzers() []*Analyzer {
+	out := append([]*Analyzer(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Options configures a lint run.
+type Options struct {
+	// Analyzers selects passes by name; empty runs all of them.
+	Analyzers []string
+
+	// Parallelism bounds the worker pool: 0 = GOMAXPROCS, 1 =
+	// sequential. Every setting produces identical output.
+	Parallelism int
+}
+
+// Run executes the selected analyzers over the unit concurrently and
+// returns the aggregated, deterministically sorted findings. A pass
+// that panics is converted into an HL0001 error diagnostic rather than
+// crashing the run. Run fails only on an unknown analyzer name.
+func Run(u *Unit, opts Options) (diag.List, error) {
+	selected, err := selectAnalyzers(opts.Analyzers)
+	if err != nil {
+		return nil, err
+	}
+	design := u.designName()
+	results, _ := pool.Map(pool.Size(opts.Parallelism), len(selected),
+		func(i int) (diag.List, error) {
+			return runOne(selected[i], u), nil
+		})
+	var all diag.List
+	for i, ds := range results {
+		for _, d := range ds {
+			if d.Analyzer == "" {
+				d.Analyzer = selected[i].Name
+			}
+			if d.Design == "" {
+				d.Design = design
+			}
+			all = append(all, d)
+		}
+	}
+	all.Sort()
+	return all, nil
+}
+
+// runOne executes a single pass, converting panics into diagnostics so
+// one broken analyzer cannot take down the whole run.
+func runOne(a *Analyzer, u *Unit) (out diag.List) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = diag.List{{
+				Code:     diag.CodeAnalyzerCrash,
+				Severity: diag.Error,
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("analyzer %s panicked: %v", a.Name, r),
+			}}
+		}
+	}()
+	return a.Run(u)
+}
+
+func selectAnalyzers(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	out := make([]*Analyzer, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/diag"
+)
+
+// netlistAnalyzer re-parses the emitted structural Verilog and checks
+// it as a netlist, without trusting the emitter that produced it:
+// undriven and multiply-driven nets, undeclared identifiers, duplicate
+// declarations (sanitize collisions), width mismatches on direct
+// connections, unassigned output ports, and combinational loops
+// through the continuous-assign network.
+var netlistAnalyzer = &Analyzer{
+	Name: "netlist",
+	Doc:  "netlist lint on the emitted Verilog: drivers, declarations, widths, combinational loops",
+	Run:  runNetlist,
+}
+
+func runNetlist(u *Unit) diag.List {
+	if u.Netlist == "" {
+		return nil
+	}
+	m, out := parseNetlist(u.Netlist)
+	report := func(code string, sev diag.Severity, line int, msg string) {
+		out = append(out, diag.Diagnostic{
+			Code: code, Severity: sev, Artifact: "netlist",
+			Loc: fmt.Sprintf("line %d", line), Message: msg,
+		})
+	}
+
+	// Driver census: continuous assigns and procedural writes per net.
+	contDrivers := make(map[string][]*netAssign)
+	procDrivers := make(map[string][]*netAssign)
+	for _, a := range m.assigns {
+		contDrivers[a.lhs] = append(contDrivers[a.lhs], a)
+	}
+	for _, a := range m.procs {
+		procDrivers[a.lhs] = append(procDrivers[a.lhs], a)
+	}
+
+	// Undeclared identifiers, on either side of any assignment.
+	checkDeclared := func(name string, line int, role string) {
+		if _, ok := m.decls[name]; !ok {
+			report(diag.CodeNetUndeclared, diag.Error, line,
+				fmt.Sprintf("%s %q is never declared", role, name))
+		}
+	}
+	for _, a := range m.assigns {
+		checkDeclared(a.lhs, a.line, "assignment target")
+		for _, r := range a.rhs {
+			checkDeclared(r, a.line, "identifier")
+		}
+	}
+	for _, a := range m.procs {
+		checkDeclared(a.lhs, a.line, "assignment target")
+		for _, r := range a.rhs {
+			checkDeclared(r, a.line, "identifier")
+		}
+	}
+
+	// Per-net driver rules, in declaration order for determinism.
+	used := make(map[string]bool) // nets read by some RHS
+	for _, a := range m.assigns {
+		for _, r := range a.rhs {
+			used[r] = true
+		}
+	}
+	for _, a := range m.procs {
+		for _, r := range a.rhs {
+			used[r] = true
+		}
+	}
+	for _, name := range m.order {
+		d := m.decls[name]
+		cont, proc := contDrivers[name], procDrivers[name]
+		switch {
+		case d.kind == "input":
+			if len(cont) > 0 || len(proc) > 0 {
+				line := d.line
+				if len(cont) > 0 {
+					line = cont[0].line
+				} else {
+					line = proc[0].line
+				}
+				report(diag.CodeNetMultiDriven, diag.Error, line,
+					fmt.Sprintf("input port %q is driven inside the module", name))
+			}
+		case len(cont) > 1:
+			report(diag.CodeNetMultiDriven, diag.Error, cont[1].line,
+				fmt.Sprintf("net %q has %d continuous drivers (first at line %d)", name, len(cont), cont[0].line))
+		case len(cont) > 0 && len(proc) > 0:
+			report(diag.CodeNetMultiDriven, diag.Error, proc[0].line,
+				fmt.Sprintf("net %q is driven both continuously (line %d) and procedurally (line %d)",
+					name, cont[0].line, proc[0].line))
+		case d.kind == "output" && len(cont) == 0 && len(proc) == 0:
+			report(diag.CodeNetOutput, diag.Error, d.line,
+				fmt.Sprintf("output port %q is never assigned", name))
+		case d.kind == "wire" && used[name] && len(cont) == 0 && len(proc) == 0:
+			report(diag.CodeNetUndriven, diag.Error, d.line,
+				fmt.Sprintf("wire %q is read but never driven", name))
+		}
+	}
+
+	// Width agreement on direct connections (assign a = b with both
+	// sides declared). Expressions are skipped: the emitted subset only
+	// ever combines same-width operands, and re-deriving expression
+	// widths would duplicate the emitter's job rather than check it.
+	checkWidth := func(a *netAssign) {
+		if a.rhsIdent == "" {
+			return
+		}
+		l, lok := m.decls[a.lhs]
+		r, rok := m.decls[a.rhsIdent]
+		if lok && rok && l.width != r.width {
+			report(diag.CodeNetWidth, diag.Error, a.line,
+				fmt.Sprintf("width mismatch: %q is %d bits, %q is %d bits", a.lhs, l.width, a.rhsIdent, r.width))
+		}
+	}
+	for _, a := range m.assigns {
+		checkWidth(a)
+	}
+	for _, a := range m.procs {
+		checkWidth(a)
+	}
+
+	out = append(out, netCombLoops(m)...)
+	return out
+}
+
+// netCombLoops finds cycles in the continuous-assign dependency graph.
+// Procedural (clocked) assignments break combinational paths and are
+// excluded; a cycle purely through assign statements is unsimulatable
+// hardware.
+func netCombLoops(m *netModule) diag.List {
+	deps := make(map[string][]string) // lhs -> identifiers its assign reads
+	line := make(map[string]int)
+	for _, a := range m.assigns {
+		deps[a.lhs] = append(deps[a.lhs], a.rhs...)
+		if _, ok := line[a.lhs]; !ok {
+			line[a.lhs] = a.line
+		}
+	}
+	names := make([]string, 0, len(deps))
+	for n := range deps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	onLoop := make(map[string]bool)
+	var stack []string
+	var visit func(n string)
+	visit = func(n string) {
+		color[n] = gray
+		stack = append(stack, n)
+		for _, d := range deps[n] {
+			switch color[d] {
+			case white:
+				if _, driven := deps[d]; driven {
+					visit(d)
+				}
+			case gray:
+				for i := len(stack) - 1; i >= 0; i-- {
+					onLoop[stack[i]] = true
+					if stack[i] == d {
+						break
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+	}
+	for _, n := range names {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+
+	var out diag.List
+	looped := make([]string, 0, len(onLoop))
+	for n := range onLoop {
+		looped = append(looped, n)
+	}
+	sort.Strings(looped)
+	for _, n := range looped {
+		out = append(out, diag.Diagnostic{
+			Code: diag.CodeNetCombLoop, Severity: diag.Error, Artifact: "netlist",
+			Loc:     fmt.Sprintf("line %d", line[n]),
+			Message: fmt.Sprintf("net %q lies on a combinational loop through assign statements", n),
+		})
+	}
+	return out
+}

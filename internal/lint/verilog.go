@@ -1,0 +1,303 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// verilog.go is a small parser for the structural-Verilog subset
+// internal/emit produces: one module, scalar/vector port and net
+// declarations, continuous assigns, and always-blocks whose bodies are
+// nonblocking assignments (possibly behind if/else or case items). It
+// reconstructs enough structure — declarations with widths, drivers,
+// uses — for the netlist analyzer to re-check the emitted text without
+// trusting the emitter.
+
+type netDecl struct {
+	name  string
+	kind  string // "input", "output", "wire", "reg"
+	width int
+	line  int
+}
+
+type netAssign struct {
+	lhs      string
+	rhs      []string // identifiers read by the right-hand side
+	rhsIdent string   // non-empty when the RHS is a single bare identifier
+	line     int
+}
+
+type netModule struct {
+	name    string
+	decls   map[string]*netDecl
+	order   []string     // declaration order, for deterministic reports
+	assigns []*netAssign // continuous (assign ... = ...)
+	procs   []*netAssign // procedural (... <= ...)
+}
+
+// parseNetlist parses the emitted text, reporting HL0505 duplicate
+// declarations and HL0508 unparseable constructs as it goes.
+func parseNetlist(text string) (*netModule, diag.List) {
+	m := &netModule{decls: make(map[string]*netDecl)}
+	var out diag.List
+	report := func(code string, sev diag.Severity, line int, msg string) {
+		out = append(out, diag.Diagnostic{
+			Code: code, Severity: sev, Artifact: "netlist",
+			Loc: fmt.Sprintf("line %d", line), Message: msg,
+		})
+	}
+	declare := func(d *netDecl) {
+		if prev, dup := m.decls[d.name]; dup {
+			report(diag.CodeNetDupDecl, diag.Error, d.line,
+				fmt.Sprintf("identifier %q declared twice (lines %d and %d)", d.name, prev.line, d.line))
+			return
+		}
+		m.decls[d.name] = d
+		m.order = append(m.order, d.name)
+	}
+
+	inHeader := false
+	for i, raw := range strings.Split(text, "\n") {
+		ln := i + 1
+		line := raw
+		if k := strings.Index(line, "//"); k >= 0 {
+			line = line[:k]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "module "):
+			rest := strings.TrimPrefix(line, "module ")
+			if k := strings.IndexAny(rest, " ("); k >= 0 {
+				rest = rest[:k]
+			}
+			if m.name != "" {
+				report(diag.CodeNetParse, diag.Warn, ln, "second module declaration; only the first is linted")
+				continue
+			}
+			m.name = rest
+			inHeader = true
+		case inHeader && (strings.HasPrefix(line, "input") || strings.HasPrefix(line, "output")):
+			kind := "input"
+			if strings.HasPrefix(line, "output") {
+				kind = "output"
+			}
+			name, width, ok := parsePortDecl(line)
+			if !ok {
+				report(diag.CodeNetParse, diag.Warn, ln, fmt.Sprintf("cannot parse port declaration %q", line))
+				continue
+			}
+			declare(&netDecl{name: name, kind: kind, width: width, line: ln})
+			if strings.Contains(line, ");") {
+				inHeader = false
+			}
+		case inHeader && strings.HasPrefix(line, ");"):
+			inHeader = false
+		case strings.HasPrefix(line, "wire") || strings.HasPrefix(line, "reg"):
+			kind := "wire"
+			if strings.HasPrefix(line, "reg") {
+				kind = "reg"
+			}
+			name, width, ok := parseNetDecl(line)
+			if !ok {
+				report(diag.CodeNetParse, diag.Warn, ln, fmt.Sprintf("cannot parse declaration %q", line))
+				continue
+			}
+			declare(&netDecl{name: name, kind: kind, width: width, line: ln})
+		case strings.HasPrefix(line, "assign "):
+			body := strings.TrimSuffix(strings.TrimPrefix(line, "assign "), ";")
+			lhs, rhs, ok := strings.Cut(body, "=")
+			if !ok {
+				report(diag.CodeNetParse, diag.Warn, ln, fmt.Sprintf("cannot parse assign %q", line))
+				continue
+			}
+			m.assigns = append(m.assigns, newAssign(lhs, rhs, ln))
+		case strings.Contains(line, "<="):
+			k := strings.Index(line, "<=")
+			lhsIDs := identsOf(line[:k])
+			if len(lhsIDs) == 0 {
+				report(diag.CodeNetParse, diag.Warn, ln, fmt.Sprintf("cannot find assignment target in %q", line))
+				continue
+			}
+			rhs := line[k+2:]
+			if s := strings.Index(rhs, ";"); s >= 0 {
+				rhs = rhs[:s]
+			}
+			// The target is the identifier immediately before "<="; any
+			// earlier identifiers belong to an if/else condition.
+			m.procs = append(m.procs, newAssign(lhsIDs[len(lhsIDs)-1], rhs, ln))
+		case isStructuralLine(line):
+			// Block structure the checks don't need: always headers, case
+			// scaffolding, begin/end, endmodule.
+		default:
+			report(diag.CodeNetParse, diag.Warn, ln, fmt.Sprintf("construct the netlist parser cannot understand: %q", line))
+		}
+	}
+	if m.name == "" {
+		report(diag.CodeNetParse, diag.Error, 1, "no module declaration found")
+	}
+	return m, out
+}
+
+func newAssign(lhs, rhs string, line int) *netAssign {
+	a := &netAssign{lhs: strings.TrimSpace(lhs), rhs: identsOf(rhs), line: line}
+	if single := strings.TrimSpace(rhs); isIdent(single) {
+		a.rhsIdent = single
+	}
+	return a
+}
+
+// parsePortDecl parses "input  wire [31:0] x," / "output wire y".
+func parsePortDecl(line string) (name string, width int, ok bool) {
+	line = strings.TrimRight(strings.TrimSpace(line), ",")
+	line = strings.TrimSuffix(line, ");")
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "", 0, false
+	}
+	width = 1
+	name = fields[len(fields)-1]
+	for _, f := range fields[1 : len(fields)-1] {
+		if w, isRange := parseRange(f); isRange {
+			width = w
+		}
+	}
+	if !isIdent(name) {
+		return "", 0, false
+	}
+	return name, width, true
+}
+
+// parseNetDecl parses "wire [31:0] w_x;" / "reg [2:0] state;".
+func parseNetDecl(line string) (name string, width int, ok bool) {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ";")
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "", 0, false
+	}
+	width = 1
+	name = fields[len(fields)-1]
+	for _, f := range fields[1 : len(fields)-1] {
+		if w, isRange := parseRange(f); isRange {
+			width = w
+		}
+	}
+	if !isIdent(name) {
+		return "", 0, false
+	}
+	return name, width, true
+}
+
+// parseRange turns "[31:0]" into a width of 32.
+func parseRange(s string) (int, bool) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, false
+	}
+	body := s[1 : len(s)-1]
+	hi, lo, ok := strings.Cut(body, ":")
+	if !ok {
+		return 0, false
+	}
+	h, herr := atoiSafe(hi)
+	l, lerr := atoiSafe(lo)
+	if herr || lerr || h < l {
+		return 0, false
+	}
+	return h - l + 1, true
+}
+
+func atoiSafe(s string) (int, bool) {
+	n := 0
+	if s == "" {
+		return 0, true
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, true
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n, false
+}
+
+func isStructuralLine(line string) bool {
+	switch {
+	case strings.HasPrefix(line, "always "),
+		strings.HasPrefix(line, "case"),
+		strings.HasPrefix(line, "endcase"),
+		strings.HasPrefix(line, "default"),
+		strings.HasPrefix(line, "begin"),
+		line == "end",
+		strings.HasPrefix(line, "end "),
+		strings.HasPrefix(line, "endmodule"),
+		strings.HasPrefix(line, "if "),
+		strings.HasPrefix(line, "if("),
+		strings.HasPrefix(line, "else"):
+		return true
+	}
+	// Case items: "3: begin".
+	if k := strings.Index(line, ":"); k > 0 {
+		if _, bad := atoiSafe(strings.TrimSpace(line[:k])); !bad {
+			return true
+		}
+	}
+	return false
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isIdent(s string) bool {
+	if s == "" || !isIdentStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isIdentChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// identsOf extracts the identifiers an expression reads, skipping
+// numeric and based literals like 7 and 32'd0.
+func identsOf(expr string) []string {
+	var out []string
+	i := 0
+	for i < len(expr) {
+		c := expr[i]
+		switch {
+		case c == '\'': // based literal: skip the base letter and the value
+			i++
+			if i < len(expr) {
+				i++
+			}
+			for i < len(expr) && isIdentChar(expr[i]) {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			for i < len(expr) && isIdentChar(expr[i]) {
+				i++
+			}
+		case isIdentStart(c):
+			j := i
+			for j < len(expr) && isIdentChar(expr[j]) {
+				j++
+			}
+			out = append(out, expr[i:j])
+			i = j
+		default:
+			i++
+		}
+	}
+	return out
+}

@@ -166,6 +166,7 @@ type scheduler struct {
 	maxj    map[string]int
 	current map[string]int
 	placed  map[dfg.NodeID]sched.Placement
+	trace   []sched.TraceStep
 }
 
 // runOnce performs one fixed-cs scheduling run against precomputed
@@ -321,6 +322,15 @@ func (s *scheduler) placeOne(id dfg.NodeID) error {
 				return fmt.Errorf("mfs: %w", err)
 			}
 			s.placed[id] = sched.Placement{Step: p.Step, Type: typ, Index: p.Index}
+			// Record the decision for the Liapunov audit: the frames the
+			// operation saw, the scheduler's FU estimate, and the energy
+			// of the committed position.
+			s.trace = append(s.trace, sched.TraceStep{
+				Node: id, Type: typ,
+				PF: fs.PF, RF: fs.RF, FF: fs.FF, MF: fs.MF,
+				CurrentJ: s.current[typ], MaxJ: s.maxj[typ],
+				Pos: p, Energy: s.lf.Value(p),
+			})
 			return nil
 		}
 		if s.current[typ] < s.maxj[typ] {
@@ -435,6 +445,7 @@ func (s *scheduler) finish() (*sched.Schedule, error) {
 	for id, p := range s.placed {
 		out.Place(id, p)
 	}
+	out.Trace = &sched.Trace{Fn: s.lf, Steps: s.trace}
 	if err := out.Verify(s.opt.Limits); err != nil {
 		return nil, fmt.Errorf("mfs: internal: produced illegal schedule: %w", err)
 	}

@@ -89,6 +89,7 @@ func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
 	step := s.Placements[id].Step
 	units := candidateUnits(st.opt, n)
 	var best candidate
+	var evaluated []sched.TraceCandidate
 	found := false
 	consider := func(u *library.Unit, idx int) {
 		table := st.tables[u.Name]
@@ -101,6 +102,7 @@ func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
 		}
 		v, swapped := st.value(n, u, p)
 		c := candidate{unit: u, pos: p, value: v, swapped: swapped}
+		evaluated = append(evaluated, sched.TraceCandidate{Pos: p, Type: u.Name, Energy: v})
 		if !found || less(c, best) {
 			best, found = c, true
 		}
@@ -127,7 +129,7 @@ func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
 	if !found {
 		return fmt.Errorf("mfsa: no ALU for %q at step %d", n.Name, step)
 	}
-	return st.commit(n, best)
+	return st.commit(n, best, evaluated)
 }
 
 func (st *state) finishAlloc() (*Result, error) {
@@ -142,6 +144,7 @@ func (st *state) finishAlloc() (*Result, error) {
 	for id, p := range st.placed {
 		out.Place(id, p)
 	}
+	out.Trace = &sched.Trace{Steps: st.trace}
 	if err := out.Verify(st.opt.Limits); err != nil {
 		return nil, fmt.Errorf("mfsa: allocation produced an illegal binding: %w", err)
 	}

@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"repro/internal/dfg"
+	"repro/internal/diag"
 	"repro/internal/grid"
 	"repro/internal/liapunov"
 	"repro/internal/library"
@@ -167,6 +168,7 @@ type state struct {
 
 	placed map[dfg.NodeID]sched.Placement
 	steps  map[dfg.NodeID]int // start steps, for ChainFits
+	trace  []sched.TraceStep
 
 	dp   *rtl.Datapath
 	alus map[cell]*rtl.ALU // live ALU instances by (unit, column)
@@ -248,9 +250,9 @@ func (s *state) placeOne(id dfg.NodeID) error {
 	n := s.g.Node(id)
 	units := candidateUnits(s.opt, n)
 	for {
-		best, ok := s.bestCandidate(n, units)
+		best, evaluated, ok := s.bestCandidate(n, units)
 		if ok {
-			return s.commit(n, best)
+			return s.commit(n, best, evaluated)
 		}
 		// Local rescheduling: open one more instance of exactly one
 		// capable type — the cheapest with headroom — and re-frame.
@@ -282,9 +284,10 @@ type candidate struct {
 	swapped bool
 }
 
-func (s *state) bestCandidate(n *dfg.Node, units []*library.Unit) (candidate, bool) {
+func (s *state) bestCandidate(n *dfg.Node, units []*library.Unit) (candidate, []sched.TraceCandidate, bool) {
 	lo, hi := s.window(n)
 	var best candidate
+	var evaluated []sched.TraceCandidate
 	found := false
 	for _, u := range units {
 		table := s.tables[u.Name]
@@ -298,12 +301,13 @@ func (s *state) bestCandidate(n *dfg.Node, units []*library.Unit) (candidate, bo
 			}
 			v, swapped := s.value(n, u, p)
 			cand := candidate{unit: u, pos: p, value: v, swapped: swapped}
+			evaluated = append(evaluated, sched.TraceCandidate{Pos: p, Type: u.Name, Energy: v})
 			if !found || less(cand, best) {
 				best, found = cand, true
 			}
 		}
 	}
-	return best, found
+	return best, evaluated, found
 }
 
 func less(a, b candidate) bool {
@@ -506,8 +510,9 @@ func (s *state) intervals(extra *dfg.Node, extraStep int) []rtl.Interval {
 }
 
 // commit places n at the chosen candidate: grid footprint, datapath
-// binding, and bookkeeping.
-func (s *state) commit(n *dfg.Node, c candidate) error {
+// binding, and bookkeeping. evaluated is the full alternative set the
+// choice was made from, recorded for the Liapunov audit.
+func (s *state) commit(n *dfg.Node, c candidate, evaluated []sched.TraceCandidate) error {
 	table := s.tables[c.unit.Name]
 	if err := table.Place(s.g, n.ID, c.pos, n.Cycles); err != nil {
 		return fmt.Errorf("mfsa: %w", err)
@@ -521,6 +526,12 @@ func (s *state) commit(n *dfg.Node, c candidate) error {
 	a.Bind(n, n.Args, c.pos.Step)
 	s.placed[n.ID] = sched.Placement{Step: c.pos.Step, Type: c.unit.Name, Index: c.pos.Index}
 	s.steps[n.ID] = c.pos.Step
+	s.trace = append(s.trace, sched.TraceStep{
+		Node: n.ID, Type: c.unit.Name,
+		CurrentJ: s.current[c.unit.Name], MaxJ: s.maxInst[c.unit.Name],
+		Pos: c.pos, Energy: c.value,
+		Candidates: evaluated,
+	})
 	return nil
 }
 
@@ -536,6 +547,7 @@ func (s *state) finish() (*Result, error) {
 	for id, p := range s.placed {
 		out.Place(id, p)
 	}
+	out.Trace = &sched.Trace{Steps: s.trace}
 	if err := out.Verify(s.opt.Limits); err != nil {
 		return nil, fmt.Errorf("mfsa: internal: produced illegal schedule: %w", err)
 	}
@@ -554,19 +566,35 @@ func (s *state) finish() (*Result, error) {
 	return &Result{Schedule: out, Datapath: s.dp, Cost: s.dp.Cost()}, nil
 }
 
-// VerifyStyle2 checks the style-2 restriction on a finished datapath: no
-// ALU executes two operations connected by a data edge.
-func VerifyStyle2(g *dfg.Graph, dp *rtl.Datapath) error {
+// VerifyStyle2All checks the style-2 restriction on a finished datapath
+// — no ALU executes two operations connected by a data edge — and
+// returns every violation as a typed diagnostic. VerifyStyle2 is the
+// historical first-error shim on top.
+func VerifyStyle2All(g *dfg.Graph, dp *rtl.Datapath) diag.List {
+	var out diag.List
 	for _, a := range dp.ALUs {
 		for _, b := range a.Ops {
 			n := g.Node(b.Node)
 			for _, pid := range n.Preds() {
 				if a.HasNode(pid) {
-					return fmt.Errorf("style 2 violated: %q and its predecessor %q share %s",
-						n.Name, g.Node(pid).Name, a.Name)
+					out = append(out, diag.Diagnostic{
+						Code: diag.CodeStyle2SelfLoop, Severity: diag.Error,
+						Artifact: "datapath", Design: g.Name, Loc: a.Name,
+						Message: fmt.Sprintf("style 2 violated: %q and its predecessor %q share %s",
+							n.Name, g.Node(pid).Name, a.Name),
+					})
 				}
 			}
 		}
+	}
+	return out
+}
+
+// VerifyStyle2 returns the first style-2 violation found (same message
+// string as the historical single-error verifier), or nil.
+func VerifyStyle2(g *dfg.Graph, dp *rtl.Datapath) error {
+	if all := VerifyStyle2All(g, dp); len(all) > 0 {
+		return all[:1].ErrOrNil()
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/dfg"
+	"repro/internal/diag"
 	"repro/internal/library"
 )
 
@@ -274,20 +275,33 @@ func (d *Datapath) ALUSummary() string {
 	return out
 }
 
-// Validate checks structural sanity: every binding's step positive, no
-// node bound twice, mux lists deduplicated, and registers non-overlapping.
-func (d *Datapath) Validate() error {
+// ValidateAll checks structural sanity — every binding's step positive,
+// no node bound twice, mux lists deduplicated, registers non-overlapping
+// — and returns every violation found as a typed diagnostic. Validate is
+// the historical first-error shim on top.
+func (d *Datapath) ValidateAll() diag.List {
+	var out diag.List
+	report := func(code, loc, msg string) {
+		out = append(out, diag.Diagnostic{
+			Code: code, Severity: diag.Error,
+			Artifact: "datapath", Loc: loc, Message: msg,
+		})
+	}
 	seen := make(map[dfg.NodeID]string)
 	for _, a := range d.ALUs {
 		if a.Unit == nil {
-			return fmt.Errorf("rtl: ALU %s has no unit", a.Name)
+			report(diag.CodeALUNoUnit, a.Name,
+				fmt.Sprintf("rtl: ALU %s has no unit", a.Name))
 		}
 		for _, b := range a.Ops {
 			if b.Step < 1 {
-				return fmt.Errorf("rtl: ALU %s: node %d at step %d", a.Name, b.Node, b.Step)
+				report(diag.CodeALUBadStep, a.Name,
+					fmt.Sprintf("rtl: ALU %s: node %d at step %d", a.Name, b.Node, b.Step))
 			}
 			if prev, dup := seen[b.Node]; dup {
-				return fmt.Errorf("rtl: node %d bound to both %s and %s", b.Node, prev, a.Name)
+				report(diag.CodeALUDupBind, a.Name,
+					fmt.Sprintf("rtl: node %d bound to both %s and %s", b.Node, prev, a.Name))
+				continue
 			}
 			seen[b.Node] = a.Name
 		}
@@ -295,7 +309,9 @@ func (d *Datapath) Validate() error {
 			names := make(map[string]bool)
 			for _, s := range l {
 				if names[s] {
-					return fmt.Errorf("rtl: ALU %s: duplicate mux input %q", a.Name, s)
+					report(diag.CodeMuxDupInput, a.Name,
+						fmt.Sprintf("rtl: ALU %s: duplicate mux input %q", a.Name, s))
+					continue
 				}
 				names[s] = true
 			}
@@ -305,10 +321,20 @@ func (d *Datapath) Validate() error {
 		for i := 0; i < len(grp); i++ {
 			for j := i + 1; j < len(grp); j++ {
 				if grp[i].overlaps(grp[j]) {
-					return fmt.Errorf("rtl: register %d: %q overlaps %q", r, grp[i].Name, grp[j].Name)
+					report(diag.CodeRegOverlap, fmt.Sprintf("R%d", r),
+						fmt.Sprintf("rtl: register %d: %q overlaps %q", r, grp[i].Name, grp[j].Name))
 				}
 			}
 		}
+	}
+	return out
+}
+
+// Validate returns the first violation ValidateAll finds (with the same
+// message string as the historical single-error validator), or nil.
+func (d *Datapath) Validate() error {
+	if all := d.ValidateAll(); len(all) > 0 {
+		return all[:1].ErrOrNil()
 	}
 	return nil
 }

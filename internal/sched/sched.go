@@ -43,6 +43,12 @@ type Schedule struct {
 	// units (§5.5.1): instances accept a new operation every step, so two
 	// operations on one instance conflict only when they start together.
 	PipelinedTypes map[string]bool
+
+	// Trace, when non-nil, is the recorded move trajectory of the run
+	// that produced the schedule (see Trace). The schedulers record it
+	// so the Liapunov audit can replay every placement decision; it is
+	// advisory metadata and plays no part in legality.
+	Trace *Trace
 }
 
 // NewSchedule returns an empty schedule over g with cs control steps.

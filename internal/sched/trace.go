@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"repro/internal/dfg"
+	"repro/internal/grid"
+	"repro/internal/liapunov"
+)
+
+// TraceCandidate is one evaluated alternative of a placement decision:
+// a grid position (on the FU type's table), the type it was evaluated
+// on, and its Liapunov energy at decision time. MFSA records the full
+// candidate set it compared; MFS leaves Candidates empty because its
+// static energy function lets an auditor re-enumerate the alternatives
+// from the recorded frames alone.
+type TraceCandidate struct {
+	Pos    grid.Pos
+	Type   string
+	Energy float64
+}
+
+// TraceStep records one committed placement decision: which node moved,
+// the frames it saw (the paper's PF, RF, FF and the derived
+// MF = PF − (RF ∪ FF)), the scheduler's running FU estimate at that
+// moment, the position chosen, and its energy under the run's guiding
+// function. Steps are recorded in commit order, so replaying them in
+// sequence reconstructs the exact grid occupancy every decision was
+// made against.
+type TraceStep struct {
+	Node dfg.NodeID
+	Type string // FU type key: op symbol (MFS) or library unit name (MFSA)
+
+	// PF, RF, FF, MF are the frames at commit time. MFSA folds its
+	// forbidden frame into the window bounds and leaves these nil; the
+	// Candidates list then carries the audit trail instead.
+	PF, RF, FF, MF grid.Frame
+
+	// CurrentJ and MaxJ are the running FU estimate current_j and the
+	// bound max_j of the node's type when the decision was taken.
+	CurrentJ, MaxJ int
+
+	Pos    grid.Pos
+	Energy float64
+
+	// Candidates lists every alternative the scheduler evaluated,
+	// including the chosen one (MFSA only; nil for MFS).
+	Candidates []TraceCandidate
+}
+
+// Trace is the recorded move trajectory of one scheduling run. The
+// Liapunov audit (internal/lint) replays it: it rebuilds the placement
+// grids step by step, re-derives each move frame independently, and
+// flags any step that failed to decrease the Liapunov energy V(X) to
+// the minimum free position — the monotone-descent property the
+// paper's convergence argument rests on.
+type Trace struct {
+	// Fn is the static guiding function of the run, when one exists
+	// (MFS). MFSA's dynamic composite function depends on datapath
+	// state, so MFSA leaves Fn nil and records Candidates instead.
+	Fn liapunov.Func
+
+	Steps []TraceStep
+}
+
+// StepFor returns the trace step that committed node id, if recorded.
+func (t *Trace) StepFor(id dfg.NodeID) (*TraceStep, bool) {
+	if t == nil {
+		return nil, false
+	}
+	for i := range t.Steps {
+		if t.Steps[i].Node == id {
+			return &t.Steps[i], true
+		}
+	}
+	return nil, false
+}

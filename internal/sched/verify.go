@@ -5,68 +5,117 @@ import (
 	"sort"
 
 	"repro/internal/dfg"
+	"repro/internal/diag"
 )
 
-// Verify checks a schedule's legality independently of the scheduler that
-// produced it: completeness, bounds, data dependencies (with chaining
-// delays when ClockNs > 0), functional-unit conflicts (honoring mutual
-// exclusion, multicycle footprints, structural pipelining, and functional
-// pipelining), and optional per-type instance limits. It returns the first
-// violation found, or nil for a legal schedule.
-func (s *Schedule) Verify(limits map[string]int) error {
-	g := s.Graph
+// The verifier is organized as independent passes — shape, data
+// dependencies, functional-unit conflicts, instance limits — each
+// reporting every violation it finds as a typed diag.Diagnostic with a
+// stable code. Verify keeps the historical first-error contract on top
+// of the passes (same strings, same order), so legacy callers are
+// unaffected; VerifyAll exposes the full list and is what the lint
+// framework (internal/lint) builds on.
+
+// VerifyAll checks a schedule's legality independently of the scheduler
+// that produced it and returns every violation found: completeness,
+// bounds, data dependencies (with chaining delays when ClockNs > 0),
+// functional-unit conflicts (honoring mutual exclusion, multicycle
+// footprints, structural pipelining and functional pipelining), and
+// optional per-type instance limits. An empty list means a legal
+// schedule.
+func (s *Schedule) VerifyAll(limits map[string]int) diag.List {
+	var out diag.List
+	report := func(d diag.Diagnostic) {
+		d.Artifact = "schedule"
+		d.Design = s.Graph.Name
+		d.Severity = diag.Error
+		out = append(out, d)
+	}
 	if s.CS < 1 {
-		return fmt.Errorf("verify %s: cs %d", g.Name, s.CS)
+		report(diag.Diagnostic{
+			Code:    diag.CodeSchedStepRange,
+			Message: fmt.Sprintf("verify %s: cs %d", s.Graph.Name, s.CS),
+		})
+		return out
 	}
-	for _, n := range g.Nodes() {
-		p, ok := s.Placements[n.ID]
-		if !ok {
-			return fmt.Errorf("verify %s: node %q unplaced", g.Name, n.Name)
-		}
-		if p.Step < 1 || p.Step+n.Cycles-1 > s.CS {
-			return fmt.Errorf("verify %s: node %q at step %d (cycles %d) outside 1..%d",
-				g.Name, n.Name, p.Step, n.Cycles, s.CS)
-		}
-		if p.Index < 1 {
-			return fmt.Errorf("verify %s: node %q: FU index %d", g.Name, n.Name, p.Index)
-		}
-		if p.Type == "" {
-			return fmt.Errorf("verify %s: node %q: empty FU type", g.Name, n.Name)
-		}
-		if s.Latency > 0 && n.Cycles > s.Latency && !s.PipelinedTypes[p.Type] {
-			return fmt.Errorf("verify %s: node %q: %d cycles exceed pipeline latency %d",
-				g.Name, n.Name, n.Cycles, s.Latency)
-		}
-	}
-	if err := s.verifyDeps(); err != nil {
-		return err
-	}
-	if err := s.verifyConflicts(); err != nil {
-		return err
-	}
-	if limits != nil {
-		for typ, used := range s.InstancesPerType() {
-			if lim, ok := limits[typ]; ok && used > lim {
-				return fmt.Errorf("verify %s: type %s uses %d instances, limit %d",
-					g.Name, typ, used, lim)
-			}
-		}
+	s.verifyShape(report)
+	s.verifyDeps(report)
+	s.verifyConflicts(report)
+	s.verifyLimits(limits, report)
+	return out
+}
+
+// Verify is the first-error shim over VerifyAll: it returns the first
+// violation found (in the same pass order, with the same message
+// strings, as the historical single-error verifier), or nil for a
+// legal schedule.
+func (s *Schedule) Verify(limits map[string]int) error {
+	if all := s.VerifyAll(limits); len(all) > 0 {
+		return all[:1].ErrOrNil()
 	}
 	return nil
 }
 
-func (s *Schedule) verifyDeps() error {
+// verifyShape checks per-node completeness and bounds.
+func (s *Schedule) verifyShape(report func(diag.Diagnostic)) {
+	g := s.Graph
+	for _, n := range g.Nodes() {
+		p, ok := s.Placements[n.ID]
+		if !ok {
+			report(diag.Diagnostic{
+				Code: diag.CodeSchedUnplaced, Loc: n.Name,
+				Message: fmt.Sprintf("verify %s: node %q unplaced", g.Name, n.Name),
+			})
+			continue
+		}
+		if p.Step < 1 || p.Step+n.Cycles-1 > s.CS {
+			report(diag.Diagnostic{
+				Code: diag.CodeSchedStepRange, Loc: n.Name,
+				Message: fmt.Sprintf("verify %s: node %q at step %d (cycles %d) outside 1..%d",
+					g.Name, n.Name, p.Step, n.Cycles, s.CS),
+			})
+		}
+		if p.Index < 1 {
+			report(diag.Diagnostic{
+				Code: diag.CodeSchedBadSlot, Loc: n.Name,
+				Message: fmt.Sprintf("verify %s: node %q: FU index %d", g.Name, n.Name, p.Index),
+			})
+		}
+		if p.Type == "" {
+			report(diag.Diagnostic{
+				Code: diag.CodeSchedBadSlot, Loc: n.Name,
+				Message: fmt.Sprintf("verify %s: node %q: empty FU type", g.Name, n.Name),
+			})
+		}
+		if s.Latency > 0 && n.Cycles > s.Latency && !s.PipelinedTypes[p.Type] {
+			report(diag.Diagnostic{
+				Code: diag.CodeSchedPipeline, Loc: n.Name,
+				Message: fmt.Sprintf("verify %s: node %q: %d cycles exceed pipeline latency %d",
+					g.Name, n.Name, n.Cycles, s.Latency),
+			})
+		}
+	}
+}
+
+// verifyDeps checks data-dependency order and chaining delay budgets.
+func (s *Schedule) verifyDeps(report func(diag.Diagnostic)) {
 	g := s.Graph
 	// acc[n] is the accumulated combinational delay at n's output within
 	// its control step (chaining only).
 	acc := make(map[dfg.NodeID]float64, g.Len())
 	for _, id := range g.TopoOrder() {
 		n := g.Node(id)
-		pn := s.Placements[id]
+		pn, ok := s.Placements[id]
+		if !ok {
+			continue // reported by verifyShape
+		}
 		chain := 0.0
 		for _, pid := range n.Preds() {
 			pred := g.Node(pid)
-			pp := s.Placements[pid]
+			pp, pok := s.Placements[pid]
+			if !pok {
+				continue
+			}
 			predEnd := pp.Step + pred.Cycles - 1
 			switch {
 			case pn.Step > predEnd:
@@ -77,22 +126,28 @@ func (s *Schedule) verifyDeps() error {
 					chain = acc[pid]
 				}
 			default:
-				return fmt.Errorf("verify %s: %q (step %d) starts before %q completes (step %d)",
-					g.Name, n.Name, pn.Step, pred.Name, predEnd)
+				report(diag.Diagnostic{
+					Code: diag.CodeSchedDepOrder, Loc: n.Name,
+					Message: fmt.Sprintf("verify %s: %q (step %d) starts before %q completes (step %d)",
+						g.Name, n.Name, pn.Step, pred.Name, predEnd),
+				})
 			}
 		}
 		if s.ClockNs > 0 && n.Cycles == 1 {
 			acc[id] = chain + n.DelayNs
 			if acc[id] > s.ClockNs+1e-9 {
-				return fmt.Errorf("verify %s: chain through %q needs %.1fns, clock is %.1fns",
-					g.Name, n.Name, acc[id], s.ClockNs)
+				report(diag.Diagnostic{
+					Code: diag.CodeSchedChain, Loc: n.Name,
+					Message: fmt.Sprintf("verify %s: chain through %q needs %.1fns, clock is %.1fns",
+						g.Name, n.Name, acc[id], s.ClockNs),
+				})
 			}
 		}
 	}
-	return nil
 }
 
-func (s *Schedule) verifyConflicts() error {
+// verifyConflicts checks functional-unit occupancy collisions.
+func (s *Schedule) verifyConflicts(report func(diag.Diagnostic)) {
 	g := s.Graph
 	type cell struct {
 		typ   string
@@ -104,7 +159,7 @@ func (s *Schedule) verifyConflicts() error {
 		c := cell{p.Type, p.Index}
 		byCell[c] = append(byCell[c], id)
 	}
-	// Deterministic error messages.
+	// Deterministic report order.
 	cells := make([]cell, 0, len(byCell))
 	for c := range byCell {
 		cells = append(cells, c)
@@ -127,12 +182,37 @@ func (s *Schedule) verifyConflicts() error {
 				if g.MutuallyExclusive(a, b) {
 					continue
 				}
-				return fmt.Errorf("verify %s: %q and %q collide on %s%d",
-					g.Name, g.Node(a).Name, g.Node(b).Name, c.typ, c.index)
+				report(diag.Diagnostic{
+					Code: diag.CodeSchedFUConflict,
+					Loc:  fmt.Sprintf("%s%d", c.typ, c.index),
+					Message: fmt.Sprintf("verify %s: %q and %q collide on %s%d",
+						g.Name, g.Node(a).Name, g.Node(b).Name, c.typ, c.index),
+				})
 			}
 		}
 	}
-	return nil
+}
+
+// verifyLimits checks per-type instance counts against user limits.
+func (s *Schedule) verifyLimits(limits map[string]int, report func(diag.Diagnostic)) {
+	if limits == nil {
+		return
+	}
+	used := s.InstancesPerType()
+	types := make([]string, 0, len(used))
+	for typ := range used {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	for _, typ := range types {
+		if lim, ok := limits[typ]; ok && used[typ] > lim {
+			report(diag.Diagnostic{
+				Code: diag.CodeSchedLimit, Loc: typ,
+				Message: fmt.Sprintf("verify %s: type %s uses %d instances, limit %d",
+					s.Graph.Name, typ, used[typ], lim),
+			})
+		}
+	}
 }
 
 func stepsOverlap(a, b []int) bool {
