@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,19 +22,15 @@ import (
 	"strings"
 
 	"repro/internal/behav"
+	"repro/internal/cli"
 	"repro/internal/dfg"
 	"repro/internal/dfgio"
 	"repro/internal/mfs"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "dfg:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("dfg", run) }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dfg", flag.ContinueOnError)
 	stats := fs.Bool("stats", false, "print design statistics")
 	toJSON := fs.Bool("json", false, "emit the graph as JSON")
@@ -41,9 +38,12 @@ func run(args []string, out io.Writer) error {
 	schedDOT := fs.Bool("sched-dot", false, "schedule with MFS and emit a step-clustered dot")
 	cs := fs.Int("cs", 0, "time constraint for -sched-dot")
 	evalStr := fs.String("eval", "", "evaluate with inputs 'a=1,b=2'")
+	timeout := cli.Timeout(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: dfg [flags] design.{hls,json}")
 	}
@@ -73,7 +73,7 @@ func run(args []string, out io.Writer) error {
 		if *cs < 1 {
 			return fmt.Errorf("-sched-dot needs -cs")
 		}
-		s, err := mfs.Schedule(g, mfs.Options{CS: *cs})
+		s, err := mfs.ScheduleCtx(ctx, g, mfs.Options{CS: *cs})
 		if err != nil {
 			return err
 		}

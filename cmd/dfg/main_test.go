@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,7 +32,7 @@ func write(t *testing.T, name, src string) string {
 func TestStats(t *testing.T) {
 	path := write(t, "d.hls", design)
 	var out strings.Builder
-	if err := run([]string{"-stats", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-stats", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -45,7 +46,7 @@ func TestStats(t *testing.T) {
 func TestDefaultIsStats(t *testing.T) {
 	path := write(t, "d.hls", design)
 	var out strings.Builder
-	if err := run([]string{path}, &out); err != nil {
+	if err := run(context.Background(), []string{path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "design tool") {
@@ -56,12 +57,12 @@ func TestDefaultIsStats(t *testing.T) {
 func TestJSONRoundTripThroughTool(t *testing.T) {
 	path := write(t, "d.hls", design)
 	var out strings.Builder
-	if err := run([]string{"-json", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-json", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	jsonPath := write(t, "d.json", out.String())
 	var out2 strings.Builder
-	if err := run([]string{"-stats", jsonPath}, &out2); err != nil {
+	if err := run(context.Background(), []string{"-stats", jsonPath}, &out2); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out2.String(), "critical path: 3") {
@@ -72,7 +73,7 @@ func TestJSONRoundTripThroughTool(t *testing.T) {
 func TestDOT(t *testing.T) {
 	path := write(t, "d.hls", design)
 	var out strings.Builder
-	if err := run([]string{"-dot", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-dot", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -86,14 +87,14 @@ func TestDOT(t *testing.T) {
 func TestSchedDOT(t *testing.T) {
 	path := write(t, "d.hls", design)
 	var out strings.Builder
-	if err := run([]string{"-sched-dot", "-cs", "4", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-sched-dot", "-cs", "4", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
 	if !strings.Contains(got, "cluster_t1") || !strings.Contains(got, "step 1") {
 		t.Errorf("sched dot missing clusters:\n%s", got)
 	}
-	if err := run([]string{"-sched-dot", path}, &out); err == nil {
+	if err := run(context.Background(), []string{"-sched-dot", path}, &out); err == nil {
 		t.Error("-sched-dot without -cs accepted")
 	}
 }
@@ -101,31 +102,31 @@ func TestSchedDOT(t *testing.T) {
 func TestEval(t *testing.T) {
 	path := write(t, "d.hls", design)
 	var out strings.Builder
-	if err := run([]string{"-eval", "a=2, b=3", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-eval", "a=2, b=3", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
 	if !strings.Contains(got, "s = 5") || !strings.Contains(got, "m = 15") {
 		t.Errorf("eval output:\n%s", got)
 	}
-	if err := run([]string{"-eval", "garbage", path}, &out); err == nil {
+	if err := run(context.Background(), []string{"-eval", "garbage", path}, &out); err == nil {
 		t.Error("bad eval inputs accepted")
 	}
-	if err := run([]string{"-eval", "a=x", path}, &out); err == nil {
+	if err := run(context.Background(), []string{"-eval", "a=x", path}, &out); err == nil {
 		t.Error("non-numeric eval input accepted")
 	}
 }
 
 func TestErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{}, &out); err == nil {
+	if err := run(context.Background(), []string{}, &out); err == nil {
 		t.Error("no file accepted")
 	}
-	if err := run([]string{"/nope.hls"}, &out); err == nil {
+	if err := run(context.Background(), []string{"/nope.hls"}, &out); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := write(t, "bad.json", "{")
-	if err := run([]string{bad}, &out); err == nil {
+	if err := run(context.Background(), []string{bad}, &out); err == nil {
 		t.Error("bad json accepted")
 	}
 }

@@ -11,30 +11,33 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/behav"
+	"repro/internal/cli"
 	"repro/internal/dfg"
 	"repro/internal/experiments"
 	"repro/internal/mfs"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "frameviz:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("frameviz", run) }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("frameviz", flag.ContinueOnError)
 	fig := fs.Int("fig", 0, "render the paper's figure 1 or 2")
 	cs := fs.Int("cs", 0, "time constraint for -node mode")
 	node := fs.String("node", "", "signal whose placement frames to render")
+	timeout := cli.Timeout(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,14 +10,14 @@ import (
 
 func TestFigures(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-fig", "1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Oip") {
 		t.Errorf("figure 1 output:\n%s", out.String())
 	}
 	out.Reset()
-	if err := run([]string{"-fig", "2"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "MF = PF") {
@@ -36,7 +37,7 @@ p = s * b
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := run([]string{"-cs", "3", "-node", "p", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-cs", "3", "-node", "p", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), `operation "p"`) {
@@ -46,15 +47,15 @@ p = s * b
 
 func TestErrors(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{}, &out); err == nil {
+	if err := run(context.Background(), []string{}, &out); err == nil {
 		t.Error("no mode accepted")
 	}
-	if err := run([]string{"-node", "x"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-node", "x"}, &out); err == nil {
 		t.Error("node mode without file/cs accepted")
 	}
 	path := filepath.Join(t.TempDir(), "d.hls")
 	os.WriteFile(path, []byte("design d\ninput a\nx = a + a\n"), 0o644)
-	if err := run([]string{"-cs", "2", "-node", "nosuch", path}, &out); err == nil {
+	if err := run(context.Background(), []string{"-cs", "2", "-node", "nosuch", path}, &out); err == nil {
 		t.Error("unknown node accepted")
 	}
 }

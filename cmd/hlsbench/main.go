@@ -21,48 +21,48 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "hlsbench:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("hlsbench", run) }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hlsbench", flag.ContinueOnError)
 	table := fs.String("table", "", "which table to print (1, 2, compare, style, runtime, ablation); empty = all")
 	fig := fs.Int("fig", 0, "which figure to print (1 or 2); 0 = per -table selection")
 	jsonOut := fs.Bool("json", false, "measure the perf baseline and write it as JSON to -out")
 	outPath := fs.String("out", "BENCH_sweep.json", "output path for -json")
+	timeout := cli.Timeout(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 
 	if *jsonOut {
-		return writeBaseline(out, *outPath)
+		return writeBaseline(ctx, out, *outPath)
 	}
 	if *fig != 0 {
 		return printFigure(out, *fig)
 	}
-	sections := map[string][]func() (*report.Table, error){
-		"1":            {experiments.Table1},
-		"2":            {experiments.Table2},
-		"compare":      {experiments.Compare},
-		"phases":       {experiments.Phases},
-		"interconnect": {experiments.Interconnect},
-		"style":        {experiments.StyleOverhead},
-		"runtime":      {experiments.Runtime},
-		"ablation":     {experiments.AblationLiapunov, experiments.AblationWeights, experiments.AblationRedundantFrame},
+	sections := map[string][]func(context.Context) (*report.Table, error){
+		"1":            {experiments.Table1Ctx},
+		"2":            {experiments.Table2Ctx},
+		"compare":      {experiments.CompareCtx},
+		"phases":       {experiments.PhasesCtx},
+		"interconnect": {experiments.InterconnectCtx},
+		"style":        {experiments.StyleOverheadCtx},
+		"runtime":      {experiments.RuntimeCtx},
+		"ablation":     {experiments.AblationLiapunovCtx, experiments.AblationWeightsCtx, experiments.AblationRedundantFrameCtx},
 	}
 	order := []string{"1", "2", "compare", "phases", "interconnect", "style", "runtime", "ablation"}
 	if *table != "" {
@@ -71,7 +71,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("unknown table %q", *table)
 		}
 		for _, fn := range fns {
-			if err := printTable(out, fn); err != nil {
+			if err := printTable(ctx, out, fn); err != nil {
 				return err
 			}
 		}
@@ -79,7 +79,7 @@ func run(args []string, out io.Writer) error {
 	}
 	for _, key := range order {
 		for _, fn := range sections[key] {
-			if err := printTable(out, fn); err != nil {
+			if err := printTable(ctx, out, fn); err != nil {
 				return err
 			}
 		}
@@ -90,8 +90,8 @@ func run(args []string, out io.Writer) error {
 	return printFigure(out, 2)
 }
 
-func writeBaseline(out io.Writer, path string) error {
-	p, err := experiments.MeasurePerf()
+func writeBaseline(ctx context.Context, out io.Writer, path string) error {
+	p, err := experiments.MeasurePerfCtx(ctx)
 	if err != nil {
 		return err
 	}
@@ -109,8 +109,8 @@ func writeBaseline(out io.Writer, path string) error {
 	return nil
 }
 
-func printTable(out io.Writer, fn func() (*report.Table, error)) error {
-	t, err := fn()
+func printTable(ctx context.Context, out io.Writer, fn func(context.Context) (*report.Table, error)) error {
+	t, err := fn(ctx)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -20,7 +21,7 @@ func TestTables(t *testing.T) {
 	}
 	for arg, want := range cases {
 		var out strings.Builder
-		if err := run([]string{"-table", arg}, &out); err != nil {
+		if err := run(context.Background(), []string{"-table", arg}, &out); err != nil {
 			t.Fatalf("-table %s: %v", arg, err)
 		}
 		if !strings.Contains(out.String(), want) {
@@ -31,7 +32,7 @@ func TestTables(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-table", "ablation"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-table", "ablation"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -44,20 +45,20 @@ func TestAblations(t *testing.T) {
 
 func TestFigureFlag(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-fig", "1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Figure 1") {
 		t.Error("figure 1 missing")
 	}
-	if err := run([]string{"-fig", "3"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-fig", "3"}, &out); err == nil {
 		t.Error("bad figure accepted")
 	}
 }
 
 func TestUnknownTable(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-table", "bogus"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-table", "bogus"}, &out); err == nil {
 		t.Error("unknown table accepted")
 	}
 }
@@ -65,7 +66,7 @@ func TestUnknownTable(t *testing.T) {
 func TestJSONBaseline(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
 	var out strings.Builder
-	if err := run([]string{"-json", "-out", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-json", "-out", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "wrote "+path) {

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -26,19 +27,15 @@ import (
 	"strings"
 
 	"repro/internal/benchmarks"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/diag"
 	"repro/internal/lint"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "hlslint:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("hlslint", run) }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hlslint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	list := fs.Bool("list", false, "list the registered analyzers and exit")
@@ -50,9 +47,12 @@ func run(args []string, out io.Writer) error {
 	latency := fs.Int("latency", 0, "functional-pipelining initiation interval")
 	optimize := fs.Bool("optimize", false, "run frontend passes before synthesis")
 	par := fs.Int("par", 0, "max parallel analyzers and synthesis jobs (0 = GOMAXPROCS)")
+	timeout := cli.Timeout(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
@@ -71,7 +71,7 @@ func run(args []string, out io.Writer) error {
 		if fs.NArg() != 0 {
 			return fmt.Errorf("-benchmarks takes no file arguments")
 		}
-		ds, err := lintBenchmarks(analyzers, *par)
+		ds, err := lintBenchmarks(ctx, analyzers, *par)
 		if err != nil {
 			return err
 		}
@@ -84,14 +84,14 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		d, err := core.SynthesizeSource(string(src), core.Config{
+		d, err := core.SynthesizeSourceCtx(ctx, string(src), core.Config{
 			CS: *cs, Style: *style, ClockNs: *clock, Latency: *latency,
 			Optimize: *optimize, Parallelism: *par,
 		})
 		if err != nil {
 			return err
 		}
-		all, err = d.Lint(analyzers...)
+		all, err = d.LintCtx(ctx, analyzers...)
 		if err != nil {
 			return err
 		}
@@ -114,13 +114,13 @@ func run(args []string, out io.Writer) error {
 // structurally pipelined variant where the example has one) and MFSA in
 // both datapath styles at the tightest constraint, each run linted over
 // all its artifacts.
-func lintBenchmarks(analyzers []string, par int) (diag.List, error) {
+func lintBenchmarks(ctx context.Context, analyzers []string, par int) (diag.List, error) {
 	var all diag.List
 	audit := func(label string, d *core.Design, err error) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", label, err)
 		}
-		ds, err := d.Lint(analyzers...)
+		ds, err := d.LintCtx(ctx, analyzers...)
 		if err != nil {
 			return fmt.Errorf("%s: %w", label, err)
 		}
@@ -138,13 +138,13 @@ func lintBenchmarks(analyzers []string, par int) (diag.List, error) {
 			if ex.Latency != nil {
 				cfg.Latency = ex.Latency(t)
 			}
-			d, err := core.ScheduleOnly(ex.Graph, cfg)
+			d, err := core.ScheduleOnlyCtx(ctx, ex.Graph, cfg)
 			if err := audit(fmt.Sprintf("%s/mfs/T=%d", ex.Name, t), d, err); err != nil {
 				return nil, err
 			}
 			if len(ex.PipelinedOps) > 0 {
 				cfg.PipelinedOps = ex.PipelinedOps
-				d, err := core.ScheduleOnly(ex.Graph, cfg)
+				d, err := core.ScheduleOnlyCtx(ctx, ex.Graph, cfg)
 				if err := audit(fmt.Sprintf("%s/mfs-pipelined/T=%d", ex.Name, t), d, err); err != nil {
 					return nil, err
 				}
@@ -154,7 +154,7 @@ func lintBenchmarks(analyzers []string, par int) (diag.List, error) {
 			cfg := base
 			cfg.CS = ex.TimeConstraints[0]
 			cfg.Style = style
-			d, err := core.Synthesize(ex.Graph, cfg)
+			d, err := core.SynthesizeCtx(ctx, ex.Graph, cfg)
 			if err := audit(fmt.Sprintf("%s/mfsa/style%d", ex.Name, style), d, err); err != nil {
 				return nil, err
 			}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -26,7 +27,7 @@ func TestGoldenJSON(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(tc.args, &buf); err != nil {
+			if err := run(context.Background(), tc.args, &buf); err != nil {
 				t.Fatalf("run(%v): %v\n%s", tc.args, err, buf.String())
 			}
 			golden := filepath.Join("testdata", tc.name+".golden.json")
@@ -50,7 +51,7 @@ func TestGoldenJSON(t *testing.T) {
 
 func TestListAnalyzers(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-list"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"alloc", "ctrl", "dfg", "frames", "liapunov", "netlist"} {
@@ -62,7 +63,7 @@ func TestListAnalyzers(t *testing.T) {
 
 func TestBenchmarksFlagClean(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-benchmarks"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-benchmarks"}, &buf); err != nil {
 		t.Fatalf("-benchmarks: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "0 error(s)") {
@@ -72,10 +73,10 @@ func TestBenchmarksFlagClean(t *testing.T) {
 
 func TestSelectedAnalyzersOnly(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-run", "dfg,frames", "-cs", "4", "testdata/diffeq.hls"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-run", "dfg,frames", "-cs", "4", "testdata/diffeq.hls"}, &buf); err != nil {
 		t.Fatalf("%v\n%s", err, buf.String())
 	}
-	if err := run([]string{"-run", "bogus", "-cs", "4", "testdata/diffeq.hls"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-run", "bogus", "-cs", "4", "testdata/diffeq.hls"}, &buf); err == nil {
 		t.Fatal("expected an error for an unknown analyzer name")
 	}
 }
@@ -88,7 +89,7 @@ func TestErrorExitOnFindings(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run([]string{"-cs", "1", src}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-cs", "1", src}, &buf); err == nil {
 		t.Fatal("expected an error for an infeasible constraint")
 	}
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -23,25 +24,25 @@ import (
 	"strings"
 
 	"repro/internal/behav"
+	"repro/internal/cli"
 	"repro/internal/mfs"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fail(err)
-	}
-}
+func main() { cli.Main("mfs", run) }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mfs", flag.ContinueOnError)
 	cs := fs.Int("cs", 0, "time constraint in control steps (0 = resource-constrained)")
 	limitsFlag := fs.String("limits", "", "per-type FU limits, e.g. '*=1,+=2'")
 	clock := fs.Float64("clock", 0, "control-step clock period in ns (enables chaining)")
 	latency := fs.Int("latency", 0, "functional-pipelining initiation interval")
 	pipelined := fs.String("pipelined", "", "comma-separated op symbols on pipelined units")
+	timeout := cli.Timeout(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: mfs [flags] design.hls")
 	}
@@ -64,7 +65,7 @@ func run(args []string, out io.Writer) error {
 	for _, sym := range splitList(*pipelined) {
 		opt.PipelinedTypes[sym] = true
 	}
-	design, err := mfs.ScheduleLoops(g, opt)
+	design, err := mfs.ScheduleLoopsCtx(ctx, g, opt)
 	if err != nil {
 		return err
 	}
@@ -114,9 +115,4 @@ func splitList(s string) []string {
 		}
 	}
 	return out
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "mfs:", err)
-	os.Exit(1)
 }

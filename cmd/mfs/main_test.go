@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,7 @@ q = p - a
 func TestRunTimeConstrained(t *testing.T) {
 	path := writeDesign(t, testDesign)
 	var out strings.Builder
-	if err := run([]string{"-cs", "3", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-cs", "3", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -41,7 +42,7 @@ func TestRunTimeConstrained(t *testing.T) {
 func TestRunResourceConstrained(t *testing.T) {
 	path := writeDesign(t, testDesign)
 	var out strings.Builder
-	if err := run([]string{"-limits", "+=1,*=1,-=1", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-limits", "+=1,*=1,-=1", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "cs=3") {
@@ -59,7 +60,7 @@ loop acc cycles 2 binds v = x yields r {
 out = acc * x
 `)
 	var out strings.Builder
-	if err := run([]string{"-cs", "4", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-cs", "4", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "folded loop") {
@@ -70,23 +71,23 @@ out = acc * x
 func TestRunErrors(t *testing.T) {
 	path := writeDesign(t, testDesign)
 	var out strings.Builder
-	if err := run([]string{}, &out); err == nil {
+	if err := run(context.Background(), []string{}, &out); err == nil {
 		t.Error("no file accepted")
 	}
-	if err := run([]string{"-cs", "3", "/nonexistent.hls"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-cs", "3", "/nonexistent.hls"}, &out); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run([]string{"-cs", "1", path}, &out); err == nil {
+	if err := run(context.Background(), []string{"-cs", "1", path}, &out); err == nil {
 		t.Error("infeasible cs accepted")
 	}
-	if err := run([]string{"-limits", "broken", path}, &out); err == nil {
+	if err := run(context.Background(), []string{"-limits", "broken", path}, &out); err == nil {
 		t.Error("bad limits accepted")
 	}
-	if err := run([]string{"-limits", "+=0", path}, &out); err == nil {
+	if err := run(context.Background(), []string{"-limits", "+=0", path}, &out); err == nil {
 		t.Error("zero limit accepted")
 	}
 	bad := writeDesign(t, "nonsense")
-	if err := run([]string{"-cs", "3", bad}, &out); err == nil {
+	if err := run(context.Background(), []string{"-cs", "3", bad}, &out); err == nil {
 		t.Error("bad source accepted")
 	}
 }

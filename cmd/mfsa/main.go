@@ -14,24 +14,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/emit"
 	"repro/internal/sim"
 )
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "mfsa:", err)
-		os.Exit(1)
-	}
-}
+func main() { cli.Main("mfsa", run) }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mfsa", flag.ContinueOnError)
 	cs := fs.Int("cs", 0, "time constraint in control steps (required)")
 	style := fs.Int("style", 1, "datapath style: 1 unrestricted, 2 no ALU self-loops")
@@ -45,9 +42,12 @@ func run(args []string, out io.Writer) error {
 	optimize := fs.Bool("optimize", false, "run frontend passes (fold, CSE, DCE) before synthesis")
 	vcdPath := fs.String("vcd", "", "simulate one random vector and write a VCD waveform to this file")
 	tbPath := fs.String("tb", "", "write a self-checking testbench (3 random vectors) to this file")
+	timeout := cli.Timeout(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ctx, cancel := cli.WithTimeout(ctx, *timeout)
+	defer cancel()
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: mfsa [flags] design.hls")
 	}
@@ -55,7 +55,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	d, err := core.SynthesizeSource(string(src), core.Config{
+	d, err := core.SynthesizeSourceCtx(ctx, string(src), core.Config{
 		CS: *cs, Style: *style, ClockNs: *clock, Latency: *latency,
 		RegisterInputs: *regInputs, Optimize: *optimize,
 	})

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,7 @@ func writeDesign(t *testing.T, src string) string {
 func TestRunBasic(t *testing.T) {
 	path := writeDesign(t, testDesign)
 	var out strings.Builder
-	if err := run([]string{"-cs", "3", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-cs", "3", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -44,7 +45,7 @@ func TestRunBasic(t *testing.T) {
 func TestRunStyle2AndController(t *testing.T) {
 	path := writeDesign(t, testDesign)
 	var out strings.Builder
-	if err := run([]string{"-cs", "3", "-style", "2", "-ctrl", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-cs", "3", "-style", "2", "-ctrl", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -57,7 +58,7 @@ func TestRunNetlist(t *testing.T) {
 	path := writeDesign(t, testDesign)
 	nl := filepath.Join(t.TempDir(), "out.v")
 	var out strings.Builder
-	if err := run([]string{"-cs", "3", "-netlist", nl, path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-cs", "3", "-netlist", nl, path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(nl)
@@ -72,13 +73,13 @@ func TestRunNetlist(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	path := writeDesign(t, testDesign)
 	var out strings.Builder
-	if err := run([]string{path}, &out); err == nil {
+	if err := run(context.Background(), []string{path}, &out); err == nil {
 		t.Error("missing -cs accepted")
 	}
-	if err := run([]string{"-cs", "3"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-cs", "3"}, &out); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run([]string{"-cs", "1", path}, &out); err == nil {
+	if err := run(context.Background(), []string{"-cs", "1", path}, &out); err == nil {
 		t.Error("infeasible cs accepted")
 	}
 }
@@ -86,7 +87,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunReport(t *testing.T) {
 	path := writeDesign(t, testDesign)
 	var out strings.Builder
-	if err := run([]string{"-cs", "3", "-report", path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-cs", "3", "-report", path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -103,7 +104,7 @@ func TestRunVCDAndTestbench(t *testing.T) {
 	vcd := filepath.Join(dir, "wave.vcd")
 	tb := filepath.Join(dir, "tb.v")
 	var out strings.Builder
-	if err := run([]string{"-cs", "3", "-vcd", vcd, "-tb", tb, path}, &out); err != nil {
+	if err := run(context.Background(), []string{"-cs", "3", "-vcd", vcd, "-tb", tb, path}, &out); err != nil {
 		t.Fatal(err)
 	}
 	wave, err := os.ReadFile(vcd)

@@ -32,12 +32,15 @@
 package hls
 
 import (
+	"context"
+
 	"repro/internal/baseline"
 	"repro/internal/behav"
 	"repro/internal/core"
 	"repro/internal/ctrl"
 	"repro/internal/dfg"
 	"repro/internal/diag"
+	"repro/internal/guard"
 	"repro/internal/library"
 	"repro/internal/lint"
 	"repro/internal/mfsa"
@@ -45,6 +48,39 @@ import (
 	"repro/internal/rtl"
 	"repro/internal/sched"
 	"repro/internal/sim"
+)
+
+// Typed failure modes of the hardened entry points. Every synthesis
+// entry returns ordinary errors for user mistakes; the types below cover
+// the boundary cases:
+//
+//   - *InternalError: an internal panic was recovered at the facade and
+//     converted into an error carrying the panic value and stack. Seeing
+//     one always indicates a bug in this library, never in caller code.
+//   - *LimitError: an input exceeded a resource guard (Config.MaxNodes,
+//     Config.MaxCSteps, or the simulator's step budget).
+//   - *RangeError: a malformed [lo, hi] control-step range was passed to
+//     Sweep or SweepGraphs.
+//
+// Cancelled or timed-out runs return ctx.Err() — context.Canceled or
+// context.DeadlineExceeded — unwrapped, so errors.Is works as usual.
+type (
+	// InternalError is a recovered internal panic; Op names the entry
+	// point, Value holds the panic value, Stack the goroutine stack.
+	InternalError = guard.InternalError
+	// LimitError reports an input that exceeds a configured resource cap.
+	LimitError = guard.LimitError
+	// RangeError reports a malformed control-step range.
+	RangeError = guard.RangeError
+)
+
+// Resource-guard defaults, applied when the corresponding Config knob is
+// zero. Set the knob negative to disable a guard.
+const (
+	// DefaultMaxNodes is the graph-size cap (Config.MaxNodes).
+	DefaultMaxNodes = guard.DefaultMaxNodes
+	// DefaultMaxCSteps is the time-constraint cap (Config.MaxCSteps).
+	DefaultMaxCSteps = guard.DefaultMaxCSteps
 )
 
 // Core data-flow-graph types. A Graph is a DAG of operations over named
@@ -133,16 +169,34 @@ func ScheduleGraph(g *Graph, cfg Config) (*Design, error) {
 	return core.ScheduleOnly(g, cfg)
 }
 
+// ScheduleGraphCtx is ScheduleGraph with cancellation: a cancelled or
+// timed-out run (via ctx or cfg.Timeout) returns ctx.Err() promptly.
+func ScheduleGraphCtx(ctx context.Context, g *Graph, cfg Config) (*Design, error) {
+	return core.ScheduleOnlyCtx(ctx, g, cfg)
+}
+
 // Synthesize runs Move Frame Scheduling-Allocation on a graph, producing
 // a schedule, a bound RTL datapath, a controller and a cost breakdown.
 func Synthesize(g *Graph, cfg Config) (*Design, error) {
 	return core.Synthesize(g, cfg)
 }
 
+// SynthesizeCtx is Synthesize with cancellation: a cancelled or
+// timed-out run (via ctx or cfg.Timeout) returns ctx.Err() within one
+// placement's worth of work, never a partial design.
+func SynthesizeCtx(ctx context.Context, g *Graph, cfg Config) (*Design, error) {
+	return core.SynthesizeCtx(ctx, g, cfg)
+}
+
 // SynthesizeSource parses a behavioral description (see ParseBehavior
 // for the language) and synthesizes it with MFSA.
 func SynthesizeSource(src string, cfg Config) (*Design, error) {
 	return core.SynthesizeSource(src, cfg)
+}
+
+// SynthesizeSourceCtx is SynthesizeSource with cancellation.
+func SynthesizeSourceCtx(ctx context.Context, src string, cfg Config) (*Design, error) {
+	return core.SynthesizeSourceCtx(ctx, src, cfg)
 }
 
 // ScheduleSource parses a behavioral description and schedules it with
@@ -152,12 +206,25 @@ func ScheduleSource(src string, cfg Config) (*Design, error) {
 	return d, err
 }
 
+// ScheduleSourceCtx is ScheduleSource with cancellation.
+func ScheduleSourceCtx(ctx context.Context, src string, cfg Config) (*Design, error) {
+	d, _, err := core.ScheduleSourceCtx(ctx, src, cfg)
+	return d, err
+}
+
 // Allocate binds an externally produced schedule (from ScheduleGraph,
 // ForceDirected, ListSchedule, ...) to an RTL datapath using MFSA's cost
 // machinery with the operations' control steps frozen — the sequential
 // two-phase flow the paper's introduction contrasts with MFSA.
 func Allocate(s *Schedule, cfg Config) (*Design, error) {
-	res, err := mfsa.Allocate(s, mfsa.Options{
+	return AllocateCtx(context.Background(), s, cfg)
+}
+
+// AllocateCtx is Allocate with cancellation and the facade's
+// panic-recovery boundary.
+func AllocateCtx(ctx context.Context, s *Schedule, cfg Config) (d *Design, err error) {
+	defer guard.Recover("hls.Allocate", &err)
+	res, err := mfsa.AllocateCtx(ctx, s, mfsa.Options{
 		Lib:            cfg.Lib,
 		Style:          mfsa.Style(cfg.Style),
 		Limits:         cfg.Limits,
@@ -191,12 +258,23 @@ func Sweep(g *Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
 	return core.Sweep(g, cfg, csLo, csHi)
 }
 
+// SweepCtx is Sweep with cancellation: cfg.Timeout bounds the whole
+// sweep, and a cancelled run returns ctx.Err(), never partial points.
+func SweepCtx(ctx context.Context, g *Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
+	return core.SweepCtx(ctx, g, cfg, csLo, csHi)
+}
+
 // SweepGraphs sweeps several designs at once over one shared worker
 // pool, flattening the graphs × constraints grid into independent
 // synthesis jobs. The result is indexed like gs; each row carries its
 // own Pareto marks and equals the corresponding Sweep call exactly.
 func SweepGraphs(gs []*Graph, cfg Config, csLo, csHi int) ([][]SweepPoint, error) {
 	return core.SweepGraphs(gs, cfg, csLo, csHi)
+}
+
+// SweepGraphsCtx is SweepGraphs with cancellation; see SweepCtx.
+func SweepGraphsCtx(ctx context.Context, gs []*Graph, cfg Config, csLo, csHi int) ([][]SweepPoint, error) {
+	return core.SweepGraphsCtx(ctx, gs, cfg, csLo, csHi)
 }
 
 // ParseBehavior lowers a behavioral description to a graph plus the
@@ -260,6 +338,11 @@ const (
 // Design.Lint for the common case of auditing a synthesis result.
 func Lint(u *LintUnit, opts LintOptions) (Diagnostics, error) {
 	return lint.Run(u, opts)
+}
+
+// LintCtx is Lint with cancellation.
+func LintCtx(ctx context.Context, u *LintUnit, opts LintOptions) (Diagnostics, error) {
+	return lint.RunCtx(ctx, u, opts)
 }
 
 // LintAnalyzers returns the registered lint passes sorted by name.

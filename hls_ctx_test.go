@@ -1,0 +1,161 @@
+// Cancellation and resource-guard tests for the public facade: a
+// cancelled or expired context must surface promptly (the issue's bar is
+// 100ms) with ctx.Err() and no partial results, a never-cancelled
+// context must change nothing about the results, and degenerate inputs
+// must be rejected with the typed guard errors instead of hanging.
+// These run under `go test -race ./...` as part of the tier-1 verify
+// path, so the cancellation paths are also race-checked.
+package hls_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	hls "repro"
+	"repro/internal/benchmarks"
+)
+
+// benchGraphs returns all six paper benchmarks — the grid the issue's
+// acceptance criterion names.
+func benchGraphs() []*hls.Graph {
+	var gs []*hls.Graph
+	for _, ex := range benchmarks.All() {
+		gs = append(gs, ex.Graph)
+	}
+	return gs
+}
+
+func TestSweepGraphsCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	points, err := hls.SweepGraphsCtx(ctx, benchGraphs(), hls.Config{}, 1, 16)
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("pre-cancelled sweep took %v, want < 100ms", d)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if points != nil {
+		t.Fatalf("cancelled sweep returned partial results: %v", points)
+	}
+}
+
+func TestSweepGraphsCtxMidFlightCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	type result struct {
+		points [][]hls.SweepPoint
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		p, err := hls.SweepGraphsCtx(ctx, benchGraphs(), hls.Config{}, 1, 16)
+		done <- result{p, err}
+	}()
+	// Let the sweep get airborne, then pull the plug.
+	time.Sleep(5 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case r := <-done:
+		if d := time.Since(start); d > 100*time.Millisecond {
+			t.Fatalf("sweep returned %v after cancel, want < 100ms", d)
+		}
+		// The sweep may have finished legitimately before the cancel
+		// landed; only a cancelled run must surface ctx.Err().
+		if r.err != nil && !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled or nil", r.err)
+		}
+		if r.err != nil && r.points != nil {
+			t.Fatal("cancelled sweep returned partial results alongside its error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep never returned after cancellation")
+	}
+}
+
+func TestSweepCtxBackgroundMatchesSweep(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	want, err := hls.Sweep(ex.Graph, hls.Config{}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hls.SweepCtx(context.Background(), ex.Graph, hls.Config{}, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SweepCtx(Background) differs from Sweep:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestConfigTimeoutExpires(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	start := time.Now()
+	_, err := hls.Sweep(ex.Graph, hls.Config{Timeout: time.Nanosecond}, 1, 64)
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("expired sweep took %v, want < 100ms", d)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestMaxNodesGuard(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	_, err := hls.Synthesize(ex.Graph, hls.Config{MaxNodes: 2, CS: 4})
+	var le *hls.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *hls.LimitError", err)
+	}
+	if le.What != "graph nodes" || le.Max != 2 {
+		t.Fatalf("unexpected limit error: %+v", le)
+	}
+}
+
+func TestMaxCStepsGuard(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	_, err := hls.ScheduleGraph(ex.Graph, hls.Config{CS: hls.DefaultMaxCSteps + 1})
+	var le *hls.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *hls.LimitError", err)
+	}
+	// A negative knob disables the cap (the caller owns the risk).
+	if _, err := hls.ScheduleGraph(ex.Graph, hls.Config{CS: 6, MaxCSteps: -1}); err != nil {
+		t.Fatalf("disabled cap rejected a legal run: %v", err)
+	}
+}
+
+func TestBadSweepRange(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	for _, r := range [][2]int{{0, 4}, {5, 4}, {-3, -1}} {
+		_, err := hls.Sweep(ex.Graph, hls.Config{}, r[0], r[1])
+		var re *hls.RangeError
+		if !errors.As(err, &re) {
+			t.Fatalf("Sweep(%d, %d) err = %v, want *hls.RangeError", r[0], r[1], err)
+		}
+	}
+	_, err := hls.Sweep(ex.Graph, hls.Config{}, 1, hls.DefaultMaxCSteps+1)
+	var le *hls.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("oversized sweep err = %v, want *hls.LimitError", err)
+	}
+}
+
+func TestSynthesizeCtxPreCancelled(t *testing.T) {
+	ex := benchmarks.Diffeq()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := hls.SynthesizeCtx(ctx, ex.Graph, hls.Config{CS: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SynthesizeCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := hls.ScheduleGraphCtx(ctx, ex.Graph, hls.Config{CS: 4}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScheduleGraphCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := hls.SynthesizeSourceCtx(ctx, "design d\ninput a\nx = a + a\n", hls.Config{CS: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SynthesizeSourceCtx err = %v, want context.Canceled", err)
+	}
+}

@@ -3,11 +3,17 @@ package behav
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/guard"
 )
 
-// FuzzBuildSource checks the frontend never panics and that anything it
-// accepts is a valid, evaluable graph. `go test` runs the seed corpus;
-// `go test -fuzz=FuzzBuildSource` explores further.
+// FuzzBuildSource checks the frontend never panics, that anything it
+// accepts is a valid, evaluable graph, and that the parser's numeric
+// bounds hold: no accepted design carries a cycle count beyond the
+// scheduler's control-step cap, so a degenerate `@ 1000000000` can
+// never reach the engine. `go test` runs the seed corpus;
+// `go test -fuzz=FuzzBuildSource` explores further (CI runs a short
+// fuzz smoke of this target).
 func FuzzBuildSource(f *testing.F) {
 	seeds := []string{
 		"design d\ninput a\nx = a + a\n",
@@ -22,6 +28,12 @@ func FuzzBuildSource(f *testing.F) {
 		strings.Repeat("design d\n", 3),
 		"design d\ninput a\nx = a + a @999\n",
 		"design d\ninput a\nif a { if a { if a { x = a } } }\n",
+		// Numeric-bound probes: the parser must reject counts past the
+		// control-step cap and anything that overflows int.
+		"design d\ninput a\nx = a + a @1000000000\n",
+		"design d\ninput a\nx = a + a @65536\n",
+		"design d\ninput a\nloop l cycles 1000000000 binds v = a yields r { r = v + 1 }\n",
+		"design d\ninput a\nx = a + a @99999999999999999999\n",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -33,6 +45,12 @@ func FuzzBuildSource(f *testing.F) {
 		}
 		if err := g.Validate(); err != nil {
 			t.Fatalf("accepted graph fails validation: %v\nsource:\n%s", err, src)
+		}
+		for _, n := range g.Nodes() {
+			if n.Cycles > guard.DefaultMaxCSteps {
+				t.Fatalf("accepted node %q with %d cycles, beyond the cap of %d\nsource:\n%s",
+					n.Name, n.Cycles, guard.DefaultMaxCSteps, src)
+			}
 		}
 		in := make(map[string]int64)
 		for _, name := range g.Inputs() {

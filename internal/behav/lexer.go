@@ -117,23 +117,28 @@ func lex(src string) ([]token, error) {
 			emit(tokAt, "@")
 			i++
 		default:
-			// Operators, longest match first.
-			matched := false
-			for _, opText := range []string{"<<", ">>", "<=", ">=", "==", "!=", "+", "-", "*", "/", "&", "|", "^", "~", "<", ">", "="} {
-				if strings.HasPrefix(string(rs[i:]), opText) {
-					if opText == "=" {
-						emit(tokAssign, "=")
-					} else {
-						emit(tokOp, opText)
-					}
-					i += len(opText)
-					matched = true
-					break
+			// Operators, longest match first. Matched against at most the
+			// next two runes — never the whole remaining source — so lexing
+			// stays linear in the input length.
+			var opText string
+			if i+1 < len(rs) {
+				switch two := string(rs[i : i+2]); two {
+				case "<<", ">>", "<=", ">=", "==", "!=":
+					opText = two
 				}
 			}
-			if !matched {
+			if opText == "" && strings.ContainsRune("+-*/&|^~<>=", r) {
+				opText = string(r)
+			}
+			if opText == "" {
 				return nil, fmt.Errorf("behav: line %d: unexpected character %q", line, r)
 			}
+			if opText == "=" {
+				emit(tokAssign, "=")
+			} else {
+				emit(tokOp, opText)
+			}
+			i += len(opText)
 		}
 	}
 	emit(tokEOF, "")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/guard"
 	"repro/internal/op"
 )
 
@@ -141,6 +142,12 @@ func (p *parser) parseStmt() (Stmt, error) {
 		if err != nil || k < 1 {
 			return nil, p.errf(num, "bad cycle count %q", num.text)
 		}
+		// Reject degenerate counts at parse time: a cycle count beyond
+		// the scheduler's control-step cap could never be scheduled and
+		// would only inflate downstream frame/grid allocations.
+		if k > guard.DefaultMaxCSteps {
+			return nil, p.errf(num, "cycle count %d exceeds the limit of %d", k, guard.DefaultMaxCSteps)
+		}
 		a.Cycles = k
 	}
 	return a, p.endOfStmt()
@@ -200,6 +207,9 @@ func (p *parser) parseLoop() (Stmt, error) {
 	cyc, err := strconv.Atoi(num.text)
 	if err != nil || cyc < 1 {
 		return nil, p.errf(num, "bad loop cycle count %q", num.text)
+	}
+	if cyc > guard.DefaultMaxCSteps {
+		return nil, p.errf(num, "loop cycle count %d exceeds the limit of %d", cyc, guard.DefaultMaxCSteps)
 	}
 	if err := p.expectKeyword("binds"); err != nil {
 		return nil, err

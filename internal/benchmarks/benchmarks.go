@@ -63,33 +63,40 @@ func All() []*Example {
 	return []*Example{Facet(), Chained(), Diffeq(), ARLattice(), Bandpass(), EWF()}
 }
 
-// builder wraps a Graph so benchmark constructors read as netlists;
-// construction errors are programming errors and panic.
+// builder wraps a Graph so benchmark constructors read as netlists.
 type builder struct{ g *dfg.Graph }
 
 func newBuilder(name string) *builder { return &builder{g: dfg.New(name)} }
 
+// must asserts one construction step of a built-in benchmark succeeded.
+// The six graphs below are static literals — every input, operation name
+// and argument is spelled out in this file and exercised by the package
+// tests (and by virtually every other test in the repository) — so a
+// failure is unreachable short of an inconsistent edit to those
+// literals: a programming error that must fail loudly at construction
+// rather than hand the 30+ calling packages an error for data baked into
+// the binary.
+func must(err error) {
+	if err != nil {
+		panic("benchmarks: invalid built-in graph: " + err.Error())
+	}
+}
+
 func (b *builder) in(names ...string) {
 	for _, n := range names {
-		if err := b.g.AddInput(n); err != nil {
-			panic(err)
-		}
+		must(b.g.AddInput(n))
 	}
 }
 
 func (b *builder) op(name string, k op.Kind, args ...string) dfg.NodeID {
 	id, err := b.g.AddOp(name, k, args...)
-	if err != nil {
-		panic(err)
-	}
+	must(err)
 	return id
 }
 
 func (b *builder) mul2(name, a, c string) dfg.NodeID {
 	id := b.op(name, op.Mul, a, c)
-	if err := b.g.SetCycles(id, 2); err != nil {
-		panic(err)
-	}
+	must(b.g.SetCycles(id, 2))
 	return id
 }
 

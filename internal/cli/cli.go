@@ -1,0 +1,53 @@
+// Package cli holds the entry-point plumbing every cmd/ tool shares: a
+// main wrapper that installs signal-driven cancellation and the uniform
+// "<tool>: error" exit path, plus the -timeout flag each tool registers.
+//
+// Keeping this in one place guarantees the tools behave identically
+// under ^C — the context is cancelled, the synthesis engine unwinds
+// cooperatively (pool workers stop dispatching, partially written
+// output is abandoned), and the process exits through the same error
+// path it uses for any other failure.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Main is the body of every tool's func main: it builds a context that
+// is cancelled on SIGINT or SIGTERM, invokes run with os.Args and
+// os.Stdout, and on error prints "<tool>: <err>" to stderr and exits 1.
+// A cancelled run therefore reports context.Canceled rather than dying
+// mid-write.
+func Main(tool string, run func(ctx context.Context, args []string, out io.Writer) error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	err := run(ctx, os.Args[1:], os.Stdout)
+	stop()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, tool+":", err)
+		os.Exit(1)
+	}
+}
+
+// Timeout registers the shared -timeout flag on a tool's FlagSet. The
+// zero default means "no limit"; any positive duration bounds the whole
+// run via WithTimeout.
+func Timeout(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0, "give up after this duration, e.g. 30s (0 = no limit)")
+}
+
+// WithTimeout bounds ctx by d when d > 0; with d <= 0 it returns a
+// plain cancellable child. The returned cancel function must be called
+// on every path (defer it right after the call).
+func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}

@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestTimeoutFlag(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	d := Timeout(fs)
+	if err := fs.Parse([]string{"-timeout", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	if *d != 250*time.Millisecond {
+		t.Fatalf("parsed timeout = %v, want 250ms", *d)
+	}
+	fs2 := flag.NewFlagSet("y", flag.ContinueOnError)
+	if *Timeout(fs2) != 0 {
+		t.Fatal("default timeout should be 0 (no limit)")
+	}
+}
+
+func TestWithTimeoutUnlimited(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), 0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("zero timeout must not set a deadline")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("fresh context already failed: %v", ctx.Err())
+	}
+	cancel()
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("after cancel: %v, want context.Canceled", ctx.Err())
+	}
+}
+
+func TestWithTimeoutDeadline(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("positive timeout must set a deadline")
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Fatalf("got %v, want context.DeadlineExceeded", ctx.Err())
+	}
+}

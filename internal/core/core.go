@@ -8,13 +8,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/behav"
 	"repro/internal/ctrl"
 	"repro/internal/dfg"
 	"repro/internal/diag"
 	"repro/internal/emit"
+	"repro/internal/guard"
 	"repro/internal/library"
 	"repro/internal/lint"
 	"repro/internal/mfs"
@@ -79,6 +82,59 @@ type Config struct {
 	// error-severity diagnostic (warnings and notes are kept on the
 	// Design for inspection via Design.Lint).
 	Lint bool
+
+	// Timeout bounds the wall-clock time of one entry-point call
+	// (Synthesize, ScheduleOnly, Sweep, ...). Zero means no timeout. An
+	// expired timeout surfaces as context.DeadlineExceeded, exactly as
+	// if the caller had passed an already-expired context.
+	Timeout time.Duration
+
+	// MaxNodes caps the number of graph nodes accepted by an entry
+	// point: 0 selects guard.DefaultMaxNodes, a negative value disables
+	// the check. Oversized inputs fail fast with a *guard.LimitError
+	// instead of grinding through an enormous schedule.
+	MaxNodes int
+
+	// MaxCSteps caps the time constraint (Config.CS): 0 selects
+	// guard.DefaultMaxCSteps, a negative value disables the check.
+	// Degenerate constraints fail fast with a *guard.LimitError instead
+	// of allocating per-step state for millions of control steps.
+	MaxCSteps int
+}
+
+// effectiveLimit resolves a limit knob: 0 = the default, negative =
+// unlimited (returned as 0, meaning "no check").
+func effectiveLimit(knob, def int) int {
+	switch {
+	case knob == 0:
+		return def
+	case knob < 0:
+		return 0
+	default:
+		return knob
+	}
+}
+
+// guardInput is the resource gate every entry point runs before any real
+// work: inputs beyond the configured size caps are rejected with a typed
+// *guard.LimitError.
+func guardInput(g *dfg.Graph, cfg Config) error {
+	if max := effectiveLimit(cfg.MaxNodes, guard.DefaultMaxNodes); max > 0 && g != nil && g.Len() > max {
+		return &guard.LimitError{What: "graph nodes", Got: g.Len(), Max: max}
+	}
+	if max := effectiveLimit(cfg.MaxCSteps, guard.DefaultMaxCSteps); max > 0 && cfg.CS > max {
+		return &guard.LimitError{What: "control steps", Got: cfg.CS, Max: max}
+	}
+	return nil
+}
+
+// withTimeout applies cfg.Timeout to ctx. The returned cancel must be
+// called; it is a no-op when no timeout is configured.
+func withTimeout(ctx context.Context, cfg Config) (context.Context, context.CancelFunc) {
+	if cfg.Timeout > 0 {
+		return context.WithTimeout(ctx, cfg.Timeout)
+	}
+	return ctx, func() {}
 }
 
 // Design is a complete synthesis result. Datapath, Controller and Cost
@@ -101,13 +157,26 @@ type Design struct {
 
 // ScheduleOnly runs MFS on a graph.
 func ScheduleOnly(g *dfg.Graph, cfg Config) (*Design, error) {
-	s, err := mfs.Schedule(g, mfsOptions(cfg))
+	return ScheduleOnlyCtx(context.Background(), g, cfg)
+}
+
+// ScheduleOnlyCtx is ScheduleOnly with cancellation, cfg.Timeout, the
+// input-size guards, and the panic-recovery boundary: an internal panic
+// surfaces as a *guard.InternalError instead of crashing the caller.
+func ScheduleOnlyCtx(ctx context.Context, g *dfg.Graph, cfg Config) (d *Design, err error) {
+	defer guard.Recover("core.ScheduleOnly", &err)
+	if err := guardInput(g, cfg); err != nil {
+		return nil, err
+	}
+	ctx, cancel := withTimeout(ctx, cfg)
+	defer cancel()
+	s, err := mfs.ScheduleCtx(ctx, g, mfsOptions(cfg))
 	if err != nil {
 		return nil, err
 	}
-	d := &Design{Graph: g, Schedule: s}
+	d = &Design{Graph: g, Schedule: s}
 	d.captureLintContext(cfg)
-	if err := d.lintGate(cfg); err != nil {
+	if err := d.lintGate(ctx, cfg); err != nil {
 		return nil, err
 	}
 	return d, nil
@@ -115,7 +184,25 @@ func ScheduleOnly(g *dfg.Graph, cfg Config) (*Design, error) {
 
 // Synthesize runs MFSA on a graph and builds the controller.
 func Synthesize(g *dfg.Graph, cfg Config) (*Design, error) {
-	res, err := mfsa.Synthesize(g, mfsaOptions(cfg))
+	return SynthesizeCtx(context.Background(), g, cfg)
+}
+
+// SynthesizeCtx is Synthesize with cancellation, cfg.Timeout, the
+// input-size guards, and the panic-recovery boundary.
+func SynthesizeCtx(ctx context.Context, g *dfg.Graph, cfg Config) (d *Design, err error) {
+	defer guard.Recover("core.Synthesize", &err)
+	if err := guardInput(g, cfg); err != nil {
+		return nil, err
+	}
+	ctx, cancel := withTimeout(ctx, cfg)
+	defer cancel()
+	return synthesize(ctx, g, cfg)
+}
+
+// synthesize is the shared MFSA + controller body; guards and timeout
+// are already applied by the caller.
+func synthesize(ctx context.Context, g *dfg.Graph, cfg Config) (*Design, error) {
+	res, err := mfsa.SynthesizeCtx(ctx, g, mfsaOptions(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +218,7 @@ func Synthesize(g *dfg.Graph, cfg Config) (*Design, error) {
 		Cost:       res.Cost,
 	}
 	d.captureLintContext(cfg)
-	if err := d.lintGate(cfg); err != nil {
+	if err := d.lintGate(ctx, cfg); err != nil {
 		return nil, err
 	}
 	return d, nil
@@ -145,11 +232,11 @@ func (d *Design) captureLintContext(cfg Config) {
 
 // lintGate enforces cfg.Lint: any error-severity diagnostic fails the
 // synthesis run.
-func (d *Design) lintGate(cfg Config) error {
+func (d *Design) lintGate(ctx context.Context, cfg Config) error {
 	if !cfg.Lint {
 		return nil
 	}
-	ds, err := d.Lint()
+	ds, err := d.LintCtx(ctx)
 	if err != nil {
 		return err
 	}
@@ -171,6 +258,11 @@ func (d *Design) lintGate(cfg Config) error {
 // design is fully allocated — and returns the aggregated diagnostics.
 // Passing analyzer names restricts the run to those passes.
 func (d *Design) Lint(analyzers ...string) (diag.List, error) {
+	return d.LintCtx(context.Background(), analyzers...)
+}
+
+// LintCtx is Lint with cancellation.
+func (d *Design) LintCtx(ctx context.Context, analyzers ...string) (diag.List, error) {
 	u := &lint.Unit{
 		Graph:      d.Graph,
 		Schedule:   d.Schedule,
@@ -182,18 +274,30 @@ func (d *Design) Lint(analyzers ...string) (diag.List, error) {
 	if d.Datapath != nil && d.Controller != nil {
 		u.Netlist = emit.Verilog(d.Graph, d.Schedule, d.Datapath, d.Controller)
 	}
-	return lint.Run(u, lint.Options{Analyzers: analyzers, Parallelism: d.parallelism})
+	return lint.RunCtx(ctx, u, lint.Options{Analyzers: analyzers, Parallelism: d.parallelism})
 }
 
 // SynthesizeSource parses a behavioral description and synthesizes it,
 // running the frontend optimization passes first when cfg.Optimize is
 // set.
 func SynthesizeSource(src string, cfg Config) (*Design, error) {
+	return SynthesizeSourceCtx(context.Background(), src, cfg)
+}
+
+// SynthesizeSourceCtx is SynthesizeSource with cancellation, cfg.Timeout,
+// the input-size guards, and the panic-recovery boundary.
+func SynthesizeSourceCtx(ctx context.Context, src string, cfg Config) (d *Design, err error) {
+	defer guard.Recover("core.SynthesizeSource", &err)
 	g, consts, err := frontend(src, cfg)
 	if err != nil {
 		return nil, err
 	}
-	d, err := Synthesize(g, cfg)
+	if err := guardInput(g, cfg); err != nil {
+		return nil, err
+	}
+	ctx, cancel := withTimeout(ctx, cfg)
+	defer cancel()
+	d, err = synthesize(ctx, g, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -220,17 +324,29 @@ func frontend(src string, cfg Config) (*dfg.Graph, map[string]int64, error) {
 // ScheduleSource parses a behavioral description and schedules it with
 // MFS (loops are folded per §5.2).
 func ScheduleSource(src string, cfg Config) (*Design, *mfs.LoopDesign, error) {
+	return ScheduleSourceCtx(context.Background(), src, cfg)
+}
+
+// ScheduleSourceCtx is ScheduleSource with cancellation, cfg.Timeout,
+// the input-size guards, and the panic-recovery boundary.
+func ScheduleSourceCtx(ctx context.Context, src string, cfg Config) (d *Design, ld *mfs.LoopDesign, err error) {
+	defer guard.Recover("core.ScheduleSource", &err)
 	g, consts, err := frontend(src, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	ld, err := mfs.ScheduleLoops(g, mfsOptions(cfg))
+	if err := guardInput(g, cfg); err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := withTimeout(ctx, cfg)
+	defer cancel()
+	ld, err = mfs.ScheduleLoopsCtx(ctx, g, mfsOptions(cfg))
 	if err != nil {
 		return nil, nil, err
 	}
-	d := &Design{Graph: g, Consts: consts, Schedule: ld.Schedule}
+	d = &Design{Graph: g, Consts: consts, Schedule: ld.Schedule}
 	d.captureLintContext(cfg)
-	if err := d.lintGate(cfg); err != nil {
+	if err := d.lintGate(ctx, cfg); err != nil {
 		return nil, nil, err
 	}
 	return d, ld, nil
@@ -280,6 +396,12 @@ func (d *Design) Netlist() (string, error) {
 // Simulate runs the design cycle-accurately on the given inputs (merged
 // with any literal constants from the source) and returns every signal.
 func (d *Design) Simulate(inputs map[string]int64) (map[string]int64, error) {
+	return d.SimulateCtx(context.Background(), inputs)
+}
+
+// SimulateCtx is Simulate with cancellation and the simulator's step
+// budget (see internal/sim).
+func (d *Design) SimulateCtx(ctx context.Context, inputs map[string]int64) (map[string]int64, error) {
 	all := make(map[string]int64, len(inputs)+len(d.Consts))
 	for k, v := range d.Consts {
 		all[k] = v
@@ -288,9 +410,9 @@ func (d *Design) Simulate(inputs map[string]int64) (map[string]int64, error) {
 		all[k] = v
 	}
 	if d.Datapath != nil {
-		return sim.RunRTL(d.Schedule, d.Datapath, all)
+		return sim.RunRTLCtx(ctx, d.Schedule, d.Datapath, all)
 	}
-	return sim.Run(d.Schedule, all)
+	return sim.RunCtx(ctx, d.Schedule, all)
 }
 
 // SelfCheck cross-checks the synthesized design against the behavioral

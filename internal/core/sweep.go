@@ -1,14 +1,29 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/dfg"
+	"repro/internal/guard"
 	"repro/internal/pool"
 	"repro/internal/rtl"
 )
+
+// guardSweepRange validates a [csLo, csHi] sweep request: malformed
+// ranges are a *guard.RangeError, ranges reaching past the MaxCSteps cap
+// a *guard.LimitError.
+func guardSweepRange(cfg Config, csLo, csHi int) error {
+	if csLo < 1 || csHi < csLo {
+		return fmt.Errorf("core: %w", &guard.RangeError{Lo: csLo, Hi: csHi})
+	}
+	if max := effectiveLimit(cfg.MaxCSteps, guard.DefaultMaxCSteps); max > 0 && csHi > max {
+		return fmt.Errorf("core: %w", &guard.LimitError{What: "sweep control steps", Got: csHi, Max: max})
+	}
+	return nil
+}
 
 // SweepPoint is one design point of a time-constraint sweep.
 type SweepPoint struct {
@@ -31,17 +46,30 @@ type SweepPoint struct {
 // on cfg.Parallelism workers; results come back in cs order and are
 // identical at every parallelism setting.
 func Sweep(g *dfg.Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
-	if csLo < 1 || csHi < csLo {
-		return nil, fmt.Errorf("core: bad sweep range [%d, %d]", csLo, csHi)
+	return SweepCtx(context.Background(), g, cfg, csLo, csHi)
+}
+
+// SweepCtx is Sweep with cancellation, cfg.Timeout (bounding the whole
+// sweep, not each point), the input-size guards, and the panic-recovery
+// boundary. A cancelled sweep returns ctx.Err(), never partial points.
+func SweepCtx(ctx context.Context, g *dfg.Graph, cfg Config, csLo, csHi int) (points []SweepPoint, err error) {
+	defer guard.Recover("core.Sweep", &err)
+	if err := guardSweepRange(cfg, csLo, csHi); err != nil {
+		return nil, err
 	}
+	if err := guardInput(g, cfg); err != nil {
+		return nil, err
+	}
+	ctx, cancel := withTimeout(ctx, cfg)
+	defer cancel()
 	if cp := g.CriticalPathCycles(); csLo < cp {
 		csLo = cp
 	}
-	points, err := pool.Map(pool.Size(cfg.Parallelism), csHi-csLo+1,
+	points, err = pool.MapCtx(ctx, pool.Size(cfg.Parallelism), csHi-csLo+1,
 		func(i int) (SweepPoint, error) {
 			c := cfg
 			c.CS = csLo + i
-			d, err := Synthesize(g, c)
+			d, err := synthesize(ctx, g, c)
 			if err != nil {
 				return SweepPoint{}, fmt.Errorf("core: sweep at cs=%d: %w", c.CS, err)
 			}
@@ -65,9 +93,19 @@ func Sweep(g *dfg.Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
 // clamped to its own critical path, exactly as Sweep would clamp it, and
 // the returned slice is indexed like gs with per-graph Pareto marks.
 func SweepGraphs(gs []*dfg.Graph, cfg Config, csLo, csHi int) ([][]SweepPoint, error) {
-	if csLo < 1 || csHi < csLo {
-		return nil, fmt.Errorf("core: bad sweep range [%d, %d]", csLo, csHi)
+	return SweepGraphsCtx(context.Background(), gs, cfg, csLo, csHi)
+}
+
+// SweepGraphsCtx is SweepGraphs with cancellation, cfg.Timeout (bounding
+// the whole grid), the input-size guards, and the panic-recovery
+// boundary. A cancelled sweep returns ctx.Err(), never partial points.
+func SweepGraphsCtx(ctx context.Context, gs []*dfg.Graph, cfg Config, csLo, csHi int) (out [][]SweepPoint, err error) {
+	defer guard.Recover("core.SweepGraphs", &err)
+	if err := guardSweepRange(cfg, csLo, csHi); err != nil {
+		return nil, err
 	}
+	ctx, cancel := withTimeout(ctx, cfg)
+	defer cancel()
 	type job struct {
 		g      *dfg.Graph
 		gi, cs int
@@ -78,6 +116,9 @@ func SweepGraphs(gs []*dfg.Graph, cfg Config, csLo, csHi int) ([][]SweepPoint, e
 		if g == nil {
 			return nil, fmt.Errorf("core: sweep graphs: nil graph at %d", gi)
 		}
+		if err := guardInput(g, cfg); err != nil {
+			return nil, fmt.Errorf("core: sweep graphs: %s: %w", g.Name, err)
+		}
 		lo := csLo
 		if cp := g.CriticalPathCycles(); lo < cp {
 			lo = cp
@@ -87,11 +128,11 @@ func SweepGraphs(gs []*dfg.Graph, cfg Config, csLo, csHi int) ([][]SweepPoint, e
 			counts[gi]++
 		}
 	}
-	flat, err := pool.Map(pool.Size(cfg.Parallelism), len(jobs),
+	flat, err := pool.MapCtx(ctx, pool.Size(cfg.Parallelism), len(jobs),
 		func(i int) (SweepPoint, error) {
 			c := cfg
 			c.CS = jobs[i].cs
-			d, err := Synthesize(jobs[i].g, c)
+			d, err := synthesize(ctx, jobs[i].g, c)
 			if err != nil {
 				return SweepPoint{}, fmt.Errorf("core: sweep %s at cs=%d: %w",
 					jobs[i].g.Name, jobs[i].cs, err)
@@ -105,7 +146,7 @@ func SweepGraphs(gs []*dfg.Graph, cfg Config, csLo, csHi int) ([][]SweepPoint, e
 	if err != nil {
 		return nil, err
 	}
-	out := make([][]SweepPoint, len(gs))
+	out = make([][]SweepPoint, len(gs))
 	next := 0
 	for gi := range gs {
 		if counts[gi] == 0 {

@@ -265,11 +265,15 @@ func (g *Graph) node(id NodeID) (*Node, error) {
 }
 
 // Node returns the node with the given ID; it panics on a bad ID, which
-// always indicates a programming error since IDs only come from this graph.
+// always indicates a programming error: IDs are minted only by this
+// graph's Add* methods, so a lookup can fail only when a caller crosses
+// IDs between graphs or fabricates one — unreachable through correct use
+// of the API, and not a condition an error return could make the buggy
+// caller handle sensibly.
 func (g *Graph) Node(id NodeID) *Node {
 	n, err := g.node(id)
 	if err != nil {
-		panic(err)
+		panic("dfg: " + err.Error())
 	}
 	return n
 }

@@ -1,5 +1,7 @@
 package dfg
 
+import "fmt"
+
 // MergeExclusiveDuplicates implements the conditional-statement
 // optimization of §5.1: operations that appear in more than one branch of
 // the same conditional with identical inputs are redundant — only one copy
@@ -13,8 +15,10 @@ package dfg
 // operation is treated as common to both branches.
 //
 // The method returns a new graph (the receiver is left untouched) together
-// with the number of operations removed.
-func (g *Graph) MergeExclusiveDuplicates() (*Graph, int) {
+// with the number of operations removed. A rebuild failure — possible
+// only if the receiver itself was malformed — is returned as an error
+// instead of panicking.
+func (g *Graph) MergeExclusiveDuplicates() (*Graph, int, error) {
 	replace := make(map[string]string) // dropped signal -> surviving signal
 	drop := make(map[NodeID]bool)
 	keepTags := make(map[NodeID][]CondTag)
@@ -38,13 +42,13 @@ func (g *Graph) MergeExclusiveDuplicates() (*Graph, int) {
 		}
 	}
 	if len(drop) == 0 {
-		return g.Clone(), 0
+		return g.Clone(), 0, nil
 	}
 
 	out := New(g.Name)
 	for _, in := range g.Inputs() {
 		if err := out.AddInput(in); err != nil {
-			panic(err) // inputs were valid in g
+			return nil, 0, fmt.Errorf("dfg: merge rebuild of %s: %w", g.Name, err)
 		}
 	}
 	for _, n := range nodes {
@@ -67,7 +71,7 @@ func (g *Graph) MergeExclusiveDuplicates() (*Graph, int) {
 			id, err = out.AddOp(n.Name, n.Op, args...)
 		}
 		if err != nil {
-			panic(err) // structure was valid in g
+			return nil, 0, fmt.Errorf("dfg: merge rebuild of %s: node %q: %w", g.Name, n.Name, err)
 		}
 		nn := out.Node(id)
 		nn.Cycles = n.Cycles
@@ -78,7 +82,7 @@ func (g *Graph) MergeExclusiveDuplicates() (*Graph, int) {
 			nn.Excl = append([]CondTag(nil), n.Excl...)
 		}
 	}
-	return out, len(drop)
+	return out, len(drop), nil
 }
 
 // sameComputation reports whether a and b compute the same value: same op,

@@ -30,7 +30,10 @@ func buildCondDup(t *testing.T) *Graph {
 
 func TestMergeExclusiveDuplicates(t *testing.T) {
 	g := buildCondDup(t)
-	m, removed := g.MergeExclusiveDuplicates()
+	m, removed, err := g.MergeExclusiveDuplicates()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if removed != 1 {
 		t.Fatalf("removed = %d, want 1", removed)
 	}
@@ -65,7 +68,10 @@ func TestMergeExclusiveDuplicates(t *testing.T) {
 
 func TestMergePreservesSemantics(t *testing.T) {
 	g := buildCondDup(t)
-	m, _ := g.MergeExclusiveDuplicates()
+	m, _, err := g.MergeExclusiveDuplicates()
+	if err != nil {
+		t.Fatal(err)
+	}
 	in := map[string]int64{"a": 7, "b": 9}
 	want, err := g.Eval(in)
 	if err != nil {
@@ -89,7 +95,10 @@ func TestMergeNoDuplicates(t *testing.T) {
 	y, _ := g.AddOp("y", op.Sub, "a", "a")
 	g.Tag(x, CondTag{1, 0})
 	g.Tag(y, CondTag{1, 1})
-	m, removed := g.MergeExclusiveDuplicates()
+	m, removed, err := g.MergeExclusiveDuplicates()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if removed != 0 || m.Len() != 2 {
 		t.Errorf("removed=%d len=%d, want 0 and 2", removed, m.Len())
 	}
@@ -102,7 +111,10 @@ func TestMergeIgnoresNonExclusiveDuplicates(t *testing.T) {
 	g.AddInput("a")
 	g.AddOp("x", op.Add, "a", "a")
 	g.AddOp("y", op.Add, "a", "a")
-	_, removed := g.MergeExclusiveDuplicates()
+	_, removed, err := g.MergeExclusiveDuplicates()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if removed != 0 {
 		t.Errorf("removed = %d, want 0 (nodes not exclusive)", removed)
 	}
@@ -116,7 +128,10 @@ func TestMergeRespectsCycles(t *testing.T) {
 	g.Tag(x, CondTag{1, 0})
 	g.Tag(y, CondTag{1, 1})
 	g.SetCycles(y, 2) // different implementation duration: do not merge
-	_, removed := g.MergeExclusiveDuplicates()
+	_, removed, err := g.MergeExclusiveDuplicates()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if removed != 0 {
 		t.Errorf("removed = %d, want 0 (cycle counts differ)", removed)
 	}
@@ -137,7 +152,10 @@ func TestMergeChains(t *testing.T) {
 		g.Tag(use, CondTag{1, br})
 		consumers = append(consumers, use)
 	}
-	m, removed := g.MergeExclusiveDuplicates()
+	m, removed, err := g.MergeExclusiveDuplicates()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if removed != 2 {
 		t.Fatalf("removed = %d, want 2", removed)
 	}
@@ -167,7 +185,10 @@ func TestMergeCascades(t *testing.T) {
 		g.Tag(add, CondTag{1, br})
 		g.Tag(use, CondTag{1, br})
 	}
-	m, removed := g.MergeExclusiveDuplicates()
+	m, removed, err := g.MergeExclusiveDuplicates()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if removed != 4 {
 		t.Fatalf("removed = %d, want 4", removed)
 	}

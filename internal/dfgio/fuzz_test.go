@@ -1,0 +1,70 @@
+package dfgio
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+)
+
+// FuzzLoad checks the file-format decoders against arbitrary input: a
+// corrupt or adversarial graph/schedule file must be rejected with an
+// error, never a panic, and anything DecodeGraph accepts must be a
+// valid graph that round-trips exactly through EncodeGraph. `go test`
+// runs the seed corpus; `go test -fuzz=FuzzLoad ./internal/dfgio`
+// explores further (CI runs a short fuzz smoke of this target).
+func FuzzLoad(f *testing.F) {
+	// Real encodings of the paper benchmarks seed the interesting part
+	// of the input space; the literals cover the decoder's error arms.
+	for _, ex := range benchmarks.All() {
+		data, err := EncodeGraph(ex.Graph)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seeds := []string{
+		``,
+		`{}`,
+		`{"name":"d","inputs":["a"],"nodes":[{"name":"x","op":"+","args":["a","a"]}]}`,
+		`{"name":"d","inputs":["a"],"nodes":[{"name":"x","op":"?","args":["a"]}]}`,
+		`{"name":"d","inputs":["a"],"nodes":[{"name":"x","op":"+","args":["a","nope"]}]}`,
+		`{"name":"d","inputs":["a"],"nodes":[{"name":"x","op":"+","args":["a","a"],"cycles":-1}]}`,
+		`{"name":"d","inputs":["a"],"nodes":[{"name":"l","args":["a"],"sub":{"name":"s"},"sub_ins":[]}]}`,
+		`{"graph":null,"cs":4,"placements":[]}`,
+		`{"graph":{"name":"d","inputs":["a"],"nodes":[]},"cs":0,"placements":[{"node":"ghost","step":1}]}`,
+		`[1,2,3]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Neither decoder may panic, whatever the bytes.
+		if s, err := DecodeSchedule(data); err == nil {
+			if err := s.Verify(nil); err != nil {
+				t.Fatalf("accepted schedule fails verification: %v\ninput: %s", err, data)
+			}
+		}
+		g, err := DecodeGraph(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %s", err, data)
+		}
+		enc, err := EncodeGraph(g)
+		if err != nil {
+			t.Fatalf("accepted graph fails re-encoding: %v\ninput: %s", err, data)
+		}
+		g2, err := DecodeGraph(enc)
+		if err != nil {
+			t.Fatalf("re-encoded graph fails decoding: %v\nencoding: %s", err, enc)
+		}
+		enc2, err := EncodeGraph(g2)
+		if err != nil {
+			t.Fatalf("round-tripped graph fails re-encoding: %v", err)
+		}
+		if string(enc) != string(enc2) {
+			t.Fatalf("round-trip is not a fixed point:\nfirst:  %s\nsecond: %s", enc, enc2)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -20,18 +21,23 @@ import (
 // schedules; the table shows how the choice shifts the FU mix, the
 // design decision DESIGN.md §6 calls out.
 func AblationLiapunov() (*report.Table, error) {
+	return AblationLiapunovCtx(context.Background())
+}
+
+// AblationLiapunovCtx is AblationLiapunov with cancellation.
+func AblationLiapunovCtx(ctx context.Context) (*report.Table, error) {
 	t := report.New("Ablation — Liapunov function choice under a time constraint",
 		"Ex", "T", "time-constrained V", "resource-constrained V")
 	jobs := firstConstraintJobs(func(ex *benchmarks.Example) bool {
 		return ex.ClockNs == 0 && ex.Latency == nil
 	})
-	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+	err := parRows(ctx, t, len(jobs), func(i int) ([]interface{}, error) {
 		ex, cs := jobs[i].ex, jobs[i].cs
-		a, err := mfs.Schedule(ex.Graph, mfs.Options{CS: cs})
+		a, err := mfs.ScheduleCtx(ctx, ex.Graph, mfs.Options{CS: cs})
 		if err != nil {
 			return nil, err
 		}
-		b, err := mfs.Schedule(ex.Graph, mfs.Options{
+		b, err := mfs.ScheduleCtx(ctx, ex.Graph, mfs.Options{
 			CS:       cs,
 			Liapunov: liapunov.ResourceConstrained{CS: cs + 1},
 		})
@@ -58,6 +64,11 @@ func AblationLiapunov() (*report.Table, error) {
 // the incremental multiplexer and register terms actively steer binding,
 // mirroring the restricted-library usage §6 describes.
 func AblationWeights() (*report.Table, error) {
+	return AblationWeightsCtx(context.Background())
+}
+
+// AblationWeightsCtx is AblationWeights with cancellation.
+func AblationWeightsCtx(ctx context.Context) (*report.Table, error) {
 	t := report.New("Ablation — MFSA Liapunov terms on a shared-ALU library (total cost, µm²)",
 		"Ex", "T", "balanced", "no-MUX-term", "no-REG-term", "no-ALU-term")
 	lib, err := sharedALULibrary()
@@ -71,11 +82,11 @@ func AblationWeights() (*report.Table, error) {
 		{Time: 1, ALU: 0, Mux: 1, Reg: 1},
 	}
 	jobs := firstConstraintJobs(nil)
-	err = parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+	err = parRows(ctx, t, len(jobs), func(i int) ([]interface{}, error) {
 		ex, cs := jobs[i].ex, jobs[i].cs
 		cells := []interface{}{fmt.Sprintf("#%d %s", ex.Num, ex.Name), cs}
 		for _, w := range configs {
-			res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{
+			res, err := mfsa.SynthesizeCtx(ctx, ex.Graph, mfsa.Options{
 				CS: cs, ClockNs: ex.ClockNs, Lib: lib, Weights: w,
 			})
 			if err != nil {
@@ -108,14 +119,19 @@ func sharedALULibrary() (*library.Library, error) {
 // spreads operations over all columns and the FU mix degrades toward the
 // ASAP profile.
 func AblationRedundantFrame() (*report.Table, error) {
+	return AblationRedundantFrameCtx(context.Background())
+}
+
+// AblationRedundantFrameCtx is AblationRedundantFrame with cancellation.
+func AblationRedundantFrameCtx(ctx context.Context) (*report.Table, error) {
 	t := report.New("Ablation — redundant frame (RF) starting estimate",
 		"Ex", "T", "with RF", "without RF (current_j = max_j)")
 	jobs := firstConstraintJobs(func(ex *benchmarks.Example) bool {
 		return ex.ClockNs == 0 && ex.Latency == nil
 	})
-	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+	err := parRows(ctx, t, len(jobs), func(i int) ([]interface{}, error) {
 		ex, cs := jobs[i].ex, jobs[i].cs
-		with, err := mfs.Schedule(ex.Graph, mfs.Options{CS: cs})
+		with, err := mfs.ScheduleCtx(ctx, ex.Graph, mfs.Options{CS: cs})
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +145,7 @@ func AblationRedundantFrame() (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		without, err := mfs.Schedule(ex.Graph, mfs.Options{CS: cs, NoRedundantFrame: true, Limits: asap})
+		without, err := mfs.ScheduleCtx(ctx, ex.Graph, mfs.Options{CS: cs, NoRedundantFrame: true, Limits: asap})
 		if err != nil {
 			return nil, err
 		}

@@ -15,6 +15,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -56,9 +57,10 @@ func firstConstraintJobs(filter func(*benchmarks.Example) bool) []exJob {
 
 // parRows computes n table rows concurrently on the shared pool and
 // appends them to t in index order, so a parallelized table is
-// byte-identical to its sequential ancestor.
-func parRows(t *report.Table, n int, row func(i int) ([]interface{}, error)) error {
-	rows, err := pool.Map(pool.Size(0), n, row)
+// byte-identical to its sequential ancestor. A cancelled ctx aborts the
+// fan-out and surfaces ctx.Err(); no partial table is appended.
+func parRows(ctx context.Context, t *report.Table, n int, row func(i int) ([]interface{}, error)) error {
+	rows, err := pool.MapCtx(ctx, pool.Size(0), n, row)
 	if err != nil {
 		return err
 	}
@@ -116,6 +118,11 @@ func mfsOptions(ex *benchmarks.Example, cs int, pipelined bool) mfs.Options {
 // time constraint, the functional-unit mix MFS settles on; structurally
 // pipelined examples get a second row using pipelined units.
 func Table1() (*report.Table, error) {
+	return Table1Ctx(context.Background())
+}
+
+// Table1Ctx is Table1 with cancellation.
+func Table1Ctx(ctx context.Context) (*report.Table, error) {
 	t := report.New("Table 1 — MFS results for the six design examples",
 		"Ex", "Cyc", "Feat", "T", "FUs", "FUs (pipelined)")
 	var jobs []exJob
@@ -124,16 +131,16 @@ func Table1() (*report.Table, error) {
 			jobs = append(jobs, exJob{ex, cs})
 		}
 	}
-	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+	err := parRows(ctx, t, len(jobs), func(i int) ([]interface{}, error) {
 		ex, cs := jobs[i].ex, jobs[i].cs
-		s, err := mfs.Schedule(ex.Graph, mfsOptions(ex, cs, false))
+		s, err := mfs.ScheduleCtx(ctx, ex.Graph, mfsOptions(ex, cs, false))
 		if err != nil {
 			return nil, fmt.Errorf("%s T=%d: %w", ex.Name, cs, err)
 		}
 		plain := fuNotation(s.InstancesPerType())
 		piped := ""
 		if len(ex.PipelinedOps) > 0 {
-			sp, err := mfs.Schedule(ex.Graph, mfsOptions(ex, cs, true))
+			sp, err := mfs.ScheduleCtx(ctx, ex.Graph, mfsOptions(ex, cs, true))
 			if err != nil {
 				return nil, fmt.Errorf("%s T=%d pipelined: %w", ex.Name, cs, err)
 			}
@@ -152,6 +159,11 @@ func Table1() (*report.Table, error) {
 // tightest time constraint, both design styles' ALU set, total cost,
 // and register/multiplexer statistics.
 func Table2() (*report.Table, error) {
+	return Table2Ctx(context.Background())
+}
+
+// Table2Ctx is Table2 with cancellation.
+func Table2Ctx(ctx context.Context) (*report.Table, error) {
 	t := report.New("Table 2 — MFSA RTL results (NCR-like library, µm²)",
 		"Ex", "T", "Style", "ALUs", "Cost", "REG", "MUX", "MUXin")
 	type styleJob struct {
@@ -164,10 +176,10 @@ func Table2() (*report.Table, error) {
 			jobs = append(jobs, styleJob{ex, style})
 		}
 	}
-	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+	err := parRows(ctx, t, len(jobs), func(i int) ([]interface{}, error) {
 		ex, style := jobs[i].ex, jobs[i].style
 		cs := ex.TimeConstraints[0]
-		res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{
+		res, err := mfsa.SynthesizeCtx(ctx, ex.Graph, mfsa.Options{
 			CS: cs, Style: style, ClockNs: ex.ClockNs,
 		})
 		if err != nil {
@@ -188,16 +200,21 @@ func Table2() (*report.Table, error) {
 // example — the §6 claim of a 2–11% premium for self-testable
 // structures.
 func StyleOverhead() (*report.Table, error) {
+	return StyleOverheadCtx(context.Background())
+}
+
+// StyleOverheadCtx is StyleOverhead with cancellation.
+func StyleOverheadCtx(ctx context.Context) (*report.Table, error) {
 	t := report.New("Style 2 overhead vs style 1 (total cost)",
 		"Ex", "T", "Style1", "Style2", "Overhead")
 	jobs := firstConstraintJobs(nil)
-	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+	err := parRows(ctx, t, len(jobs), func(i int) ([]interface{}, error) {
 		ex, cs := jobs[i].ex, jobs[i].cs
-		c1, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: cs, Style: mfsa.Style1, ClockNs: ex.ClockNs})
+		c1, err := mfsa.SynthesizeCtx(ctx, ex.Graph, mfsa.Options{CS: cs, Style: mfsa.Style1, ClockNs: ex.ClockNs})
 		if err != nil {
 			return nil, err
 		}
-		c2, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: cs, Style: mfsa.Style2, ClockNs: ex.ClockNs})
+		c2, err := mfsa.SynthesizeCtx(ctx, ex.Graph, mfsa.Options{CS: cs, Style: mfsa.Style2, ClockNs: ex.ClockNs})
 		if err != nil {
 			return nil, err
 		}
@@ -217,13 +234,18 @@ func StyleOverhead() (*report.Table, error) {
 // counts, and MFSA versus FDS followed by a naive single-function
 // allocation on total RTL cost, on the same library.
 func Compare() (*report.Table, error) {
+	return CompareCtx(context.Background())
+}
+
+// CompareCtx is Compare with cancellation.
+func CompareCtx(ctx context.Context) (*report.Table, error) {
 	t := report.New("Comparison — MFS/MFSA vs force-directed baseline",
 		"Ex", "T", "MFS FUs", "FDS FUs", "MFSA cost", "FDS+naive cost", "Δcost")
 	// FDS baseline has no chaining support.
 	jobs := firstConstraintJobs(func(ex *benchmarks.Example) bool { return ex.ClockNs == 0 })
-	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+	err := parRows(ctx, t, len(jobs), func(i int) ([]interface{}, error) {
 		ex, cs := jobs[i].ex, jobs[i].cs
-		ms, err := mfs.Schedule(ex.Graph, mfs.Options{CS: cs})
+		ms, err := mfs.ScheduleCtx(ctx, ex.Graph, mfs.Options{CS: cs})
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +253,7 @@ func Compare() (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: cs})
+		res, err := mfsa.SynthesizeCtx(ctx, ex.Graph, mfsa.Options{CS: cs})
 		if err != nil {
 			return nil, err
 		}
@@ -315,17 +337,26 @@ func lifetimes(s *sched.Schedule) []rtl.Interval {
 // result tables it deliberately stays sequential: concurrent runs would
 // contend for cores and inflate the per-example timings.
 func Runtime() (*report.Table, error) {
+	return RuntimeCtx(context.Background())
+}
+
+// RuntimeCtx is Runtime with cancellation, checked between examples and
+// inside each timed run.
+func RuntimeCtx(ctx context.Context) (*report.Table, error) {
 	t := report.New("CPU time per example (this machine)",
 		"Ex", "T", "MFS", "MFSA")
 	for _, ex := range benchmarks.All() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cs := ex.TimeConstraints[0]
 		start := time.Now()
-		if _, err := mfs.Schedule(ex.Graph, mfsOptions(ex, cs, false)); err != nil {
+		if _, err := mfs.ScheduleCtx(ctx, ex.Graph, mfsOptions(ex, cs, false)); err != nil {
 			return nil, err
 		}
 		tMFS := time.Since(start)
 		start = time.Now()
-		if _, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: cs, ClockNs: ex.ClockNs}); err != nil {
+		if _, err := mfsa.SynthesizeCtx(ctx, ex.Graph, mfsa.Options{CS: cs, ClockNs: ex.ClockNs}); err != nil {
 			return nil, err
 		}
 		tMFSA := time.Since(start)
@@ -376,21 +407,26 @@ func Figure2() (string, error) {
 // MFS→Allocate and FDS→Allocate on the same library, where Allocate is
 // MFSA's binder with the time dimension frozen.
 func Phases() (*report.Table, error) {
+	return PhasesCtx(context.Background())
+}
+
+// PhasesCtx is Phases with cancellation.
+func PhasesCtx(ctx context.Context) (*report.Table, error) {
 	t := report.New("Simultaneous vs sequential scheduling/allocation (total cost, µm²)",
 		"Ex", "T", "MFSA (simultaneous)", "MFS→alloc", "FDS→alloc")
 	// The FDS baseline is not pipelining-aware.
 	jobs := firstConstraintJobs(func(ex *benchmarks.Example) bool { return ex.Latency == nil })
-	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+	err := parRows(ctx, t, len(jobs), func(i int) ([]interface{}, error) {
 		ex, cs := jobs[i].ex, jobs[i].cs
-		sim1, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: cs, ClockNs: ex.ClockNs})
+		sim1, err := mfsa.SynthesizeCtx(ctx, ex.Graph, mfsa.Options{CS: cs, ClockNs: ex.ClockNs})
 		if err != nil {
 			return nil, err
 		}
-		ms, err := mfs.Schedule(ex.Graph, mfs.Options{CS: cs, ClockNs: ex.ClockNs})
+		ms, err := mfs.ScheduleCtx(ctx, ex.Graph, mfs.Options{CS: cs, ClockNs: ex.ClockNs})
 		if err != nil {
 			return nil, err
 		}
-		seq1, err := mfsa.Allocate(ms, mfsa.Options{})
+		seq1, err := mfsa.AllocateCtx(ctx, ms, mfsa.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -400,7 +436,7 @@ func Phases() (*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			seq2, err := mfsa.Allocate(fs, mfsa.Options{})
+			seq2, err := mfsa.AllocateCtx(ctx, fs, mfsa.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -421,12 +457,17 @@ func Phases() (*report.Table, error) {
 // point-to-point link count, the per-signal vs. post-sharing effective
 // multiplexer input counts, and the bus-based alternative's size.
 func Interconnect() (*report.Table, error) {
+	return InterconnectCtx(context.Background())
+}
+
+// InterconnectCtx is Interconnect with cancellation.
+func InterconnectCtx(ctx context.Context) (*report.Table, error) {
 	t := report.New("Interconnect — §5.7 line sharing and bus alternative",
 		"Ex", "T", "links", "mux inputs (signal)", "mux inputs (shared)", "buses")
 	jobs := firstConstraintJobs(nil)
-	err := parRows(t, len(jobs), func(i int) ([]interface{}, error) {
+	err := parRows(ctx, t, len(jobs), func(i int) ([]interface{}, error) {
 		ex, cs := jobs[i].ex, jobs[i].cs
-		res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: cs, ClockNs: ex.ClockNs})
+		res, err := mfsa.SynthesizeCtx(ctx, ex.Graph, mfsa.Options{CS: cs, ClockNs: ex.ClockNs})
 		if err != nil {
 			return nil, err
 		}

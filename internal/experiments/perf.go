@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -68,6 +69,12 @@ func perfSweepRange() (*benchmarks.Example, int, int) {
 // sequential and parallel sweep paths (best of three runs each, to
 // shave scheduler noise), and returns the snapshot.
 func MeasurePerf() (*PerfBaseline, error) {
+	return MeasurePerfCtx(context.Background())
+}
+
+// MeasurePerfCtx is MeasurePerf with cancellation, observed by every
+// table regeneration and every timed sweep repetition.
+func MeasurePerfCtx(ctx context.Context) (*PerfBaseline, error) {
 	p := &PerfBaseline{
 		SchemaVersion: 1,
 		GoVersion:     runtime.Version(),
@@ -75,22 +82,22 @@ func MeasurePerf() (*PerfBaseline, error) {
 	}
 	tables := []struct {
 		name string
-		fn   func() (*report.Table, error)
+		fn   func(context.Context) (*report.Table, error)
 	}{
-		{"table1", Table1},
-		{"table2", Table2},
-		{"compare", Compare},
-		{"phases", Phases},
-		{"interconnect", Interconnect},
-		{"style", StyleOverhead},
-		{"runtime", Runtime},
-		{"ablation-liapunov", AblationLiapunov},
-		{"ablation-weights", AblationWeights},
-		{"ablation-rf", AblationRedundantFrame},
+		{"table1", Table1Ctx},
+		{"table2", Table2Ctx},
+		{"compare", CompareCtx},
+		{"phases", PhasesCtx},
+		{"interconnect", InterconnectCtx},
+		{"style", StyleOverheadCtx},
+		{"runtime", RuntimeCtx},
+		{"ablation-liapunov", AblationLiapunovCtx},
+		{"ablation-weights", AblationWeightsCtx},
+		{"ablation-rf", AblationRedundantFrameCtx},
 	}
 	for _, tb := range tables {
 		start := time.Now()
-		t, err := tb.fn()
+		t, err := tb.fn(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: perf baseline: %s: %w", tb.name, err)
 		}
@@ -102,11 +109,11 @@ func MeasurePerf() (*PerfBaseline, error) {
 	}
 
 	ex, lo, hi := perfSweepRange()
-	seqPoints, seqMs, err := timeSweep(ex, core.Config{Parallelism: 1}, lo, hi)
+	seqPoints, seqMs, err := timeSweep(ctx, ex, core.Config{Parallelism: 1}, lo, hi)
 	if err != nil {
 		return nil, err
 	}
-	parPoints, parMs, err := timeSweep(ex, core.Config{}, lo, hi)
+	parPoints, parMs, err := timeSweep(ctx, ex, core.Config{}, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -124,12 +131,12 @@ func MeasurePerf() (*PerfBaseline, error) {
 	return p, nil
 }
 
-func timeSweep(ex *benchmarks.Example, cfg core.Config, lo, hi int) ([]core.SweepPoint, float64, error) {
+func timeSweep(ctx context.Context, ex *benchmarks.Example, cfg core.Config, lo, hi int) ([]core.SweepPoint, float64, error) {
 	var points []core.SweepPoint
 	best := 0.0
 	for rep := 0; rep < 3; rep++ {
 		start := time.Now()
-		p, err := core.Sweep(ex.Graph, cfg, lo, hi)
+		p, err := core.SweepCtx(ctx, ex.Graph, cfg, lo, hi)
 		if err != nil {
 			return nil, 0, fmt.Errorf("experiments: perf baseline sweep: %w", err)
 		}

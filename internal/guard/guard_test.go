@@ -1,0 +1,69 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("guard.test", &err)
+		panic("boom")
+	}
+	err := f()
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("got %T (%v), want *InternalError", err, err)
+	}
+	if ie.Op != "guard.test" || ie.Value != "boom" {
+		t.Errorf("InternalError = %+v", ie)
+	}
+	if len(ie.Stack) == 0 || !strings.Contains(string(ie.Stack), "goroutine") {
+		t.Errorf("stack not captured: %q", ie.Stack)
+	}
+	if !strings.Contains(err.Error(), "guard.test") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Error() = %q", err.Error())
+	}
+}
+
+func TestRecoverKeepsExistingInternalError(t *testing.T) {
+	orig := NewInternalError("inner.op", "first")
+	f := func() (err error) {
+		defer Recover("outer.op", &err)
+		panic(orig)
+	}
+	err := f()
+	var ie *InternalError
+	if !errors.As(err, &ie) || ie != orig {
+		t.Fatalf("re-panicked InternalError not preserved: %v", err)
+	}
+}
+
+func TestRecoverNoPanicLeavesErrAlone(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("guard.test", &err)
+		return nil
+	}
+	if err := f(); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	g := func() (err error) {
+		defer Recover("guard.test", &err)
+		return errors.New("ordinary")
+	}
+	if err := g(); err == nil || err.Error() != "ordinary" {
+		t.Fatalf("ordinary error clobbered: %v", err)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	le := &LimitError{What: "graph nodes", Got: 7, Max: 3}
+	if got := le.Error(); !strings.Contains(got, "graph nodes") || !strings.Contains(got, "7") {
+		t.Errorf("LimitError.Error() = %q", got)
+	}
+	re := &RangeError{Lo: 5, Hi: 2}
+	if got := re.Error(); !strings.Contains(got, "[5, 2]") {
+		t.Errorf("RangeError.Error() = %q", got)
+	}
+}

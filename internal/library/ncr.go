@@ -146,31 +146,36 @@ var combos = [][]op.Kind{
 func NCRLike() *Library {
 	l := New("ncr-like", 700, 300, 260, 0.08)
 	for k, a := range singleArea {
-		u := &Unit{Name: "fu_" + kindSlug(k), Ops: []op.Kind{k}, Area: a, Stages: 1}
-		if err := l.Add(u); err != nil {
-			panic(err)
-		}
+		mustAdd(l, &Unit{Name: "fu_" + kindSlug(k), Ops: []op.Kind{k}, Area: a, Stages: 1})
 	}
 	for _, c := range combos {
 		u := Compose(c...)
 		if _, ok := l.Lookup(u.Name); ok {
 			continue // combo list may contain duplicates
 		}
-		if err := l.Add(u); err != nil {
-			panic(err)
-		}
+		mustAdd(l, u)
 	}
 	// Structurally pipelined cells: same area premium as a 2-way ALU merge.
 	for _, k := range []op.Kind{op.Mul, op.Div} {
-		u := &Unit{
+		mustAdd(l, &Unit{
 			Name:   "pfu_" + kindSlug(k),
 			Ops:    []op.Kind{k},
 			Area:   singleArea[k] * 1.25,
 			Stages: 2,
-		}
-		if err := l.Add(u); err != nil {
-			panic(err)
-		}
+		})
 	}
 	return l
+}
+
+// mustAdd registers a built-in unit. Add fails only on a duplicate name,
+// an empty op list, or a non-positive area/stage count — none of which
+// the static singleArea and combos tables above contain (the package
+// tests validate the full NCRLike result), so this is unreachable short
+// of an inconsistent edit to those literals: a programming error that
+// must fail loudly at construction, in the regexp.MustCompile tradition,
+// rather than hand every caller an error for data baked into the binary.
+func mustAdd(l *Library, u *Unit) {
+	if err := l.Add(u); err != nil {
+		panic("library: invalid built-in unit table: " + err.Error())
+	}
 }

@@ -13,6 +13,7 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -121,15 +122,26 @@ type Options struct {
 // that panics is converted into an HL0001 error diagnostic rather than
 // crashing the run. Run fails only on an unknown analyzer name.
 func Run(u *Unit, opts Options) (diag.List, error) {
+	return RunCtx(context.Background(), u, opts)
+}
+
+// RunCtx is Run with cancellation: no new analyzer starts once ctx is
+// done, and the call returns ctx.Err() instead of partial findings.
+func RunCtx(ctx context.Context, u *Unit, opts Options) (diag.List, error) {
 	selected, err := selectAnalyzers(opts.Analyzers)
 	if err != nil {
 		return nil, err
 	}
 	design := u.designName()
-	results, _ := pool.Map(pool.Size(opts.Parallelism), len(selected),
+	results, err := pool.MapCtx(ctx, pool.Size(opts.Parallelism), len(selected),
 		func(i int) (diag.List, error) {
 			return runOne(selected[i], u), nil
 		})
+	if err != nil {
+		// Analyzers never return errors (panics become diagnostics), so
+		// the only possible error here is the context's.
+		return nil, err
+	}
 	var all diag.List
 	for i, ds := range results {
 		for _, d := range ds {

@@ -1,6 +1,7 @@
 package mfs
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dfg"
@@ -24,22 +25,35 @@ type LoopDesign struct {
 // level except the time constraint, which is per-loop, and pipelining
 // options, which apply only to the outermost level.
 func ScheduleLoops(g *dfg.Graph, opt Options) (*LoopDesign, error) {
+	return ScheduleLoopsCtx(context.Background(), g, opt)
+}
+
+// ScheduleLoopsCtx is ScheduleLoops with cancellation: ctx is observed
+// by every nested body schedule and by the outer schedule, so a
+// cancelled hierarchical run returns ctx.Err() promptly at any depth.
+func ScheduleLoopsCtx(ctx context.Context, g *dfg.Graph, opt Options) (*LoopDesign, error) {
 	design := &LoopDesign{Inner: make(map[dfg.NodeID]*LoopDesign)}
 	for _, n := range g.Nodes() {
 		if !n.IsLoop() {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bodyOpt := opt
 		bodyOpt.CS = n.Cycles
 		bodyOpt.Latency = 0
 		bodyOpt.PipelinedTypes = nil
-		inner, err := ScheduleLoops(n.Sub, bodyOpt)
+		inner, err := ScheduleLoopsCtx(ctx, n.Sub, bodyOpt)
 		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, fmt.Errorf("mfs: loop %q: %w", n.Name, err)
 		}
 		design.Inner[n.ID] = inner
 	}
-	outer, err := Schedule(g, opt)
+	outer, err := ScheduleCtx(ctx, g, opt)
 	if err != nil {
 		return nil, err
 	}

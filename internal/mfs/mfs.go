@@ -15,6 +15,7 @@
 package mfs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -86,6 +87,14 @@ func TypeKey(n *dfg.Node) string {
 
 // Schedule runs MFS on g and returns a verified schedule.
 func Schedule(g *dfg.Graph, opt Options) (*sched.Schedule, error) {
+	return ScheduleCtx(context.Background(), g, opt)
+}
+
+// ScheduleCtx is Schedule with cancellation: the run observes ctx
+// between operation placements and between candidate probes of the
+// resource-constrained search, returning ctx.Err() — never a partial
+// schedule — once ctx is done.
+func ScheduleCtx(ctx context.Context, g *dfg.Graph, opt Options) (*sched.Schedule, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("mfs: %w", err)
 	}
@@ -93,29 +102,35 @@ func Schedule(g *dfg.Graph, opt Options) (*sched.Schedule, error) {
 		return nil, fmt.Errorf("mfs: functional pipelining needs a time constraint")
 	}
 	if opt.CS > 0 {
-		return scheduleTimeConstrained(g, opt)
+		return scheduleTimeConstrained(ctx, g, opt)
 	}
-	return scheduleResourceConstrained(g, opt)
+	return scheduleResourceConstrained(ctx, g, opt)
 }
 
-func scheduleTimeConstrained(g *dfg.Graph, opt Options) (*sched.Schedule, error) {
+func scheduleTimeConstrained(ctx context.Context, g *dfg.Graph, opt Options) (*sched.Schedule, error) {
 	// Frames depend only on (graph, cs, clock), so the widening retries
 	// below share one computation.
 	frames, err := sched.ComputeFrames(g, opt.CS, opt.ClockNs)
 	if err != nil {
 		return nil, fmt.Errorf("mfs: %w", err)
 	}
-	s, err := runOnce(g, opt.CS, opt, false, frames)
+	s, err := runOnce(ctx, g, opt.CS, opt, false, frames)
 	if err == nil {
 		return s, nil
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return nil, ctxErr
 	}
 	// The ASAP/ALAP bound on max_j is usually sufficient but not a
 	// guarantee; for types the user left unbounded, widen and retry a few
 	// times before giving up (time-constrained runs must keep cs fixed).
 	for extra := 1; extra <= 3; extra++ {
-		s, retryErr := runOnce(g, opt.CS, opt, false, frames, extra)
+		s, retryErr := runOnce(ctx, g, opt.CS, opt, false, frames, extra)
 		if retryErr == nil {
 			return s, nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
 		}
 	}
 	return nil, err
@@ -127,7 +142,7 @@ func scheduleTimeConstrained(g *dfg.Graph, opt Options) (*sched.Schedule, error)
 // feasible one commits — pool.SearchMin guarantees the result is exactly
 // the sequential loop's. Frames are computed once at the critical path
 // and shifted per candidate instead of recomputed (Frames.Shifted).
-func scheduleResourceConstrained(g *dfg.Graph, opt Options) (*sched.Schedule, error) {
+func scheduleResourceConstrained(ctx context.Context, g *dfg.Graph, opt Options) (*sched.Schedule, error) {
 	if len(opt.Limits) == 0 {
 		return nil, fmt.Errorf("mfs: resource-constrained scheduling needs Limits")
 	}
@@ -143,11 +158,14 @@ func scheduleResourceConstrained(g *dfg.Graph, opt Options) (*sched.Schedule, er
 	if err != nil {
 		return nil, fmt.Errorf("mfs: %w", err)
 	}
-	_, s, err := pool.SearchMin(pool.Size(opt.Parallelism), hi-lo+1,
+	_, s, err := pool.SearchMinCtx(ctx, pool.Size(opt.Parallelism), hi-lo+1,
 		func(i int) (*sched.Schedule, error) {
-			return runOnce(g, lo+i, opt, true, frames.Shifted(i))
+			return runOnce(ctx, g, lo+i, opt, true, frames.Shifted(i))
 		})
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("mfs: no schedule within %d steps: %w", hi, err)
 	}
 	return s, nil
@@ -173,7 +191,7 @@ type scheduler struct {
 // frames (which must match cs; see ComputeFrames and Frames.Shifted).
 // It reads g and frames but mutates neither, so concurrent runs over the
 // same graph are safe — the speculative search depends on that.
-func runOnce(g *dfg.Graph, cs int, opt Options, resource bool, frames sched.Frames, extraMax ...int) (*sched.Schedule, error) {
+func runOnce(ctx context.Context, g *dfg.Graph, cs int, opt Options, resource bool, frames sched.Frames, extraMax ...int) (*sched.Schedule, error) {
 	s := &scheduler{
 		g: g, cs: cs, opt: opt, resource: resource,
 		frames:  frames,
@@ -190,7 +208,12 @@ func runOnce(g *dfg.Graph, cs int, opt Options, resource bool, frames sched.Fram
 	// operation's ALAP is always strictly earlier than its successors',
 	// the priority order is topological: predecessors are committed
 	// before their consumers, so frames only ever tighten from above.
+	// The per-operation ctx check is what makes a cancelled run return
+	// within one placement's worth of work rather than one schedule's.
 	for _, id := range sched.PriorityOrder(g, frames) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := s.placeOne(id); err != nil {
 			return nil, err
 		}

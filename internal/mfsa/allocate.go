@@ -1,6 +1,7 @@
 package mfsa
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -21,6 +22,13 @@ import (
 // The input schedule's FU types are ignored; only steps matter. Style
 // and weights behave as in Synthesize.
 func Allocate(s *sched.Schedule, opt Options) (*Result, error) {
+	return AllocateCtx(context.Background(), s, opt)
+}
+
+// AllocateCtx is Allocate with cancellation: ctx is checked before every
+// binding decision, so a cancelled run returns ctx.Err() within one
+// operation's worth of work.
+func AllocateCtx(ctx context.Context, s *sched.Schedule, opt Options) (*Result, error) {
 	g := s.Graph
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("mfsa: %w", err)
@@ -51,6 +59,9 @@ func Allocate(s *sched.Schedule, opt Options) (*Result, error) {
 
 	st := allocState(g, opt)
 	for _, id := range allocationOrder(s) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := st.bindOne(s, id); err != nil {
 			return nil, err
 		}

@@ -22,6 +22,7 @@
 package mfsa
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -102,6 +103,13 @@ type Result struct {
 
 // Synthesize runs MFSA on g.
 func Synthesize(g *dfg.Graph, opt Options) (*Result, error) {
+	return SynthesizeCtx(context.Background(), g, opt)
+}
+
+// SynthesizeCtx is Synthesize with cancellation: ctx is checked before
+// every operation placement, so a cancelled run returns ctx.Err() within
+// one placement's worth of work instead of finishing the whole design.
+func SynthesizeCtx(ctx context.Context, g *dfg.Graph, opt Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("mfsa: %w", err)
 	}
@@ -131,6 +139,9 @@ func Synthesize(g *dfg.Graph, opt Options) (*Result, error) {
 	}
 	s := newState(g, opt, frames)
 	for _, id := range sched.PriorityOrder(g, frames) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := s.placeOne(id); err != nil {
 			return nil, err
 		}

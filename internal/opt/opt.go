@@ -37,8 +37,14 @@ func Pipeline(g *dfg.Graph, consts map[string]int64, outputs []string) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	res.Graph, res.CSE = EliminateCommonSubexpressions(res.Graph)
-	res.Graph, res.Branch = res.Graph.MergeExclusiveDuplicates()
+	res.Graph, res.CSE, err = EliminateCommonSubexpressions(res.Graph)
+	if err != nil {
+		return nil, err
+	}
+	res.Graph, res.Branch, err = res.Graph.MergeExclusiveDuplicates()
+	if err != nil {
+		return nil, err
+	}
 	res.Graph, res.Dead, err = EliminateDead(res.Graph, outputs)
 	if err != nil {
 		return nil, err
@@ -142,8 +148,10 @@ func litName(v int64) string {
 // identical (op, args, cycles) — order-insensitively for commutative
 // ops. Conditional operations are left to §5.1's cross-branch merge
 // (dfg.MergeExclusiveDuplicates), since merging a guarded op with an
-// unguarded one would change which hardware may be shared.
-func EliminateCommonSubexpressions(g *dfg.Graph) (*dfg.Graph, int) {
+// unguarded one would change which hardware may be shared. A rebuild
+// failure — possible only on a malformed input graph — is returned as an
+// error instead of panicking.
+func EliminateCommonSubexpressions(g *dfg.Graph) (*dfg.Graph, int, error) {
 	type key struct {
 		op     op.Kind
 		a, b   string
@@ -173,12 +181,12 @@ func EliminateCommonSubexpressions(g *dfg.Graph) (*dfg.Graph, int) {
 		canon[k] = n.Name
 	}
 	if len(drop) == 0 {
-		return g, 0
+		return g, 0, nil
 	}
 	out := dfg.New(g.Name)
 	for _, in := range g.Inputs() {
 		if err := out.AddInput(in); err != nil {
-			panic(err)
+			return nil, 0, fmt.Errorf("opt: CSE rebuild of %s: %w", g.Name, err)
 		}
 	}
 	for _, n := range g.Nodes() {
@@ -186,10 +194,10 @@ func EliminateCommonSubexpressions(g *dfg.Graph) (*dfg.Graph, int) {
 			continue
 		}
 		if err := copyNode(out, g, n, rename); err != nil {
-			panic(err) // structure was valid
+			return nil, 0, fmt.Errorf("opt: CSE rebuild of %s: node %q: %w", g.Name, n.Name, err)
 		}
 	}
-	return out, len(drop)
+	return out, len(drop), nil
 }
 
 // EliminateDead removes operations from which no live output is

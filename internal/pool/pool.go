@@ -6,12 +6,28 @@
 // sequential loop would have reported, and worker functions are expected
 // to be pure (no shared mutable state), so every parallelism setting —
 // including 1 — produces byte-identical output.
+//
+// Two hardening guarantees hold on every path:
+//
+//   - Cancellation: the Ctx variants stop dispatching new indices as
+//     soon as ctx is done and return ctx.Err() (context.Canceled or
+//     context.DeadlineExceeded), never a partial result. In-flight
+//     calls are allowed to finish; worker functions that can run long
+//     should observe the same ctx themselves so a cancelled pool call
+//     returns promptly.
+//   - Panic isolation: a worker function that panics does not crash the
+//     process. The panic is recovered on the worker goroutine and
+//     converted into a *guard.InternalError carrying the stack, which
+//     then flows through the normal error path.
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/guard"
 )
 
 // Size resolves a parallelism setting to a worker count: n > 0 is used
@@ -26,13 +42,33 @@ func Size(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// call invokes fn(i) with the pool's panic boundary: a panic inside fn
+// becomes a *guard.InternalError instead of unwinding the worker
+// goroutine (which would crash the whole process, since nothing above a
+// goroutine's entry point can recover it).
+func call[T any](fn func(i int) (T, error), i int) (v T, err error) {
+	defer guard.Recover("pool worker", &err)
+	return fn(i)
+}
+
 // Map runs fn(i) for every i in [0, n) on at most workers goroutines and
 // returns the n results in index order. If any call fails, Map returns
 // the error with the smallest index — exactly the error a sequential
 // loop would have stopped on — and workers stop picking up new indices
 // (in-flight calls still complete). fn must be safe for concurrent use.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cancellation: workers stop dispatching new indices
+// once ctx is done, and the call returns ctx.Err() instead of a partial
+// result. With a never-done ctx the semantics (and the results) are
+// exactly Map's.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return nil, nil
 	}
 	if workers > n {
@@ -41,11 +77,17 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers <= 1 {
 		out := make([]T, n)
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := call(fn, i)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = v
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
@@ -66,10 +108,10 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
-				v, err := fn(i)
+				v, err := call(fn, i)
 				if err != nil {
 					failed.Store(true)
 					mu.Lock()
@@ -84,6 +126,11 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	// Cancellation dominates: a cancelled run may have skipped indices,
+	// so its partial output must never be observable.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if first != nil {
 		return nil, first
 	}
@@ -102,15 +149,29 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // above the committed index are wasted work, never observable state:
 // fn must be side-effect free and safe for concurrent use.
 func SearchMin[T any](workers, n int, fn func(i int) (T, error)) (int, T, error) {
+	return SearchMinCtx(context.Background(), workers, n, fn)
+}
+
+// SearchMinCtx is SearchMin with cancellation: no new probe window
+// starts once ctx is done, and the call returns ctx.Err() with index -1
+// instead of committing a result. With a never-done ctx the semantics
+// (and the committed index) are exactly SearchMin's.
+func SearchMinCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) (int, T, error) {
 	var zero T
 	var lastErr error
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			if err := ctx.Err(); err != nil {
+				return -1, zero, err
+			}
+			v, err := call(fn, i)
 			if err == nil {
 				return i, v, nil
 			}
 			lastErr = err
+		}
+		if err := ctx.Err(); err != nil {
+			return -1, zero, err
 		}
 		return -1, zero, lastErr
 	}
@@ -120,6 +181,9 @@ func SearchMin[T any](workers, n int, fn func(i int) (T, error)) (int, T, error)
 		err error
 	}
 	for base := 0; base < n; base += workers {
+		if err := ctx.Err(); err != nil {
+			return -1, zero, err
+		}
 		w := workers
 		if base+w > n {
 			w = n - base
@@ -130,17 +194,23 @@ func SearchMin[T any](workers, n int, fn func(i int) (T, error)) (int, T, error)
 			wg.Add(1)
 			go func(j int) {
 				defer wg.Done()
-				v, err := fn(base + j)
+				v, err := call(fn, base+j)
 				results[j] = probe{v, err}
 			}(j)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return -1, zero, err
+		}
 		for j := 0; j < w; j++ {
 			if results[j].err == nil {
 				return base + j, results[j].v, nil
 			}
 		}
 		lastErr = results[w-1].err
+	}
+	if err := ctx.Err(); err != nil {
+		return -1, zero, err
 	}
 	return -1, zero, lastErr
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sched"
@@ -29,6 +30,12 @@ type PipelineRun struct {
 // semantics of every iteration are verified against the behavioral
 // reference, and the pipelined makespan is reported.
 func RunPipelined(s *sched.Schedule, inputs []map[string]int64) (*PipelineRun, error) {
+	return RunPipelinedCtx(context.Background(), s, inputs)
+}
+
+// RunPipelinedCtx is RunPipelined with cancellation: ctx is observed by
+// every iteration's simulation.
+func RunPipelinedCtx(ctx context.Context, s *sched.Schedule, inputs []map[string]int64) (*PipelineRun, error) {
 	if s.Latency <= 0 {
 		return nil, fmt.Errorf("sim: RunPipelined needs a functionally pipelined schedule")
 	}
@@ -40,7 +47,7 @@ func RunPipelined(s *sched.Schedule, inputs []map[string]int64) (*PipelineRun, e
 		TotalSteps: (len(inputs)-1)*s.Latency + s.CS,
 	}
 	for k, in := range inputs {
-		vals, err := Run(s, in)
+		vals, err := RunCtx(ctx, s, in)
 		if err != nil {
 			return nil, fmt.Errorf("sim: iteration %d: %w", k, err)
 		}

@@ -9,11 +9,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"repro/internal/dfg"
+	"repro/internal/guard"
 	"repro/internal/rtl"
 	"repro/internal/sched"
 )
@@ -22,7 +24,14 @@ import (
 // operation starting in a step reads its operands and produces its value
 // at the end of its finish step. It returns every signal's value.
 func Run(s *sched.Schedule, inputs map[string]int64) (map[string]int64, error) {
-	return run(s, nil, inputs)
+	return run(context.Background(), s, nil, inputs)
+}
+
+// RunCtx is Run with cancellation: ctx is checked before every operation,
+// so a cancelled simulation returns ctx.Err() within one operation's
+// worth of work.
+func RunCtx(ctx context.Context, s *sched.Schedule, inputs map[string]int64) (map[string]int64, error) {
+	return run(ctx, s, nil, inputs)
 }
 
 // RunRTL simulates a schedule against its bound datapath, additionally
@@ -32,11 +41,34 @@ func RunRTL(s *sched.Schedule, dp *rtl.Datapath, inputs map[string]int64) (map[s
 	if dp == nil {
 		return nil, fmt.Errorf("sim: nil datapath")
 	}
-	return run(s, dp, inputs)
+	return run(context.Background(), s, dp, inputs)
 }
 
-func run(s *sched.Schedule, dp *rtl.Datapath, inputs map[string]int64) (map[string]int64, error) {
+// RunRTLCtx is RunRTL with cancellation.
+func RunRTLCtx(ctx context.Context, s *sched.Schedule, dp *rtl.Datapath, inputs map[string]int64) (map[string]int64, error) {
+	if dp == nil {
+		return nil, fmt.Errorf("sim: nil datapath")
+	}
+	return run(ctx, s, dp, inputs)
+}
+
+func run(ctx context.Context, s *sched.Schedule, dp *rtl.Datapath, inputs map[string]int64) (map[string]int64, error) {
 	g := s.Graph
+	// Step budget: a degenerate schedule (say an operation declared to
+	// take a billion cycles) must fail fast with a typed error, not hang
+	// the simulator. The budget counts node-cycles, so it scales with
+	// design size but rejects absurd single operations.
+	budget := 0
+	for _, n := range g.Nodes() {
+		c := n.Cycles
+		if c < 1 {
+			c = 1
+		}
+		if budget += c; budget > guard.DefaultSimBudget {
+			return nil, fmt.Errorf("sim: %w",
+				&guard.LimitError{What: "simulation node-cycles", Got: budget, Max: guard.DefaultSimBudget})
+		}
+	}
 	vals := make(map[string]int64, g.Len()+len(inputs))
 	for _, in := range g.Inputs() {
 		v, ok := inputs[in]
@@ -65,6 +97,9 @@ func run(s *sched.Schedule, dp *rtl.Datapath, inputs map[string]int64) (map[stri
 	})
 
 	for _, id := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		n := g.Node(id)
 		p, ok := s.Placements[id]
 		if !ok {
