@@ -49,6 +49,75 @@ func TestGoldenJSON(t *testing.T) {
 	}
 }
 
+// TestGoldenEquivJSON locks the -equiv -json certificate shape: a clean
+// certification of the differential-equation solver, and the refuted
+// certificate produced after seeding a commuted-subtraction corruption
+// into its netlist (the corrupted run must also exit non-zero).
+func TestGoldenEquivJSON(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		refuted bool
+	}{
+		{"equiv_diffeq", []string{"-equiv", "-json", "-cs", "4", "testdata/diffeq.hls"}, false},
+		{"equiv_diffeq_commute_sub", []string{"-equiv", "-json", "-cs", "4", "-mutate", "commute-sub", "testdata/diffeq.hls"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(context.Background(), tc.args, &buf)
+			if tc.refuted {
+				if err == nil || !strings.Contains(err.Error(), "refuted") {
+					t.Fatalf("corrupted run: err = %v, want refuted certificate(s)", err)
+				}
+			} else if err != nil {
+				t.Fatalf("run(%v): %v\n%s", tc.args, err, buf.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden.json")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s",
+					golden, buf.String(), want)
+			}
+		})
+	}
+}
+
+// TestEquivBenchmarksCertify drives the -equiv -benchmarks path the CI
+// equiv stage runs: every paper benchmark in both datapath styles must
+// come back certified.
+func TestEquivBenchmarksCertify(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-equiv", "-benchmarks"}, &buf); err != nil {
+		t.Fatalf("-equiv -benchmarks: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "0 refuted") {
+		t.Errorf("expected all benchmark certificates clean:\n%s", buf.String())
+	}
+}
+
+func TestEquivFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-mutate", "swap-mux", "-cs", "4", "testdata/diffeq.hls"}, &buf); err == nil {
+		t.Error("-mutate without -equiv did not error")
+	}
+	if err := run(context.Background(), []string{"-equiv", "testdata/diffeq.hls"}, &buf); err == nil {
+		t.Error("-equiv without -cs did not error")
+	}
+	if err := run(context.Background(), []string{"-equiv", "-cs", "4", "-mutate", "bogus", "testdata/diffeq.hls"}, &buf); err == nil {
+		t.Error("unknown mutation name did not error")
+	}
+}
+
 func TestListAnalyzers(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run(context.Background(), []string{"-list"}, &buf); err != nil {

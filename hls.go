@@ -347,3 +347,47 @@ func LintCtx(ctx context.Context, u *LintUnit, opts LintOptions) (Diagnostics, e
 
 // LintAnalyzers returns the registered lint passes sorted by name.
 func LintAnalyzers() []*LintAnalyzer { return lint.Analyzers() }
+
+// Translation validation (the equiv pass).
+
+type (
+	// Certificate is the machine-readable result of one translation
+	// validation: per-output symbolic proofs that the DFG reference,
+	// the scheduled datapath, and the emitted netlist compute the same
+	// function, plus any refuting diagnostics.
+	Certificate = lint.Certificate
+	// OutputProof is one design output's per-layer equivalence verdict.
+	OutputProof = lint.OutputProof
+	// Counterexample is a concrete input vector witnessing an
+	// equivalence failure, attached to a refuting Diagnostic.
+	Counterexample = diag.Counterexample
+	// Mutation is one seeded artifact corruption of the soundness
+	// harness; see Mutations.
+	Mutation = lint.Mutation
+)
+
+// Certify runs the translation-validation pass over a unit: symbolic
+// equivalence of the DFG reference, the scheduled datapath, and the
+// emitted netlist, with counterexamples confirmed against the
+// simulator. See Design.Certify for the common case of certifying a
+// synthesis result.
+func Certify(u *LintUnit) (*Certificate, error) {
+	return lint.Certify(context.Background(), u)
+}
+
+// CertifyCtx is Certify with cancellation; a cancelled run returns
+// ctx.Err() plus the partial certificate gathered so far.
+func CertifyCtx(ctx context.Context, u *LintUnit) (*Certificate, error) {
+	return lint.Certify(ctx, u)
+}
+
+// Mutations lists the seeded artifact corruptions the soundness
+// harness can inject (see ApplyMutation and hlslint -mutate); each
+// models a realistic synthesis bug the equiv pass must refuse to
+// certify.
+func Mutations() []Mutation { return lint.Mutations() }
+
+// ApplyMutation corrupts a unit in place with the named mutation.
+func ApplyMutation(u *LintUnit, name string) error {
+	return lint.ApplyMutation(u, name)
+}

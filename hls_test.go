@@ -179,3 +179,43 @@ func TestFacadeSweep(t *testing.T) {
 		t.Errorf("sweep = %+v", pts)
 	}
 }
+
+func TestFacadeCertify(t *testing.T) {
+	d, err := hls.SynthesizeSource(quick, hls.Config{CS: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := d.Certify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Status != "certified" || len(cert.Outputs) == 0 {
+		t.Errorf("certificate = %+v", cert)
+	}
+
+	// Seed a corruption through the façade's mutation registry and
+	// require the refutation to carry a concrete counterexample.
+	if got := len(hls.Mutations()); got < 5 {
+		t.Fatalf("%d mutations exposed, want >= 5", got)
+	}
+	u := d.LintUnit()
+	if err := hls.ApplyMutation(u, "drop-register"); err != nil {
+		t.Fatalf("drop-register: %v", err)
+	}
+	cert, err = hls.Certify(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Status != "refuted" {
+		t.Errorf("mutated certificate status = %q, want refuted", cert.Status)
+	}
+	var cx *hls.Counterexample
+	for _, dg := range cert.Diagnostics {
+		if dg.Counterexample != nil {
+			cx = dg.Counterexample
+		}
+	}
+	if cx == nil {
+		t.Errorf("refutation carries no counterexample: %+v", cert.Diagnostics)
+	}
+}

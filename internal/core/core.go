@@ -263,6 +263,14 @@ func (d *Design) Lint(analyzers ...string) (diag.List, error) {
 
 // LintCtx is Lint with cancellation.
 func (d *Design) LintCtx(ctx context.Context, analyzers ...string) (diag.List, error) {
+	return lint.RunCtx(ctx, d.LintUnit(), lint.Options{Analyzers: analyzers, Parallelism: d.parallelism})
+}
+
+// LintUnit bundles the design's artifacts — graph, schedule, datapath,
+// controller, and the freshly emitted netlist when the design is fully
+// allocated — the way the lint and translation-validation passes
+// consume them.
+func (d *Design) LintUnit() *lint.Unit {
 	u := &lint.Unit{
 		Graph:      d.Graph,
 		Schedule:   d.Schedule,
@@ -274,7 +282,21 @@ func (d *Design) LintCtx(ctx context.Context, analyzers ...string) (diag.List, e
 	if d.Datapath != nil && d.Controller != nil {
 		u.Netlist = emit.Verilog(d.Graph, d.Schedule, d.Datapath, d.Controller)
 	}
-	return lint.RunCtx(ctx, u, lint.Options{Analyzers: analyzers, Parallelism: d.parallelism})
+	return u
+}
+
+// Certify runs the translation-validation pass alone: symbolic
+// equivalence of the DFG reference, the scheduled datapath, and the
+// emitted netlist (see internal/lint's equiv analyzer). The returned
+// certificate carries one proof per design output plus any refuting
+// diagnostics with their counterexamples.
+func (d *Design) Certify() (*lint.Certificate, error) {
+	return d.CertifyCtx(context.Background())
+}
+
+// CertifyCtx is Certify with cancellation.
+func (d *Design) CertifyCtx(ctx context.Context) (*lint.Certificate, error) {
+	return lint.Certify(ctx, d.LintUnit())
 }
 
 // SynthesizeSource parses a behavioral description and synthesizes it,
@@ -416,16 +438,12 @@ func (d *Design) SimulateCtx(ctx context.Context, inputs map[string]int64) (map[
 }
 
 // SelfCheck cross-checks the synthesized design against the behavioral
-// reference on n random input vectors.
+// reference on n reproducible random input vectors (n <= 0 selects
+// sim.DefaultCrossCheckSeeds), holding literal constants at their
+// declared values.
 func (d *Design) SelfCheck(n int) error {
-	for seed := int64(1); seed <= int64(n); seed++ {
-		in := sim.RandomInputs(d.Graph, seed)
-		for k, v := range d.Consts {
-			in[k] = v
-		}
-		if err := sim.CrossCheck(d.Schedule, d.Datapath, in); err != nil {
-			return fmt.Errorf("core: self-check seed %d: %w", seed, err)
-		}
+	if err := sim.CrossCheckSeedsCtx(context.Background(), d.Schedule, d.Datapath, n, d.Consts); err != nil {
+		return fmt.Errorf("core: self-check %w", err)
 	}
 	return nil
 }

@@ -120,14 +120,8 @@ func action(n *dfg.Node, a *rtl.ALU) (Action, error) {
 		Mux1Sel: -1, Mux2Sel: -1,
 		Guards: append([]dfg.CondTag(nil), n.Excl...),
 	}
-	var bind *rtl.Binding
-	for i := range a.Ops {
-		if a.Ops[i].Node == n.ID {
-			bind = &a.Ops[i]
-			break
-		}
-	}
-	if bind == nil {
+	bind, ok := a.BindingFor(n.ID)
+	if !ok {
 		return act, fmt.Errorf("ctrl: node %q missing from ALU %s op list", n.Name, a.Name)
 	}
 	src1, src2 := "", ""
@@ -163,6 +157,19 @@ func indexOf(l []string, s string) int {
 		}
 	}
 	return -1
+}
+
+// ActionFor returns the action issuing node id and the 1-based position
+// of the state that issues it, or ok=false when no state does.
+func (c *Controller) ActionFor(id dfg.NodeID) (Action, int, bool) {
+	for i, st := range c.States {
+		for _, act := range st.Actions {
+			if act.Node == id {
+				return act, i + 1, true
+			}
+		}
+	}
+	return Action{}, 0, false
 }
 
 // NextState returns the state index following i, honoring functional

@@ -75,6 +75,12 @@ const (
 	CodeNetUndeclared  = "HL0506" // identifier used but never declared
 	CodeNetOutput      = "HL0507" // output port never assigned
 	CodeNetParse       = "HL0508" // construct the netlist parser cannot understand
+
+	// Translation validation (HL06xx).
+	CodeEquivDatapath  = "HL0601" // datapath symbolic value diverges from the DFG reference
+	CodeEquivNetlist   = "HL0602" // netlist symbolic value diverges from the DFG reference
+	CodeEquivRegister  = "HL0603" // cross-step operand not held by any register over its span
+	CodeEquivStructure = "HL0604" // artifact defect blocks symbolic execution of a value
 )
 
 // Docs is the code registry: every live code and its contract.
@@ -141,4 +147,9 @@ var Docs = map[string]string{
 	CodeNetUndeclared:  "identifier used but never declared",
 	CodeNetOutput:      "output port never assigned",
 	CodeNetParse:       "construct the netlist parser cannot understand",
+
+	CodeEquivDatapath:  "datapath symbolic value diverges from the DFG reference",
+	CodeEquivNetlist:   "netlist symbolic value diverges from the DFG reference",
+	CodeEquivRegister:  "cross-step operand not held by any register over its span",
+	CodeEquivStructure: "artifact defect blocks symbolic execution of a value",
 }

@@ -1,0 +1,122 @@
+package diag
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// codeConstants parses codes.go and returns every Code* constant with
+// its string value, keyed by identifier.
+func codeConstants(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "codes.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Code") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					t.Errorf("%s: value is not a string literal", name.Name)
+					continue
+				}
+				v, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("%s: %v", name.Name, err)
+				}
+				out[name.Name] = v
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no Code* constants found in codes.go")
+	}
+	return out
+}
+
+// TestCodeRegistryComplete is the static completeness check of the
+// diagnostic-code registry: every Code* constant is a well-formed,
+// collision-free HL code with a non-empty Docs contract, and Docs
+// carries no orphan entries for codes that no longer exist.
+func TestCodeRegistryComplete(t *testing.T) {
+	codes := codeConstants(t)
+	wellFormed := regexp.MustCompile(`^HL\d{4}$`)
+	byValue := make(map[string]string, len(codes))
+	for name, v := range codes {
+		if !wellFormed.MatchString(v) {
+			t.Errorf("%s = %q: malformed code", name, v)
+		}
+		if prev, dup := byValue[v]; dup {
+			t.Errorf("code collision: %s and %s are both %q", prev, name, v)
+		}
+		byValue[v] = name
+		if Docs[v] == "" {
+			t.Errorf("%s = %q has no Docs entry", name, v)
+		}
+	}
+	for v := range Docs {
+		if _, ok := byValue[v]; !ok {
+			t.Errorf("Docs[%q] documents a code no constant defines", v)
+		}
+	}
+}
+
+// TestCodeReferencesResolve scans the whole tree for diag.Code*
+// references and asserts each names a constant codes.go defines, so a
+// deleted or renamed code cannot leave stale producers behind.
+func TestCodeReferencesResolve(t *testing.T) {
+	codes := codeConstants(t)
+	ref := regexp.MustCompile(`\bdiag\.(Code[A-Za-z0-9]+)`)
+	root := filepath.Join("..", "..")
+	found := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range ref.FindAllStringSubmatch(string(src), -1) {
+			found++
+			if _, ok := codes[m[1]]; !ok {
+				t.Errorf("%s references diag.%s which codes.go does not define", path, m[1])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found == 0 {
+		t.Fatal("no diag.Code* references found anywhere; the scan is broken")
+	}
+}

@@ -68,6 +68,37 @@ type Diagnostic struct {
 
 	// Fix, when non-empty, hints how to repair the artifact.
 	Fix string `json:"fix,omitempty"`
+
+	// Counterexample, when non-nil, is a concrete input vector witnessing
+	// the failure (translation-validation diagnostics attach one whenever
+	// the symbolic divergence can be instantiated).
+	Counterexample *Counterexample `json:"counterexample,omitempty"`
+}
+
+// Counterexample is a concrete witness for an equivalence failure: an
+// input assignment under which the reference computation and the
+// refuted artifact disagree on one output.
+type Counterexample struct {
+	// Inputs assigns a value to every primary input of the design.
+	Inputs map[string]int64 `json:"inputs"`
+
+	// Output is the design output the two sides disagree on.
+	Output string `json:"output,omitempty"`
+
+	// Want is the reference (DFG) value of Output under Inputs; Got is
+	// the refuted artifact's symbolic value under the same assignment.
+	Want int64 `json:"want"`
+	Got  int64 `json:"got"`
+
+	// SimConfirmed reports whether a concrete simulation of the design
+	// (sim.RunRTLCtx) also exposed the failure on Inputs — either by
+	// rejecting the artifact (SimError) or by producing a value other
+	// than Want. Divergences in artifacts the simulator does not
+	// exercise (e.g. multiplexer select indices, netlist text) can be
+	// symbolically refuted yet simulate cleanly; the diagnostic stands
+	// either way.
+	SimConfirmed bool   `json:"sim_confirmed"`
+	SimError     string `json:"sim_error,omitempty"`
 }
 
 func (d Diagnostic) String() string {

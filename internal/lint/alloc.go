@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/diag"
@@ -19,7 +20,7 @@ var allocAnalyzer = &Analyzer{
 	Run:  runAlloc,
 }
 
-func runAlloc(u *Unit) diag.List {
+func runAlloc(ctx context.Context, u *Unit) diag.List {
 	dp := u.Datapath
 	if dp == nil || u.Graph == nil {
 		return nil

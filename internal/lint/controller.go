@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/diag"
@@ -18,7 +19,7 @@ var ctrlAnalyzer = &Analyzer{
 	Run:  runCtrl,
 }
 
-func runCtrl(u *Unit) diag.List {
+func runCtrl(ctx context.Context, u *Unit) diag.List {
 	c := u.Controller
 	if c == nil {
 		return nil

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,7 +21,7 @@ var dfgAnalyzer = &Analyzer{
 	Run:  runDFG,
 }
 
-func runDFG(u *Unit) diag.List {
+func runDFG(ctx context.Context, u *Unit) diag.List {
 	g := u.Graph
 	if g == nil {
 		return nil

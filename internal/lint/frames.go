@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dfg"
@@ -22,7 +23,7 @@ var framesAnalyzer = &Analyzer{
 	Run:  runFrames,
 }
 
-func runFrames(u *Unit) diag.List {
+func runFrames(ctx context.Context, u *Unit) diag.List {
 	s := u.Schedule
 	if s == nil || u.Graph == nil {
 		return nil

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/ctrl"
+	"repro/internal/emit"
+	"repro/internal/mfsa"
+)
+
+// FuzzParseNetlist drives the Verilog-subset parser with arbitrary
+// text and checks two properties:
+//
+//  1. the parser never panics, whatever the input (the netlist comes
+//     from disk in cmd/hlslint and cannot be trusted), and neither
+//     does the expression parser on any assign it extracted;
+//  2. parsing is idempotent on re-emitted source: rendering the parsed
+//     module and parsing the rendering again reaches a fixed point,
+//     render(parse(render(parse(x)))) == render(parse(x)).
+func FuzzParseNetlist(f *testing.F) {
+	ex := benchmarks.Facet()
+	res, err := mfsa.Synthesize(ex.Graph, mfsa.Options{CS: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	c, err := ctrl.Build(ex.Graph, res.Schedule, res.Datapath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(emit.Verilog(ex.Graph, res.Schedule, res.Datapath, c))
+	f.Add("")
+	f.Add("module m (\n    input  wire clk\n);\nendmodule\n")
+	f.Add("wire [31:0] w;\nassign w = a + b;\n")
+	f.Add("always @(posedge clk) begin\ncase (state)\n3: begin\n    R0 <= w_x;\nend\nendcase\nend\n")
+	f.Add("assign x = 32'd7;\nassign y = -x;;;\nassign z = x << 2;")
+	f.Add("module q (\n    output wire [15:0] o\n);\nreg [2:0] state;\no <= state;\nendmodule")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, _ := parseNetlist(src) // must not panic
+		for _, a := range append(m.assigns, m.procs...) {
+			parseNetExpr(a.raw) // must not panic either
+		}
+		norm := renderNetlist(m)
+		m2, _ := parseNetlist(norm)
+		if again := renderNetlist(m2); again != norm {
+			t.Errorf("render∘parse not idempotent:\n--- first ---\n%s\n--- second ---\n%s", norm, again)
+		}
+	})
+}

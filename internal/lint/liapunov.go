@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -30,7 +31,7 @@ var liapunovAnalyzer = &Analyzer{
 	Run:  runLiapunov,
 }
 
-func runLiapunov(u *Unit) diag.List {
+func runLiapunov(ctx context.Context, u *Unit) diag.List {
 	s := u.Schedule
 	if s == nil || u.Graph == nil || s.Trace == nil {
 		return nil

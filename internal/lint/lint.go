@@ -85,8 +85,11 @@ type Analyzer struct {
 
 	// Run inspects the unit and returns its findings. Run must be safe
 	// for concurrent use with other analyzers over the same (read-only)
-	// unit and must not mutate the unit's artifacts.
-	Run func(u *Unit) diag.List
+	// unit and must not mutate the unit's artifacts. A pass doing real
+	// work polls ctx and returns early (with partial findings) once the
+	// context is done; the driver then reports ctx.Err() instead of the
+	// partial list.
+	Run func(ctx context.Context, u *Unit) diag.List
 }
 
 // registry holds the built-in analyzers, ordered by name.
@@ -94,6 +97,7 @@ var registry = []*Analyzer{
 	allocAnalyzer,
 	ctrlAnalyzer,
 	dfgAnalyzer,
+	equivAnalyzer,
 	framesAnalyzer,
 	liapunovAnalyzer,
 	netlistAnalyzer,
@@ -135,7 +139,7 @@ func RunCtx(ctx context.Context, u *Unit, opts Options) (diag.List, error) {
 	design := u.designName()
 	results, err := pool.MapCtx(ctx, pool.Size(opts.Parallelism), len(selected),
 		func(i int) (diag.List, error) {
-			return runOne(selected[i], u), nil
+			return runOne(ctx, selected[i], u), nil
 		})
 	if err != nil {
 		// Analyzers never return errors (panics become diagnostics), so
@@ -160,7 +164,7 @@ func RunCtx(ctx context.Context, u *Unit, opts Options) (diag.List, error) {
 
 // runOne executes a single pass, converting panics into diagnostics so
 // one broken analyzer cannot take down the whole run.
-func runOne(a *Analyzer, u *Unit) (out diag.List) {
+func runOne(ctx context.Context, a *Analyzer, u *Unit) (out diag.List) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = diag.List{{
@@ -171,7 +175,7 @@ func runOne(a *Analyzer, u *Unit) (out diag.List) {
 			}}
 		}
 	}()
-	return a.Run(u)
+	return a.Run(ctx, u)
 }
 
 func selectAnalyzers(names []string) ([]*Analyzer, error) {

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,7 +20,7 @@ var netlistAnalyzer = &Analyzer{
 	Run:  runNetlist,
 }
 
-func runNetlist(u *Unit) diag.List {
+func runNetlist(ctx context.Context, u *Unit) diag.List {
 	if u.Netlist == "" {
 		return nil
 	}

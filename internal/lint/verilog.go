@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/diag"
+	"repro/internal/op"
 )
 
 // verilog.go is a small parser for the structural-Verilog subset
@@ -26,6 +27,8 @@ type netAssign struct {
 	lhs      string
 	rhs      []string // identifiers read by the right-hand side
 	rhsIdent string   // non-empty when the RHS is a single bare identifier
+	raw      string   // right-hand-side text, trimmed, without the ";"
+	caseItem int      // procs: the "N: begin" case item enclosing it; -1 outside any
 	line     int
 }
 
@@ -59,6 +62,7 @@ func parseNetlist(text string) (*netModule, diag.List) {
 	}
 
 	inHeader := false
+	caseItem := -1 // current "N: begin" item of the enclosing case, -1 outside
 	for i, raw := range strings.Split(text, "\n") {
 		ln := i + 1
 		line := raw
@@ -129,10 +133,24 @@ func parseNetlist(text string) (*netModule, diag.List) {
 			}
 			// The target is the identifier immediately before "<="; any
 			// earlier identifiers belong to an if/else condition.
-			m.procs = append(m.procs, newAssign(lhsIDs[len(lhsIDs)-1], rhs, ln))
+			p := newAssign(lhsIDs[len(lhsIDs)-1], rhs, ln)
+			p.caseItem = caseItem
+			m.procs = append(m.procs, p)
 		case isStructuralLine(line):
-			// Block structure the checks don't need: always headers, case
-			// scaffolding, begin/end, endmodule.
+			// Block structure the value checks don't need — always headers,
+			// begin/end, endmodule — except that case scaffolding positions
+			// the register writes: "N: begin" opens item N, endcase/default
+			// closes it.
+			switch {
+			case strings.HasPrefix(line, "endcase"), strings.HasPrefix(line, "default"):
+				caseItem = -1
+			default:
+				if k := strings.Index(line, ":"); k > 0 {
+					if n, bad := atoiSafe(strings.TrimSpace(line[:k])); !bad {
+						caseItem = n
+					}
+				}
+			}
 		default:
 			report(diag.CodeNetParse, diag.Warn, ln, fmt.Sprintf("construct the netlist parser cannot understand: %q", line))
 		}
@@ -144,9 +162,17 @@ func parseNetlist(text string) (*netModule, diag.List) {
 }
 
 func newAssign(lhs, rhs string, line int) *netAssign {
-	a := &netAssign{lhs: strings.TrimSpace(lhs), rhs: identsOf(rhs), line: line}
-	if single := strings.TrimSpace(rhs); isIdent(single) {
-		a.rhsIdent = single
+	// Anything after a stray ";" is not part of the expression; dropping
+	// it here keeps renderNetlist∘parseNetlist idempotent.
+	if s := strings.Index(rhs, ";"); s >= 0 {
+		rhs = rhs[:s]
+	}
+	a := &netAssign{
+		lhs: strings.TrimSpace(lhs), rhs: identsOf(rhs),
+		raw: strings.TrimSpace(rhs), caseItem: -1, line: line,
+	}
+	if isIdent(a.raw) {
+		a.rhsIdent = a.raw
 	}
 	return a
 }
@@ -300,4 +326,265 @@ func identsOf(expr string) []string {
 		}
 	}
 	return out
+}
+
+// netExpr is the parsed form of one right-hand side in the emitted
+// subset: a bare operand, a unary operator applied to an operand, or a
+// binary operator between two operands. The translation-validation pass
+// interprets these against symbolic operand values.
+type netExpr struct {
+	op    op.Kind // Invalid for leaves
+	ident string  // leaf: identifier
+	lit   int64   // leaf: literal value
+	isLit bool
+	args  []*netExpr
+}
+
+// parseNetExpr parses an assign's right-hand-side text. It accepts
+// exactly the shapes internal/emit produces — IDENT, LITERAL, UNOP
+// OPERAND, OPERAND BINOP OPERAND, with decimal or 'd-based literals —
+// and reports anything else as an error for the caller to diagnose.
+func parseNetExpr(raw string) (*netExpr, error) {
+	toks, err := tokenizeNetExpr(raw)
+	if err != nil {
+		return nil, err
+	}
+	atom := func(t netToken) (*netExpr, bool) {
+		switch t.kind {
+		case tokIdent:
+			return &netExpr{ident: t.text}, true
+		case tokLit:
+			return &netExpr{lit: t.val, isLit: true}, true
+		}
+		return nil, false
+	}
+	switch len(toks) {
+	case 1:
+		if e, ok := atom(toks[0]); ok {
+			return e, nil
+		}
+	case 2:
+		if toks[0].kind == tokOp {
+			var k op.Kind
+			switch toks[0].text {
+			case "-":
+				k = op.Neg
+			case "~":
+				k = op.Not
+			}
+			if a, ok := atom(toks[1]); k != op.Invalid && ok {
+				return &netExpr{op: k, args: []*netExpr{a}}, nil
+			}
+		}
+	case 3:
+		a, okA := atom(toks[0])
+		c, okC := atom(toks[2])
+		if okA && okC && toks[1].kind == tokOp {
+			k, err := op.Parse(toks[1].text)
+			if err != nil {
+				return nil, fmt.Errorf("unknown operator %q", toks[1].text)
+			}
+			return &netExpr{op: k, args: []*netExpr{a, c}}, nil
+		}
+	}
+	return nil, fmt.Errorf("expression %q is outside the emitted subset", raw)
+}
+
+type netTokenKind int
+
+const (
+	tokIdent netTokenKind = iota
+	tokLit
+	tokOp
+)
+
+type netToken struct {
+	kind netTokenKind
+	text string
+	val  int64
+}
+
+// netExprOps are the operator symbols the tokenizer accepts, longest
+// first so "<=" wins over "<".
+var netExprOps = []string{"<<", ">>", "<=", ">=", "==", "!=", "+", "-", "*", "/", "&", "|", "^", "~", "<", ">"}
+
+func tokenizeNetExpr(raw string) ([]netToken, error) {
+	var toks []netToken
+	i := 0
+	for i < len(raw) {
+		c := raw[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case isIdentStart(c):
+			j := i
+			for j < len(raw) && isIdentChar(raw[j]) {
+				j++
+			}
+			toks = append(toks, netToken{kind: tokIdent, text: raw[i:j]})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(raw) && raw[j] >= '0' && raw[j] <= '9' {
+				j++
+			}
+			if j < len(raw) && raw[j] == '\'' {
+				// Based literal: WIDTH'dVALUE. Only the decimal base occurs
+				// in the emitted subset.
+				if j+1 >= len(raw) || raw[j+1] != 'd' {
+					return nil, fmt.Errorf("unsupported literal base in %q", raw)
+				}
+				k := j + 2
+				v := int64(0)
+				digits := 0
+				for k < len(raw) && raw[k] >= '0' && raw[k] <= '9' {
+					v = v*10 + int64(raw[k]-'0')
+					digits++
+					k++
+				}
+				if digits == 0 {
+					return nil, fmt.Errorf("malformed based literal in %q", raw)
+				}
+				toks = append(toks, netToken{kind: tokLit, val: v})
+				i = k
+				continue
+			}
+			v := int64(0)
+			for _, d := range raw[i:j] {
+				v = v*10 + int64(d-'0')
+			}
+			toks = append(toks, netToken{kind: tokLit, val: v})
+			i = j
+		default:
+			matched := ""
+			for _, sym := range netExprOps {
+				if strings.HasPrefix(raw[i:], sym) {
+					matched = sym
+					break
+				}
+			}
+			if matched == "" {
+				return nil, fmt.Errorf("unexpected character %q in %q", string(c), raw)
+			}
+			toks = append(toks, netToken{kind: tokOp, text: matched})
+			i += len(matched)
+		}
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("empty expression")
+	}
+	return toks, nil
+}
+
+// netKeywords are the tokens that select a parser branch by line
+// prefix. An assignment target with one of these names would render
+// into a line the parser reads as something else entirely, so the
+// normal form drops such assignments (they can only come from
+// malformed input, never from the emitter).
+var netKeywords = map[string]bool{
+	"module": true, "endmodule": true, "input": true, "output": true,
+	"wire": true, "reg": true, "assign": true, "always": true,
+	"case": true, "endcase": true, "default": true, "begin": true,
+	"end": true, "if": true, "else": true,
+}
+
+// renderableLHS reports whether an assignment target survives the
+// render → parse round trip as the same construct.
+func renderableLHS(lhs string) bool {
+	return isIdent(lhs) && !netKeywords[lhs]
+}
+
+// renderNetlist prints the parsed module back as source the parser
+// accepts. It is the normal form behind the parser's round-trip
+// property (FuzzParseNetlist): for any input, parse∘render is the
+// identity on the rendered text — render(parse(render(parse(x)))) ==
+// render(parse(x)).
+func renderNetlist(m *netModule) string {
+	var b strings.Builder
+	var ports []*netDecl
+	for _, n := range m.order {
+		if d := m.decls[n]; d.kind == "input" || d.kind == "output" {
+			ports = append(ports, d)
+		}
+	}
+	name := m.name
+	if name == "" && len(ports) > 0 {
+		name = "m" // port decls need a header to parse; normalize one in
+	}
+	if name != "" {
+		fmt.Fprintf(&b, "module %s (\n", name)
+		for i, d := range ports {
+			dir := "input "
+			if d.kind == "output" {
+				dir = "output"
+			}
+			comma := ","
+			if i == len(ports)-1 {
+				comma = ""
+			}
+			if d.width > 1 {
+				fmt.Fprintf(&b, "    %s wire [%d:0] %s%s\n", dir, d.width-1, d.name, comma)
+			} else {
+				fmt.Fprintf(&b, "    %s wire %s%s\n", dir, d.name, comma)
+			}
+		}
+		b.WriteString(");\n")
+	}
+	for _, n := range m.order {
+		d := m.decls[n]
+		if d.kind == "input" || d.kind == "output" {
+			continue
+		}
+		if d.width > 1 {
+			fmt.Fprintf(&b, "%s [%d:0] %s;\n", d.kind, d.width-1, d.name)
+		} else {
+			fmt.Fprintf(&b, "%s %s;\n", d.kind, d.name)
+		}
+	}
+	for _, a := range m.assigns {
+		if !renderableLHS(a.lhs) {
+			continue
+		}
+		fmt.Fprintf(&b, "assign %s = %s;\n", a.lhs, a.raw)
+	}
+	var plain []*netAssign
+	var items []int
+	byItem := make(map[int][]*netAssign)
+	for _, p := range m.procs {
+		if !renderableLHS(p.lhs) {
+			continue
+		}
+		if p.caseItem < 0 {
+			plain = append(plain, p)
+			continue
+		}
+		if _, ok := byItem[p.caseItem]; !ok {
+			items = append(items, p.caseItem)
+		}
+		byItem[p.caseItem] = append(byItem[p.caseItem], p)
+	}
+	if len(plain) > 0 {
+		b.WriteString("always @(posedge clk) begin\n")
+		for _, p := range plain {
+			fmt.Fprintf(&b, "    %s <= %s;\n", p.lhs, p.raw)
+		}
+		b.WriteString("end\n")
+	}
+	if len(items) > 0 {
+		b.WriteString("always @(posedge clk) begin\n")
+		b.WriteString("case (state)\n")
+		for _, item := range items {
+			fmt.Fprintf(&b, "%d: begin\n", item)
+			for _, p := range byItem[item] {
+				fmt.Fprintf(&b, "    %s <= %s;\n", p.lhs, p.raw)
+			}
+			b.WriteString("end\n")
+		}
+		b.WriteString("endcase\n")
+		b.WriteString("end\n")
+	}
+	if name != "" {
+		b.WriteString("endmodule\n")
+	}
+	return b.String()
 }

@@ -99,14 +99,21 @@ func (a *ALU) Bind(n *dfg.Node, args []string, step int) {
 	a.Ops = append(a.Ops, b)
 }
 
-// HasNode reports whether node id is bound to this ALU.
-func (a *ALU) HasNode(id dfg.NodeID) bool {
-	for _, b := range a.Ops {
-		if b.Node == id {
-			return true
+// BindingFor returns the binding of node id on this ALU, if present.
+// The pointer aliases the ALU's Ops slice.
+func (a *ALU) BindingFor(id dfg.NodeID) (*Binding, bool) {
+	for i := range a.Ops {
+		if a.Ops[i].Node == id {
+			return &a.Ops[i], true
 		}
 	}
-	return false
+	return nil, false
+}
+
+// HasNode reports whether node id is bound to this ALU.
+func (a *ALU) HasNode(id dfg.NodeID) bool {
+	_, ok := a.BindingFor(id)
+	return ok
 }
 
 // Interval is one value's storage lifetime in control steps: the value is
@@ -199,6 +206,23 @@ func (d *Datapath) AddALU(u *library.Unit) *ALU {
 // lifetimes and stores the packing.
 func (d *Datapath) AssignRegisters(ivals []Interval) {
 	d.Registers = PackRegisters(ivals)
+}
+
+// Covering returns the index of a register whose packing holds sig over
+// the whole span (birth, readStep] — an interval named sig born no
+// later than birth and dying no earlier than readStep — or ok=false
+// when no register covers the read. Both the RTL simulator and the
+// translation-validation pass use this to decide whether a cross-step
+// operand actually survives in storage.
+func (d *Datapath) Covering(sig string, birth, readStep int) (int, bool) {
+	for r, grp := range d.Registers {
+		for _, iv := range grp {
+			if iv.Name == sig && iv.Birth <= birth && iv.Death >= readStep {
+				return r, true
+			}
+		}
+	}
+	return -1, false
 }
 
 // FindBinding returns the ALU executing node id, if bound.

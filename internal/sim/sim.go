@@ -116,9 +116,11 @@ func run(ctx context.Context, s *sched.Schedule, dp *rtl.Datapath, inputs map[st
 				// with a datapath, node-produced values must be
 				// registered for the whole span (primary inputs are
 				// stable ports unless the design registered them too).
-				if dp != nil && !isInput[a] && !covered(dp, a, r, p.Step) {
-					return nil, fmt.Errorf("sim: node %q reads %q at step %d but no register holds it over [%d,%d]",
-						n.Name, a, p.Step, r, p.Step)
+				if dp != nil && !isInput[a] {
+					if _, ok := dp.Covering(a, r, p.Step); !ok {
+						return nil, fmt.Errorf("sim: node %q reads %q at step %d but no register holds it over [%d,%d]",
+							n.Name, a, p.Step, r, p.Step)
+					}
 				}
 			case r == p.Step && s.ClockNs > 0 && n.Cycles == 1:
 				// Chained within the step; combinational, no register.
@@ -152,32 +154,26 @@ func run(ctx context.Context, s *sched.Schedule, dp *rtl.Datapath, inputs map[st
 	return vals, nil
 }
 
-// covered reports whether some register's packing holds sig over
-// (birth, readStep].
-func covered(dp *rtl.Datapath, sig string, birth, readStep int) bool {
-	for _, grp := range dp.Registers {
-		for _, iv := range grp {
-			if iv.Name == sig && iv.Birth <= birth && iv.Death >= readStep {
-				return true
-			}
-		}
-	}
-	return false
+// CrossCheck simulates the schedule (and datapath, if non-nil) on one
+// input vector and compares every node's value against the reference
+// evaluator. It returns the first mismatch. It is the historical
+// one-vector signature; CrossCheckSeedsCtx drives it over N
+// reproducible vectors.
+func CrossCheck(s *sched.Schedule, dp *rtl.Datapath, inputs map[string]int64) error {
+	return CrossCheckCtx(context.Background(), s, dp, inputs)
 }
 
-// CrossCheck simulates the schedule (and datapath, if non-nil) and
-// compares every node's value against the reference evaluator. It
-// returns the first mismatch.
-func CrossCheck(s *sched.Schedule, dp *rtl.Datapath, inputs map[string]int64) error {
+// CrossCheckCtx is CrossCheck with cancellation.
+func CrossCheckCtx(ctx context.Context, s *sched.Schedule, dp *rtl.Datapath, inputs map[string]int64) error {
 	want, err := s.Graph.Eval(inputs)
 	if err != nil {
 		return fmt.Errorf("sim: reference: %w", err)
 	}
 	var got map[string]int64
 	if dp != nil {
-		got, err = RunRTL(s, dp, inputs)
+		got, err = RunRTLCtx(ctx, s, dp, inputs)
 	} else {
-		got, err = Run(s, inputs)
+		got, err = RunCtx(ctx, s, inputs)
 	}
 	if err != nil {
 		return err
@@ -185,6 +181,35 @@ func CrossCheck(s *sched.Schedule, dp *rtl.Datapath, inputs map[string]int64) er
 	for _, n := range s.Graph.Nodes() {
 		if got[n.Name] != want[n.Name] {
 			return fmt.Errorf("sim: %q = %d, reference says %d", n.Name, got[n.Name], want[n.Name])
+		}
+	}
+	return nil
+}
+
+// DefaultCrossCheckSeeds is how many reproducible random vectors
+// CrossCheckSeedsCtx drives when the caller passes n <= 0.
+const DefaultCrossCheckSeeds = 8
+
+// CrossCheckSeedsCtx cross-checks the schedule (and datapath, if
+// non-nil) on n reproducible random input vectors (seeds 1..n; n <= 0
+// selects DefaultCrossCheckSeeds). overrides, when non-nil, pins
+// selected inputs to fixed values on every vector — the core layer uses
+// it to hold literal constants at their declared values. The error
+// names the failing seed so a report reproduces with RandomInputs.
+func CrossCheckSeedsCtx(ctx context.Context, s *sched.Schedule, dp *rtl.Datapath, n int, overrides map[string]int64) error {
+	if n <= 0 {
+		n = DefaultCrossCheckSeeds
+	}
+	for seed := 1; seed <= n; seed++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		in := RandomInputs(s.Graph, int64(seed))
+		for k, v := range overrides {
+			in[k] = v
+		}
+		if err := CrossCheckCtx(ctx, s, dp, in); err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 	}
 	return nil

@@ -1,0 +1,318 @@
+// Package symb is a hash-consed word-level symbolic-expression engine:
+// the substrate of the translation-validation pass (internal/lint's
+// equiv analyzer). Expressions are canonical DAGs interned in a Builder,
+// so two structurally equal expressions are the same pointer and an
+// equivalence proof between two synthesis artifacts reduces to one
+// pointer comparison of their root expressions.
+//
+// Canonicalization applies exactly the normalization every artifact
+// layer of the flow is entitled to: constant folding through the shared
+// op.Kind.Eval semantics (int64 two's-complement, so + and * are
+// associative and commutative under wraparound), associativity
+// flattening of + and * into n-ary nodes, commutative-operand sorting
+// by intern id, and identity elision of the neutral element (x+0, x*1).
+// Mov is the identity function and vanishes on construction. No other
+// algebraic rules (distribution, double negation, x-x=0, ...) are
+// applied: every artifact is derived from the same data-flow graph, so
+// the only structural freedom the synthesis layers actually exercise is
+// operand commutation (the §5.6 multiplexer-input optimization), and a
+// deliberately small rule set keeps the normalization trivially
+// semantics-preserving — a proof can never be manufactured by an
+// unsound rewrite.
+package symb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/op"
+)
+
+// Expr is one canonical expression node. Exprs are created only through
+// a Builder and are immutable afterwards; two Exprs from the same
+// Builder are semantically equal under the package's normalization iff
+// they are the same pointer.
+type Expr struct {
+	// Kind is the operator of an interior node; op.Invalid for leaves.
+	Kind op.Kind
+
+	// Var is the free-variable name; non-empty iff the node is a
+	// variable leaf.
+	Var string
+
+	// Val is the constant value, meaningful iff IsConst.
+	Val     int64
+	IsConst bool
+
+	// Args are the operand expressions of an interior node. For + and *
+	// the list is n-ary (flattened), sorted by intern id, with at most
+	// one constant; for other commutative operators it is a sorted
+	// pair.
+	Args []*Expr
+
+	id int // builder-local intern id; ids order operands deterministically
+}
+
+// Leaf reports whether the expression is a variable or constant.
+func (e *Expr) Leaf() bool { return len(e.Args) == 0 }
+
+// Builder interns expressions. The zero value is not ready; use
+// NewBuilder. A Builder is not safe for concurrent use.
+type Builder struct {
+	nodes map[string]*Expr
+	next  int
+}
+
+// NewBuilder returns an empty intern table.
+func NewBuilder() *Builder {
+	return &Builder{nodes: make(map[string]*Expr)}
+}
+
+// Len reports how many distinct expressions have been interned.
+func (b *Builder) Len() int { return len(b.nodes) }
+
+func (b *Builder) intern(key string, mk func() *Expr) *Expr {
+	if e, ok := b.nodes[key]; ok {
+		return e
+	}
+	e := mk()
+	e.id = b.next
+	b.next++
+	b.nodes[key] = e
+	return e
+}
+
+// Var returns the canonical leaf for the named free variable.
+func (b *Builder) Var(name string) *Expr {
+	return b.intern("v\x00"+name, func() *Expr { return &Expr{Var: name} })
+}
+
+// Const returns the canonical leaf for the constant v.
+func (b *Builder) Const(v int64) *Expr {
+	return b.intern("c\x00"+strconv.FormatInt(v, 10), func() *Expr {
+		return &Expr{Val: v, IsConst: true}
+	})
+}
+
+// opKey builds the intern key of an interior node from its operator and
+// the ids of its (already canonical) operands.
+func opKey(k op.Kind, args []*Expr) string {
+	var sb strings.Builder
+	sb.WriteString("o\x00")
+	sb.WriteString(strconv.Itoa(int(k)))
+	for _, a := range args {
+		sb.WriteByte('\x00')
+		sb.WriteString(strconv.Itoa(a.id))
+	}
+	return sb.String()
+}
+
+// identity returns the neutral element of an associative operator.
+func identity(k op.Kind) int64 {
+	if k == op.Mul {
+		return 1
+	}
+	return 0 // Add
+}
+
+// Apply builds the canonical expression for operator k over args. The
+// operand list is first normalized to the operator's arity the way the
+// concrete evaluators do it (unary operators ignore a second operand; a
+// binary operator missing one reads the zero value), so the symbolic
+// and concrete semantics agree on malformed artifacts too.
+func (b *Builder) Apply(k op.Kind, args ...*Expr) *Expr {
+	switch k.Arity() {
+	case 1:
+		if len(args) == 0 {
+			args = []*Expr{b.Const(0)}
+		}
+		args = args[:1]
+	case 2:
+		for len(args) < 2 {
+			args = append(args, b.Const(0))
+		}
+		if len(args) > 2 && k != op.Add && k != op.Mul {
+			args = args[:2] // only the associative operators are n-ary
+		}
+	}
+	if k == op.Mov {
+		return args[0] // identity function
+	}
+	if k == op.Add || k == op.Mul {
+		return b.assoc(k, args)
+	}
+	allConst := true
+	for _, a := range args {
+		if !a.IsConst {
+			allConst = false
+			break
+		}
+	}
+	if allConst {
+		if len(args) == 1 {
+			return b.Const(k.Eval(args[0].Val, 0))
+		}
+		return b.Const(k.Eval(args[0].Val, args[1].Val))
+	}
+	if k.Commutative() && len(args) == 2 && args[1].id < args[0].id {
+		args = []*Expr{args[1], args[0]}
+	}
+	sorted := append([]*Expr(nil), args...)
+	return b.intern(opKey(k, sorted), func() *Expr {
+		return &Expr{Kind: k, Args: sorted}
+	})
+}
+
+// assoc canonicalizes an n-ary + or *: flatten nested nodes of the same
+// operator, fold every constant operand into one (sound under int64
+// wraparound), drop the fold when it is the neutral element, and sort
+// the remaining operands by intern id.
+func (b *Builder) assoc(k op.Kind, args []*Expr) *Expr {
+	flat := make([]*Expr, 0, len(args))
+	c := identity(k)
+	hasConst := false
+	for _, a := range args {
+		kids := []*Expr{a}
+		if a.Kind == k {
+			kids = a.Args // already flat and constant-free (or one const)
+		}
+		for _, kid := range kids {
+			if kid.IsConst {
+				c = k.Eval(c, kid.Val)
+				hasConst = true
+			} else {
+				flat = append(flat, kid)
+			}
+		}
+	}
+	if len(flat) == 0 {
+		return b.Const(c)
+	}
+	if hasConst && c != identity(k) {
+		flat = append(flat, b.Const(c))
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].id < flat[j].id })
+	return b.intern(opKey(k, flat), func() *Expr {
+		return &Expr{Kind: k, Args: flat}
+	})
+}
+
+// Eval computes the expression's concrete value under an assignment of
+// the free variables (missing variables read 0). Evaluation is
+// memoized over the DAG, so shared subexpressions are computed once.
+func (e *Expr) Eval(env map[string]int64) int64 {
+	memo := make(map[*Expr]int64)
+	var rec func(x *Expr) int64
+	rec = func(x *Expr) int64 {
+		if v, ok := memo[x]; ok {
+			return v
+		}
+		var v int64
+		switch {
+		case x.IsConst:
+			v = x.Val
+		case x.Var != "":
+			v = env[x.Var]
+		case x.Kind == op.Add || x.Kind == op.Mul:
+			v = rec(x.Args[0])
+			for _, a := range x.Args[1:] {
+				v = x.Kind.Eval(v, rec(a))
+			}
+		case len(x.Args) == 1:
+			v = x.Kind.Eval(rec(x.Args[0]), 0)
+		default:
+			v = x.Kind.Eval(rec(x.Args[0]), rec(x.Args[1]))
+		}
+		memo[x] = v
+		return v
+	}
+	return rec(e)
+}
+
+// Vars adds every free variable of the expression to dst.
+func (e *Expr) Vars(dst map[string]bool) {
+	seen := make(map[*Expr]bool)
+	var rec func(x *Expr)
+	rec = func(x *Expr) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		if x.Var != "" {
+			dst[x.Var] = true
+		}
+		for _, a := range x.Args {
+			rec(a)
+		}
+	}
+	rec(e)
+}
+
+// maxRenderDepth bounds String's recursion so a diagnostic carrying a
+// deep expression stays readable; deeper structure renders as "…".
+const maxRenderDepth = 8
+
+// String renders the expression as a depth-capped S-expression, e.g.
+// "(+ x y (* 3 dx))".
+func (e *Expr) String() string {
+	var sb strings.Builder
+	e.render(&sb, maxRenderDepth)
+	return sb.String()
+}
+
+func (e *Expr) render(sb *strings.Builder, depth int) {
+	switch {
+	case e.IsConst:
+		sb.WriteString(strconv.FormatInt(e.Val, 10))
+	case e.Var != "":
+		sb.WriteString(e.Var)
+	case depth <= 0:
+		sb.WriteString("…")
+	default:
+		sb.WriteByte('(')
+		sb.WriteString(e.Kind.String())
+		for _, a := range e.Args {
+			sb.WriteByte(' ')
+			a.render(sb, depth-1)
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// Diff localizes the structural difference between two expressions from
+// the same Builder: it descends as long as the difference is confined
+// to exactly one operand position and then renders both sides at the
+// divergence point. Calling Diff on equal expressions returns "".
+func Diff(a, b *Expr) string {
+	if a == b {
+		return ""
+	}
+	var path []string
+	for a.Kind == b.Kind && !a.Leaf() && !b.Leaf() && len(a.Args) == len(b.Args) {
+		differing := -1
+		for i := range a.Args {
+			if a.Args[i] != b.Args[i] {
+				if differing >= 0 {
+					differing = -1 // more than one operand differs: stop here
+					break
+				}
+				differing = i
+			}
+		}
+		if differing < 0 {
+			break
+		}
+		path = append(path, fmt.Sprintf("%s[%d]", a.Kind, differing))
+		a, b = a.Args[differing], b.Args[differing]
+	}
+	at := "root"
+	if len(path) > 0 {
+		at = strings.Join(path, ".")
+	}
+	return fmt.Sprintf("at %s: reference %s, candidate %s", at, a, b)
+}

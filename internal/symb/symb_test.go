@@ -1,0 +1,153 @@
+package symb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/op"
+)
+
+func TestHashConsing(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Var("x"), b.Var("y")
+	if x != b.Var("x") {
+		t.Fatal("variable leaf not interned")
+	}
+	if b.Const(7) != b.Const(7) {
+		t.Fatal("constant leaf not interned")
+	}
+	e1 := b.Apply(op.Sub, x, y)
+	e2 := b.Apply(op.Sub, x, y)
+	if e1 != e2 {
+		t.Fatal("structurally equal expressions are distinct pointers")
+	}
+	if e3 := b.Apply(op.Sub, y, x); e3 == e1 {
+		t.Fatal("non-commutative operands were conflated")
+	}
+}
+
+func TestCommutativeSorting(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Var("x"), b.Var("y")
+	for _, k := range []op.Kind{op.Add, op.Mul, op.And, op.Or, op.Xor, op.Eq, op.Ne} {
+		if b.Apply(k, x, y) != b.Apply(k, y, x) {
+			t.Errorf("%s: operand order not canonicalized", k)
+		}
+	}
+	if b.Apply(op.Lt, x, y) == b.Apply(op.Lt, y, x) {
+		t.Error("< must not commute")
+	}
+}
+
+func TestAssociativityFlattening(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.Var("x"), b.Var("y"), b.Var("z")
+	l := b.Apply(op.Add, b.Apply(op.Add, x, y), z)
+	r := b.Apply(op.Add, x, b.Apply(op.Add, y, z))
+	if l != r {
+		t.Fatalf("(x+y)+z != x+(y+z): %s vs %s", l, r)
+	}
+	if len(l.Args) != 3 {
+		t.Fatalf("flattened sum has %d args, want 3: %s", len(l.Args), l)
+	}
+	m := b.Apply(op.Mul, b.Apply(op.Mul, z, y), x)
+	if m != b.Apply(op.Mul, x, b.Apply(op.Mul, y, z)) {
+		t.Fatal("n-ary * not canonical across association/commutation")
+	}
+	// Subtraction must NOT flatten.
+	s := b.Apply(op.Sub, b.Apply(op.Sub, x, y), z)
+	if s == b.Apply(op.Sub, x, b.Apply(op.Sub, y, z)) {
+		t.Fatal("(x-y)-z conflated with x-(y-z)")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	if e := b.Apply(op.Add, b.Const(2), b.Const(3)); !e.IsConst || e.Val != 5 {
+		t.Fatalf("2+3 = %s", e)
+	}
+	if e := b.Apply(op.Div, b.Const(7), b.Const(0)); !e.IsConst || e.Val != 0 {
+		t.Fatalf("7/0 = %s, want the simulator's defined-result 0", e)
+	}
+	// Constants merge across a flattened sum; the neutral element vanishes.
+	e := b.Apply(op.Add, b.Const(2), b.Apply(op.Add, x, b.Const(-2)))
+	if e != x {
+		t.Fatalf("2+(x+-2) = %s, want x", e)
+	}
+	if e := b.Apply(op.Mul, x, b.Const(1)); e != x {
+		t.Fatalf("x*1 = %s, want x", e)
+	}
+	if e := b.Apply(op.Mul, b.Const(0), x); e.IsConst {
+		t.Fatalf("0*x folded to a constant %s; only the neutral element may be elided", e)
+	}
+}
+
+func TestMovIsIdentity(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	if b.Apply(op.Mov, x) != x {
+		t.Fatal("mov(x) != x")
+	}
+	e := b.Apply(op.Neg, b.Apply(op.Mov, x))
+	if e != b.Apply(op.Neg, x) {
+		t.Fatal("mov not transparent under composition")
+	}
+}
+
+func TestEvalMatchesOpSemantics(t *testing.T) {
+	b := NewBuilder()
+	x, y := b.Var("x"), b.Var("y")
+	env := map[string]int64{"x": -7, "y": 3}
+	for _, k := range op.Kinds() {
+		var e *Expr
+		if k.Arity() == 1 {
+			e = b.Apply(k, x)
+		} else {
+			e = b.Apply(k, x, y)
+		}
+		want := k.Eval(-7, 3)
+		if k.Arity() == 1 {
+			want = k.Eval(-7, 0)
+		}
+		if got := e.Eval(env); got != want {
+			t.Errorf("%s: Eval = %d, op.Eval = %d", k, got, want)
+		}
+	}
+	// n-ary fold
+	e := b.Apply(op.Add, x, y, b.Apply(op.Mul, x, y))
+	if got := e.Eval(env); got != -7+3+(-7*3) {
+		t.Errorf("n-ary eval = %d", got)
+	}
+}
+
+func TestVarsAndDiff(t *testing.T) {
+	b := NewBuilder()
+	x, y, z := b.Var("x"), b.Var("y"), b.Var("z")
+	a := b.Apply(op.Sub, b.Apply(op.Add, x, y), z)
+	c := b.Apply(op.Sub, b.Apply(op.Add, x, x), z)
+	vars := map[string]bool{}
+	a.Vars(vars)
+	if len(vars) != 3 || !vars["x"] || !vars["y"] || !vars["z"] {
+		t.Fatalf("Vars = %v", vars)
+	}
+	if d := Diff(a, a); d != "" {
+		t.Fatalf("Diff(a,a) = %q", d)
+	}
+	d := Diff(a, c)
+	if !strings.Contains(d, "-[0]") || !strings.Contains(d, "reference") {
+		t.Fatalf("Diff did not localize the divergence: %q", d)
+	}
+}
+
+func TestRenderDepthCap(t *testing.T) {
+	b := NewBuilder()
+	e := b.Var("x")
+	for i := 0; i < 40; i++ {
+		e = b.Apply(op.Sub, e, b.Var("y"))
+	}
+	s := e.String()
+	if !strings.Contains(s, "…") {
+		t.Fatalf("deep expression rendered without a depth cap: %d bytes", len(s))
+	}
+}
