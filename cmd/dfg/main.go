@@ -39,9 +39,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cs := fs.Int("cs", 0, "time constraint for -sched-dot")
 	evalStr := fs.String("eval", "", "evaluate with inputs 'a=1,b=2'")
 	timeout := cli.Timeout(fs)
+	prof := cli.Profile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	if fs.NArg() != 1 {

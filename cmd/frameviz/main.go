@@ -32,9 +32,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cs := fs.Int("cs", 0, "time constraint for -node mode")
 	node := fs.String("node", "", "signal whose placement frames to render")
 	timeout := cli.Timeout(fs)
+	prof := cli.Profile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	if err := ctx.Err(); err != nil {

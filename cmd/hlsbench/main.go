@@ -18,6 +18,8 @@
 //	hlsbench -fig 1|2         # figures
 //	hlsbench -json            # write perf baseline to BENCH_sweep.json
 //	hlsbench -json -out p.json
+//	hlsbench -json -out fresh.json -compare BENCH_sweep.json   # CI guard:
+//	       exit non-zero if any wall time exceeds 3x the committed baseline
 package main
 
 import (
@@ -41,15 +43,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fig := fs.Int("fig", 0, "which figure to print (1 or 2); 0 = per -table selection")
 	jsonOut := fs.Bool("json", false, "measure the perf baseline and write it as JSON to -out")
 	outPath := fs.String("out", "BENCH_sweep.json", "output path for -json")
+	compare := fs.String("compare", "", "with -json: fail if any fresh wall time exceeds this committed baseline by more than -tolerance")
+	tolerance := fs.Float64("tolerance", 3, "with -compare: allowed slowdown factor per measurement")
 	timeout := cli.Timeout(fs)
+	prof := cli.Profile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 
 	if *jsonOut {
-		return writeBaseline(ctx, out, *outPath)
+		return writeBaseline(ctx, out, *outPath, *compare, *tolerance)
+	}
+	if *compare != "" {
+		return fmt.Errorf("-compare requires -json")
 	}
 	if *fig != 0 {
 		return printFigure(out, *fig)
@@ -90,7 +103,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return printFigure(out, 2)
 }
 
-func writeBaseline(ctx context.Context, out io.Writer, path string) error {
+func writeBaseline(ctx context.Context, out io.Writer, path, compare string, tolerance float64) error {
 	p, err := experiments.MeasurePerfCtx(ctx)
 	if err != nil {
 		return err
@@ -106,7 +119,22 @@ func writeBaseline(ctx context.Context, out io.Writer, path string) error {
 		path, p.Sweep.Graph, p.Sweep.CSLo, p.Sweep.CSHi,
 		p.Sweep.SequentialMs, p.Sweep.ParallelMs, p.Sweep.Speedup,
 		p.GOMAXPROCS, p.Sweep.Identical)
-	return nil
+	if compare == "" {
+		return nil
+	}
+	base, err := experiments.LoadPerfBaseline(compare)
+	if err != nil {
+		return err
+	}
+	regs := experiments.ComparePerf(base, p, tolerance)
+	if len(regs) == 0 {
+		fmt.Fprintf(out, "within %.0fx of %s on every measurement\n", tolerance, compare)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Fprintln(out, "regression:", r)
+	}
+	return fmt.Errorf("%d measurement(s) regressed past %.0fx of %s", len(regs), tolerance, compare)
 }
 
 func printTable(ctx context.Context, out io.Writer, fn func(context.Context) (*report.Table, error)) error {

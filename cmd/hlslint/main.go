@@ -60,9 +60,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	mutate := fs.String("mutate", "", "with -equiv: apply a named artifact corruption first (soundness harness)")
 	par := fs.Int("par", 0, "max parallel analyzers and synthesis jobs (0 = GOMAXPROCS)")
 	timeout := cli.Timeout(fs)
+	prof := cli.Profile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 

@@ -38,9 +38,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	latency := fs.Int("latency", 0, "functional-pipelining initiation interval")
 	pipelined := fs.String("pipelined", "", "comma-separated op symbols on pipelined units")
 	timeout := cli.Timeout(fs)
+	prof := cli.Profile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	if fs.NArg() != 1 {

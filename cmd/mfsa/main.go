@@ -43,9 +43,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	vcdPath := fs.String("vcd", "", "simulate one random vector and write a VCD waveform to this file")
 	tbPath := fs.String("tb", "", "write a self-checking testbench (3 random vectors) to this file")
 	timeout := cli.Timeout(fs)
+	prof := cli.Profile(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 	if fs.NArg() != 1 {

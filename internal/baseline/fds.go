@@ -28,7 +28,7 @@ func ForceDirected(g *dfg.Graph, cs int) (*sched.Schedule, error) {
 	}
 	win := make(map[dfg.NodeID][2]int, g.Len())
 	for id, f := range frames {
-		win[id] = [2]int{f.ASAP, f.ALAP}
+		win[dfg.NodeID(id)] = [2]int{f.ASAP, f.ALAP}
 	}
 	fixed := make(map[dfg.NodeID]int)
 

@@ -16,6 +16,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 )
@@ -50,4 +52,65 @@ func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context
 		return context.WithCancel(ctx)
 	}
 	return context.WithTimeout(ctx, d)
+}
+
+// Profiler drives the shared -cpuprofile/-memprofile flags: pprof output
+// for any tool run, so a slow or allocation-heavy invocation can be
+// inspected with `go tool pprof` without writing a benchmark first.
+type Profiler struct {
+	cpu, mem string
+	cpuFile  *os.File
+}
+
+// Profile registers the shared profiling flags on a tool's FlagSet.
+func Profile(fs *flag.FlagSet) *Profiler {
+	p := &Profiler{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given and returns a
+// stop function to defer: it finishes the CPU profile and writes the
+// -memprofile heap snapshot. Profile-teardown problems are reported to
+// stderr rather than returned — by then the tool's real work already
+// succeeded, and a lost profile should not change its exit status.
+func (p *Profiler) Start() (stop func(), err error) {
+	if p.cpu != "" {
+		f, err := os.Create(p.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p.stop, nil
+}
+
+func (p *Profiler) stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.mem == "" {
+		return
+	}
+	f, err := os.Create(p.mem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		return
+	}
+	runtime.GC() // settle the heap so the snapshot shows live objects
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dfg"
 	"repro/internal/guard"
+	"repro/internal/library"
 	"repro/internal/pool"
 	"repro/internal/rtl"
 )
@@ -62,6 +63,11 @@ func SweepCtx(ctx context.Context, g *dfg.Graph, cfg Config, csLo, csHi int) (po
 	}
 	ctx, cancel := withTimeout(ctx, cfg)
 	defer cancel()
+	if cfg.Lib == nil {
+		// Resolve the default library once for the whole sweep instead of
+		// letting every design point rebuild it.
+		cfg.Lib = library.NCRLike()
+	}
 	if cp := g.CriticalPathCycles(); csLo < cp {
 		csLo = cp
 	}
@@ -106,6 +112,9 @@ func SweepGraphsCtx(ctx context.Context, gs []*dfg.Graph, cfg Config, csLo, csHi
 	}
 	ctx, cancel := withTimeout(ctx, cfg)
 	defer cancel()
+	if cfg.Lib == nil {
+		cfg.Lib = library.NCRLike()
+	}
 	type job struct {
 		g      *dfg.Graph
 		gi, cs int

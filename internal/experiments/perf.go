@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"reflect"
 	"runtime"
 	"time"
@@ -65,9 +67,11 @@ func perfSweepRange() (*benchmarks.Example, int, int) {
 	return ex, cp, cp + 12
 }
 
-// MeasurePerf regenerates every evaluation table once, times the
+// MeasurePerf times every evaluation table regeneration and the
 // sequential and parallel sweep paths (best of three runs each, to
-// shave scheduler noise), and returns the snapshot.
+// shave scheduler noise — a single run of a millisecond-scale table is
+// noise-dominated and would flake the CI comparison), and returns the
+// snapshot.
 func MeasurePerf() (*PerfBaseline, error) {
 	return MeasurePerfCtx(context.Background())
 }
@@ -96,16 +100,20 @@ func MeasurePerfCtx(ctx context.Context) (*PerfBaseline, error) {
 		{"ablation-rf", AblationRedundantFrameCtx},
 	}
 	for _, tb := range tables {
-		start := time.Now()
-		t, err := tb.fn(ctx)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: perf baseline: %s: %w", tb.name, err)
+		rows, best := 0, 0.0
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			t, err := tb.fn(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: perf baseline: %s: %w", tb.name, err)
+			}
+			ms := float64(time.Since(start).Microseconds()) / 1000
+			if rep == 0 || ms < best {
+				best = ms
+			}
+			rows = t.Len()
 		}
-		p.Tables = append(p.Tables, TableTiming{
-			Name:   tb.name,
-			Rows:   t.Len(),
-			WallMs: float64(time.Since(start).Microseconds()) / 1000,
-		})
+		p.Tables = append(p.Tables, TableTiming{Name: tb.name, Rows: rows, WallMs: best})
 	}
 
 	ex, lo, hi := perfSweepRange()
@@ -129,6 +137,73 @@ func MeasurePerfCtx(ctx context.Context) (*PerfBaseline, error) {
 		Identical:            reflect.DeepEqual(seqPoints, parPoints),
 	}
 	return p, nil
+}
+
+// LoadPerfBaseline reads a BENCH_sweep.json snapshot written by
+// `hlsbench -json`.
+func LoadPerfBaseline(path string) (*PerfBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: perf baseline: %w", err)
+	}
+	var p PerfBaseline
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("experiments: perf baseline %s: %w", path, err)
+	}
+	if p.SchemaVersion != 1 {
+		return nil, fmt.Errorf("experiments: perf baseline %s: unsupported schema_version %d", path, p.SchemaVersion)
+	}
+	return &p, nil
+}
+
+// PerfRegression is one measurement that exceeded the comparison budget.
+type PerfRegression struct {
+	Name    string  // table name, or "sweep/sequential", "sweep/parallel"
+	OldMs   float64 // committed baseline
+	NewMs   float64 // fresh measurement
+	LimitMs float64 // OldMs × tolerance
+}
+
+func (r PerfRegression) String() string {
+	if r.Name == "sweep/identical_results" {
+		return "sweep/identical_results: parallel sweep no longer matches the sequential results"
+	}
+	return fmt.Sprintf("%s: %.2f ms, baseline %.2f ms (limit %.2f ms)", r.Name, r.NewMs, r.OldMs, r.LimitMs)
+}
+
+// ComparePerf checks a fresh measurement against a committed baseline:
+// every wall time may be at most tolerance times its baseline value.
+// The deliberately loose factor (CI uses 3) absorbs shared-runner noise
+// while still catching order-of-magnitude regressions — an accidental
+// O(n²), a lost cache, a sweep gone sequential. Speedups never fail the
+// check. Tables present on only one side are ignored (the set evolves);
+// a fresh sweep that lost result determinism is reported as a
+// regression of its own.
+func ComparePerf(baseline, fresh *PerfBaseline, tolerance float64) []PerfRegression {
+	var regs []PerfRegression
+	check := func(name string, oldMs, newMs float64) {
+		if oldMs <= 0 {
+			return
+		}
+		if limit := oldMs * tolerance; newMs > limit {
+			regs = append(regs, PerfRegression{Name: name, OldMs: oldMs, NewMs: newMs, LimitMs: limit})
+		}
+	}
+	oldTables := make(map[string]TableTiming, len(baseline.Tables))
+	for _, t := range baseline.Tables {
+		oldTables[t.Name] = t
+	}
+	for _, t := range fresh.Tables {
+		if old, ok := oldTables[t.Name]; ok {
+			check(t.Name, old.WallMs, t.WallMs)
+		}
+	}
+	check("sweep/sequential", baseline.Sweep.SequentialMs, fresh.Sweep.SequentialMs)
+	check("sweep/parallel", baseline.Sweep.ParallelMs, fresh.Sweep.ParallelMs)
+	if baseline.Sweep.Identical && !fresh.Sweep.Identical {
+		regs = append(regs, PerfRegression{Name: "sweep/identical_results"})
+	}
+	return regs
 }
 
 func timeSweep(ctx context.Context, ex *benchmarks.Example, cfg core.Config, lo, hi int) ([]core.SweepPoint, float64, error) {

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func baselineOf(tables map[string]float64, seq, par float64, identical bool) *PerfBaseline {
+	p := &PerfBaseline{SchemaVersion: 1}
+	for name, ms := range tables {
+		p.Tables = append(p.Tables, TableTiming{Name: name, WallMs: ms})
+	}
+	p.Sweep = SweepTiming{SequentialMs: seq, ParallelMs: par, Identical: identical}
+	return p
+}
+
+func TestComparePerf(t *testing.T) {
+	base := baselineOf(map[string]float64{"table1": 10, "table2": 20}, 8, 4, true)
+
+	if regs := ComparePerf(base, baselineOf(map[string]float64{"table1": 29, "table2": 59}, 23, 11, true), 3); len(regs) != 0 {
+		t.Errorf("within 3x tolerance, got regressions: %v", regs)
+	}
+
+	regs := ComparePerf(base, baselineOf(map[string]float64{"table1": 31, "table2": 5}, 8, 4, true), 3)
+	if len(regs) != 1 || regs[0].Name != "table1" {
+		t.Fatalf("want one table1 regression, got %v", regs)
+	}
+	if regs[0].OldMs != 10 || regs[0].NewMs != 31 || regs[0].LimitMs != 30 {
+		t.Errorf("regression numbers: %+v", regs[0])
+	}
+
+	regs = ComparePerf(base, baselineOf(map[string]float64{"table1": 10}, 8, 13, true), 3)
+	if len(regs) != 1 || regs[0].Name != "sweep/parallel" {
+		t.Errorf("want sweep/parallel regression, got %v", regs)
+	}
+
+	// Lost determinism is a regression even with perfect times.
+	regs = ComparePerf(base, baselineOf(map[string]float64{"table1": 10, "table2": 20}, 8, 4, false), 3)
+	if len(regs) != 1 || regs[0].Name != "sweep/identical_results" {
+		t.Errorf("want identical_results regression, got %v", regs)
+	}
+
+	// Tables only one side knows are ignored.
+	fresh := baselineOf(map[string]float64{"table1": 10, "brand-new": 9999}, 8, 4, true)
+	if regs := ComparePerf(base, fresh, 3); len(regs) != 0 {
+		t.Errorf("new table should not regress, got %v", regs)
+	}
+}
+
+func TestLoadPerfBaseline(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"schema_version":1,"tables":[{"name":"table1","rows":3,"wall_ms":1.5}],"sweep":{"sequential_ms":2,"parallel_ms":1,"identical_results":true}}`), 0o644)
+	p, err := LoadPerfBaseline(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tables) != 1 || p.Tables[0].WallMs != 1.5 || !p.Sweep.Identical {
+		t.Errorf("loaded %+v", p)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema_version":99}`), 0o644)
+	if _, err := LoadPerfBaseline(bad); err == nil {
+		t.Error("want schema-version error")
+	}
+	if _, err := LoadPerfBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("want missing-file error")
+	}
+
+	// The committed baseline at the repository root must stay loadable.
+	if _, err := LoadPerfBaseline("../../BENCH_sweep.json"); err != nil {
+		t.Errorf("committed BENCH_sweep.json: %v", err)
+	}
+}

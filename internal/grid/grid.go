@@ -8,11 +8,20 @@
 // (1..CS, growing downward as in the paper's figures) and columns are FU
 // instances of that type (1..Max). The full search space is the union of
 // the per-type tables — the paper's third dimension.
+//
+// Frames are dense bitsets, not hash sets: a Frame is a row-major
+// []uint64 over its bounding box, one word group per control step, so
+// Rect is a mask fill, Union and Minus are per-word | and &^, and
+// membership is a shift-and-test. Scan and ScanColumns walk the set bits
+// in (step, index) or (index, step) order without materializing a slice;
+// for the paper's linear Liapunov functions those orders are exactly
+// non-decreasing energy (see liapunov.Ordered), which is what turns the
+// schedulers' min-energy search into "first legal bit wins".
 package grid
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"repro/internal/dfg"
 )
@@ -26,63 +35,270 @@ type Pos struct {
 
 func (p Pos) String() string { return fmt.Sprintf("(t%d,fu%d)", p.Step, p.Index) }
 
+// Order identifies a deterministic traversal order over a frame's
+// positions.
+type Order int
+
+const (
+	// RowMajor visits positions by ascending (step, index) — fill a
+	// control step before opening the next.
+	RowMajor Order = iota
+	// ColMajor visits positions by ascending (index, step) — fill an FU
+	// column before opening the next.
+	ColMajor
+)
+
 // Frame is a set of grid positions. The paper's PF, RF, FF and MF are all
 // Frames; MF = PF − (RF ∪ FF) is set subtraction.
-type Frame map[Pos]bool
+//
+// The representation is a dense row-major bitset over the frame's
+// bounding box [1..steps] × [1..max]: wordsPerRow = ⌈max/64⌉ words per
+// control step, and position (s, i) is bit (i-1) mod 64 of word
+// (s-1)·wordsPerRow + (i-1)/64. The zero value is the empty frame.
+// Algebra results are always freshly allocated (one backing array per
+// result), so frames behave as values; only Add mutates in place.
+type Frame struct {
+	steps, max int // bounding box; both 0 for the zero value
+	words      []uint64
+}
+
+func wordsPerRow(max int) int { return (max + 63) / 64 }
+
+// maskRange returns a word with bits lo..hi (0-based, inclusive,
+// 0 <= lo <= hi <= 63) set.
+func maskRange(lo, hi int) uint64 {
+	m := ^uint64(0) << uint(lo)
+	if hi < 63 {
+		m &= (uint64(1) << uint(hi+1)) - 1
+	}
+	return m
+}
 
 // Rect returns the rectangular frame [stepLo..stepHi] × [idxLo..idxHi].
-// Empty or inverted ranges yield an empty frame.
+// Bounds below 1 are clamped (positions are 1-based); empty or inverted
+// ranges yield an empty frame. The fill is one masked word row copied to
+// every step — a single allocation regardless of area.
 func Rect(stepLo, stepHi, idxLo, idxHi int) Frame {
-	f := make(Frame)
-	for s := stepLo; s <= stepHi; s++ {
-		for i := idxLo; i <= idxHi; i++ {
-			f[Pos{s, i}] = true
+	if stepLo < 1 {
+		stepLo = 1
+	}
+	if idxLo < 1 {
+		idxLo = 1
+	}
+	if stepHi < stepLo || idxHi < idxLo {
+		return Frame{}
+	}
+	wpr := wordsPerRow(idxHi)
+	f := Frame{steps: stepHi, max: idxHi, words: make([]uint64, stepHi*wpr)}
+	first := (stepLo - 1) * wpr
+	for w := 0; w < wpr; w++ {
+		lo, hi := idxLo-1, idxHi-1 // 0-based bit indices over the row
+		if lo < w*64 {
+			lo = w * 64
 		}
+		if hi > w*64+63 {
+			hi = w*64 + 63
+		}
+		if lo > hi {
+			continue
+		}
+		f.words[first+w] = maskRange(lo-w*64, hi-w*64)
+	}
+	row := f.words[first : first+wpr]
+	for s := stepLo; s < stepHi; s++ {
+		copy(f.words[s*wpr:(s+1)*wpr], row)
 	}
 	return f
 }
 
+// accumulate ORs (clear=false) or ANDNOT-clears (clear=true) src's bits
+// into f. For OR, f's bounding box must contain src's. Word layouts align
+// across different widths because a position's bit offset within its row
+// depends only on its index, never on the frame's max.
+func (f *Frame) accumulate(src Frame, clear bool) {
+	wpr, swpr := wordsPerRow(f.max), wordsPerRow(src.max)
+	steps, w := src.steps, swpr
+	if clear {
+		if f.steps < steps {
+			steps = f.steps
+		}
+		if wpr < w {
+			w = wpr
+		}
+	}
+	if wpr == swpr {
+		n := steps * wpr
+		if clear {
+			for i := 0; i < n; i++ {
+				f.words[i] &^= src.words[i]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				f.words[i] |= src.words[i]
+			}
+		}
+		return
+	}
+	for s := 0; s < steps; s++ {
+		fo, so := s*wpr, s*swpr
+		if clear {
+			for k := 0; k < w; k++ {
+				f.words[fo+k] &^= src.words[so+k]
+			}
+		} else {
+			for k := 0; k < w; k++ {
+				f.words[fo+k] |= src.words[so+k]
+			}
+		}
+	}
+}
+
 // Union returns f ∪ o.
 func (f Frame) Union(o Frame) Frame {
-	out := make(Frame, len(f)+len(o))
-	for p := range f {
-		out[p] = true
+	steps, max := f.steps, f.max
+	if o.steps > steps {
+		steps = o.steps
 	}
-	for p := range o {
-		out[p] = true
+	if o.max > max {
+		max = o.max
 	}
+	if steps == 0 || max == 0 {
+		return Frame{}
+	}
+	out := Frame{steps: steps, max: max, words: make([]uint64, steps*wordsPerRow(max))}
+	out.accumulate(f, false)
+	out.accumulate(o, false)
 	return out
 }
 
 // Minus returns f − o.
 func (f Frame) Minus(o Frame) Frame {
-	out := make(Frame, len(f))
-	for p := range f {
-		if !o[p] {
-			out[p] = true
-		}
+	if f.steps == 0 {
+		return Frame{}
 	}
+	out := Frame{steps: f.steps, max: f.max, words: append([]uint64(nil), f.words...)}
+	out.accumulate(o, true)
 	return out
 }
 
 // Contains reports membership.
-func (f Frame) Contains(p Pos) bool { return f[p] }
+func (f Frame) Contains(p Pos) bool {
+	if p.Step < 1 || p.Step > f.steps || p.Index < 1 || p.Index > f.max {
+		return false
+	}
+	i := p.Index - 1
+	return f.words[(p.Step-1)*wordsPerRow(f.max)+i/64]&(uint64(1)<<uint(i%64)) != 0
+}
+
+// Add inserts p, growing the bounding box if needed. Positions below
+// (1,1) are rejected. Add mutates the frame in place (the only Frame
+// operation that does), re-packing the words when the box grows.
+func (f *Frame) Add(p Pos) {
+	if p.Step < 1 || p.Index < 1 {
+		return
+	}
+	if p.Step > f.steps || p.Index > f.max {
+		steps, max := f.steps, f.max
+		if p.Step > steps {
+			steps = p.Step
+		}
+		if p.Index > max {
+			max = p.Index
+		}
+		grown := Frame{steps: steps, max: max, words: make([]uint64, steps*wordsPerRow(max))}
+		grown.accumulate(*f, false)
+		*f = grown
+	}
+	i := p.Index - 1
+	f.words[(p.Step-1)*wordsPerRow(f.max)+i/64] |= uint64(1) << uint(i%64)
+}
 
 // Empty reports whether the frame has no positions.
-func (f Frame) Empty() bool { return len(f) == 0 }
+func (f Frame) Empty() bool {
+	for _, w := range f.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of positions in the frame.
+func (f Frame) Len() int {
+	n := 0
+	for _, w := range f.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports set equality, independent of the bounding boxes.
+func (f Frame) Equal(o Frame) bool {
+	if f.steps == o.steps && f.max == o.max {
+		for i, w := range f.words {
+			if w != o.words[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if f.Len() != o.Len() {
+		return false
+	}
+	return f.Scan(func(p Pos) bool { return o.Contains(p) })
+}
+
+// Scan visits every position in row-major (step, index) order — the
+// paper's "fill a step before opening the next". It stops early when
+// yield returns false, and reports whether the walk ran to completion.
+// For a time-constrained Liapunov function V = x + n·y with n greater
+// than every index, this order is strictly increasing energy.
+func (f Frame) Scan(yield func(Pos) bool) bool {
+	wpr := wordsPerRow(f.max)
+	for s := 0; s < f.steps; s++ {
+		base := s * wpr
+		for w := 0; w < wpr; w++ {
+			word := f.words[base+w]
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				if !yield(Pos{Step: s + 1, Index: w*64 + b + 1}) {
+					return false
+				}
+				word &= word - 1
+			}
+		}
+	}
+	return true
+}
+
+// ScanColumns visits every position in column-major (index, step) order —
+// "use another step before adding hardware". It stops early when yield
+// returns false, and reports whether the walk ran to completion. For a
+// resource-constrained Liapunov function V = cs·x + y with cs greater
+// than every step, this order is strictly increasing energy.
+func (f Frame) ScanColumns(yield func(Pos) bool) bool {
+	wpr := wordsPerRow(f.max)
+	for i := 0; i < f.max; i++ {
+		w, mask := i/64, uint64(1)<<uint(i%64)
+		for s := 0; s < f.steps; s++ {
+			if f.words[s*wpr+w]&mask != 0 {
+				if !yield(Pos{Step: s + 1, Index: i + 1}) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
 
 // Positions returns the frame's positions sorted by (step, index) so
-// iteration is deterministic.
+// iteration is deterministic. The bitset stores them in exactly that
+// order, so this is a single pre-sized scan, no sort.
 func (f Frame) Positions() []Pos {
-	ps := make([]Pos, 0, len(f))
-	for p := range f {
+	ps := make([]Pos, 0, f.Len())
+	f.Scan(func(p Pos) bool {
 		ps = append(ps, p)
-	}
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].Step != ps[j].Step {
-			return ps[i].Step < ps[j].Step
-		}
-		return ps[i].Index < ps[j].Index
+		return true
 	})
 	return ps
 }
@@ -106,13 +322,19 @@ type Table struct {
 	Latency   int
 	Pipelined bool
 
-	cells map[Pos][]dfg.NodeID
+	// cells is dense row-major CS × Max; a nil/empty slice is a free
+	// cell. More than one occupant only for mutually exclusive
+	// operations.
+	cells [][]dfg.NodeID
 }
 
 // NewTable returns an empty cs × max table for the given FU type.
 func NewTable(typ string, cs, max int) *Table {
-	return &Table{Type: typ, CS: cs, Max: max, cells: make(map[Pos][]dfg.NodeID)}
+	return &Table{Type: typ, CS: cs, Max: max, cells: make([][]dfg.NodeID, cs*max)}
 }
+
+// cell returns the dense index of p, which must be in bounds.
+func (t *Table) cell(p Pos) int { return (p.Step-1)*t.Max + (p.Index - 1) }
 
 // InBounds reports whether p lies on the table.
 func (t *Table) InBounds(p Pos) bool {
@@ -121,24 +343,31 @@ func (t *Table) InBounds(p Pos) bool {
 
 // At returns the operations occupying p (more than one only for mutually
 // exclusive operations). The slice must not be modified.
-func (t *Table) At(p Pos) []dfg.NodeID { return t.cells[p] }
+func (t *Table) At(p Pos) []dfg.NodeID {
+	if !t.InBounds(p) {
+		return nil
+	}
+	return t.cells[t.cell(p)]
+}
 
-// footprint returns the rows an operation of the given duration occupies
-// when started at step, honoring structural pipelining and latency
-// folding. Rows beyond CS are returned as-is so callers can reject them.
-func (t *Table) footprint(step, cycles int) []int {
+// row returns the folded occupancy row for cycle i of an operation
+// starting at step, honoring structural pipelining and latency folding.
+// Rows beyond CS are returned as-is so callers can reject them.
+func (t *Table) row(step, i int) int {
+	r := step + i
+	if t.Latency > 0 {
+		r = ((r - 1) % t.Latency) + 1
+	}
+	return r
+}
+
+// footRows returns how many rows an operation of the given duration
+// occupies (its conflict footprint).
+func (t *Table) footRows(cycles int) int {
 	if t.Pipelined {
-		cycles = 1
+		return 1
 	}
-	rows := make([]int, 0, cycles)
-	for i := 0; i < cycles; i++ {
-		r := step + i
-		if t.Latency > 0 {
-			r = ((r - 1) % t.Latency) + 1
-		}
-		rows = append(rows, r)
-	}
-	return rows
+	return cycles
 }
 
 // CanPlace reports whether operation id (of the given duration, from
@@ -151,8 +380,9 @@ func (t *Table) CanPlace(g *dfg.Graph, id dfg.NodeID, p Pos, cycles int) bool {
 	if p.Index < 1 || p.Index > t.Max || p.Step < 1 || p.Step+cycles-1 > t.CS {
 		return false
 	}
-	for _, row := range t.footprint(p.Step, cycles) {
-		for _, occ := range t.cells[Pos{row, p.Index}] {
+	for i := 0; i < t.footRows(cycles); i++ {
+		row := t.row(p.Step, i)
+		for _, occ := range t.cells[(row-1)*t.Max+(p.Index-1)] {
 			if !g.MutuallyExclusive(id, occ) {
 				return false
 			}
@@ -167,8 +397,8 @@ func (t *Table) Place(g *dfg.Graph, id dfg.NodeID, p Pos, cycles int) error {
 	if !t.CanPlace(g, id, p, cycles) {
 		return fmt.Errorf("grid %s: cannot place node %d at %v", t.Type, id, p)
 	}
-	for _, row := range t.footprint(p.Step, cycles) {
-		c := Pos{row, p.Index}
+	for i := 0; i < t.footRows(cycles); i++ {
+		c := (t.row(p.Step, i)-1)*t.Max + (p.Index - 1)
 		t.cells[c] = append(t.cells[c], id)
 	}
 	return nil
@@ -176,17 +406,18 @@ func (t *Table) Place(g *dfg.Graph, id dfg.NodeID, p Pos, cycles int) error {
 
 // Remove erases operation id's footprint starting at p.
 func (t *Table) Remove(id dfg.NodeID, p Pos, cycles int) {
-	for _, row := range t.footprint(p.Step, cycles) {
-		c := Pos{row, p.Index}
+	for i := 0; i < t.footRows(cycles); i++ {
+		row := t.row(p.Step, i)
+		if row < 1 || row > t.CS || p.Index < 1 || p.Index > t.Max {
+			continue
+		}
+		c := (row-1)*t.Max + (p.Index - 1)
 		occ := t.cells[c]
-		for i, x := range occ {
+		for j, x := range occ {
 			if x == id {
-				t.cells[c] = append(occ[:i], occ[i+1:]...)
+				t.cells[c] = append(occ[:j], occ[j+1:]...)
 				break
 			}
-		}
-		if len(t.cells[c]) == 0 {
-			delete(t.cells, c)
 		}
 	}
 }
@@ -195,9 +426,12 @@ func (t *Table) Remove(id dfg.NodeID, p Pos, cycles int) {
 // instances of this type the current placement uses.
 func (t *Table) UsedColumns() int {
 	max := 0
-	for p := range t.cells {
-		if p.Index > max {
-			max = p.Index
+	for c, occ := range t.cells {
+		if len(occ) == 0 {
+			continue
+		}
+		if idx := c%t.Max + 1; idx > max {
+			max = idx
 		}
 	}
 	return max
@@ -207,11 +441,13 @@ func (t *Table) UsedColumns() int {
 // NOT mutually exclusive with id — the positions id cannot take for
 // occupancy reasons.
 func (t *Table) OccupiedFrame(g *dfg.Graph, id dfg.NodeID) Frame {
-	f := make(Frame)
-	for p, occ := range t.cells {
+	f := Frame{steps: t.CS, max: t.Max, words: make([]uint64, t.CS*wordsPerRow(t.Max))}
+	wpr := wordsPerRow(t.Max)
+	for c, occ := range t.cells {
 		for _, o := range occ {
 			if !g.MutuallyExclusive(id, o) {
-				f[p] = true
+				s, i := c/t.Max, c%t.Max
+				f.words[s*wpr+i/64] |= uint64(1) << uint(i%64)
 				break
 			}
 		}

@@ -27,8 +27,8 @@ func testGraph(t *testing.T) (*dfg.Graph, dfg.NodeID, dfg.NodeID, dfg.NodeID) {
 
 func TestRect(t *testing.T) {
 	f := Rect(2, 4, 1, 3)
-	if len(f) != 9 {
-		t.Errorf("|Rect(2,4,1,3)| = %d, want 9", len(f))
+	if f.Len() != 9 {
+		t.Errorf("|Rect(2,4,1,3)| = %d, want 9", f.Len())
 	}
 	if !f.Contains(Pos{2, 1}) || !f.Contains(Pos{4, 3}) || f.Contains(Pos{1, 1}) {
 		t.Error("Rect membership wrong")
@@ -36,22 +36,27 @@ func TestRect(t *testing.T) {
 	if !Rect(3, 2, 1, 1).Empty() {
 		t.Error("inverted Rect not empty")
 	}
+	// Rectangles spanning a word boundary fill every column.
+	wide := Rect(1, 2, 60, 70)
+	if wide.Len() != 22 || !wide.Contains(Pos{1, 64}) || !wide.Contains(Pos{2, 65}) {
+		t.Errorf("|Rect(1,2,60,70)| = %d, want 22", wide.Len())
+	}
 }
 
 func TestFrameAlgebra(t *testing.T) {
 	a := Rect(1, 2, 1, 2) // 4 cells
 	b := Rect(2, 3, 1, 2) // 4 cells, 2 shared
 	u := a.Union(b)
-	if len(u) != 6 {
-		t.Errorf("|a∪b| = %d, want 6", len(u))
+	if u.Len() != 6 {
+		t.Errorf("|a∪b| = %d, want 6", u.Len())
 	}
 	m := a.Minus(b)
-	if len(m) != 2 || !m.Contains(Pos{1, 1}) || !m.Contains(Pos{1, 2}) {
+	if m.Len() != 2 || !m.Contains(Pos{1, 1}) || !m.Contains(Pos{1, 2}) {
 		t.Errorf("a−b = %v", m.Positions())
 	}
 	// MF = PF − (RF ∪ FF) as in the paper.
 	mf := a.Minus(b.Union(Rect(1, 1, 1, 1)))
-	if len(mf) != 1 || !mf.Contains(Pos{1, 2}) {
+	if mf.Len() != 1 || !mf.Contains(Pos{1, 2}) {
 		t.Errorf("MF = %v", mf.Positions())
 	}
 }
@@ -64,21 +69,194 @@ func TestFrameAlgebraProperties(t *testing.T) {
 		B := Rect(int(b1%5)+1, int(b1%5)+1+int(b2%4), 2, 4)
 		diff := A.Minus(B)
 		inter := A.Minus(diff)
-		return len(diff)+len(inter) == len(A)
+		return diff.Len()+inter.Len() == A.Len()
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
 }
 
+// mapFrame is the historical map-of-positions frame representation; the
+// property tests below assert the bitset algebra agrees with it exactly.
+type mapFrame map[Pos]bool
+
+func mapRect(stepLo, stepHi, idxLo, idxHi int) mapFrame {
+	f := make(mapFrame)
+	for s := stepLo; s <= stepHi; s++ {
+		for i := idxLo; i <= idxHi; i++ {
+			f[Pos{s, i}] = true
+		}
+	}
+	return f
+}
+
+func (f mapFrame) union(o mapFrame) mapFrame {
+	out := make(mapFrame, len(f)+len(o))
+	for p := range f {
+		out[p] = true
+	}
+	for p := range o {
+		out[p] = true
+	}
+	return out
+}
+
+func (f mapFrame) minus(o mapFrame) mapFrame {
+	out := make(mapFrame, len(f))
+	for p := range f {
+		if !o[p] {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func sameSet(t *testing.T, ctx string, got Frame, want mapFrame) {
+	t.Helper()
+	if got.Len() != len(want) {
+		t.Fatalf("%s: bitset has %d positions, map has %d", ctx, got.Len(), len(want))
+	}
+	for _, p := range got.Positions() {
+		if !want[p] {
+			t.Fatalf("%s: bitset contains %v, map does not", ctx, p)
+		}
+	}
+}
+
+// TestBitsetMatchesMapSemantics drives the bitset Union/Minus/Positions
+// through random rectangles (including word-boundary widths) and checks
+// every result against the map-of-positions reference semantics.
+func TestBitsetMatchesMapSemantics(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	randRect := func() (Frame, mapFrame) {
+		sLo, iLo := 1+r.Intn(8), 1+r.Intn(70)
+		sHi, iHi := sLo+r.Intn(8)-2, iLo+r.Intn(70)-2 // sometimes inverted → empty
+		return Rect(sLo, sHi, iLo, iHi), mapRect(sLo, sHi, iLo, iHi)
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, ma := randRect()
+		b, mb := randRect()
+		c, mc := randRect()
+		sameSet(t, "rect", a, ma)
+		sameSet(t, "union", a.Union(b), ma.union(mb))
+		sameSet(t, "minus", a.Minus(b), ma.minus(mb))
+		sameSet(t, "mf", a.Minus(b.Union(c)), ma.minus(mb.union(mc)))
+		// Positions must come out sorted by (step, index), and the two
+		// scan orders must visit the same set.
+		ps := a.Minus(b).Positions()
+		for i := 1; i < len(ps); i++ {
+			x, y := ps[i-1], ps[i]
+			if x.Step > y.Step || (x.Step == y.Step && x.Index >= y.Index) {
+				t.Fatalf("Positions not sorted: %v", ps)
+			}
+		}
+		cols := 0
+		a.ScanColumns(func(p Pos) bool {
+			if !ma[p] {
+				t.Fatalf("ScanColumns yielded %v outside the set", p)
+			}
+			cols++
+			return true
+		})
+		if cols != len(ma) {
+			t.Fatalf("ScanColumns visited %d positions, want %d", cols, len(ma))
+		}
+	}
+}
+
+// TestFrameAlgebraAllocs pins the zero-allocation property of the bitset
+// algebra: each operation allocates O(1) — a single backing array for
+// the result — regardless of the frame's area, and iteration allocates
+// nothing at all.
+func TestFrameAlgebraAllocs(t *testing.T) {
+	for _, dim := range []struct{ cs, max int }{{4, 3}, {32, 16}, {128, 130}} {
+		cs, max := dim.cs, dim.max
+		var pf, rf, ff, mf Frame
+		if a := testing.AllocsPerRun(100, func() {
+			pf = Rect(1, cs, 1, max)
+			rf = Rect(1, cs, max/2+1, max)
+			ff = Rect(1, cs/2, 1, max)
+		}); a > 3 {
+			t.Errorf("%dx%d: Rect×3 allocates %.0f, want <= 3", cs, max, a)
+		}
+		if a := testing.AllocsPerRun(100, func() {
+			mf = pf.Minus(rf.Union(ff))
+		}); a > 2 {
+			t.Errorf("%dx%d: Union+Minus allocates %.0f, want <= 2", cs, max, a)
+		}
+		n := 0
+		if a := testing.AllocsPerRun(100, func() {
+			n = 0
+			mf.Scan(func(Pos) bool { n++; return true })
+			mf.ScanColumns(func(Pos) bool { return true })
+		}); a != 0 {
+			t.Errorf("%dx%d: Scan allocates %.0f, want 0", cs, max, a)
+		}
+		if want := cs*max - cs*(max-max/2) - (cs/2)*(max/2); n != want {
+			t.Errorf("%dx%d: |MF| = %d, want %d", cs, max, n, want)
+		}
+	}
+}
+
+func TestFrameAddAndEqual(t *testing.T) {
+	var f Frame
+	f.Add(Pos{2, 3})
+	f.Add(Pos{2, 3}) // idempotent
+	f.Add(Pos{5, 70})
+	f.Add(Pos{0, 1}) // below the grid: ignored
+	if f.Len() != 2 || !f.Contains(Pos{2, 3}) || !f.Contains(Pos{5, 70}) {
+		t.Fatalf("Add produced %v", f.Positions())
+	}
+	g := Rect(2, 2, 3, 3)
+	g.Add(Pos{5, 70})
+	if !f.Equal(g) || !g.Equal(f) {
+		t.Error("Equal false for equal sets with different boxes")
+	}
+	g.Add(Pos{1, 1})
+	if f.Equal(g) {
+		t.Error("Equal true for different sets")
+	}
+	if !Rect(1, 0, 1, 1).Equal(Frame{}) {
+		t.Error("empty frames not equal")
+	}
+}
+
 func TestPositionsSorted(t *testing.T) {
-	f := Frame{{3, 1}: true, {1, 2}: true, {1, 1}: true, {2, 5}: true}
+	var f Frame
+	for _, p := range []Pos{{3, 1}, {1, 2}, {1, 1}, {2, 5}} {
+		f.Add(p)
+	}
 	ps := f.Positions()
 	for i := 1; i < len(ps); i++ {
 		a, b := ps[i-1], ps[i]
 		if a.Step > b.Step || (a.Step == b.Step && a.Index >= b.Index) {
 			t.Fatalf("Positions not sorted: %v", ps)
 		}
+	}
+}
+
+func TestScanOrders(t *testing.T) {
+	f := Rect(1, 2, 1, 2)
+	var row, col []Pos
+	f.Scan(func(p Pos) bool { row = append(row, p); return true })
+	f.ScanColumns(func(p Pos) bool { col = append(col, p); return true })
+	wantRow := []Pos{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+	wantCol := []Pos{{1, 1}, {2, 1}, {1, 2}, {2, 2}}
+	for i := range wantRow {
+		if row[i] != wantRow[i] {
+			t.Fatalf("Scan order = %v, want %v", row, wantRow)
+		}
+		if col[i] != wantCol[i] {
+			t.Fatalf("ScanColumns order = %v, want %v", col, wantCol)
+		}
+	}
+	// Early stop.
+	seen := 0
+	if f.Scan(func(Pos) bool { seen++; return false }) {
+		t.Error("Scan did not report the early stop")
+	}
+	if seen != 1 {
+		t.Errorf("Scan visited %d after stop, want 1", seen)
 	}
 }
 

@@ -35,7 +35,7 @@ func Render(t *Table, fs *FrameSet, labels map[Pos]string) string {
 	}
 	if fs != nil {
 		fmt.Fprintf(&b, "  legend: P=primary R=redundant F=forbidden M=move X=occupied |PF|=%d |RF|=%d |FF|=%d |MF|=%d\n",
-			len(fs.PF), len(fs.RF), len(fs.FF), len(fs.MF))
+			fs.PF.Len(), fs.RF.Len(), fs.FF.Len(), fs.MF.Len())
 	}
 	return b.String()
 }

@@ -25,6 +25,23 @@ type Func interface {
 	Name() string
 }
 
+// Ordered is an optional capability of a Func: a guiding function that
+// can prove one of the two canonical grid scan orders visits positions
+// in non-decreasing energy (with the (step, index) tie-break the
+// schedulers use). When GridOrder reports ok for a concrete cs × max
+// grid, the schedulers walk the move frame's bits in that order and
+// commit the first legal position — no slice materialization, no sort —
+// which is exactly the minimum the generic sorted path would pick.
+// Implementations must be conservative: return ok only when the order
+// is provably strict for every position on the given grid.
+type Ordered interface {
+	Func
+	// GridOrder reports the scan order under which this function is
+	// non-decreasing over a cs × max grid, and whether that claim holds
+	// for these bounds.
+	GridOrder(cs, max int) (grid.Order, bool)
+}
+
 // TimeConstrained is §3.1's scheduling function V = x + n·y, with
 // n = max_j{max_j} strictly larger than any FU index. It makes every
 // position in control step t cheaper than any position in step t+1, so
@@ -41,6 +58,15 @@ func (f TimeConstrained) Value(p grid.Pos) float64 {
 
 func (f TimeConstrained) Name() string { return fmt.Sprintf("time-constrained(n=%d)", f.N) }
 
+// GridOrder: with N > max, V = i + N·s is strictly increasing in
+// row-major (step, then index) order — two positions in the same step
+// differ by their index, and any step increase adds N, more than the
+// largest possible index decrease. With N ≤ max the function is not
+// even injective on the grid, so the capability is withdrawn.
+func (f TimeConstrained) GridOrder(cs, max int) (grid.Order, bool) {
+	return grid.RowMajor, f.N > max
+}
+
 // ResourceConstrained is §3.1's dual V = cs·x + y: a position in control
 // step t+1 on an existing FU is cheaper than opening a new FU in step t,
 // minimizing hardware under a resource constraint.
@@ -54,6 +80,15 @@ func (f ResourceConstrained) Value(p grid.Pos) float64 {
 }
 
 func (f ResourceConstrained) Name() string { return fmt.Sprintf("resource-constrained(cs=%d)", f.CS) }
+
+// GridOrder: with CS > cs, V = CS·i + s is strictly increasing in
+// column-major (index, then step) order, by the mirror of the
+// TimeConstrained argument. Self-validating against the concrete grid
+// so ablation configurations with an undersized CS fall back to the
+// generic sorted path instead of silently misordering.
+func (f ResourceConstrained) GridOrder(cs, max int) (grid.Order, bool) {
+	return grid.ColMajor, f.CS > cs
+}
 
 // DominanceConstant returns §4.1's constant C for MFSA's composite
 // function: C must exceed [f^ALU_max + f^MUX_max + f^REG_max] −

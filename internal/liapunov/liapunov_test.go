@@ -114,6 +114,61 @@ func TestMovePropertyQuick(t *testing.T) {
 	}
 }
 
+// TestGridOrder certifies the Ordered capability: where GridOrder
+// reports ok, the claimed scan order must visit every grid position in
+// strictly increasing energy; where the parameter constraint fails, the
+// capability must be withdrawn.
+func TestGridOrder(t *testing.T) {
+	scan := func(cs, max int, ord grid.Order) []grid.Pos {
+		ps := make([]grid.Pos, 0, cs*max)
+		if ord == grid.RowMajor {
+			for s := 1; s <= cs; s++ {
+				for i := 1; i <= max; i++ {
+					ps = append(ps, grid.Pos{Step: s, Index: i})
+				}
+			}
+		} else {
+			for i := 1; i <= max; i++ {
+				for s := 1; s <= cs; s++ {
+					ps = append(ps, grid.Pos{Step: s, Index: i})
+				}
+			}
+		}
+		return ps
+	}
+	cases := []struct {
+		f       Ordered
+		cs, max int
+		wantOrd grid.Order
+		wantOK  bool
+	}{
+		{TimeConstrained{N: 6}, 10, 5, grid.RowMajor, true},
+		{TimeConstrained{N: 5}, 10, 5, grid.RowMajor, false}, // N not > max
+		{ResourceConstrained{CS: 11}, 10, 5, grid.ColMajor, true},
+		{ResourceConstrained{CS: 10}, 10, 5, grid.ColMajor, false}, // CS not > cs
+	}
+	for _, c := range cases {
+		ord, ok := c.f.GridOrder(c.cs, c.max)
+		if ord != c.wantOrd || ok != c.wantOK {
+			t.Errorf("%s.GridOrder(%d,%d) = (%v,%v), want (%v,%v)",
+				c.f.Name(), c.cs, c.max, ord, ok, c.wantOrd, c.wantOK)
+		}
+		if !ok {
+			continue
+		}
+		ps := scan(c.cs, c.max, ord)
+		for i := 1; i < len(ps); i++ {
+			if c.f.Value(ps[i-1]) >= c.f.Value(ps[i]) {
+				t.Fatalf("%s: scan order not strictly increasing at %v -> %v",
+					c.f.Name(), ps[i-1], ps[i])
+			}
+		}
+	}
+	// Static functions implement the capability.
+	var _ Ordered = TimeConstrained{}
+	var _ Ordered = ResourceConstrained{}
+}
+
 func TestDominanceConstant(t *testing.T) {
 	c := DominanceConstant(16000, 300, 1400)
 	// The §4.1 inequality: C·(y+1) + mins > C·y + maxes, i.e. C > sum of

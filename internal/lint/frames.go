@@ -84,7 +84,7 @@ func auditTrace(g *dfg.Graph, s *sched.Schedule, frames sched.Frames, report fun
 			continue
 		}
 		n := g.Node(st.Node)
-		if st.PF == nil {
+		if st.PF.Empty() {
 			// Allocation-style trace: no frames to audit, but the
 			// placement still joins the prefix for later steps.
 			placed[st.Node] = sched.Placement{Step: st.Pos.Step, Type: st.Type, Index: st.Pos.Index}
@@ -92,10 +92,10 @@ func auditTrace(g *dfg.Graph, s *sched.Schedule, frames sched.Frames, report fun
 		}
 
 		// The recorded algebra must hold as recorded.
-		if want := st.PF.Minus(st.RF.Union(st.FF)); !frameEqual(st.MF, want) {
+		if want := st.PF.Minus(st.RF.Union(st.FF)); !st.MF.Equal(want) {
 			report(diag.CodeFrameIdentity, n.Name,
 				fmt.Sprintf("node %q: recorded MF (%d positions) != PF − (RF ∪ FF) (%d positions)",
-					n.Name, len(st.MF), len(want)))
+					n.Name, st.MF.Len(), want.Len()))
 		}
 		if !st.MF.Contains(st.Pos) {
 			report(diag.CodeFrameMember, n.Name,
@@ -113,10 +113,10 @@ func auditTrace(g *dfg.Graph, s *sched.Schedule, frames sched.Frames, report fun
 
 		// Independent re-derivation against the committed prefix.
 		pf, rf, ff := deriveFrames(g, s, frames, placed, n, st.CurrentJ, st.MaxJ)
-		if !frameEqual(st.PF, pf) || !frameEqual(st.RF, rf) || !frameEqual(st.FF, ff) {
+		if !st.PF.Equal(pf) || !st.RF.Equal(rf) || !st.FF.Equal(ff) {
 			report(diag.CodeFrameMismatch, n.Name,
 				fmt.Sprintf("node %q: recorded PF/RF/FF (%d/%d/%d positions) differ from the independent re-derivation (%d/%d/%d)",
-					n.Name, len(st.PF), len(st.RF), len(st.FF), len(pf), len(rf), len(ff)))
+					n.Name, st.PF.Len(), st.RF.Len(), st.FF.Len(), pf.Len(), rf.Len(), ff.Len()))
 		}
 		placed[st.Node] = sched.Placement{Step: st.Pos.Step, Type: st.Type, Index: st.Pos.Index}
 	}
@@ -172,16 +172,4 @@ func deriveFrames(g *dfg.Graph, s *sched.Schedule, frames sched.Frames,
 func chainableNodes(clockNs float64, pred, succ *dfg.Node) bool {
 	return clockNs > 0 && pred.Cycles == 1 && succ.Cycles == 1 &&
 		!pred.IsLoop() && !succ.IsLoop()
-}
-
-func frameEqual(a, b grid.Frame) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for p := range a {
-		if !b[p] {
-			return false
-		}
-	}
-	return true
 }

@@ -62,7 +62,7 @@ func runLiapunov(ctx context.Context, u *Unit) diag.List {
 	}
 
 	tables := make(map[string]*grid.Table)
-	placedSteps := make(map[dfg.NodeID]int) // committed prefix, for the chaining filter
+	placedSteps := make([]int, g.Len()) // committed prefix by NodeID (0 = unplaced), for the chaining filter
 	for i, st := range t.Steps {
 		if int(st.Node) < 0 || int(st.Node) >= g.Len() {
 			report(diag.CodeLiapReplay, diag.Error, fmt.Sprintf("trace step %d", i),
@@ -88,7 +88,7 @@ func runLiapunov(ctx context.Context, u *Unit) diag.List {
 					fmt.Sprintf("node %q at %v: recorded energy %g, V(position) = %g",
 						n.Name, st.Pos, st.Energy, v))
 			}
-			if st.MF != nil {
+			if !st.MF.Empty() {
 				auditDescent(g, s, t.Fn, table, placedSteps, n, st, report)
 			}
 		}
@@ -127,7 +127,7 @@ func runLiapunov(ctx context.Context, u *Unit) diag.List {
 // occupancy and, under chaining, the delay budget both honored), none
 // has strictly lower energy than the committed one.
 func auditDescent(g *dfg.Graph, s *sched.Schedule, fn liapunov.Func, table *grid.Table,
-	placedSteps map[dfg.NodeID]int, n *dfg.Node, st sched.TraceStep, report func(code string, sev diag.Severity, loc, msg string)) {
+	placedSteps []int, n *dfg.Node, st sched.TraceStep, report func(code string, sev diag.Severity, loc, msg string)) {
 	free := 0
 	best := math.Inf(1)
 	var bestPos grid.Pos

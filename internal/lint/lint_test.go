@@ -150,22 +150,24 @@ func TestAnalyzersCatchCorruption(t *testing.T) {
 			name: "move-frame identity broken", analyzer: "frames", want: diag.CodeFrameIdentity,
 			unit: mfsUnit,
 			corrupt: func(t *testing.T, u *lint.Unit) {
-				traceStepFor(t, u, "mul").MF[grid.Pos{Step: 99, Index: 99}] = true
+				traceStepFor(t, u, "mul").MF.Add(grid.Pos{Step: 99, Index: 99})
 			},
 		},
 		{
 			name: "commit outside move frame", analyzer: "frames", want: diag.CodeFrameMember,
 			unit: mfsUnit,
 			corrupt: func(t *testing.T, u *lint.Unit) {
+				// Moving the committed position off the recorded move frame
+				// (rather than deleting from it) breaks membership.
 				st := traceStepFor(t, u, "mul")
-				delete(st.MF, st.Pos)
+				st.Pos = grid.Pos{Step: 98, Index: 98}
 			},
 		},
 		{
 			name: "recorded frames diverge from re-derivation", analyzer: "frames", want: diag.CodeFrameMismatch,
 			unit: mfsUnit,
 			corrupt: func(t *testing.T, u *lint.Unit) {
-				traceStepFor(t, u, "mul").FF[grid.Pos{Step: 1, Index: 99}] = true
+				traceStepFor(t, u, "mul").FF.Add(grid.Pos{Step: 1, Index: 99})
 			},
 		},
 		{
@@ -187,7 +189,7 @@ func TestAnalyzersCatchCorruption(t *testing.T) {
 				if st.Pos.Step < 2 {
 					t.Fatalf("or committed at step %d; expected a late step", st.Pos.Step)
 				}
-				st.MF[grid.Pos{Step: 1, Index: 1}] = true
+				st.MF.Add(grid.Pos{Step: 1, Index: 1})
 			},
 		},
 		{

@@ -1,0 +1,31 @@
+package mfs
+
+import (
+	"testing"
+
+	"repro/internal/benchmarks"
+)
+
+// TestEWFScheduleAllocs pins the allocation budget of a full MFS run on
+// the largest benchmark (EWF, 34 operations, cs = 17). Before the bitset
+// frame engine and the dense per-node state this run cost 1517
+// allocations (hash-map frames rebuilt per placement, per-candidate
+// sorting, map-keyed placement state); with them it costs 863. The bound
+// leaves headroom for incidental churn but fails long before anything
+// map-shaped creeps back into the placement loop.
+func TestEWFScheduleAllocs(t *testing.T) {
+	ex := benchmarks.EWF()
+	cs := ex.TimeConstraints[0]
+	if cs != 17 {
+		t.Fatalf("EWF's first time constraint moved: got %d, the budget below was measured at 17", cs)
+	}
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := Schedule(ex.Graph, Options{CS: cs}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 1100 // measured 863; seed (map-based engine) was 1517
+	if got > budget {
+		t.Errorf("EWF cs=%d schedule: %.0f allocs/run, budget %d (seed was 1517)", cs, got, budget)
+	}
+}

@@ -1,0 +1,366 @@
+package mfs
+
+// Bit-for-bit equivalence of the bitset frame engine against the
+// historical map-based semantics. The reference scheduler below
+// reimplements the pre-bitset placement inner loop exactly as it was:
+// frames as map[grid.Pos]bool with Rect/Union/Minus as map operations,
+// and position selection as "materialize the move frame's positions,
+// stable-sort by (energy, step, index), take the first legal one". The
+// test replays it on every benchmark, under both §3.1 guiding functions
+// and with chaining on and off, and asserts the production engine
+// produced the identical Schedule (every node's step, type and index)
+// and the identical Trace (commit order, chosen positions, energies,
+// and recorded frame contents).
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/dfg"
+	"repro/internal/grid"
+	"repro/internal/sched"
+)
+
+// posSet is the historical frame representation.
+type posSet map[grid.Pos]bool
+
+func refRect(stepLo, stepHi, idxLo, idxHi int) posSet {
+	f := make(posSet)
+	for s := stepLo; s <= stepHi; s++ {
+		for i := idxLo; i <= idxHi; i++ {
+			f[grid.Pos{Step: s, Index: i}] = true
+		}
+	}
+	return f
+}
+
+func refUnion(a, b posSet) posSet {
+	out := make(posSet, len(a)+len(b))
+	for p := range a {
+		out[p] = true
+	}
+	for p := range b {
+		out[p] = true
+	}
+	return out
+}
+
+func refMinus(a, b posSet) posSet {
+	out := make(posSet, len(a))
+	for p := range a {
+		if !b[p] {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// refCommit is one reference placement decision, for trace comparison.
+type refCommit struct {
+	node   dfg.NodeID
+	typ    string
+	pos    grid.Pos
+	energy float64
+	mf     posSet
+}
+
+// refRunOnce is the historical fixed-cs run. It borrows the production
+// initialization (bounds, guiding function, tables — none of which
+// changed representation) and then schedules with the old map algebra
+// and the old sorted selection.
+func refRunOnce(g *dfg.Graph, cs int, opt Options, resource bool, frames sched.Frames, extraMax ...int) (*sched.Schedule, []refCommit, error) {
+	s := newScheduler(g, cs, opt, resource, frames, extraMax...)
+	placed := make(map[dfg.NodeID]sched.Placement, g.Len())
+	steps := make([]int, g.Len())
+	var commits []refCommit
+	for _, id := range sched.PriorityOrder(g, frames) {
+		n := g.Node(id)
+		typ := TypeKey(n)
+		table := s.tables[typ]
+		for {
+			// Old frameSet, with map rectangles.
+			base := frames[id]
+			lo, hi := base.ASAP, base.ALAP
+			ffTop := 0
+			for _, pid := range n.Preds() {
+				pp, ok := placed[pid]
+				if !ok {
+					continue
+				}
+				pred := g.Node(pid)
+				bound := pp.Step + pred.Cycles
+				if s.chainable(pred, n) {
+					bound = pp.Step
+				}
+				if bound > lo {
+					lo = bound
+				}
+				if end := pp.Step + pred.Cycles - 1; end > ffTop && bound > pp.Step {
+					ffTop = end
+				}
+			}
+			for _, sid := range n.Succs() {
+				sp, ok := placed[sid]
+				if !ok {
+					continue
+				}
+				succ := g.Node(sid)
+				bound := sp.Step - n.Cycles
+				if s.chainable(n, succ) {
+					bound = sp.Step
+				}
+				if bound < hi {
+					hi = bound
+				}
+			}
+			maxj, cur := s.maxj[typ], s.current[typ]
+			pf := refRect(lo, hi, 1, maxj)
+			rf := refRect(lo, hi, cur+1, maxj)
+			ff := refRect(1, ffTop, 1, maxj)
+			mf := refMinus(pf, refUnion(rf, ff))
+
+			// Old bestPosition: positions sorted by (step, index) first
+			// (the map grid's Positions() contract), then stable-sorted
+			// by energy — i.e. a full (energy, step, index) order.
+			positions := make([]grid.Pos, 0, len(mf))
+			for p := range mf {
+				positions = append(positions, p)
+			}
+			sort.Slice(positions, func(i, j int) bool {
+				vi, vj := s.lf.Value(positions[i]), s.lf.Value(positions[j])
+				if vi != vj {
+					return vi < vj
+				}
+				if positions[i].Step != positions[j].Step {
+					return positions[i].Step < positions[j].Step
+				}
+				return positions[i].Index < positions[j].Index
+			})
+			committed := false
+			for _, p := range positions {
+				if !table.CanPlace(g, id, p, n.Cycles) {
+					continue
+				}
+				if opt.ClockNs > 0 && !sched.ChainFits(g, opt.ClockNs, steps, id, p.Step) {
+					continue
+				}
+				if err := table.Place(g, id, p, n.Cycles); err != nil {
+					return nil, nil, err
+				}
+				placed[id] = sched.Placement{Step: p.Step, Type: typ, Index: p.Index}
+				steps[id] = p.Step
+				commits = append(commits, refCommit{
+					node: id, typ: typ, pos: p, energy: s.lf.Value(p), mf: mf,
+				})
+				committed = true
+				break
+			}
+			if committed {
+				break
+			}
+			if s.current[typ] < s.maxj[typ] {
+				s.current[typ]++
+				continue
+			}
+			return nil, nil, fmt.Errorf("ref: no position for %q", n.Name)
+		}
+	}
+	out := sched.NewSchedule(g, cs)
+	out.ClockNs = opt.ClockNs
+	out.Latency = opt.Latency
+	for typ, p := range opt.PipelinedTypes {
+		out.PipelinedTypes[typ] = p
+	}
+	for id, p := range placed {
+		out.Place(id, p)
+	}
+	return out, commits, nil
+}
+
+// refSchedule mirrors ScheduleCtx's search structure over refRunOnce:
+// fixed-cs with widening retries under a time constraint, sequential
+// smallest-feasible-cs search under a resource constraint.
+func refSchedule(g *dfg.Graph, opt Options) (*sched.Schedule, []refCommit, error) {
+	if opt.CS > 0 {
+		frames, err := sched.ComputeFrames(g, opt.CS, opt.ClockNs)
+		if err != nil {
+			return nil, nil, err
+		}
+		s, c, err := refRunOnce(g, opt.CS, opt, false, frames)
+		if err == nil {
+			return s, c, nil
+		}
+		for extra := 1; extra <= 3; extra++ {
+			s, c, retryErr := refRunOnce(g, opt.CS, opt, false, frames, extra)
+			if retryErr == nil {
+				return s, c, nil
+			}
+		}
+		return nil, nil, err
+	}
+	lo := g.CriticalPathCycles()
+	if lo < 1 {
+		lo = 1
+	}
+	hi := opt.MaxCS
+	if hi == 0 {
+		hi = 4*lo + 8
+	}
+	frames, err := sched.ComputeFrames(g, lo, opt.ClockNs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for cs := lo; cs <= hi; cs++ {
+		s, c, err := refRunOnce(g, cs, opt, true, frames.Shifted(cs-lo))
+		if err == nil {
+			return s, c, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("ref: no schedule within %d steps", hi)
+}
+
+// equivCase is one (benchmark, options) configuration under test.
+type equivCase struct {
+	name string
+	ex   *benchmarks.Example
+	opt  Options
+}
+
+func equivCases(t *testing.T) []equivCase {
+	t.Helper()
+	var cases []equivCase
+	for _, ex := range benchmarks.All() {
+		piped := make(map[string]bool)
+		for _, sym := range ex.PipelinedOps {
+			piped[sym] = true
+		}
+		for _, cs := range ex.TimeConstraints {
+			opt := Options{CS: cs, ClockNs: ex.ClockNs}
+			if ex.Latency != nil {
+				opt.Latency = ex.Latency(cs)
+			}
+			cases = append(cases, equivCase{
+				name: fmt.Sprintf("%s/T=%d/time", ex.Name, cs), ex: ex, opt: opt,
+			})
+			// Chaining toggled: off for the chained example, on (with a
+			// permissive clock; the benchmark graphs leave DelayNs at
+			// zero) for the others — both paths must still agree.
+			alt := opt
+			if ex.ClockNs > 0 {
+				// Chaining off needs one step per dependency level again.
+				alt.ClockNs = 0
+				if cp := ex.Graph.CriticalPathCycles(); cp > alt.CS {
+					alt.CS = cp
+				}
+			} else {
+				alt.ClockNs = 100
+			}
+			cases = append(cases, equivCase{
+				name: fmt.Sprintf("%s/T=%d/time/chain-toggled", ex.Name, cs), ex: ex, opt: alt,
+			})
+			if len(ex.PipelinedOps) > 0 {
+				sp := opt
+				sp.PipelinedTypes = piped
+				cases = append(cases, equivCase{
+					name: fmt.Sprintf("%s/T=%d/time/pipelined", ex.Name, cs), ex: ex, opt: sp,
+				})
+			}
+		}
+		// Resource-constrained (the dual guiding function): limits taken
+		// from the tightest time-constrained run's FU usage.
+		tc := Options{CS: ex.TimeConstraints[0], ClockNs: ex.ClockNs}
+		if ex.Latency != nil {
+			tc.Latency = ex.Latency(tc.CS)
+		}
+		s, err := Schedule(ex.Graph, tc)
+		if err != nil {
+			t.Fatalf("%s: seed run: %v", ex.Name, err)
+		}
+		for _, clock := range []float64{0, 100} {
+			cases = append(cases, equivCase{
+				name: fmt.Sprintf("%s/resource/clock=%g", ex.Name, clock),
+				ex:   ex,
+				opt:  Options{Limits: s.InstancesPerType(), ClockNs: clock, Parallelism: 1},
+			})
+		}
+	}
+	return cases
+}
+
+func comparePlacements(t *testing.T, name string, got, want *sched.Schedule) {
+	t.Helper()
+	if got.CS != want.CS {
+		t.Errorf("%s: cs %d, reference %d", name, got.CS, want.CS)
+	}
+	for _, n := range got.Graph.Nodes() {
+		gp, wp := got.Placements[n.ID], want.Placements[n.ID]
+		if gp != wp {
+			t.Errorf("%s: node %q placed %+v, reference %+v", name, n.Name, gp, wp)
+		}
+	}
+}
+
+// TestBitsetEngineMatchesMapReference is the golden equivalence test of
+// the representation change: on every benchmark, under both guiding
+// functions, chaining on and off, the engine's schedule and trace must
+// match the map-semantics reference bit for bit.
+func TestBitsetEngineMatchesMapReference(t *testing.T) {
+	for _, tc := range equivCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Schedule(tc.ex.Graph, tc.opt)
+			if err != nil {
+				t.Fatalf("engine: %v", err)
+			}
+			want, commits, err := refSchedule(tc.ex.Graph, tc.opt)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			comparePlacements(t, tc.name, got, want)
+
+			// Trace equivalence: same commit order, same positions and
+			// energies, same recorded move-frame contents.
+			steps := got.Trace.Steps
+			if len(steps) != len(commits) {
+				t.Fatalf("trace has %d steps, reference %d", len(steps), len(commits))
+			}
+			for i, c := range commits {
+				st := steps[i]
+				if st.Node != c.node || st.Type != c.typ || st.Pos != c.pos || st.Energy != c.energy {
+					t.Fatalf("trace step %d: (%d %s %v %g), reference (%d %s %v %g)",
+						i, st.Node, st.Type, st.Pos, st.Energy, c.node, c.typ, c.pos, c.energy)
+				}
+				if st.MF.Len() != len(c.mf) {
+					t.Fatalf("trace step %d: |MF| = %d, reference %d", i, st.MF.Len(), len(c.mf))
+				}
+				for _, p := range st.MF.Positions() {
+					if !c.mf[p] {
+						t.Fatalf("trace step %d: MF contains %v, reference does not", i, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOrderedWalkMatchesSortedFallback cross-checks bestPosition's two
+// paths: forcing the generic sorted enumeration must reproduce the
+// ordered bit walk's schedule exactly on every configuration.
+func TestOrderedWalkMatchesSortedFallback(t *testing.T) {
+	for _, tc := range equivCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			fast, err := Schedule(tc.ex.Graph, tc.opt)
+			if err != nil {
+				t.Fatalf("ordered walk: %v", err)
+			}
+			disableOrderedWalk = true
+			defer func() { disableOrderedWalk = false }()
+			slow, err := Schedule(tc.ex.Graph, tc.opt)
+			if err != nil {
+				t.Fatalf("sorted fallback: %v", err)
+			}
+			comparePlacements(t, tc.name, fast, slow)
+		})
+	}
+}

@@ -31,17 +31,7 @@ func FramesFor(g *dfg.Graph, opt Options, target dfg.NodeID) (*Inspection, error
 	if err != nil {
 		return nil, fmt.Errorf("mfs: %w", err)
 	}
-	s := &scheduler{
-		g: g, cs: opt.CS, opt: opt, resource: false,
-		frames:  frames,
-		tables:  make(map[string]*grid.Table),
-		maxj:    make(map[string]int),
-		current: make(map[string]int),
-		placed:  make(map[dfg.NodeID]sched.Placement),
-	}
-	s.initBounds()
-	s.initLiapunov()
-	s.initTables()
+	s := newScheduler(g, opt.CS, opt, false, frames)
 
 	for _, id := range sched.PriorityOrder(g, frames) {
 		var snap *Inspection

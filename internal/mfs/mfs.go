@@ -183,26 +183,38 @@ type scheduler struct {
 	tables  map[string]*grid.Table
 	maxj    map[string]int
 	current map[string]int
-	placed  map[dfg.NodeID]sched.Placement
-	trace   []sched.TraceStep
+	// placed and steps are indexed by dfg.NodeID (dense from 0);
+	// Step == 0 / steps[id] == 0 means unplaced (steps are 1-based).
+	// steps duplicates placed[id].Step so ChainFits gets its table
+	// without a per-candidate rebuild — it is maintained on commit.
+	placed []sched.Placement
+	steps  []int
+	trace  []sched.TraceStep
 }
 
-// runOnce performs one fixed-cs scheduling run against precomputed
-// frames (which must match cs; see ComputeFrames and Frames.Shifted).
-// It reads g and frames but mutates neither, so concurrent runs over the
-// same graph are safe — the speculative search depends on that.
-func runOnce(ctx context.Context, g *dfg.Graph, cs int, opt Options, resource bool, frames sched.Frames, extraMax ...int) (*sched.Schedule, error) {
+// newScheduler builds the state of one fixed-cs run. It reads g and
+// frames but mutates neither, so concurrent runs over the same graph
+// are safe — the speculative search depends on that.
+func newScheduler(g *dfg.Graph, cs int, opt Options, resource bool, frames sched.Frames, extraMax ...int) *scheduler {
 	s := &scheduler{
 		g: g, cs: cs, opt: opt, resource: resource,
 		frames:  frames,
 		tables:  make(map[string]*grid.Table),
 		maxj:    make(map[string]int),
 		current: make(map[string]int),
-		placed:  make(map[dfg.NodeID]sched.Placement),
+		placed:  make([]sched.Placement, g.Len()),
+		steps:   make([]int, g.Len()),
 	}
 	s.initBounds(extraMax...)
 	s.initLiapunov()
 	s.initTables()
+	return s
+}
+
+// runOnce performs one fixed-cs scheduling run against precomputed
+// frames (which must match cs; see ComputeFrames and Frames.Shifted).
+func runOnce(ctx context.Context, g *dfg.Graph, cs int, opt Options, resource bool, frames sched.Frames, extraMax ...int) (*sched.Schedule, error) {
+	s := newScheduler(g, cs, opt, resource, frames, extraMax...)
 
 	// MFS step 4: schedule every operation in priority order. Because an
 	// operation's ALAP is always strictly earlier than its successors',
@@ -345,6 +357,7 @@ func (s *scheduler) placeOne(id dfg.NodeID) error {
 				return fmt.Errorf("mfs: %w", err)
 			}
 			s.placed[id] = sched.Placement{Step: p.Step, Type: typ, Index: p.Index}
+			s.steps[id] = p.Step
 			// Record the decision for the Liapunov audit: the frames the
 			// operation saw, the scheduler's FU estimate, and the energy
 			// of the committed position.
@@ -365,9 +378,46 @@ func (s *scheduler) placeOne(id dfg.NodeID) error {
 	}
 }
 
+// disableOrderedWalk forces bestPosition onto the generic sorted path.
+// Tests flip it to cross-check that the ordered bit walk and the sorted
+// enumeration pick identical positions.
+var disableOrderedWalk = false
+
 // bestPosition returns the cheapest legal MF position, filtering occupied
 // cells, footprint conflicts, and chaining overflows.
+//
+// Fast path: when the guiding function certifies (liapunov.Ordered) that
+// one of the grid scan orders visits positions in strictly increasing
+// energy over this table, the move frame's set bits are walked in that
+// order and the first legal bit wins — no slice materialization, no
+// sort. Otherwise the generic path enumerates the frame's positions and
+// sorts by (energy, step, index), the historical semantics; the two
+// paths agree exactly wherever the capability holds, because a strict
+// scan order with the (step, index) tie-break is precisely the sorted
+// order.
 func (s *scheduler) bestPosition(table *grid.Table, id dfg.NodeID, cycles int, mf grid.Frame) (grid.Pos, bool) {
+	legal := func(p grid.Pos) bool {
+		return table.CanPlace(s.g, id, p, cycles) &&
+			(s.opt.ClockNs <= 0 || s.chainOK(id, p.Step))
+	}
+	if of, ok := s.lf.(liapunov.Ordered); ok && !disableOrderedWalk {
+		if ord, ok := of.GridOrder(s.cs, table.Max); ok {
+			scan := mf.Scan
+			if ord == grid.ColMajor {
+				scan = mf.ScanColumns
+			}
+			var best grid.Pos
+			found := false
+			scan(func(p grid.Pos) bool {
+				if legal(p) {
+					best, found = p, true
+					return false
+				}
+				return true
+			})
+			return best, found
+		}
+	}
 	positions := mf.Positions()
 	sort.SliceStable(positions, func(i, j int) bool {
 		vi, vj := s.lf.Value(positions[i]), s.lf.Value(positions[j])
@@ -380,13 +430,9 @@ func (s *scheduler) bestPosition(table *grid.Table, id dfg.NodeID, cycles int, m
 		return positions[i].Index < positions[j].Index
 	})
 	for _, p := range positions {
-		if !table.CanPlace(s.g, id, p, cycles) {
-			continue
+		if legal(p) {
+			return p, true
 		}
-		if s.opt.ClockNs > 0 && !s.chainOK(id, p.Step) {
-			continue
-		}
-		return p, true
 	}
 	return grid.Pos{}, false
 }
@@ -404,8 +450,8 @@ func (s *scheduler) frameSet(id dfg.NodeID) (*grid.FrameSet, error) {
 	// step; the chainOK filter verifies the delay budget.
 	ffTop := 0 // last step forbidden by predecessors
 	for _, pid := range n.Preds() {
-		pp, ok := s.placed[pid]
-		if !ok {
+		pp := s.placed[pid]
+		if pp.Step == 0 {
 			continue
 		}
 		pred := s.g.Node(pid)
@@ -421,8 +467,8 @@ func (s *scheduler) frameSet(id dfg.NodeID) (*grid.FrameSet, error) {
 		}
 	}
 	for _, sid := range n.Succs() {
-		sp, ok := s.placed[sid]
-		if !ok {
+		sp := s.placed[sid]
+		if sp.Step == 0 {
 			continue
 		}
 		succ := s.g.Node(sid)
@@ -450,12 +496,10 @@ func (s *scheduler) chainable(pred, succ *dfg.Node) bool {
 
 // chainOK tentatively assigns id to step and checks every intra-step
 // combinational chain over the placed set still fits the clock period.
+// The placed-steps table is maintained incrementally as placements
+// commit (placeOne), not rebuilt here per candidate.
 func (s *scheduler) chainOK(id dfg.NodeID, step int) bool {
-	steps := make(map[dfg.NodeID]int, len(s.placed))
-	for x, p := range s.placed {
-		steps[x] = p.Step
-	}
-	return sched.ChainFits(s.g, s.opt.ClockNs, steps, id, step)
+	return sched.ChainFits(s.g, s.opt.ClockNs, s.steps, id, step)
 }
 
 func (s *scheduler) finish() (*sched.Schedule, error) {
@@ -466,7 +510,10 @@ func (s *scheduler) finish() (*sched.Schedule, error) {
 		out.PipelinedTypes[typ] = p
 	}
 	for id, p := range s.placed {
-		out.Place(id, p)
+		if p.Step == 0 {
+			continue // unplaced (empty graph or internal error; Verify reports it)
+		}
+		out.Place(dfg.NodeID(id), p)
 	}
 	out.Trace = &sched.Trace{Fn: s.lf, Steps: s.trace}
 	if err := out.Verify(s.opt.Limits); err != nil {

@@ -334,8 +334,8 @@ func TestFramesForInspection(t *testing.T) {
 	}
 	// MF = PF − (RF ∪ FF) must hold exactly.
 	recomputed := in.Frames.PF.Minus(in.Frames.RF.Union(in.Frames.FF))
-	if len(recomputed) != len(in.Frames.MF) {
-		t.Errorf("|MF| = %d, recomputed %d", len(in.Frames.MF), len(recomputed))
+	if !recomputed.Equal(in.Frames.MF) {
+		t.Errorf("|MF| = %d, recomputed %d", in.Frames.MF.Len(), recomputed.Len())
 	}
 	out := in.Render()
 	for _, want := range []string{"m4", "r*", "legend"} {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dfg"
 	"repro/internal/grid"
 	"repro/internal/library"
+	"repro/internal/op"
 	"repro/internal/sched"
 )
 
@@ -45,11 +46,17 @@ func AllocateCtx(ctx context.Context, s *sched.Schedule, opt Options) (*Result, 
 	opt.CS = s.CS
 	opt.ClockNs = s.ClockNs
 	opt.Latency = s.Latency
+	unitsByOp := make(map[op.Kind][]*library.Unit)
 	for _, n := range g.Nodes() {
 		if n.IsLoop() {
 			return nil, fmt.Errorf("mfsa: Allocate does not bind loop nodes (node %q)", n.Name)
 		}
-		if len(candidateUnits(opt, n)) == 0 {
+		us, ok := unitsByOp[n.Op]
+		if !ok {
+			us = candidateUnits(opt, n)
+			unitsByOp[n.Op] = us
+		}
+		if len(us) == 0 {
 			return nil, fmt.Errorf("mfsa: library has no unit for %q", n.Name)
 		}
 		if _, ok := s.Placements[n.ID]; !ok {
@@ -57,7 +64,7 @@ func AllocateCtx(ctx context.Context, s *sched.Schedule, opt Options) (*Result, 
 		}
 	}
 
-	st := allocState(g, opt)
+	st := allocState(g, opt, unitsByOp)
 	for _, id := range allocationOrder(s) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -86,24 +93,25 @@ func allocationOrder(s *sched.Schedule) []dfg.NodeID {
 	return ids
 }
 
-func allocState(g *dfg.Graph, opt Options) *state {
+func allocState(g *dfg.Graph, opt Options, unitsByOp map[op.Kind][]*library.Unit) *state {
 	// Reuse the Synthesize state with trivial frames; the binder never
 	// consults them.
-	return newState(g, opt, make(sched.Frames))
+	return newState(g, opt, make(sched.Frames, g.Len()), unitsByOp)
 }
 
 // bindOne chooses the cheapest ALU instance for a fixed (node, step):
 // reuse an existing compatible instance if its footprint is free, else
 // open the cheapest new one.
 func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
+	st.memoGen++ // new candidate evaluation: invalidate the regDelta memo
 	n := st.g.Node(id)
 	step := s.Placements[id].Step
-	units := candidateUnits(st.opt, n)
+	units := st.unitsFor(n)
 	var best candidate
-	var evaluated []sched.TraceCandidate
+	evaluated := st.candBuf[:0] // commit copies what it keeps
 	found := false
 	consider := func(u *library.Unit, idx int) {
-		table := st.tables[u.Name]
+		table := st.tableOf(u)
 		p := grid.Pos{Step: step, Index: idx}
 		if !table.CanPlace(st.g, id, p, n.Cycles) {
 			return
@@ -137,6 +145,7 @@ func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
 			consider(u, idx)
 		}
 	}
+	st.candBuf = evaluated
 	if !found {
 		return fmt.Errorf("mfsa: no ALU for %q at step %d", n.Name, step)
 	}
@@ -147,13 +156,14 @@ func (st *state) finishAlloc() (*Result, error) {
 	out := sched.NewSchedule(st.g, st.opt.CS)
 	out.ClockNs = st.opt.ClockNs
 	out.Latency = st.opt.Latency
-	for name, t := range st.tables {
-		if t.Pipelined {
-			out.PipelinedTypes[name] = true
-		}
+	for _, name := range st.pipeTypes {
+		out.PipelinedTypes[name] = true
 	}
 	for id, p := range st.placed {
-		out.Place(id, p)
+		if p.Step == 0 {
+			continue // unbound; Verify reports it
+		}
+		out.Place(dfg.NodeID(id), p)
 	}
 	out.Trace = &sched.Trace{Steps: st.trace}
 	if err := out.Verify(st.opt.Limits); err != nil {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/liapunov"
 	"repro/internal/library"
+	"repro/internal/op"
 	"repro/internal/rtl"
 	"repro/internal/sched"
 )
@@ -125,11 +126,17 @@ func SynthesizeCtx(ctx context.Context, g *dfg.Graph, opt Options) (*Result, err
 	if opt.Style == 0 {
 		opt.Style = Style1
 	}
+	unitsByOp := make(map[op.Kind][]*library.Unit)
 	for _, n := range g.Nodes() {
 		if n.IsLoop() {
 			return nil, fmt.Errorf("mfsa: fold loops with mfs.ScheduleLoops and synthesize bodies separately (node %q)", n.Name)
 		}
-		if len(candidateUnits(opt, n)) == 0 {
+		us, ok := unitsByOp[n.Op]
+		if !ok {
+			us = candidateUnits(opt, n)
+			unitsByOp[n.Op] = us
+		}
+		if len(us) == 0 {
 			return nil, fmt.Errorf("mfsa: library has no unit for %q (op %v, %d cycles)", n.Name, n.Op, n.Cycles)
 		}
 	}
@@ -137,7 +144,7 @@ func SynthesizeCtx(ctx context.Context, g *dfg.Graph, opt Options) (*Result, err
 	if err != nil {
 		return nil, fmt.Errorf("mfsa: %w", err)
 	}
-	s := newState(g, opt, frames)
+	s := newState(g, opt, frames, unitsByOp)
 	for _, id := range sched.PriorityOrder(g, frames) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -173,16 +180,66 @@ type state struct {
 	c      float64 // time-dominance constant
 	frames sched.Frames
 
-	tables  map[string]*grid.Table // per unit name
-	maxInst map[string]int
-	current map[string]int
+	tables    map[string]*grid.Table // per unit name, created lazily by tableOf
+	maxInst   map[string]int
+	current   map[string]int
+	pipeTypes []string // capable pipelined unit names (for Schedule.PipelinedTypes)
 
-	placed map[dfg.NodeID]sched.Placement
-	steps  map[dfg.NodeID]int // start steps, for ChainFits
+	// placed and steps are indexed by dfg.NodeID (dense from 0);
+	// Step == 0 / steps[id] == 0 means unplaced (steps are 1-based).
+	// steps feeds ChainFits directly and is maintained on commit.
+	placed []sched.Placement
+	steps  []int
 	trace  []sched.TraceStep
 
 	dp   *rtl.Datapath
 	alus map[cell]*rtl.ALU // live ALU instances by (unit, column)
+
+	// Incremental value-lifetime tracking behind the f^REG term. life
+	// holds the committed signals' lifetimes, cnt[t] counts how many of
+	// their stored intervals cover the boundary span [t, t+1), and
+	// regBase caches max(cnt). Left-edge packing is optimal for interval
+	// lifetimes — the register count IS the maximum overlap — so regBase
+	// always equals len(rtl.PackRegisters(s.intervals(nil, 0))) without
+	// rebuilding and packing the interval list per candidate. Maintained
+	// on commit; regDelta perturbs cnt in place and reverts.
+	life    map[string]*lifetime
+	cnt     []int
+	regBase int
+
+	// regDelta memo for the current candidate evaluation (one node, many
+	// unit×position candidates): f^REG depends only on the step, so each
+	// distinct step is computed once per generation. Bumped by
+	// bestCandidate and bindOne.
+	regMemo    []int
+	regMemoGen []int
+	memoGen    int
+
+	unitsByOp map[op.Kind][]*library.Unit // candidateUnits cache
+	posBuf    []grid.Pos                  // movePositions scratch
+	candBuf   []sched.TraceCandidate      // candidate-evaluation scratch; commit copies
+}
+
+// lifetime is one committed signal's storage life: born at the end of
+// control step birth, last consumed during step death (0 = no consumer
+// yet, in which case the value is held one boundary).
+type lifetime struct {
+	birth, death int
+}
+
+// span returns the half-open boundary range [lo, hi) during which the
+// signal occupies a register, mirroring intervals(): no consumer means
+// one boundary of storage; a consumer chained into the birth step means
+// none (hi == lo).
+func (lt *lifetime) span() (lo, hi int) {
+	d := lt.death
+	if d == 0 {
+		d = lt.birth + 1
+	}
+	if d < lt.birth {
+		d = lt.birth
+	}
+	return lt.birth, d
 }
 
 type cell struct {
@@ -190,24 +247,51 @@ type cell struct {
 	index int
 }
 
-func newState(g *dfg.Graph, opt Options, frames sched.Frames) *state {
+// newState builds the scheduler-allocator state. unitsByOp may carry a
+// candidate-unit cache the caller already built while validating; nil
+// starts an empty one.
+func newState(g *dfg.Graph, opt Options, frames sched.Frames, unitsByOp map[op.Kind][]*library.Unit) *state {
+	if unitsByOp == nil {
+		unitsByOp = make(map[op.Kind][]*library.Unit)
+	}
 	s := &state{
 		g: g, opt: opt,
-		w:       opt.Weights.orDefault(),
-		frames:  frames,
-		tables:  make(map[string]*grid.Table),
-		maxInst: make(map[string]int),
-		current: make(map[string]int),
-		placed:  make(map[dfg.NodeID]sched.Placement),
-		steps:   make(map[dfg.NodeID]int),
-		dp:      rtl.NewDatapath(opt.Lib),
-		alus:    make(map[cell]*rtl.ALU),
+		w:         opt.Weights.orDefault(),
+		frames:    frames,
+		tables:    make(map[string]*grid.Table),
+		maxInst:   make(map[string]int),
+		current:   make(map[string]int),
+		placed:    make([]sched.Placement, g.Len()),
+		steps:     make([]int, g.Len()),
+		dp:        rtl.NewDatapath(opt.Lib),
+		alus:      make(map[cell]*rtl.ALU),
+		life:      make(map[string]*lifetime, g.Len()),
+		unitsByOp: unitsByOp,
 	}
 	s.c = liapunov.DominanceConstant(
 		opt.Lib.MaxUnitArea(),
 		2*opt.Lib.MaxMuxStep(),
 		2*opt.Lib.RegArea,
 	)
+	// Lifetime boundaries run from 0 (inputs) to the last finish step; a
+	// legal placement finishes by CS, but size past it so latency-folded
+	// multi-cycle footprints never force a grow inside regDelta.
+	maxCycles := 1
+	for _, n := range g.Nodes() {
+		if n.Cycles > maxCycles {
+			maxCycles = n.Cycles
+		}
+	}
+	s.cnt = make([]int, opt.CS+maxCycles+2)
+	s.regMemo = make([]int, opt.CS+2)
+	s.regMemoGen = make([]int, opt.CS+2)
+	if opt.RegisterInputs {
+		for _, in := range g.Inputs() {
+			s.life[in] = &lifetime{birth: 0}
+			s.addSpan(0, 1, 1)
+		}
+		s.regBase = s.maxCnt()
+	}
 	// Per-unit instance bounds: a unit can never need more instances than
 	// the operations it can serve; user limits tighten that.
 	span := opt.CS
@@ -217,7 +301,7 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames) *state {
 	capable := make(map[string]int)
 	primary := make(map[string]int)
 	for _, n := range g.Nodes() {
-		units := candidateUnits(opt, n)
+		units := s.unitsFor(n)
 		var cheapest *library.Unit
 		for _, u := range units {
 			capable[u.Name]++
@@ -246,12 +330,41 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames) *state {
 		if s.current[u.Name] > m {
 			s.current[u.Name] = m
 		}
-		t := grid.NewTable(u.Name, opt.CS, m)
-		t.Latency = opt.Latency
-		t.Pipelined = u.Pipelined()
-		s.tables[u.Name] = t
+		if u.Pipelined() {
+			s.pipeTypes = append(s.pipeTypes, u.Name)
+		}
 	}
 	return s
+}
+
+// tableOf returns the unit's occupancy table, creating it on first use:
+// most capable units are never grown past zero instances and never need
+// one. A unit capped to zero instances gets (and caches) a nil table,
+// exactly what the eager construction used to leave in the map for it.
+func (s *state) tableOf(u *library.Unit) *grid.Table {
+	t, ok := s.tables[u.Name]
+	if ok {
+		return t
+	}
+	if m := s.maxInst[u.Name]; m > 0 {
+		t = grid.NewTable(u.Name, s.opt.CS, m)
+		t.Latency = s.opt.Latency
+		t.Pipelined = u.Pipelined()
+	}
+	s.tables[u.Name] = t
+	return t
+}
+
+// unitsFor is candidateUnits memoized per operation kind: the candidate
+// set depends only on n.Op (and the fixed options), and the same few
+// kinds recur across the whole graph.
+func (s *state) unitsFor(n *dfg.Node) []*library.Unit {
+	if u, ok := s.unitsByOp[n.Op]; ok {
+		return u
+	}
+	u := candidateUnits(s.opt, n)
+	s.unitsByOp[n.Op] = u
+	return u
 }
 
 // placeOne evaluates the dynamic Liapunov function over every empty
@@ -259,7 +372,7 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames) *state {
 // minimum (§4.2 step 4).
 func (s *state) placeOne(id dfg.NodeID) error {
 	n := s.g.Node(id)
-	units := candidateUnits(s.opt, n)
+	units := s.unitsFor(n)
 	for {
 		best, evaluated, ok := s.bestCandidate(n, units)
 		if ok {
@@ -296,12 +409,13 @@ type candidate struct {
 }
 
 func (s *state) bestCandidate(n *dfg.Node, units []*library.Unit) (candidate, []sched.TraceCandidate, bool) {
+	s.memoGen++ // new candidate evaluation: invalidate the regDelta memo
 	lo, hi := s.window(n)
 	var best candidate
-	var evaluated []sched.TraceCandidate
+	evaluated := s.candBuf[:0] // commit copies what it keeps
 	found := false
 	for _, u := range units {
-		table := s.tables[u.Name]
+		table := s.tableOf(u)
 		cur := s.current[u.Name]
 		for _, p := range s.movePositions(table, n, lo, hi, cur) {
 			if s.opt.ClockNs > 0 && !sched.ChainFits(s.g, s.opt.ClockNs, s.steps, n.ID, p.Step) {
@@ -318,6 +432,7 @@ func (s *state) bestCandidate(n *dfg.Node, units []*library.Unit) (candidate, []
 			}
 		}
 	}
+	s.candBuf = evaluated
 	return best, evaluated, found
 }
 
@@ -340,8 +455,8 @@ func (s *state) window(n *dfg.Node) (int, int) {
 	f := s.frames[n.ID]
 	lo, hi := f.ASAP, f.ALAP
 	for _, pid := range n.Preds() {
-		pp, ok := s.placed[pid]
-		if !ok {
+		pp := s.placed[pid]
+		if pp.Step == 0 {
 			continue
 		}
 		pred := s.g.Node(pid)
@@ -357,13 +472,14 @@ func (s *state) window(n *dfg.Node) (int, int) {
 }
 
 // movePositions lists the free positions of the unit's move frame
-// MF = PF − RF (FF is folded into the window's lower bound), sorted for
-// deterministic iteration.
+// MF = PF − RF (FF is folded into the window's lower bound). The nested
+// loops emit positions in (step, index) order by construction, so the
+// list is already deterministically sorted — no post-sort needed.
 func (s *state) movePositions(table *grid.Table, n *dfg.Node, lo, hi, cur int) []grid.Pos {
 	if cur > table.Max {
 		cur = table.Max
 	}
-	var out []grid.Pos
+	out := s.posBuf[:0] // callers consume the list before the next call
 	for step := lo; step <= hi; step++ {
 		for idx := 1; idx <= cur; idx++ {
 			p := grid.Pos{Step: step, Index: idx}
@@ -372,12 +488,7 @@ func (s *state) movePositions(table *grid.Table, n *dfg.Node, lo, hi, cur int) [
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Step != out[j].Step {
-			return out[i].Step < out[j].Step
-		}
-		return out[i].Index < out[j].Index
-	})
+	s.posBuf = out
 	return out
 }
 
@@ -457,10 +568,68 @@ func (s *state) muxAfter(a *rtl.ALU, n *dfg.Node) (area float64, swapped bool) {
 	return direct, false
 }
 
+// checkRegDelta, when set (by the equivalence test), cross-checks every
+// incremental regDelta answer against the direct pack-and-diff oracle.
+var checkRegDelta = false
+
 // regDelta returns how many additional registers the left-edge packer
 // needs when n consumes its inputs at the given step (§4.1's f^REG: zero,
-// one or two).
+// one or two). The committed overlap counts are perturbed in place with
+// n's consumptions, scanned for their maximum — the left-edge register
+// count — and reverted; no interval list is built and nothing allocates.
+// The answer depends only on the step, so it is memoized per candidate
+// evaluation (memoGen).
 func (s *state) regDelta(n *dfg.Node, step int) int {
+	if s.regMemoGen[step] == s.memoGen {
+		return s.regMemo[step]
+	}
+	var touched [4]*lifetime
+	var saved [4]int
+	nt := 0
+	overflow := false
+	for _, a := range n.Args {
+		lt := s.life[a]
+		if lt == nil || step <= lt.death {
+			continue
+		}
+		if nt == len(touched) {
+			overflow = true // more live args than the revert buffer holds
+			break
+		}
+		touched[nt], saved[nt] = lt, lt.death
+		nt++
+		s.consume(lt, step)
+	}
+	if overflow {
+		// Never with binary ops; restore and let the oracle do it.
+		for i := nt - 1; i >= 0; i-- {
+			s.revert(touched[i], saved[i])
+		}
+		return s.regDeltaSlow(n, step)
+	}
+	after := s.maxCnt()
+	for i := nt - 1; i >= 0; i-- {
+		s.revert(touched[i], saved[i])
+	}
+	d := after - s.regBase
+	if d < 0 {
+		d = 0
+	}
+	if checkRegDelta {
+		if want := s.regDeltaSlow(n, step); want != d {
+			panic(fmt.Sprintf("mfsa: regDelta(%s, %d) = %d, pack-and-diff oracle says %d",
+				n.Name, step, d, want))
+		}
+	}
+	s.regMemo[step], s.regMemoGen[step] = d, s.memoGen
+	return d
+}
+
+// regDeltaSlow is the direct evaluation regDelta replaces — rebuild the
+// interval list with and without the candidate consumption, left-edge
+// pack both, diff the counts. Kept as the oracle the equivalence test
+// (and the rare >4-arg fallback) measures the incremental path against.
+func (s *state) regDeltaSlow(n *dfg.Node, step int) int {
 	before := len(rtl.PackRegisters(s.intervals(nil, 0)))
 	after := len(rtl.PackRegisters(s.intervals(n, step)))
 	d := after - before
@@ -468,6 +637,59 @@ func (s *state) regDelta(n *dfg.Node, step int) int {
 		d = 0
 	}
 	return d
+}
+
+// consume extends lt's life to a consumer at the given step, updating the
+// overlap counts. A first consumer chained into the birth step shrinks
+// the span: the one-boundary hold of a value nobody read yet disappears.
+func (s *state) consume(lt *lifetime, step int) {
+	if step <= lt.death {
+		return
+	}
+	_, hi0 := lt.span()
+	lt.death = step
+	_, hi1 := lt.span()
+	switch {
+	case hi1 > hi0:
+		s.addSpan(hi0, hi1, 1)
+	case hi1 < hi0:
+		s.addSpan(hi1, hi0, -1)
+	}
+}
+
+// revert undoes a consume by restoring the saved death step.
+func (s *state) revert(lt *lifetime, death int) {
+	_, hi0 := lt.span()
+	lt.death = death
+	_, hi1 := lt.span()
+	switch {
+	case hi1 > hi0:
+		s.addSpan(hi0, hi1, 1)
+	case hi1 < hi0:
+		s.addSpan(hi1, hi0, -1)
+	}
+}
+
+// addSpan adds d to every overlap count in [lo, hi).
+func (s *state) addSpan(lo, hi, d int) {
+	if hi > len(s.cnt) {
+		s.cnt = append(s.cnt, make([]int, hi-len(s.cnt))...)
+	}
+	for t := lo; t < hi; t++ {
+		s.cnt[t] += d
+	}
+}
+
+// maxCnt returns the maximum overlap — the left-edge register count of
+// the intervals the counts describe.
+func (s *state) maxCnt() int {
+	m := 0
+	for _, c := range s.cnt {
+		if c > m {
+			m = c
+		}
+	}
+	return m
 }
 
 // intervals derives the value lifetimes of the committed placement,
@@ -478,7 +700,10 @@ func (s *state) intervals(extra *dfg.Node, extraStep int) []rtl.Interval {
 	death := make(map[string]int) // signal -> latest consumer step
 	have := make(map[string]bool) // signals with a committed producer
 	for id, p := range s.placed {
-		pn := s.g.Node(id)
+		if p.Step == 0 {
+			continue
+		}
+		pn := s.g.Node(dfg.NodeID(id))
 		birth[pn.Name] = p.Step + pn.Cycles - 1
 		have[pn.Name] = true
 	}
@@ -499,7 +724,10 @@ func (s *state) intervals(extra *dfg.Node, extraStep int) []rtl.Interval {
 		}
 	}
 	for id, p := range s.placed {
-		consume(s.g.Node(id), p.Step)
+		if p.Step == 0 {
+			continue
+		}
+		consume(s.g.Node(dfg.NodeID(id)), p.Step)
 	}
 	if extra != nil {
 		consume(extra, extraStep)
@@ -524,7 +752,7 @@ func (s *state) intervals(extra *dfg.Node, extraStep int) []rtl.Interval {
 // binding, and bookkeeping. evaluated is the full alternative set the
 // choice was made from, recorded for the Liapunov audit.
 func (s *state) commit(n *dfg.Node, c candidate, evaluated []sched.TraceCandidate) error {
-	table := s.tables[c.unit.Name]
+	table := s.tableOf(c.unit)
 	if err := table.Place(s.g, n.ID, c.pos, n.Cycles); err != nil {
 		return fmt.Errorf("mfsa: %w", err)
 	}
@@ -537,11 +765,29 @@ func (s *state) commit(n *dfg.Node, c candidate, evaluated []sched.TraceCandidat
 	a.Bind(n, n.Args, c.pos.Step)
 	s.placed[n.ID] = sched.Placement{Step: c.pos.Step, Type: c.unit.Name, Index: c.pos.Index}
 	s.steps[n.ID] = c.pos.Step
+	// Fold the placement into the lifetime counts: n consumes its args at
+	// its start step and its own output is born at its finish step, held
+	// one boundary until a successor commits.
+	for _, arg := range n.Args {
+		if lt := s.life[arg]; lt != nil {
+			s.consume(lt, c.pos.Step)
+		}
+	}
+	born := &lifetime{birth: c.pos.Step + n.Cycles - 1}
+	s.life[n.Name] = born
+	if lo, hi := born.span(); hi > lo {
+		s.addSpan(lo, hi, 1)
+	}
+	s.regBase = s.maxCnt()
+	var cands []sched.TraceCandidate
+	if len(evaluated) > 0 {
+		cands = append(cands, evaluated...) // own the scratch buffer's content
+	}
 	s.trace = append(s.trace, sched.TraceStep{
 		Node: n.ID, Type: c.unit.Name,
 		CurrentJ: s.current[c.unit.Name], MaxJ: s.maxInst[c.unit.Name],
 		Pos: c.pos, Energy: c.value,
-		Candidates: evaluated,
+		Candidates: cands,
 	})
 	return nil
 }
@@ -550,13 +796,14 @@ func (s *state) finish() (*Result, error) {
 	out := sched.NewSchedule(s.g, s.opt.CS)
 	out.ClockNs = s.opt.ClockNs
 	out.Latency = s.opt.Latency
-	for name, t := range s.tables {
-		if t.Pipelined {
-			out.PipelinedTypes[name] = true
-		}
+	for _, name := range s.pipeTypes {
+		out.PipelinedTypes[name] = true
 	}
 	for id, p := range s.placed {
-		out.Place(id, p)
+		if p.Step == 0 {
+			continue // unplaced; Verify reports it
+		}
+		out.Place(dfg.NodeID(id), p)
 	}
 	out.Trace = &sched.Trace{Steps: s.trace}
 	if err := out.Verify(s.opt.Limits); err != nil {

@@ -4,33 +4,34 @@ import "repro/internal/dfg"
 
 // ChainFits reports whether tentatively starting node id at the given
 // step keeps every intra-step combinational chain within clockNs, given
-// the start steps of the already-placed operations. Multicycle and loop
-// operations are boundary-aligned and never participate in chains.
+// the start steps of the already-placed operations. placed is indexed
+// by dfg.NodeID; steps are 1-based, so 0 means "not placed yet" — the
+// schedulers maintain this table incrementally as placements commit,
+// so the candidate filter costs no per-call map build. Multicycle and
+// loop operations are boundary-aligned and never participate in chains.
 // Schedulers call this to filter move-frame candidates when chaining
 // (§5.4) is enabled.
-func ChainFits(g *dfg.Graph, clockNs float64, placed map[dfg.NodeID]int, id dfg.NodeID, step int) bool {
+func ChainFits(g *dfg.Graph, clockNs float64, placed []int, id dfg.NodeID, step int) bool {
 	n := g.Node(id)
 	if n.Cycles > 1 || n.IsLoop() {
 		return true
 	}
-	stepOf := func(x dfg.NodeID) (int, bool) {
+	stepOf := func(x dfg.NodeID) int {
 		if x == id {
-			return step, true
+			return step
 		}
-		s, ok := placed[x]
-		return s, ok
+		return placed[x]
 	}
-	acc := make(map[dfg.NodeID]float64)
+	acc := make([]float64, g.Len())
 	for _, vid := range g.TopoOrder() {
 		v := g.Node(vid)
-		vs, ok := stepOf(vid)
-		if !ok || v.Cycles > 1 || v.IsLoop() {
+		vs := stepOf(vid)
+		if vs == 0 || v.Cycles > 1 || v.IsLoop() {
 			continue
 		}
 		chain := 0.0
 		for _, pid := range v.Preds() {
-			ps, ok := stepOf(pid)
-			if !ok || ps != vs {
+			if stepOf(pid) != vs {
 				continue
 			}
 			if a := acc[pid]; a > chain {

@@ -17,8 +17,9 @@ type Frame struct {
 // Mobility returns ALAP − ASAP.
 func (f Frame) Mobility() int { return f.ALAP - f.ASAP }
 
-// Frames holds the time frame of every node.
-type Frames map[dfg.NodeID]Frame
+// Frames holds the time frame of every node, indexed by dfg.NodeID
+// (node IDs are dense, starting at 0, so a slice is the natural map).
+type Frames []Frame
 
 // Shifted returns a copy of f with every ALAP raised by k steps — the
 // frames of the same graph under a time constraint k steps looser.
@@ -28,8 +29,9 @@ type Frames map[dfg.NodeID]Frame
 // which shifts every backward boundary computation by exactly k steps),
 // so Shifted(k) equals ComputeFrames at cs+k without redoing the graph
 // passes. The resource-constrained MFS search leans on this to probe
-// many cs values from one frame computation; frames_prop_test.go checks
-// the equivalence on every benchmark graph.
+// many cs values from one frame computation — one flat copy per probe,
+// no hashing; frames_prop_test.go checks the equivalence on every
+// benchmark graph.
 func (f Frames) Shifted(k int) Frames {
 	out := make(Frames, len(f))
 	for id, fr := range f {
@@ -67,8 +69,8 @@ func ComputeFrames(g *dfg.Graph, cs int, clockNs float64) (Frames, error) {
 	}
 	asap := asapFinish(g, clockNs)
 	need := 0
-	for _, f := range asap {
-		if s := f.step; s > need {
+	for i := range asap {
+		if s := asap[i].step; s > need {
 			need = s
 		}
 	}
@@ -107,8 +109,8 @@ type timing struct {
 // asapFinish computes the earliest start/finish of every node. Under
 // chaining, time is continuous with step boundaries at multiples of
 // clockNs; otherwise each op's delay is treated as one full step.
-func asapFinish(g *dfg.Graph, clockNs float64) map[dfg.NodeID]timing {
-	out := make(map[dfg.NodeID]timing, g.Len())
+func asapFinish(g *dfg.Graph, clockNs float64) []timing {
+	out := make([]timing, g.Len())
 	for _, id := range g.TopoOrder() {
 		n := g.Node(id)
 		if clockNs <= 0 {
@@ -152,10 +154,10 @@ func asapFinish(g *dfg.Graph, clockNs float64) map[dfg.NodeID]timing {
 
 // alapStart computes the latest start step of every node given cs steps,
 // mirroring asapFinish backwards.
-func alapStart(g *dfg.Graph, cs int, clockNs float64) map[dfg.NodeID]int {
+func alapStart(g *dfg.Graph, cs int, clockNs float64) []int {
 	order := g.TopoOrder()
 	if clockNs <= 0 {
-		late := make(map[dfg.NodeID]int, g.Len())
+		late := make([]int, g.Len())
 		for i := len(order) - 1; i >= 0; i-- {
 			n := g.Node(order[i])
 			start := cs - n.Cycles + 1
@@ -170,8 +172,8 @@ func alapStart(g *dfg.Graph, cs int, clockNs float64) map[dfg.NodeID]int {
 	}
 	// Chained: work in continuous time backwards from cs·clockNs.
 	end := float64(cs) * clockNs
-	lateStart := make(map[dfg.NodeID]float64, g.Len())
-	out := make(map[dfg.NodeID]int, g.Len())
+	lateStart := make([]float64, g.Len())
+	out := make([]int, g.Len())
 	for i := len(order) - 1; i >= 0; i-- {
 		n := g.Node(order[i])
 		due := end

@@ -13,7 +13,7 @@ import "repro/internal/dfg"
 // (the paper breaks them "arbitrarily").
 func PriorityOrder(g *dfg.Graph, frames Frames) []dfg.NodeID {
 	ids := g.TopoOrder()
-	earliest := make(map[dfg.NodeID]int, len(ids))
+	earliest := make([]int, g.Len())
 	for _, id := range ids {
 		n := g.Node(id)
 		e := 0
@@ -53,7 +53,7 @@ func PriorityOrder(g *dfg.Graph, frames Frames) []dfg.NodeID {
 	// before its producer would let the consumer's placement strand the
 	// producer without a legal chain slot.
 	out := make([]dfg.NodeID, 0, len(ids))
-	pending := make(map[dfg.NodeID]int, len(ids)) // unprocessed pred count
+	pending := make([]int, g.Len()) // unprocessed pred count
 	for _, id := range ids {
 		pending[id] = len(g.Node(id).Preds())
 	}

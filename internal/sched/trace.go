@@ -30,8 +30,9 @@ type TraceStep struct {
 	Type string // FU type key: op symbol (MFS) or library unit name (MFSA)
 
 	// PF, RF, FF, MF are the frames at commit time. MFSA folds its
-	// forbidden frame into the window bounds and leaves these nil; the
-	// Candidates list then carries the audit trail instead.
+	// forbidden frame into the window bounds and leaves these empty
+	// (zero-value frames); the Candidates list then carries the audit
+	// trail instead.
 	PF, RF, FF, MF grid.Frame
 
 	// CurrentJ and MaxJ are the running FU estimate current_j and the

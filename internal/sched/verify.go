@@ -102,7 +102,7 @@ func (s *Schedule) verifyDeps(report func(diag.Diagnostic)) {
 	g := s.Graph
 	// acc[n] is the accumulated combinational delay at n's output within
 	// its control step (chaining only).
-	acc := make(map[dfg.NodeID]float64, g.Len())
+	acc := make([]float64, g.Len())
 	for _, id := range g.TopoOrder() {
 		n := g.Node(id)
 		pn, ok := s.Placements[id]
@@ -215,14 +215,15 @@ func (s *Schedule) verifyLimits(limits map[string]int, report func(diag.Diagnost
 	}
 }
 
+// stepsOverlap reports whether the two step lists share an element.
+// Occupancy lists are at most a handful of steps (an op's cycle count),
+// so the quadratic scan beats building a set.
 func stepsOverlap(a, b []int) bool {
-	set := make(map[int]bool, len(a))
-	for _, r := range a {
-		set[r] = true
-	}
-	for _, r := range b {
-		if set[r] {
-			return true
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
 		}
 	}
 	return false
