@@ -20,6 +20,19 @@
 //	hlsbench -json -out p.json
 //	hlsbench -json -out fresh.json -compare BENCH_sweep.json   # CI guard:
 //	       exit non-zero if any wall time exceeds 3x the committed baseline
+//
+// With -scale it instead runs the large-graph ladder (generated DFGs
+// from 1k to 100k nodes plus the incremental re-synthesis points),
+// prints the per-rung wall time, ns/node, and allocation columns, and
+// writes the snapshot to BENCH_scale.json:
+//
+//	hlsbench -scale                       # full ladder, 100k included
+//	hlsbench -scale -maxnodes 10000       # committed-baseline subset
+//	hlsbench -scale -out fresh.json -compare BENCH_scale.json
+//
+// In either mode -compare prints the full per-metric delta table
+// (baseline, fresh, slowdown factor) before the verdict, so a passing
+// run still shows where the time is drifting.
 package main
 
 import (
@@ -42,8 +55,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	table := fs.String("table", "", "which table to print (1, 2, compare, style, runtime, ablation); empty = all")
 	fig := fs.Int("fig", 0, "which figure to print (1 or 2); 0 = per -table selection")
 	jsonOut := fs.Bool("json", false, "measure the perf baseline and write it as JSON to -out")
-	outPath := fs.String("out", "BENCH_sweep.json", "output path for -json")
-	compare := fs.String("compare", "", "with -json: fail if any fresh wall time exceeds this committed baseline by more than -tolerance")
+	scale := fs.Bool("scale", false, "measure the large-graph scale ladder and write it as JSON to -out")
+	maxNodes := fs.Int("maxnodes", 0, "with -scale: skip ladder rungs larger than this many nodes (0 = full ladder)")
+	outPath := fs.String("out", "", "output path for -json or -scale (default BENCH_sweep.json, or BENCH_scale.json with -scale)")
+	compare := fs.String("compare", "", "with -json or -scale: print the per-metric delta table against this committed baseline and fail if any fresh wall time exceeds it by more than -tolerance")
 	tolerance := fs.Float64("tolerance", 3, "with -compare: allowed slowdown factor per measurement")
 	timeout := cli.Timeout(fs)
 	prof := cli.Profile(fs)
@@ -58,11 +73,25 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 
+	if *jsonOut && *scale {
+		return fmt.Errorf("-json and -scale are mutually exclusive")
+	}
+	if *scale {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_scale.json"
+		}
+		return writeScaleBaseline(ctx, out, path, *compare, *tolerance, *maxNodes)
+	}
 	if *jsonOut {
-		return writeBaseline(ctx, out, *outPath, *compare, *tolerance)
+		path := *outPath
+		if path == "" {
+			path = "BENCH_sweep.json"
+		}
+		return writeBaseline(ctx, out, path, *compare, *tolerance)
 	}
 	if *compare != "" {
-		return fmt.Errorf("-compare requires -json")
+		return fmt.Errorf("-compare requires -json or -scale")
 	}
 	if *fig != 0 {
 		return printFigure(out, *fig)
@@ -126,7 +155,65 @@ func writeBaseline(ctx context.Context, out io.Writer, path, compare string, tol
 	if err != nil {
 		return err
 	}
-	regs := experiments.ComparePerf(base, p, tolerance)
+	printDeltas(out, compare, experiments.PerfDeltas(base, p))
+	return verdict(out, experiments.ComparePerf(base, p, tolerance), tolerance, compare)
+}
+
+func writeScaleBaseline(ctx context.Context, out io.Writer, path, compare string, tolerance float64, maxNodes int) error {
+	b, err := experiments.MeasureScaleCtx(ctx, maxNodes)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "scale ladder (%s, %d procs):\n", b.GoVersion, b.GOMAXPROCS)
+	fmt.Fprintf(out, "  %-10s %8s %5s %10s %9s %9s %8s\n",
+		"rung", "nodes", "cs", "wall ms", "ns/node", "alloc MB", "heap MB")
+	for _, r := range b.Rungs {
+		fmt.Fprintf(out, "  %-10s %8d %5d %10.1f %9.0f %9.1f %8.1f\n",
+			r.Name, r.Nodes, r.CS, r.WallMs, r.NsPerNode, r.AllocMB, r.HeapPeakMB)
+	}
+	if len(b.Incremental) > 0 {
+		fmt.Fprintln(out, "incremental re-synthesis (one-node edit):")
+		fmt.Fprintf(out, "  %-10s %8s %10s %10s %8s %10s\n",
+			"point", "nodes", "fresh ms", "incr ms", "speedup", "identical")
+		for _, p := range b.Incremental {
+			fmt.Fprintf(out, "  %-10s %8d %10.1f %10.1f %7.1fx %10v\n",
+				p.Name, p.Nodes, p.FreshMs, p.IncrementalMs, p.Speedup, p.Identical)
+		}
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	if compare == "" {
+		return nil
+	}
+	base, err := experiments.LoadScaleBaseline(compare)
+	if err != nil {
+		return err
+	}
+	printDeltas(out, compare, experiments.ScaleDeltas(base, b))
+	return verdict(out, experiments.CompareScale(base, b, tolerance), tolerance, compare)
+}
+
+// printDeltas renders the full per-metric comparison, pass or fail —
+// a passing run should still show where the time is drifting.
+func printDeltas(out io.Writer, compare string, deltas []experiments.Delta) {
+	fmt.Fprintf(out, "delta vs %s:\n", compare)
+	fmt.Fprintf(out, "  %-24s %12s %12s %8s\n", "metric", "baseline ms", "fresh ms", "factor")
+	for _, d := range deltas {
+		if d.OldMs <= 0 {
+			fmt.Fprintf(out, "  %-24s %12s %12.2f %8s\n", d.Name, "-", d.NewMs, "-")
+			continue
+		}
+		fmt.Fprintf(out, "  %-24s %12.2f %12.2f %7.2fx\n", d.Name, d.OldMs, d.NewMs, d.Factor())
+	}
+}
+
+func verdict(out io.Writer, regs []experiments.PerfRegression, tolerance float64, compare string) error {
 	if len(regs) == 0 {
 		fmt.Fprintf(out, "within %.0fx of %s on every measurement\n", tolerance, compare)
 		return nil

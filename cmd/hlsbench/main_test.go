@@ -93,3 +93,63 @@ func TestJSONBaseline(t *testing.T) {
 		t.Error("parallel sweep diverged from sequential")
 	}
 }
+
+// TestScaleBaseline runs only the smallest ladder rung (-maxnodes caps
+// the ladder), round-trips the snapshot, and checks that a second run
+// compared against the first prints the full delta table — the contract
+// being that -compare shows every metric, not just regressions.
+func TestScaleBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-scale", "-maxnodes", "1000", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"ns/node", "alloc MB", "incremental re-synthesis", "wrote " + path} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scale output missing %q in:\n%s", want, got)
+		}
+	}
+	b, err := experiments.LoadScaleBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rungs) != 1 || b.Rungs[0].Name != "rand1k" {
+		t.Fatalf("rungs = %+v, want just rand1k", b.Rungs)
+	}
+	if len(b.Incremental) != 1 || !b.Incremental[0].Identical {
+		t.Fatalf("incremental = %+v", b.Incremental)
+	}
+
+	out.Reset()
+	err = run(context.Background(), []string{"-scale", "-maxnodes", "1000",
+		"-out", filepath.Join(t.TempDir(), "fresh.json"), "-compare", path, "-tolerance", "1000"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = out.String()
+	for _, want := range []string{"delta vs " + path, "rung/rand1k", "inc1k/fresh", "inc1k/incremental", "within 1000x"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestScaleCompareMissingBaseline(t *testing.T) {
+	var out strings.Builder
+	err := run(context.Background(), []string{"-scale", "-maxnodes", "1000",
+		"-out", filepath.Join(t.TempDir(), "fresh.json"), "-compare", "/nonexistent/BENCH_scale.json"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "hlsbench -scale") {
+		t.Fatalf("want regenerate hint in error, got %v", err)
+	}
+}
+
+func TestScaleJSONMutuallyExclusive(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-scale", "-json"}, &out); err == nil {
+		t.Error("-scale -json accepted")
+	}
+	if err := run(context.Background(), []string{"-compare", "x.json"}, &out); err == nil {
+		t.Error("bare -compare accepted")
+	}
+}

@@ -246,6 +246,38 @@ func AllocateCtx(ctx context.Context, s *Schedule, cfg Config) (d *Design, err e
 	}, nil
 }
 
+// Incremental re-synthesis: apply a local graph edit to a finished
+// design and re-derive only the affected decisions.
+
+type (
+	// Edit is one local change to a design's graph; exactly one of its
+	// fields must be set.
+	Edit = core.Edit
+	// AddOpEdit appends an operation (Edit.AddOp).
+	AddOpEdit = core.AddOpEdit
+	// RetimeEdit changes an operation's cycle count (Edit.Retime).
+	RetimeEdit = core.RetimeEdit
+)
+
+// Resynthesize re-derives a design after a local graph edit under the
+// design's original Config, replaying the previous run's recorded
+// trajectory for the untouched prefix. The result is bit-identical to
+// synthesizing the edited graph from scratch; on a large design whose
+// edit perturbs a small cone it is orders of magnitude faster. The
+// design must come from Synthesize, ScheduleGraph, the Source variants,
+// or a previous Resynthesize (Allocate results carry no configuration
+// and are rejected).
+func Resynthesize(d *Design, e Edit) (*Design, error) {
+	return core.Resynthesize(d, e)
+}
+
+// ResynthesizeCtx is Resynthesize with cancellation, the original
+// Config's Timeout and input guards, and the facade's panic-recovery
+// boundary.
+func ResynthesizeCtx(ctx context.Context, d *Design, e Edit) (*Design, error) {
+	return core.ResynthesizeCtx(ctx, d, e)
+}
+
 // SweepPoint is one design point of a time-constraint sweep.
 type SweepPoint = core.SweepPoint
 

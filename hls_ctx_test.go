@@ -16,6 +16,7 @@ import (
 
 	hls "repro"
 	"repro/internal/benchmarks"
+	"repro/internal/gen"
 )
 
 // benchGraphs returns all six paper benchmarks — the grid the issue's
@@ -142,6 +143,52 @@ func TestBadSweepRange(t *testing.T) {
 	var le *hls.LimitError
 	if !errors.As(err, &le) {
 		t.Fatalf("oversized sweep err = %v, want *hls.LimitError", err)
+	}
+}
+
+// TestSynthesizeCtx100kNodeCancel pins the cancellation bar at the top
+// of the engine's supported size range: mid-flight cancellation of a
+// 100k-node synthesis — the guard.DefaultMaxNodes ceiling — must
+// surface within 100ms, same as the small-graph tests above. Large
+// runs use Config.NoTrace, matching the batch-mode recipe the scale
+// ladder and README document.
+func TestSynthesizeCtx100kNodeCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node graph build")
+	}
+	g, err := gen.Generate(gen.Config{Nodes: 100_000, Seed: 5, MulCycles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hls.Config{CS: g.CriticalPathCycles() + 4, NoTrace: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := hls.SynthesizeCtx(ctx, g, cfg)
+		done <- err
+	}()
+	// Let the run get deep into scheduling before pulling the plug: a
+	// 100k-node synthesis takes tens of seconds, so 250ms lands the
+	// cancel mid-flight with enormous margin against an early finish.
+	time.Sleep(250 * time.Millisecond)
+	// The 100ms bar is for normal builds; race instrumentation slows the
+	// longest poll-free stretch (frame/priority setup) about tenfold.
+	budget := 100 * time.Millisecond
+	if raceEnabled {
+		budget = time.Second
+	}
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if d := time.Since(start); d > budget {
+			t.Fatalf("synthesis returned %v after cancel, want < %v", d, budget)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("synthesis never returned after cancellation")
 	}
 }
 

@@ -83,6 +83,15 @@ type Config struct {
 	// Design for inspection via Design.Lint).
 	Lint bool
 
+	// NoTrace skips recording the move trajectory (Schedule.Trace) and
+	// the per-step candidate sets. The schedule and datapath are
+	// bit-identical either way; the run just drops the audit metadata,
+	// so lint's trace-replay analyzers have nothing to check and the
+	// design cannot seed Resynthesize's replay fast path (Resynthesize
+	// still works — it falls back to a full run). Intended for very
+	// large graphs, where trace materialization dominates the runtime.
+	NoTrace bool
+
 	// Timeout bounds the wall-clock time of one entry-point call
 	// (Synthesize, ScheduleOnly, Sweep, ...). Zero means no timeout. An
 	// expired timeout surfaces as context.DeadlineExceeded, exactly as
@@ -153,6 +162,14 @@ type Design struct {
 	limits      map[string]int
 	style2      bool
 	parallelism int
+
+	// cfg is the full configuration the design was synthesized under,
+	// captured so Resynthesize can re-run the exact same flow after a
+	// graph edit. hasCfg distinguishes a real capture from a zero value:
+	// designs assembled outside the core entry points (hls.Allocate)
+	// carry no configuration and cannot be resynthesized.
+	cfg    Config
+	hasCfg bool
 }
 
 // ScheduleOnly runs MFS on a graph.
@@ -228,6 +245,8 @@ func (d *Design) captureLintContext(cfg Config) {
 	d.limits = cfg.Limits
 	d.style2 = cfg.Style == 2
 	d.parallelism = cfg.Parallelism
+	d.cfg = cfg
+	d.hasCfg = true
 }
 
 // lintGate enforces cfg.Lint: any error-severity diagnostic fails the
@@ -386,6 +405,7 @@ func mfsOptions(cfg Config) mfs.Options {
 		Latency:        cfg.Latency,
 		PipelinedTypes: piped,
 		Parallelism:    cfg.Parallelism,
+		NoTrace:        cfg.NoTrace,
 	}
 }
 
@@ -403,6 +423,7 @@ func mfsaOptions(cfg Config) mfsa.Options {
 		UsePipelinedUnits: len(cfg.PipelinedOps) > 0,
 		Limits:            cfg.Limits,
 		RegisterInputs:    cfg.RegisterInputs,
+		NoTrace:           cfg.NoTrace,
 	}
 }
 

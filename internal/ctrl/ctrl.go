@@ -74,16 +74,33 @@ func Build(g *dfg.Graph, s *sched.Schedule, dp *rtl.Datapath) (*Controller, erro
 	for i := range states {
 		states[i].Step = i + 1
 	}
+	// One pass over the datapath instead of a FindBinding scan per node
+	// (quadratic on large designs), plus lazily built per-ALU signal →
+	// mux-select maps replacing the per-action list scans.
+	byNode := make(map[dfg.NodeID]*rtl.ALU)
+	binds := make(map[dfg.NodeID]*rtl.Binding)
+	for _, a := range dp.ALUs {
+		for i := range a.Ops {
+			byNode[a.Ops[i].Node] = a
+			binds[a.Ops[i].Node] = &a.Ops[i]
+		}
+	}
+	sels := make(map[*rtl.ALU]*muxSelects)
 	for _, n := range g.Nodes() {
 		p, ok := s.Placements[n.ID]
 		if !ok {
 			return nil, fmt.Errorf("ctrl: node %q unscheduled", n.Name)
 		}
-		a, ok := dp.FindBinding(n.ID)
+		a, ok := byNode[n.ID]
 		if !ok {
 			return nil, fmt.Errorf("ctrl: node %q unbound", n.Name)
 		}
-		act, err := action(n, a)
+		sel := sels[a]
+		if sel == nil {
+			sel = newMuxSelects(a)
+			sels[a] = sel
+		}
+		act, err := action(n, a, binds[n.ID], sel)
 		if err != nil {
 			return nil, err
 		}
@@ -114,14 +131,46 @@ func Build(g *dfg.Graph, s *sched.Schedule, dp *rtl.Datapath) (*Controller, erro
 	return c, nil
 }
 
-func action(n *dfg.Node, a *rtl.ALU) (Action, error) {
+// muxSelects maps an ALU's input signals to their L1/L2 positions.
+type muxSelects struct {
+	l1, l2 map[string]int
+}
+
+func newMuxSelects(a *rtl.ALU) *muxSelects {
+	m := &muxSelects{
+		l1: make(map[string]int, len(a.L1)),
+		l2: make(map[string]int, len(a.L2)),
+	}
+	for i, s := range a.L1 {
+		m.l1[s] = i
+	}
+	for i, s := range a.L2 {
+		m.l2[s] = i
+	}
+	return m
+}
+
+func (m *muxSelects) index1(s string) int {
+	if i, ok := m.l1[s]; ok {
+		return i
+	}
+	return -1
+}
+
+func (m *muxSelects) index2(s string) int {
+	if i, ok := m.l2[s]; ok {
+		return i
+	}
+	return -1
+}
+
+func action(n *dfg.Node, a *rtl.ALU, bind *rtl.Binding, sel *muxSelects) (Action, error) {
 	act := Action{
 		Node: n.ID, Name: n.Name, ALU: a.Name, Func: n.Op,
 		Mux1Sel: -1, Mux2Sel: -1,
 		Guards: append([]dfg.CondTag(nil), n.Excl...),
 	}
-	bind, ok := a.BindingFor(n.ID)
-	if !ok {
+	if bind == nil {
 		return act, fmt.Errorf("ctrl: node %q missing from ALU %s op list", n.Name, a.Name)
 	}
 	src1, src2 := "", ""
@@ -134,29 +183,20 @@ func action(n *dfg.Node, a *rtl.ALU) (Action, error) {
 		src1, src2 = n.Args[0], n.Args[1]
 	}
 	if src1 != "" {
-		act.Mux1Sel = indexOf(a.L1, src1)
+		act.Mux1Sel = sel.index1(src1)
 		act.Src1 = src1
 		if act.Mux1Sel < 0 {
 			return act, fmt.Errorf("ctrl: %q: signal %q missing from %s.L1", n.Name, src1, a.Name)
 		}
 	}
 	if src2 != "" {
-		act.Mux2Sel = indexOf(a.L2, src2)
+		act.Mux2Sel = sel.index2(src2)
 		act.Src2 = src2
 		if act.Mux2Sel < 0 {
 			return act, fmt.Errorf("ctrl: %q: signal %q missing from %s.L2", n.Name, src2, a.Name)
 		}
 	}
 	return act, nil
-}
-
-func indexOf(l []string, s string) int {
-	for i, x := range l {
-		if x == s {
-			return i
-		}
-	}
-	return -1
 }
 
 // ActionFor returns the action issuing node id and the 1-based position

@@ -7,6 +7,7 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/benchmarks"
@@ -140,18 +141,23 @@ func MeasurePerfCtx(ctx context.Context) (*PerfBaseline, error) {
 }
 
 // LoadPerfBaseline reads a BENCH_sweep.json snapshot written by
-// `hlsbench -json`.
+// `hlsbench -json`. Every failure names the path and says how to
+// produce a good snapshot — this error is most often seen in CI logs by
+// someone who didn't write the file, so it must carry its own context.
 func LoadPerfBaseline(path string) (*PerfBaseline, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("experiments: perf baseline %s does not exist; run `hlsbench -json -out %s` to regenerate it", path, path)
+		}
 		return nil, fmt.Errorf("experiments: perf baseline: %w", err)
 	}
 	var p PerfBaseline
 	if err := json.Unmarshal(data, &p); err != nil {
-		return nil, fmt.Errorf("experiments: perf baseline %s: %w", path, err)
+		return nil, fmt.Errorf("experiments: perf baseline %s is not valid JSON (%v); run `hlsbench -json -out %s` to regenerate it", path, err, path)
 	}
 	if p.SchemaVersion != 1 {
-		return nil, fmt.Errorf("experiments: perf baseline %s: unsupported schema_version %d", path, p.SchemaVersion)
+		return nil, fmt.Errorf("experiments: perf baseline %s: unsupported schema_version %d (this build reads version 1); run `hlsbench -json -out %s` to regenerate it", path, p.SchemaVersion, path)
 	}
 	return &p, nil
 }
@@ -167,6 +173,9 @@ type PerfRegression struct {
 func (r PerfRegression) String() string {
 	if r.Name == "sweep/identical_results" {
 		return "sweep/identical_results: parallel sweep no longer matches the sequential results"
+	}
+	if strings.HasSuffix(r.Name, "/identical_results") {
+		return r.Name + ": incremental re-synthesis no longer matches the from-scratch result"
 	}
 	return fmt.Sprintf("%s: %.2f ms, baseline %.2f ms (limit %.2f ms)", r.Name, r.NewMs, r.OldMs, r.LimitMs)
 }

@@ -1,0 +1,222 @@
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/guard"
+	"repro/internal/mfs"
+	"repro/internal/op"
+	"repro/internal/sched"
+)
+
+// fingerprint serializes a graph's full structure — names, ops, args,
+// cycles — so two graphs can be compared for exact equality.
+func fingerprint(g *dfg.Graph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|", g.Name)
+	for _, in := range g.Inputs() {
+		fmt.Fprintf(&b, "i:%s|", in)
+	}
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "%d:%s:%s:%v:%d|", n.ID, n.Name, n.Op, n.Args, n.Cycles)
+	}
+	return b.String()
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, 1 << 40} {
+		cfg := Config{Nodes: 500, Seed: seed}
+		a, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("seed %d second run: %v", seed, err)
+		}
+		if fingerprint(a) != fingerprint(b) {
+			t.Fatalf("seed %d: two runs produced different graphs", seed)
+		}
+	}
+	a, _ := Generate(Config{Nodes: 500, Seed: 1})
+	b, _ := Generate(Config{Nodes: 500, Seed: 2})
+	if fingerprint(a) == fingerprint(b) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+// connected re-derives weak connectivity from scratch, independently of
+// the generator's internal union-find.
+func connected(g *dfg.Graph) bool {
+	idx := make(map[string]int, len(g.Inputs())+g.Len())
+	next := 0
+	for _, in := range g.Inputs() {
+		idx[in] = next
+		next++
+	}
+	for _, n := range g.Nodes() {
+		idx[n.Name] = next
+		next++
+	}
+	uf := newUnionFind(next)
+	for _, n := range g.Nodes() {
+		for _, a := range n.Args {
+			uf.union(idx[n.Name], idx[a])
+		}
+	}
+	root := uf.find(0)
+	for i := 1; i < next; i++ {
+		if uf.find(i) != root {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGenerateWellFormed(t *testing.T) {
+	cases := []Config{
+		{Nodes: 1},
+		{Nodes: 2, Width: 1},
+		{Nodes: 97, Width: 5, Inputs: 3, Seed: 7},
+		{Nodes: 1000, Width: 50, MulCycles: 2, Seed: 3},
+		{Nodes: 300, Width: 300, Inputs: 300, Locality: 1, Seed: 9},
+	}
+	for _, cfg := range cases {
+		t.Run(fmt.Sprintf("n%d-w%d", cfg.Nodes, cfg.Width), func(t *testing.T) {
+			g, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Len() != cfg.Nodes {
+				t.Fatalf("got %d nodes, want %d", g.Len(), cfg.Nodes)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("invalid graph: %v", err)
+			}
+			if !connected(g) {
+				t.Fatal("graph is not weakly connected")
+			}
+			// Schedulable: frames exist at the critical-path bound, and a
+			// full MFS run succeeds and verifies.
+			cs := g.CriticalPathCycles()
+			if _, err := sched.ComputeFrames(g, cs, 0); err != nil {
+				t.Fatalf("frames at critical path %d: %v", cs, err)
+			}
+			s, err := mfs.Schedule(g, mfs.Options{CS: cs + 2})
+			if err != nil {
+				t.Fatalf("mfs: %v", err)
+			}
+			if err := s.Verify(nil); err != nil {
+				t.Fatalf("schedule verify: %v", err)
+			}
+		})
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Nodes: 0}); err == nil {
+		t.Error("Nodes 0 accepted")
+	}
+	if _, err := Generate(Config{Nodes: guard.DefaultMaxNodes + 1}); err == nil {
+		t.Error("over-limit Nodes accepted")
+	}
+	var le *guard.LimitError
+	_, err := Generate(Config{Nodes: guard.DefaultMaxNodes + 1})
+	if !errors.As(err, &le) {
+		t.Errorf("want LimitError, got %v", err)
+	}
+	if _, err := Generate(Config{Nodes: 10, Ops: []op.Kind{op.Kind(99)}}); err == nil {
+		t.Error("invalid op kind accepted")
+	}
+	if _, err := Generate(Config{Nodes: 5, MulCycles: -1}); err == nil {
+		t.Error("negative MulCycles accepted")
+	}
+}
+
+func TestFIR(t *testing.T) {
+	for _, taps := range []int{1, 2, 7, 16} {
+		g, err := FIR(taps, 2)
+		if err != nil {
+			t.Fatalf("taps %d: %v", taps, err)
+		}
+		if want := 2*taps - 1; g.Len() != want {
+			t.Fatalf("taps %d: got %d ops, want %d", taps, g.Len(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("taps %d: %v", taps, err)
+		}
+		if !connected(g) {
+			t.Fatalf("taps %d: not connected", taps)
+		}
+		if outs := g.Outputs(); len(outs) != 1 {
+			t.Fatalf("taps %d: %d outputs, want 1 (tree root)", taps, len(outs))
+		}
+	}
+	if _, err := FIR(0, 1); err == nil {
+		t.Error("FIR(0) accepted")
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		g, err := MatMul(n, 2)
+		if err != nil {
+			t.Fatalf("n %d: %v", n, err)
+		}
+		if want := n*n*n + n*n*(n-1); g.Len() != want {
+			t.Fatalf("n %d: got %d ops, want %d", n, g.Len(), want)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n %d: %v", n, err)
+		}
+		if outs := g.Outputs(); len(outs) != n*n {
+			t.Fatalf("n %d: %d outputs, want %d", n, len(outs), n*n)
+		}
+	}
+	if _, err := MatMul(0, 1); err == nil {
+		t.Error("MatMul(0) accepted")
+	}
+}
+
+// FuzzGenerate drives arbitrary config bounds through the generator: it
+// must either return a clear error or a valid, connected graph — never
+// panic, never emit a malformed graph.
+func FuzzGenerate(f *testing.F) {
+	f.Add(100, 10, 4, 2, int64(1), 2, 3)
+	f.Add(1, 0, 0, 0, int64(0), 0, 0)
+	f.Add(5000, 1, 1, 1, int64(-3), 1, 1)
+	f.Add(-7, -2, -9, -1, int64(5), -4, 100)
+	f.Fuzz(func(t *testing.T, nodes, width, inputs, mulCycles int, seed int64, locality, nkinds int) {
+		if nodes > 20000 { // keep individual fuzz cases fast
+			nodes = nodes%20000 + 1
+		}
+		var ops []op.Kind
+		if nkinds > 0 {
+			all := []op.Kind{op.Add, op.Sub, op.Mul, op.And, op.Or, op.Xor, op.Not, op.Neg}
+			for i := 0; i < nkinds%len(all)+1; i++ {
+				ops = append(ops, all[i])
+			}
+		}
+		cfg := Config{
+			Nodes: nodes, Width: width, Inputs: inputs,
+			MulCycles: mulCycles, Seed: seed, Locality: locality, Ops: ops,
+		}
+		g, err := Generate(cfg)
+		if err != nil {
+			return // rejection is fine; panics and bad graphs are not
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("cfg %+v: invalid graph: %v", cfg, err)
+		}
+		if !connected(g) {
+			t.Fatalf("cfg %+v: accepted but not connected", cfg)
+		}
+		if g.Len() != nodes {
+			t.Fatalf("cfg %+v: got %d nodes, want %d", cfg, g.Len(), nodes)
+		}
+	})
+}

@@ -322,19 +322,34 @@ type Table struct {
 	Latency   int
 	Pipelined bool
 
-	// cells is dense row-major CS × Max; a nil/empty slice is a free
-	// cell. More than one occupant only for mutually exclusive
-	// operations.
+	// cells is dense column-major: one contiguous CS-cell run per
+	// instance column, so Grow opens new columns by appending without
+	// relaying existing occupancy. A nil/empty slice is a free cell.
+	// More than one occupant only for mutually exclusive operations.
 	cells [][]dfg.NodeID
 }
 
 // NewTable returns an empty cs × max table for the given FU type.
+// Callers that discover their instance count as they go (MFSA's local
+// rescheduling) should start small — even at zero — and Grow: the
+// allocation is proportional to the columns actually opened, which on
+// large graphs is orders of magnitude below the worst-case bound.
 func NewTable(typ string, cs, max int) *Table {
 	return &Table{Type: typ, CS: cs, Max: max, cells: make([][]dfg.NodeID, cs*max)}
 }
 
+// Grow widens the table to max instance columns, keeping existing
+// occupancy. It is a no-op when the table is already that wide.
+func (t *Table) Grow(max int) {
+	if max <= t.Max {
+		return
+	}
+	t.cells = append(t.cells, make([][]dfg.NodeID, (max-t.Max)*t.CS)...)
+	t.Max = max
+}
+
 // cell returns the dense index of p, which must be in bounds.
-func (t *Table) cell(p Pos) int { return (p.Step-1)*t.Max + (p.Index - 1) }
+func (t *Table) cell(p Pos) int { return (p.Index-1)*t.CS + (p.Step - 1) }
 
 // InBounds reports whether p lies on the table.
 func (t *Table) InBounds(p Pos) bool {
@@ -382,7 +397,7 @@ func (t *Table) CanPlace(g *dfg.Graph, id dfg.NodeID, p Pos, cycles int) bool {
 	}
 	for i := 0; i < t.footRows(cycles); i++ {
 		row := t.row(p.Step, i)
-		for _, occ := range t.cells[(row-1)*t.Max+(p.Index-1)] {
+		for _, occ := range t.cells[(p.Index-1)*t.CS+(row-1)] {
 			if !g.MutuallyExclusive(id, occ) {
 				return false
 			}
@@ -398,7 +413,7 @@ func (t *Table) Place(g *dfg.Graph, id dfg.NodeID, p Pos, cycles int) error {
 		return fmt.Errorf("grid %s: cannot place node %d at %v", t.Type, id, p)
 	}
 	for i := 0; i < t.footRows(cycles); i++ {
-		c := (t.row(p.Step, i)-1)*t.Max + (p.Index - 1)
+		c := (p.Index-1)*t.CS + (t.row(p.Step, i) - 1)
 		t.cells[c] = append(t.cells[c], id)
 	}
 	return nil
@@ -411,7 +426,7 @@ func (t *Table) Remove(id dfg.NodeID, p Pos, cycles int) {
 		if row < 1 || row > t.CS || p.Index < 1 || p.Index > t.Max {
 			continue
 		}
-		c := (row-1)*t.Max + (p.Index - 1)
+		c := (p.Index-1)*t.CS + (row - 1)
 		occ := t.cells[c]
 		for j, x := range occ {
 			if x == id {
@@ -430,7 +445,7 @@ func (t *Table) UsedColumns() int {
 		if len(occ) == 0 {
 			continue
 		}
-		if idx := c%t.Max + 1; idx > max {
+		if idx := c/t.CS + 1; idx > max {
 			max = idx
 		}
 	}
@@ -446,7 +461,7 @@ func (t *Table) OccupiedFrame(g *dfg.Graph, id dfg.NodeID) Frame {
 	for c, occ := range t.cells {
 		for _, o := range occ {
 			if !g.MutuallyExclusive(id, o) {
-				s, i := c/t.Max, c%t.Max
+				s, i := c%t.CS, c/t.CS
 				f.words[s*wpr+i/64] |= uint64(1) << uint(i%64)
 				break
 			}

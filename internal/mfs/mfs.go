@@ -73,6 +73,14 @@ type Options struct {
 	// sequential, n > 1 = at most n concurrent probes. Every setting
 	// returns the identical schedule (see pool.SearchMin).
 	Parallelism int
+
+	// NoTrace skips recording the move trajectory (Schedule.Trace). The
+	// placements are unaffected; only the audit metadata is dropped. The
+	// per-step frame bitsets dominate memory on very large graphs
+	// (O(N·cs·max_j) bits across a run), so the scale ladder sets this —
+	// at the cost of the lint trace audits becoming no-ops and the
+	// schedule not being resumable (ResumeCtx falls back to a full run).
+	NoTrace bool
 }
 
 // TypeKey returns the FU-type grid an operation competes in. In pure
@@ -185,11 +193,16 @@ type scheduler struct {
 	current map[string]int
 	// placed and steps are indexed by dfg.NodeID (dense from 0);
 	// Step == 0 / steps[id] == 0 means unplaced (steps are 1-based).
-	// steps duplicates placed[id].Step so ChainFits gets its table
-	// without a per-candidate rebuild — it is maintained on commit.
+	// steps duplicates placed[id].Step so the chain filter gets its
+	// table without a per-candidate rebuild — it is maintained on commit.
 	placed []sched.Placement
 	steps  []int
-	trace  []sched.TraceStep
+	// chainAcc[id] is the accumulated combinational delay at id's output
+	// within its step (chaining only; see sched.ChainAccAt). Maintained
+	// on commit, it turns the per-candidate chain check from a full
+	// graph walk into an O(preds) lookup.
+	chainAcc []float64
+	trace    []sched.TraceStep
 }
 
 // newScheduler builds the state of one fixed-cs run. It reads g and
@@ -204,6 +217,14 @@ func newScheduler(g *dfg.Graph, cs int, opt Options, resource bool, frames sched
 		current: make(map[string]int),
 		placed:  make([]sched.Placement, g.Len()),
 		steps:   make([]int, g.Len()),
+	}
+	if !opt.NoTrace {
+		// One step per node; sized up front so the per-commit append
+		// never reallocates the whole trajectory on large graphs.
+		s.trace = make([]sched.TraceStep, 0, g.Len())
+	}
+	if opt.ClockNs > 0 {
+		s.chainAcc = make([]float64, g.Len())
 	}
 	s.initBounds(extraMax...)
 	s.initLiapunov()
@@ -343,30 +364,40 @@ func (s *scheduler) initTables() {
 // placeOne schedules one operation: frame it, walk its move frame in
 // Liapunov order, commit the first legal position, growing current_j and
 // re-framing when the frame is exhausted (local rescheduling).
+//
+// The move frame is handled analytically: MF = PF − (RF ∪ FF) of a
+// frameSet is always exactly the rectangle [lo..hi] × [1..current_j] —
+// PF − RF is that rectangle by construction, and FF cannot intersect it
+// because every predecessor contributing a forbidden row also raises lo
+// past it (windowOf keeps lo ≥ ffTop+1). So the search needs only the
+// three window bounds, never a bitset; the bitsets are materialized
+// solely for the trace record, via the same Rect/Minus/Union calls
+// frameSet has always used, so recorded traces stay byte-identical.
+// equiv_test.go pins both the schedule and the recorded frames against
+// the historical map-based reference scheduler.
 func (s *scheduler) placeOne(id dfg.NodeID) error {
 	n := s.g.Node(id)
 	typ := TypeKey(n)
 	table := s.tables[typ]
+	lo, hi, ffTop := s.windowOf(id)
 	for {
-		fs, err := s.frameSet(id)
-		if err != nil {
-			return err
-		}
-		if p, ok := s.bestPosition(table, id, n.Cycles, fs.MF); ok {
+		if p, ok := s.bestPosition(table, id, n.Cycles, lo, hi, s.current[typ]); ok {
 			if err := table.Place(s.g, id, p, n.Cycles); err != nil {
 				return fmt.Errorf("mfs: %w", err)
 			}
-			s.placed[id] = sched.Placement{Step: p.Step, Type: typ, Index: p.Index}
-			s.steps[id] = p.Step
-			// Record the decision for the Liapunov audit: the frames the
-			// operation saw, the scheduler's FU estimate, and the energy
-			// of the committed position.
-			s.trace = append(s.trace, sched.TraceStep{
-				Node: id, Type: typ,
-				PF: fs.PF, RF: fs.RF, FF: fs.FF, MF: fs.MF,
-				CurrentJ: s.current[typ], MaxJ: s.maxj[typ],
-				Pos: p, Energy: s.lf.Value(p),
-			})
+			s.commit(id, typ, p)
+			if !s.opt.NoTrace {
+				// Record the decision for the Liapunov audit: the frames
+				// the operation saw, the scheduler's FU estimate, and the
+				// energy of the committed position.
+				fs := s.buildFrameSet(typ, lo, hi, ffTop)
+				s.trace = append(s.trace, sched.TraceStep{
+					Node: id, Type: typ,
+					PF: fs.PF, RF: fs.RF, FF: fs.FF, MF: fs.MF,
+					CurrentJ: s.current[typ], MaxJ: s.maxj[typ],
+					Pos: p, Energy: s.lf.Value(p),
+				})
+			}
 			return nil
 		}
 		if s.current[typ] < s.maxj[typ] {
@@ -378,47 +409,74 @@ func (s *scheduler) placeOne(id dfg.NodeID) error {
 	}
 }
 
+// commit records a successful placement in the scheduler's incremental
+// state: the placement tables and, under chaining, the chain
+// accumulator (valid because priority order commits producers first, so
+// no successor of id is placed yet).
+func (s *scheduler) commit(id dfg.NodeID, typ string, p grid.Pos) {
+	s.placed[id] = sched.Placement{Step: p.Step, Type: typ, Index: p.Index}
+	s.steps[id] = p.Step
+	if s.opt.ClockNs > 0 {
+		s.chainAcc[id] = sched.ChainAccAt(s.g, s.steps, s.chainAcc, id, p.Step)
+	}
+}
+
 // disableOrderedWalk forces bestPosition onto the generic sorted path.
 // Tests flip it to cross-check that the ordered bit walk and the sorted
 // enumeration pick identical positions.
 var disableOrderedWalk = false
 
-// bestPosition returns the cheapest legal MF position, filtering occupied
-// cells, footprint conflicts, and chaining overflows.
+// bestPosition returns the cheapest legal position within the move
+// window [lo..hi] × [1..cur], filtering occupied cells, footprint
+// conflicts, and chaining overflows.
 //
 // Fast path: when the guiding function certifies (liapunov.Ordered) that
 // one of the grid scan orders visits positions in strictly increasing
-// energy over this table, the move frame's set bits are walked in that
-// order and the first legal bit wins — no slice materialization, no
-// sort. Otherwise the generic path enumerates the frame's positions and
-// sorts by (energy, step, index), the historical semantics; the two
-// paths agree exactly wherever the capability holds, because a strict
-// scan order with the (step, index) tie-break is precisely the sorted
-// order.
-func (s *scheduler) bestPosition(table *grid.Table, id dfg.NodeID, cycles int, mf grid.Frame) (grid.Pos, bool) {
+// energy over this table, the window is walked in that order and the
+// first legal position wins. Otherwise the generic path enumerates the
+// window's positions and sorts by (energy, step, index), the historical
+// semantics; the two paths agree exactly wherever the capability holds,
+// because a strict scan order with the (step, index) tie-break is
+// precisely the sorted order.
+func (s *scheduler) bestPosition(table *grid.Table, id dfg.NodeID, cycles, lo, hi, cur int) (grid.Pos, bool) {
+	if lo < 1 {
+		lo = 1 // Rect clamped identically; ASAP ≥ 1 makes this a no-op
+	}
 	legal := func(p grid.Pos) bool {
 		return table.CanPlace(s.g, id, p, cycles) &&
 			(s.opt.ClockNs <= 0 || s.chainOK(id, p.Step))
 	}
 	if of, ok := s.lf.(liapunov.Ordered); ok && !disableOrderedWalk {
 		if ord, ok := of.GridOrder(s.cs, table.Max); ok {
-			scan := mf.Scan
-			if ord == grid.ColMajor {
-				scan = mf.ScanColumns
-			}
-			var best grid.Pos
-			found := false
-			scan(func(p grid.Pos) bool {
-				if legal(p) {
-					best, found = p, true
-					return false
+			if ord == grid.RowMajor {
+				for step := lo; step <= hi; step++ {
+					for idx := 1; idx <= cur; idx++ {
+						if p := (grid.Pos{Step: step, Index: idx}); legal(p) {
+							return p, true
+						}
+					}
 				}
-				return true
-			})
-			return best, found
+			} else {
+				for idx := 1; idx <= cur; idx++ {
+					for step := lo; step <= hi; step++ {
+						if p := (grid.Pos{Step: step, Index: idx}); legal(p) {
+							return p, true
+						}
+					}
+				}
+			}
+			return grid.Pos{}, false
 		}
 	}
-	positions := mf.Positions()
+	var positions []grid.Pos
+	if hi >= lo && cur >= 1 {
+		positions = make([]grid.Pos, 0, (hi-lo+1)*cur)
+		for step := lo; step <= hi; step++ { // row-major, as Frame.Positions emitted
+			for idx := 1; idx <= cur; idx++ {
+				positions = append(positions, grid.Pos{Step: step, Index: idx})
+			}
+		}
+	}
 	sort.SliceStable(positions, func(i, j int) bool {
 		vi, vj := s.lf.Value(positions[i]), s.lf.Value(positions[j])
 		if vi != vj {
@@ -437,18 +495,20 @@ func (s *scheduler) bestPosition(table *grid.Table, id dfg.NodeID, cycles int, m
 	return grid.Pos{}, false
 }
 
-// frameSet computes the PF/RF/FF/MF of an operation against the current
-// placement state (see FramesFor for the exported inspection entry
-// point used to reproduce Figure 2).
-func (s *scheduler) frameSet(id dfg.NodeID) (*grid.FrameSet, error) {
+// windowOf computes an operation's move window against the current
+// placement state: the start-step range [lo..hi] and the last
+// predecessor-forbidden row ffTop (the paper's FF extent). Placed
+// predecessors raise the earliest start; placed successors lower the
+// latest start (never in priority order, kept for the inspection entry
+// point); chaining admits sharing a step, with the chainOK filter
+// verifying the delay budget. lo ≥ ffTop+1 always holds: each
+// predecessor contributing end = step+cycles−1 to ffTop also pushes
+// lo to end+1.
+func (s *scheduler) windowOf(id dfg.NodeID) (lo, hi, ffTop int) {
 	n := s.g.Node(id)
-	typ := TypeKey(n)
 	base := s.frames[id]
-	lo, hi := base.ASAP, base.ALAP
-	// Placed predecessors raise the earliest start (FF in the paper);
-	// placed successors lower the latest start. Chaining admits sharing a
-	// step; the chainOK filter verifies the delay budget.
-	ffTop := 0 // last step forbidden by predecessors
+	lo, hi = base.ASAP, base.ALAP
+	ffTop = 0 // last step forbidden by predecessors
 	for _, pid := range n.Preds() {
 		pp := s.placed[pid]
 		if pp.Step == 0 {
@@ -480,13 +540,30 @@ func (s *scheduler) frameSet(id dfg.NodeID) (*grid.FrameSet, error) {
 			hi = bound
 		}
 	}
+	return lo, hi, ffTop
+}
+
+// buildFrameSet materializes the PF/RF/FF/MF bitsets of a window — the
+// representation recorded in traces and shown by the inspection API.
+// The algebra is the historical frameSet construction verbatim, so
+// recorded frames are byte-identical to the pre-analytic scheduler's.
+func (s *scheduler) buildFrameSet(typ string, lo, hi, ffTop int) *grid.FrameSet {
 	maxj := s.maxj[typ]
 	cur := s.current[typ]
 	pf := grid.Rect(lo, hi, 1, maxj)
 	rf := grid.Rect(lo, hi, cur+1, maxj)
 	ff := grid.Rect(1, ffTop, 1, maxj)
 	mf := pf.Minus(rf.Union(ff))
-	return &grid.FrameSet{PF: pf, RF: rf, FF: ff, MF: mf}, nil
+	return &grid.FrameSet{PF: pf, RF: rf, FF: ff, MF: mf}
+}
+
+// frameSet computes the PF/RF/FF/MF of an operation against the current
+// placement state (see FramesFor for the exported inspection entry
+// point used to reproduce Figure 2).
+func (s *scheduler) frameSet(id dfg.NodeID) (*grid.FrameSet, error) {
+	n := s.g.Node(id)
+	lo, hi, ffTop := s.windowOf(id)
+	return s.buildFrameSet(TypeKey(n), lo, hi, ffTop), nil
 }
 
 func (s *scheduler) chainable(pred, succ *dfg.Node) bool {
@@ -494,12 +571,16 @@ func (s *scheduler) chainable(pred, succ *dfg.Node) bool {
 		!pred.IsLoop() && !succ.IsLoop()
 }
 
-// chainOK tentatively assigns id to step and checks every intra-step
-// combinational chain over the placed set still fits the clock period.
-// The placed-steps table is maintained incrementally as placements
-// commit (placeOne), not rebuilt here per candidate.
+// chainOK tentatively assigns id to step and checks the combinational
+// chain ending at id still fits the clock period. The incremental
+// accumulator (sched.ChainAccAt) is exact here because priority order
+// places producers before consumers: the tentative placement can only
+// extend chains ending at id, and every other chain was checked when
+// its own tail committed — the verdict matches the historical
+// full-graph ChainFits walk (pinned by the sched package's
+// TestChainAccAtMatchesChainFits).
 func (s *scheduler) chainOK(id dfg.NodeID, step int) bool {
-	return sched.ChainFits(s.g, s.opt.ClockNs, s.steps, id, step)
+	return sched.ChainAccAt(s.g, s.steps, s.chainAcc, id, step) <= s.opt.ClockNs+1e-9
 }
 
 func (s *scheduler) finish() (*sched.Schedule, error) {
@@ -515,7 +596,10 @@ func (s *scheduler) finish() (*sched.Schedule, error) {
 		}
 		out.Place(dfg.NodeID(id), p)
 	}
-	out.Trace = &sched.Trace{Fn: s.lf, Steps: s.trace}
+	if !s.opt.NoTrace {
+		out.Trace = &sched.Trace{Fn: s.lf, Steps: s.trace}
+	}
+	out.Frames = s.frames
 	if err := out.Verify(s.opt.Limits); err != nil {
 		return nil, fmt.Errorf("mfs: internal: produced illegal schedule: %w", err)
 	}

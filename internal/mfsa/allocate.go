@@ -121,7 +121,9 @@ func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
 		}
 		v, swapped := st.value(n, u, p)
 		c := candidate{unit: u, pos: p, value: v, swapped: swapped}
-		evaluated = append(evaluated, sched.TraceCandidate{Pos: p, Type: u.Name, Energy: v})
+		if !st.opt.NoTrace {
+			evaluated = append(evaluated, sched.TraceCandidate{Pos: p, Type: u.Name, Energy: v})
+		}
 		if !found || less(c, best) {
 			best, found = c, true
 		}
@@ -141,6 +143,9 @@ func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
 		if limit > st.maxInst[u.Name] {
 			limit = st.maxInst[u.Name]
 		}
+		if limit >= 1 {
+			st.tableOf(u).Grow(limit) // consider probes indexes 1..limit
+		}
 		for idx := 1; idx <= limit; idx++ {
 			consider(u, idx)
 		}
@@ -149,7 +154,7 @@ func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
 	if !found {
 		return fmt.Errorf("mfsa: no ALU for %q at step %d", n.Name, step)
 	}
-	return st.commit(n, best, evaluated)
+	return st.commit(n, best, evaluated, nil)
 }
 
 func (st *state) finishAlloc() (*Result, error) {
@@ -165,7 +170,9 @@ func (st *state) finishAlloc() (*Result, error) {
 		}
 		out.Place(dfg.NodeID(id), p)
 	}
-	out.Trace = &sched.Trace{Steps: st.trace}
+	if !st.opt.NoTrace {
+		out.Trace = &sched.Trace{Steps: st.trace}
+	}
 	if err := out.Verify(st.opt.Limits); err != nil {
 		return nil, fmt.Errorf("mfsa: allocation produced an illegal binding: %w", err)
 	}

@@ -92,6 +92,14 @@ type Options struct {
 	// inputs (by default inputs are externally registered ports, keeping
 	// register counts comparable to Table 2).
 	RegisterInputs bool
+
+	// NoTrace skips recording the placement trajectory (Schedule.Trace)
+	// and the per-step candidate sets. The schedule and datapath are
+	// bit-identical either way; the run just drops the audit metadata, so
+	// lint's trace-replay analyzers have nothing to check and the result
+	// cannot seed ResumeCtx. Intended for very large graphs, where trace
+	// materialization dominates the runtime.
+	NoTrace bool
 }
 
 // Result is a completed synthesis: the schedule (FU types are library
@@ -111,17 +119,32 @@ func Synthesize(g *dfg.Graph, opt Options) (*Result, error) {
 // every operation placement, so a cancelled run returns ctx.Err() within
 // one placement's worth of work instead of finishing the whole design.
 func SynthesizeCtx(ctx context.Context, g *dfg.Graph, opt Options) (*Result, error) {
-	if err := g.Validate(); err != nil {
+	opt, unitsByOp, err := prepare(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	frames, err := sched.ComputeFrames(g, opt.CS, opt.ClockNs)
+	if err != nil {
 		return nil, fmt.Errorf("mfsa: %w", err)
 	}
+	return synthesize(ctx, g, opt, frames, unitsByOp)
+}
+
+// prepare validates the graph, library and options, normalizes the
+// defaulted option fields, and builds the candidate-unit cache. Shared by
+// the from-scratch and resume entry points.
+func prepare(g *dfg.Graph, opt Options) (Options, map[op.Kind][]*library.Unit, error) {
+	if err := g.Validate(); err != nil {
+		return opt, nil, fmt.Errorf("mfsa: %w", err)
+	}
 	if opt.CS < 1 {
-		return nil, fmt.Errorf("mfsa: a time constraint is required")
+		return opt, nil, fmt.Errorf("mfsa: a time constraint is required")
 	}
 	if opt.Lib == nil {
 		opt.Lib = library.NCRLike()
 	}
 	if err := opt.Lib.Validate(); err != nil {
-		return nil, fmt.Errorf("mfsa: %w", err)
+		return opt, nil, fmt.Errorf("mfsa: %w", err)
 	}
 	if opt.Style == 0 {
 		opt.Style = Style1
@@ -129,7 +152,7 @@ func SynthesizeCtx(ctx context.Context, g *dfg.Graph, opt Options) (*Result, err
 	unitsByOp := make(map[op.Kind][]*library.Unit)
 	for _, n := range g.Nodes() {
 		if n.IsLoop() {
-			return nil, fmt.Errorf("mfsa: fold loops with mfs.ScheduleLoops and synthesize bodies separately (node %q)", n.Name)
+			return opt, nil, fmt.Errorf("mfsa: fold loops with mfs.ScheduleLoops and synthesize bodies separately (node %q)", n.Name)
 		}
 		us, ok := unitsByOp[n.Op]
 		if !ok {
@@ -137,13 +160,14 @@ func SynthesizeCtx(ctx context.Context, g *dfg.Graph, opt Options) (*Result, err
 			unitsByOp[n.Op] = us
 		}
 		if len(us) == 0 {
-			return nil, fmt.Errorf("mfsa: library has no unit for %q (op %v, %d cycles)", n.Name, n.Op, n.Cycles)
+			return opt, nil, fmt.Errorf("mfsa: library has no unit for %q (op %v, %d cycles)", n.Name, n.Op, n.Cycles)
 		}
 	}
-	frames, err := sched.ComputeFrames(g, opt.CS, opt.ClockNs)
-	if err != nil {
-		return nil, fmt.Errorf("mfsa: %w", err)
-	}
+	return opt, unitsByOp, nil
+}
+
+// synthesize runs the main placement loop over prepared inputs.
+func synthesize(ctx context.Context, g *dfg.Graph, opt Options, frames sched.Frames, unitsByOp map[op.Kind][]*library.Unit) (*Result, error) {
 	s := newState(g, opt, frames, unitsByOp)
 	for _, id := range sched.PriorityOrder(g, frames) {
 		if err := ctx.Err(); err != nil {
@@ -203,8 +227,15 @@ type state struct {
 	// always equals len(rtl.PackRegisters(s.intervals(nil, 0))) without
 	// rebuilding and packing the interval list per candidate. Maintained
 	// on commit; regDelta perturbs cnt in place and reverts.
+	//
+	// hist[v] counts the entries of cnt holding value v, and cntMax is an
+	// upper bound on max(cnt) that maxCnt settles lazily, so the maximum
+	// is O(1) amortized per perturbation instead of an O(CS) rescan per
+	// candidate — the dominant regDelta cost on large designs.
 	life    map[string]*lifetime
 	cnt     []int
+	hist    []int
+	cntMax  int
 	regBase int
 
 	// regDelta memo for the current candidate evaluation (one node, many
@@ -268,6 +299,11 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames, unitsByOp map[op.K
 		life:      make(map[string]*lifetime, g.Len()),
 		unitsByOp: unitsByOp,
 	}
+	if !opt.NoTrace {
+		// One step per node; sized up front so the per-commit append
+		// never reallocates the whole trajectory on large graphs.
+		s.trace = make([]sched.TraceStep, 0, g.Len())
+	}
 	s.c = liapunov.DominanceConstant(
 		opt.Lib.MaxUnitArea(),
 		2*opt.Lib.MaxMuxStep(),
@@ -283,6 +319,8 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames, unitsByOp map[op.K
 		}
 	}
 	s.cnt = make([]int, opt.CS+maxCycles+2)
+	s.hist = make([]int, 1, 16)
+	s.hist[0] = len(s.cnt)
 	s.regMemo = make([]int, opt.CS+2)
 	s.regMemoGen = make([]int, opt.CS+2)
 	if opt.RegisterInputs {
@@ -292,8 +330,27 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames, unitsByOp map[op.K
 		}
 		s.regBase = s.maxCnt()
 	}
-	// Per-unit instance bounds: a unit can never need more instances than
-	// the operations it can serve; user limits tighten that.
+	s.maxInst, s.current, _ = instanceBounds(g, opt, s.unitsByOp)
+	for _, u := range opt.Lib.Units() {
+		if s.maxInst[u.Name] > 0 && u.Pipelined() {
+			s.pipeTypes = append(s.pipeTypes, u.Name)
+		}
+	}
+	return s
+}
+
+// instanceBounds computes the per-unit instance cap and the initial
+// instance estimate a run over g starts from: a unit can never need more
+// instances than the operations it can serve (user limits tighten that),
+// and the starting estimate is the ⌈N_j/steps⌉ floor of MFS step 4, with
+// N_j counting only the operations whose cheapest implementation is this
+// unit. Units that are nobody's first choice (dearer multi-function ALUs)
+// start at zero instances: they enter the datapath through the
+// redundant-frame growth mechanism or by zero-cost reuse, never as a
+// gratuitous early-step purchase. ok is false when some node has no
+// capable unit at all (possible only for a graph the caller did not
+// validate against this library, e.g. a resume source from another run).
+func instanceBounds(g *dfg.Graph, opt Options, unitsByOp map[op.Kind][]*library.Unit) (maxInst, current map[string]int, ok bool) {
 	span := opt.CS
 	if opt.Latency > 0 && opt.Latency < span {
 		span = opt.Latency
@@ -301,7 +358,11 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames, unitsByOp map[op.K
 	capable := make(map[string]int)
 	primary := make(map[string]int)
 	for _, n := range g.Nodes() {
-		units := s.unitsFor(n)
+		units, cached := unitsByOp[n.Op]
+		if !cached {
+			units = candidateUnits(opt, n)
+			unitsByOp[n.Op] = units
+		}
 		var cheapest *library.Unit
 		for _, u := range units {
 			capable[u.Name]++
@@ -309,8 +370,13 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames, unitsByOp map[op.K
 				cheapest = u
 			}
 		}
+		if cheapest == nil {
+			return nil, nil, false
+		}
 		primary[cheapest.Name]++
 	}
+	maxInst = make(map[string]int)
+	current = make(map[string]int)
 	for _, u := range opt.Lib.Units() {
 		m := capable[u.Name]
 		if lim, ok := opt.Limits[u.Name]; ok && lim < m {
@@ -319,35 +385,33 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames, unitsByOp map[op.K
 		if m == 0 {
 			continue
 		}
-		s.maxInst[u.Name] = m
-		// The ⌈N_j/steps⌉ floor of MFS step 4, with N_j counting only
-		// the operations whose cheapest implementation is this unit.
-		// Units that are nobody's first choice (dearer multi-function
-		// ALUs) start at zero instances: they enter the datapath through
-		// the redundant-frame growth mechanism or by zero-cost reuse,
-		// never as a gratuitous early-step purchase.
-		s.current[u.Name] = (primary[u.Name] + span - 1) / span
-		if s.current[u.Name] > m {
-			s.current[u.Name] = m
+		maxInst[u.Name] = m
+		cur := (primary[u.Name] + span - 1) / span
+		if cur > m {
+			cur = m
 		}
-		if u.Pipelined() {
-			s.pipeTypes = append(s.pipeTypes, u.Name)
-		}
+		current[u.Name] = cur
 	}
-	return s
+	return maxInst, current, true
 }
 
 // tableOf returns the unit's occupancy table, creating it on first use:
 // most capable units are never grown past zero instances and never need
 // one. A unit capped to zero instances gets (and caches) a nil table,
 // exactly what the eager construction used to leave in the map for it.
+//
+// Tables start with zero columns and widen on demand (probe sites Grow
+// them to the index range they are about to touch). Sizing them to
+// maxInst up front looks harmless but is quadratic in disguise: for an
+// unbounded unit maxInst is the capable-node COUNT, so a 100k-node graph
+// would zero gigabytes of cells for columns no placement ever reaches.
 func (s *state) tableOf(u *library.Unit) *grid.Table {
 	t, ok := s.tables[u.Name]
 	if ok {
 		return t
 	}
-	if m := s.maxInst[u.Name]; m > 0 {
-		t = grid.NewTable(u.Name, s.opt.CS, m)
+	if s.maxInst[u.Name] > 0 {
+		t = grid.NewTable(u.Name, s.opt.CS, 0)
 		t.Latency = s.opt.Latency
 		t.Pipelined = u.Pipelined()
 	}
@@ -373,10 +437,11 @@ func (s *state) unitsFor(n *dfg.Node) []*library.Unit {
 func (s *state) placeOne(id dfg.NodeID) error {
 	n := s.g.Node(id)
 	units := s.unitsFor(n)
+	var grown []string // types grown by local rescheduling, for the trace
 	for {
 		best, evaluated, ok := s.bestCandidate(n, units)
 		if ok {
-			return s.commit(n, best, evaluated)
+			return s.commit(n, best, evaluated, grown)
 		}
 		// Local rescheduling: open one more instance of exactly one
 		// capable type — the cheapest with headroom — and re-frame.
@@ -397,6 +462,7 @@ func (s *state) placeOne(id dfg.NodeID) error {
 			return fmt.Errorf("mfsa: %s: no position for %q within %d steps", s.g.Name, n.Name, s.opt.CS)
 		}
 		s.current[grow.Name]++
+		grown = append(grown, grow.Name)
 	}
 }
 
@@ -415,9 +481,27 @@ func (s *state) bestCandidate(n *dfg.Node, units []*library.Unit) (candidate, []
 	evaluated := s.candBuf[:0] // commit copies what it keeps
 	found := false
 	for _, u := range units {
+		if s.maxInst[u.Name] == 0 {
+			continue // capped to zero instances (Limits); tableOf is nil
+		}
 		table := s.tableOf(u)
 		cur := s.current[u.Name]
+		table.Grow(cur) // movePositions probes indexes 1..cur
+		// Fresh-column dedup: a column with no ALU instance yet has never
+		// been placed into, so every fresh column of this unit is an empty,
+		// interchangeable copy — same occupancy, same f^ALU (full unit
+		// area), no mux lists, and an f^REG that depends only on the step.
+		// The tie-break (less: step, then name, then lowest index) would
+		// always pick the lowest-indexed one, so only the first fresh
+		// column per step is evaluated; the rest are skipped losslessly.
+		freshStep := -1
 		for _, p := range s.movePositions(table, n, lo, hi, cur) {
+			if _, exists := s.alus[cell{u.Name, p.Index}]; !exists {
+				if p.Step == freshStep {
+					continue
+				}
+				freshStep = p.Step
+			}
 			if s.opt.ClockNs > 0 && !sched.ChainFits(s.g, s.opt.ClockNs, s.steps, n.ID, p.Step) {
 				continue
 			}
@@ -426,7 +510,9 @@ func (s *state) bestCandidate(n *dfg.Node, units []*library.Unit) (candidate, []
 			}
 			v, swapped := s.value(n, u, p)
 			cand := candidate{unit: u, pos: p, value: v, swapped: swapped}
-			evaluated = append(evaluated, sched.TraceCandidate{Pos: p, Type: u.Name, Energy: v})
+			if !s.opt.NoTrace {
+				evaluated = append(evaluated, sched.TraceCandidate{Pos: p, Type: u.Name, Energy: v})
+			}
 			if !found || less(cand, best) {
 				best, found = cand, true
 			}
@@ -542,26 +628,26 @@ func (s *state) value(n *dfg.Node, u *library.Unit, p grid.Pos) (float64, bool) 
 }
 
 // muxAfter returns the two-port mux area after adding n to ALU a with the
-// best operand orientation.
+// best operand orientation. Membership probes go through the ALU's O(1)
+// memoized sets — this runs once per (reused-ALU, position) candidate, so
+// a list scan here is quadratic over a large design's bindings.
 func (s *state) muxAfter(a *rtl.ALU, n *dfg.Node) (area float64, swapped bool) {
 	l1, l2 := len(a.L1), len(a.L2)
 	args := n.Args
-	count := func(l []string, sig string) int {
-		for _, x := range l {
-			if x == sig {
-				return 0
-			}
+	count := func(present bool) int {
+		if present {
+			return 0
 		}
 		return 1
 	}
 	if len(args) == 1 {
-		return s.opt.Lib.MuxArea(l1+count(a.L1, args[0])) + s.opt.Lib.MuxArea(l2), false
+		return s.opt.Lib.MuxArea(l1+count(a.InL1(args[0]))) + s.opt.Lib.MuxArea(l2), false
 	}
-	direct := s.opt.Lib.MuxArea(l1+count(a.L1, args[0])) + s.opt.Lib.MuxArea(l2+count(a.L2, args[1]))
+	direct := s.opt.Lib.MuxArea(l1+count(a.InL1(args[0]))) + s.opt.Lib.MuxArea(l2+count(a.InL2(args[1])))
 	if !n.Op.Commutative() {
 		return direct, false
 	}
-	crossed := s.opt.Lib.MuxArea(l1+count(a.L1, args[1])) + s.opt.Lib.MuxArea(l2+count(a.L2, args[0]))
+	crossed := s.opt.Lib.MuxArea(l1+count(a.InL1(args[1]))) + s.opt.Lib.MuxArea(l2+count(a.InL2(args[0])))
 	if crossed < direct {
 		return crossed, true
 	}
@@ -670,26 +756,37 @@ func (s *state) revert(lt *lifetime, death int) {
 	}
 }
 
-// addSpan adds d to every overlap count in [lo, hi).
+// addSpan adds d to every overlap count in [lo, hi), keeping the value
+// histogram behind maxCnt in step.
 func (s *state) addSpan(lo, hi, d int) {
 	if hi > len(s.cnt) {
-		s.cnt = append(s.cnt, make([]int, hi-len(s.cnt))...)
+		grow := hi - len(s.cnt)
+		s.cnt = append(s.cnt, make([]int, grow)...)
+		s.hist[0] += grow
 	}
 	for t := lo; t < hi; t++ {
-		s.cnt[t] += d
+		v := s.cnt[t] + d
+		s.hist[s.cnt[t]]--
+		for v >= len(s.hist) {
+			s.hist = append(s.hist, 0)
+		}
+		s.hist[v]++
+		s.cnt[t] = v
+		if v > s.cntMax {
+			s.cntMax = v
+		}
 	}
 }
 
 // maxCnt returns the maximum overlap — the left-edge register count of
-// the intervals the counts describe.
+// the intervals the counts describe. cntMax only grows eagerly; after
+// decrements it is settled here by walking down the (typically short)
+// empty histogram tail.
 func (s *state) maxCnt() int {
-	m := 0
-	for _, c := range s.cnt {
-		if c > m {
-			m = c
-		}
+	for s.cntMax > 0 && s.hist[s.cntMax] == 0 {
+		s.cntMax--
 	}
-	return m
+	return s.cntMax
 }
 
 // intervals derives the value lifetimes of the committed placement,
@@ -750,9 +847,12 @@ func (s *state) intervals(extra *dfg.Node, extraStep int) []rtl.Interval {
 
 // commit places n at the chosen candidate: grid footprint, datapath
 // binding, and bookkeeping. evaluated is the full alternative set the
-// choice was made from, recorded for the Liapunov audit.
-func (s *state) commit(n *dfg.Node, c candidate, evaluated []sched.TraceCandidate) error {
+// choice was made from, recorded for the Liapunov audit; grown lists the
+// unit types local rescheduling opened while searching, recorded so a
+// replay can reproduce the instance-count trajectory.
+func (s *state) commit(n *dfg.Node, c candidate, evaluated []sched.TraceCandidate, grown []string) error {
 	table := s.tableOf(c.unit)
+	table.Grow(c.pos.Index) // replayed positions can outrun the probed width
 	if err := table.Place(s.g, n.ID, c.pos, n.Cycles); err != nil {
 		return fmt.Errorf("mfsa: %w", err)
 	}
@@ -779,6 +879,9 @@ func (s *state) commit(n *dfg.Node, c candidate, evaluated []sched.TraceCandidat
 		s.addSpan(lo, hi, 1)
 	}
 	s.regBase = s.maxCnt()
+	if s.opt.NoTrace {
+		return nil
+	}
 	var cands []sched.TraceCandidate
 	if len(evaluated) > 0 {
 		cands = append(cands, evaluated...) // own the scratch buffer's content
@@ -788,6 +891,7 @@ func (s *state) commit(n *dfg.Node, c candidate, evaluated []sched.TraceCandidat
 		CurrentJ: s.current[c.unit.Name], MaxJ: s.maxInst[c.unit.Name],
 		Pos: c.pos, Energy: c.value,
 		Candidates: cands,
+		Grown:      grown,
 	})
 	return nil
 }
@@ -805,7 +909,10 @@ func (s *state) finish() (*Result, error) {
 		}
 		out.Place(dfg.NodeID(id), p)
 	}
-	out.Trace = &sched.Trace{Steps: s.trace}
+	if !s.opt.NoTrace {
+		out.Trace = &sched.Trace{Steps: s.trace}
+	}
+	out.Frames = s.frames
 	if err := out.Verify(s.opt.Limits); err != nil {
 		return nil, fmt.Errorf("mfsa: internal: produced illegal schedule: %w", err)
 	}

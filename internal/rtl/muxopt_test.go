@@ -1,6 +1,7 @@
 package rtl
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -151,5 +152,66 @@ func TestReoptimizeMuxesNeverRegresses(t *testing.T) {
 	dp := NewDatapath(nil)
 	if dp.ReoptimizeMuxes(nil) != 0 {
 		t.Error("empty datapath reported savings")
+	}
+}
+
+// improveOnceScan is the historical quadratic sweep — two full set
+// rebuilds per candidate flip — kept as the oracle the incremental
+// refcount sweep must match flip for flip.
+func improveOnceScan(ops []MuxOp, flex []int, swapped []bool) {
+	for changed := true; changed; {
+		changed = false
+		for _, i := range flex {
+			cur := rebuildSize(ops, flex, swapped)
+			swapped[i] = !swapped[i]
+			if rebuildSize(ops, flex, swapped) < cur {
+				changed = true
+			} else {
+				swapped[i] = !swapped[i]
+			}
+		}
+	}
+}
+
+// TestImproveOnceMatchesScanOracle drives random orientation problems —
+// above the exact-search limit, with shared signals, unary and
+// non-commutative ops mixed in — through the incremental sweep and the
+// historical scan and requires identical final orientations.
+func TestImproveOnceMatchesScanOracle(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := exactSearchLimit + 1 + rng.Intn(60)
+		sigs := 2 + rng.Intn(12)
+		sig := func() string { return fmt.Sprintf("s%d", rng.Intn(sigs)) }
+		ops := make([]MuxOp, n)
+		var flex []int
+		for i := range ops {
+			switch rng.Intn(4) {
+			case 0:
+				ops[i] = MuxOp{A: sig()}
+			case 1:
+				ops[i] = MuxOp{A: sig(), B: sig()}
+			default:
+				ops[i] = MuxOp{A: sig(), B: sig(), Commutative: true}
+				flex = append(flex, i)
+			}
+		}
+		start := make([]bool, n)
+		for _, i := range flex {
+			start[i] = rng.Intn(2) == 0
+		}
+		want := append([]bool(nil), start...)
+		improveOnceScan(ops, flex, want)
+		got := append([]bool(nil), start...)
+		s1, s2 := map[string]bool{}, map[string]bool{}
+		improveOnce(ops, flex, s1, s2, got)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: orientation %d = %v, oracle %v", seed, i, got[i], want[i])
+			}
+		}
+		if len(s1)+len(s2) != rebuildSize(ops, flex, want) {
+			t.Fatalf("seed %d: rebuilt size %d, oracle %d", seed, len(s1)+len(s2), rebuildSize(ops, flex, want))
+		}
 	}
 }

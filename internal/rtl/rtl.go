@@ -36,25 +36,74 @@ type ALU struct {
 	// input (§5.7: shared lines between the same source and ALU cost one
 	// input).
 	L1, L2 []string
+
+	// l1set/l2set memoize L1/L2 membership so the growth probes the
+	// schedulers issue per candidate are O(1) instead of a list scan.
+	// They are rebuilt whenever their size drifts from the list's (which
+	// catches every append) and explicitly dropped by in-package code
+	// that replaces the lists wholesale (ReoptimizeMuxes).
+	l1set, l2set map[string]struct{}
 }
 
-// has reports whether signal s is already in list l.
-func has(l []string, s string) bool {
-	for _, x := range l {
-		if x == s {
-			return true
-		}
+// InL1 reports whether signal s already feeds the ALU's first input port.
+func (a *ALU) InL1(s string) bool {
+	if a.l1set == nil || len(a.l1set) != len(a.L1) {
+		a.l1set = buildSet(a.L1)
 	}
-	return false
+	_, ok := a.l1set[s]
+	return ok
 }
 
-// addSig appends s to l if absent, returning the list and how many new
-// entries were created (0 or 1).
-func addSig(l []string, s string) ([]string, int) {
-	if s == "" || has(l, s) {
-		return l, 0
+// InL2 reports whether signal s already feeds the ALU's second input port.
+func (a *ALU) InL2(s string) bool {
+	if a.l2set == nil || len(a.l2set) != len(a.L2) {
+		a.l2set = buildSet(a.L2)
 	}
-	return append(l, s), 1
+	_, ok := a.l2set[s]
+	return ok
+}
+
+func buildSet(l []string) map[string]struct{} {
+	m := make(map[string]struct{}, len(l))
+	for _, s := range l {
+		m[s] = struct{}{}
+	}
+	return m
+}
+
+// invalidateMuxSets drops the membership memos after a wholesale
+// replacement of L1/L2 (a same-length replacement would otherwise evade
+// the size-drift check).
+func (a *ALU) invalidateMuxSets() {
+	a.l1set, a.l2set = nil, nil
+}
+
+// addL1/addL2 append s to the port list if absent, keeping the memo in
+// step, and report how many new entries were created (0 or 1).
+func (a *ALU) addL1(s string) int {
+	if s == "" || a.InL1(s) {
+		return 0
+	}
+	a.L1 = append(a.L1, s)
+	a.l1set[s] = struct{}{}
+	return 1
+}
+
+func (a *ALU) addL2(s string) int {
+	if s == "" || a.InL2(s) {
+		return 0
+	}
+	a.L2 = append(a.L2, s)
+	a.l2set[s] = struct{}{}
+	return 1
+}
+
+// growthOf counts the new entries adding s to a port would create.
+func growthOf(present bool, s string) int {
+	if s == "" || present {
+		return 0
+	}
+	return 1
 }
 
 // MuxGrowth returns how many new multiplexer inputs binding node n to the
@@ -63,18 +112,13 @@ func addSig(l []string, s string) ([]string, int) {
 // two). It does not modify the ALU.
 func (a *ALU) MuxGrowth(n *dfg.Node, args []string) (growth int, swapped bool) {
 	if len(args) == 1 {
-		_, g := addSig(a.L1, args[0])
-		return g, false
+		return growthOf(a.InL1(args[0]), args[0]), false
 	}
-	_, g1a := addSig(a.L1, args[0])
-	_, g1b := addSig(a.L2, args[1])
-	direct := g1a + g1b
+	direct := growthOf(a.InL1(args[0]), args[0]) + growthOf(a.InL2(args[1]), args[1])
 	if !n.Op.Commutative() {
 		return direct, false
 	}
-	_, g2a := addSig(a.L1, args[1])
-	_, g2b := addSig(a.L2, args[0])
-	crossed := g2a + g2b
+	crossed := growthOf(a.InL1(args[1]), args[1]) + growthOf(a.InL2(args[0]), args[0])
 	if crossed < direct {
 		return crossed, true
 	}
@@ -88,13 +132,13 @@ func (a *ALU) Bind(n *dfg.Node, args []string, step int) {
 	b := Binding{Node: n.ID, Step: step, Swapped: swapped}
 	switch {
 	case len(args) == 1:
-		a.L1, _ = addSig(a.L1, args[0])
+		a.addL1(args[0])
 	case swapped:
-		a.L1, _ = addSig(a.L1, args[1])
-		a.L2, _ = addSig(a.L2, args[0])
+		a.addL1(args[1])
+		a.addL2(args[0])
 	default:
-		a.L1, _ = addSig(a.L1, args[0])
-		a.L2, _ = addSig(a.L2, args[1])
+		a.addL1(args[0])
+		a.addL2(args[1])
 	}
 	a.Ops = append(a.Ops, b)
 }
@@ -142,6 +186,16 @@ func (iv Interval) overlaps(o Interval) bool {
 // overlap. Left-edge first-fit is optimal for interval lifetimes — the
 // register count equals the maximum number of simultaneously live values.
 // The result is deterministic; unstored intervals are dropped.
+//
+// Because intervals arrive in birth order, a register's occupants are
+// non-overlapping and birth-sorted, so a new interval conflicts with a
+// register iff its birth precedes the register's last occupant's death.
+// First-fit therefore reduces to "leftmost register whose last death is
+// ≤ the new birth", answered in O(log R) by a segment tree over the
+// per-register last-death values (an empty register scores 0, so the
+// historical append-a-new-register fallback is the leftmost untouched
+// leaf). The packing — grouping AND order — is byte-identical to the
+// historical all-pairs scan, which the golden netlists depend on.
 func PackRegisters(ivals []Interval) [][]Interval {
 	live := make([]Interval, 0, len(ivals))
 	for _, iv := range ivals {
@@ -160,22 +214,38 @@ func PackRegisters(ivals []Interval) [][]Interval {
 		return a.Name < b.Name
 	})
 	var regs [][]Interval
-next:
+	if len(live) == 0 {
+		return regs
+	}
+	size := 1
+	for size < len(live) {
+		size <<= 1
+	}
+	// min[size+r] is register r's last death (0 = empty); internal nodes
+	// hold subtree minima. At most len(live) registers are ever needed.
+	min := make([]int, 2*size)
 	for _, iv := range live {
-		for r := range regs {
-			conflict := false
-			for _, o := range regs[r] {
-				if iv.overlaps(o) {
-					conflict = true
-					break
-				}
-			}
-			if !conflict {
-				regs[r] = append(regs[r], iv)
-				continue next
+		i := 1
+		for i < size {
+			if min[2*i] <= iv.Birth {
+				i = 2 * i
+			} else {
+				i = 2*i + 1
 			}
 		}
-		regs = append(regs, []Interval{iv})
+		r := i - size
+		if r == len(regs) {
+			regs = append(regs, nil)
+		}
+		regs[r] = append(regs[r], iv)
+		min[i] = iv.Death
+		for i >>= 1; i >= 1; i >>= 1 {
+			m := min[2*i]
+			if min[2*i+1] < m {
+				m = min[2*i+1]
+			}
+			min[i] = m
+		}
 	}
 	return regs
 }

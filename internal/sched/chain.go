@@ -45,3 +45,39 @@ func ChainFits(g *dfg.Graph, clockNs float64, placed []int, id dfg.NodeID, step 
 	}
 	return true
 }
+
+// ChainAccAt returns the accumulated combinational delay at id's output
+// if it were to start at step, given the committed placements and the
+// incrementally maintained per-node chain accumulator acc (acc[x] is
+// the delay at x's output within its step, valid for every placed x).
+// Multicycle and loop operations are boundary-aligned: their result is
+// registered, so they contribute 0 and never extend a chain.
+//
+// This is the O(preds) incremental form of the ChainFits full-graph
+// walk. It is exact under the invariant the priority-order schedulers
+// guarantee: producers commit before consumers, so when id is being
+// placed none of its successors is placed, the only chain the tentative
+// placement can change is the one ending at id, and every already-placed
+// chain was verified when its own tail committed. Callers test
+// ChainAccAt(...) ≤ clockNs (+ the usual 1e-9 slack) to accept a
+// position and store the returned value into acc[id] on commit.
+func ChainAccAt(g *dfg.Graph, placed []int, acc []float64, id dfg.NodeID, step int) float64 {
+	n := g.Node(id)
+	if n.Cycles > 1 || n.IsLoop() {
+		return 0
+	}
+	chain := 0.0
+	for _, pid := range n.Preds() {
+		if placed[pid] != step {
+			continue
+		}
+		p := g.Node(pid)
+		if p.Cycles > 1 || p.IsLoop() {
+			continue
+		}
+		if a := acc[pid]; a > chain {
+			chain = a
+		}
+	}
+	return chain + n.DelayNs
+}

@@ -1,0 +1,192 @@
+package sched
+
+import "repro/internal/dfg"
+
+// UpdateFrames re-derives ASAP/ALAP frames after a local graph edit,
+// recomputing only the cone of nodes the edit can actually affect
+// instead of the two whole-graph passes of ComputeFrames. old holds the
+// frames of the pre-edit schedule remapped onto g's node IDs (entries
+// past len(old) — freshly added nodes — are treated as unknown); seeds
+// are the IDs whose timing inputs changed: an added node, the producers
+// feeding an added or removed consumer, a retimed node. Every such node
+// MUST be seeded — the worklist only re-examines seeds and nodes a
+// changed value propagates to.
+//
+// The update handles the classic integer formulation only. Chained
+// frames (clockNs > 0) couple steps through continuous time, where a
+// local edit can shift boundary roundings arbitrarily far downstream;
+// rather than replicate that analysis, the function falls back to
+// ComputeFrames, as it also does when the edit makes the constraint
+// infeasible (so the caller always gets the exact InfeasibleError the
+// full computation would produce).
+//
+// Correctness rests on node IDs being topologically ordered (a dfg
+// invariant): the forward pass pops pending nodes in increasing ID
+// order, so every predecessor's ASAP is final before a node recomputes
+// its own, and each node is processed at most once; the backward pass
+// mirrors this in decreasing order. Cost is O(|cone| log |cone| +
+// edges(cone)).
+func UpdateFrames(g *dfg.Graph, cs int, clockNs float64, old Frames, seeds []dfg.NodeID) (Frames, error) {
+	if clockNs > 0 || cs < 1 || len(seeds) == 0 {
+		return ComputeFrames(g, cs, clockNs)
+	}
+	frames := make(Frames, g.Len())
+	copy(frames, old)
+	known := len(old)
+	if known > g.Len() {
+		known = g.Len()
+	}
+
+	// isSeed marks nodes whose own bound must be recomputed even when
+	// the recomputation yields the old value (their outgoing
+	// contribution — ASAP + cycles — may still have changed, e.g. a
+	// retime), and nodes with no trustworthy old frame (fresh IDs).
+	isSeed := make(map[dfg.NodeID]bool, len(seeds))
+	for _, id := range seeds {
+		isSeed[id] = true
+	}
+	for id := known; id < g.Len(); id++ {
+		if !isSeed[dfg.NodeID(id)] {
+			return ComputeFrames(g, cs, clockNs) // unseeded fresh node: caller bug; recover exactly
+		}
+	}
+
+	// Forward pass: min-heap on node ID over the dirty set.
+	work := newIDHeap(false)
+	inWork := make(map[dfg.NodeID]bool, len(seeds)*2)
+	add := func(id dfg.NodeID) {
+		if !inWork[id] {
+			inWork[id] = true
+			work.push(id)
+		}
+	}
+	for _, id := range seeds {
+		add(id)
+	}
+	for work.len() > 0 {
+		id := work.pop()
+		n := g.Node(id)
+		start := 1
+		for _, p := range n.Preds() {
+			if s := frames[p].ASAP + g.Node(p).Cycles; s > start {
+				start = s
+			}
+		}
+		if start+n.Cycles-1 > cs {
+			return ComputeFrames(g, cs, clockNs) // infeasible: produce the exact error
+		}
+		if start != frames[id].ASAP || isSeed[id] {
+			frames[id] = Frame{ASAP: start, ALAP: frames[id].ALAP}
+			for _, s := range n.Succs() {
+				add(s)
+			}
+		}
+	}
+
+	// Backward pass: max-heap on node ID, same structure mirrored.
+	work = newIDHeap(true)
+	for id := range inWork {
+		delete(inWork, id)
+	}
+	for _, id := range seeds {
+		add(id)
+	}
+	for work.len() > 0 {
+		id := work.pop()
+		n := g.Node(id)
+		start := cs - n.Cycles + 1
+		for _, s := range n.Succs() {
+			if v := frames[s].ALAP - n.Cycles; v < start {
+				start = v
+			}
+		}
+		if start < frames[id].ASAP {
+			return ComputeFrames(g, cs, clockNs)
+		}
+		if start != frames[id].ALAP || isSeed[id] {
+			frames[id] = Frame{ASAP: frames[id].ASAP, ALAP: start}
+			for _, p := range n.Preds() {
+				add(p)
+			}
+		}
+	}
+	return frames, nil
+}
+
+// NodesEquivalent reports whether two nodes (from different graphs) are
+// interchangeable for every input a placement decision reads: identity,
+// operation, duration, combinational delay, operand names, exclusion
+// tags, and loop-ness. It underpins trace replay in mfs.ResumeCtx and
+// mfsa.ResumeCtx: a trace step may be replayed onto a node only when the
+// recorded node is equivalent to it.
+func NodesEquivalent(a, b *dfg.Node) bool {
+	if a.Name != b.Name || a.Op != b.Op || a.Cycles != b.Cycles ||
+		a.DelayNs != b.DelayNs || a.IsLoop() != b.IsLoop() {
+		return false
+	}
+	if len(a.Args) != len(b.Args) || len(a.Excl) != len(b.Excl) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	for i := range a.Excl {
+		if a.Excl[i] != b.Excl[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// idHeap is a binary heap of node IDs, min- or max-ordered.
+type idHeap struct {
+	ids []dfg.NodeID
+	max bool
+}
+
+func newIDHeap(max bool) *idHeap { return &idHeap{max: max} }
+
+func (h *idHeap) len() int { return len(h.ids) }
+
+func (h *idHeap) before(a, b dfg.NodeID) bool {
+	if h.max {
+		return a > b
+	}
+	return a < b
+}
+
+func (h *idHeap) push(id dfg.NodeID) {
+	h.ids = append(h.ids, id)
+	for i := len(h.ids) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.before(h.ids[i], h.ids[p]) {
+			break
+		}
+		h.ids[i], h.ids[p] = h.ids[p], h.ids[i]
+		i = p
+	}
+}
+
+func (h *idHeap) pop() dfg.NodeID {
+	top := h.ids[0]
+	last := len(h.ids) - 1
+	h.ids[0] = h.ids[last]
+	h.ids = h.ids[:last]
+	for i := 0; ; {
+		b, l, r := i, 2*i+1, 2*i+2
+		if l < last && h.before(h.ids[l], h.ids[b]) {
+			b = l
+		}
+		if r < last && h.before(h.ids[r], h.ids[b]) {
+			b = r
+		}
+		if b == i {
+			break
+		}
+		h.ids[i], h.ids[b] = h.ids[b], h.ids[i]
+		i = b
+	}
+	return top
+}

@@ -1,0 +1,326 @@
+package sched_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/benchmarks"
+	"repro/internal/dfg"
+	"repro/internal/gen"
+	"repro/internal/mfs"
+	"repro/internal/op"
+	"repro/internal/sched"
+)
+
+func framesEqual(a, b sched.Frames) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestUpdateFramesRetime checks the dirty-cone update against the full
+// recomputation after retiming single nodes of generated graphs.
+func TestUpdateFramesRetime(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g, err := gen.Generate(gen.Config{Nodes: 400, Seed: seed, MulCycles: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := g.CriticalPathCycles() + 6
+		old, err := sched.ComputeFrames(g, cs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Retime every 37th node in turn (fresh clone each time so edits
+		// don't compound).
+		for id := 0; id < g.Len(); id += 37 {
+			c := g.Clone()
+			nid := dfg.NodeID(id)
+			newCycles := c.Node(nid).Cycles%3 + 1
+			if err := c.SetCycles(nid, newCycles); err != nil {
+				t.Fatal(err)
+			}
+			got, err := sched.UpdateFrames(c, cs, 0, old, []dfg.NodeID{nid})
+			if err != nil {
+				t.Fatalf("seed %d retime %d: %v", seed, id, err)
+			}
+			want, err := sched.ComputeFrames(c, cs, 0)
+			if err != nil {
+				t.Fatalf("seed %d retime %d full: %v", seed, id, err)
+			}
+			if !framesEqual(got, want) {
+				t.Fatalf("seed %d retime node %d to %d cycles: incremental != full", seed, id, newCycles)
+			}
+		}
+	}
+}
+
+// TestUpdateFramesAddNode checks the update after appending a sink node
+// consuming two existing values — the incremental re-synthesis edit.
+func TestUpdateFramesAddNode(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g, err := gen.Generate(gen.Config{Nodes: 300, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs := g.CriticalPathCycles() + 6
+		old, err := sched.ComputeFrames(g, cs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < g.Len(); i += 29 {
+			c := g.Clone()
+			a := c.Node(dfg.NodeID(i)).Name
+			b := c.Node(dfg.NodeID((i * 7) % c.Len())).Name
+			var nid dfg.NodeID
+			var err error
+			if a == b {
+				nid, err = c.AddOp("extra", op.Neg, a)
+			} else {
+				nid, err = c.AddOp("extra", op.Add, a, b)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sched.UpdateFrames(c, cs, 0, old, []dfg.NodeID{nid})
+			if err != nil {
+				t.Fatalf("seed %d add after %d: %v", seed, i, err)
+			}
+			want, err := sched.ComputeFrames(c, cs, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !framesEqual(got, want) {
+				t.Fatalf("seed %d add consuming %q,%q: incremental != full", seed, a, b)
+			}
+		}
+	}
+}
+
+// TestUpdateFramesInfeasible checks that an edit pushing the critical
+// path past cs yields the same InfeasibleError as the full computation.
+func TestUpdateFramesInfeasible(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Nodes: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := g.CriticalPathCycles() + 1
+	old, err := sched.ComputeFrames(g, cs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Clone()
+	// Stretch a node far past the slack.
+	if err := c.SetCycles(0, cs); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sched.UpdateFrames(c, cs, 0, old, []dfg.NodeID{0})
+	ie, ok := err.(*sched.InfeasibleError)
+	if !ok {
+		t.Fatalf("want InfeasibleError, got %v", err)
+	}
+	_, werr := sched.ComputeFrames(c, cs, 0)
+	if werr == nil || ie.Error() != werr.Error() {
+		t.Fatalf("incremental error %q != full error %q", err, werr)
+	}
+}
+
+// TestUpdateFramesChainedFallsBack checks that chained mode delegates to
+// the exact full computation.
+func TestUpdateFramesChainedFallsBack(t *testing.T) {
+	ex := benchmarks.Chained()
+	g := ex.Graph
+	cs := 4
+	old, err := sched.ComputeFrames(g, cs, ex.ClockNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sched.UpdateFrames(g, cs, ex.ClockNs, old, []dfg.NodeID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !framesEqual(got, old) {
+		t.Fatal("chained fallback differs from ComputeFrames")
+	}
+}
+
+// priorityOrderScan is the historical linear-scan ready-list emission,
+// kept as the oracle for the heap rewrite.
+func priorityOrderScan(g *dfg.Graph, frames sched.Frames, higher func(a, b dfg.NodeID) bool) []dfg.NodeID {
+	out := make([]dfg.NodeID, 0, g.Len())
+	pending := make([]int, g.Len())
+	var ready []dfg.NodeID
+	for _, id := range g.TopoOrder() {
+		pending[id] = len(g.Node(id).Preds())
+		if pending[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	for len(ready) > 0 {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if higher(ready[i], ready[best]) {
+				best = i
+			}
+		}
+		id := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		out = append(out, id)
+		for _, s := range g.Node(id).Succs() {
+			pending[s]--
+			if pending[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return out
+}
+
+// TestPriorityOrderMatchesScanOracle re-implements the comparator and the
+// historical O(N·W) emission and checks the heap version agrees exactly
+// wherever higher() is transitive: all six paper benchmarks (the golden
+// compatibility surface) and single-cycle generated graphs. Multicycle
+// mixes can enter the §5.3 inverted-rule region where the comparator is
+// non-transitive and no comparison order is canonical; those are covered
+// by TestPriorityOrderValid instead.
+func TestPriorityOrderMatchesScanOracle(t *testing.T) {
+	var graphs []*dfg.Graph
+	for _, ex := range benchmarks.All() {
+		graphs = append(graphs, ex.Graph)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		g, err := gen.Generate(gen.Config{Nodes: 700, Seed: seed}) // single-cycle ops only
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	for _, g := range graphs {
+		cs := g.CriticalPathCycles() + 3
+		frames, err := sched.ComputeFrames(g, cs, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		got := sched.PriorityOrder(g, frames)
+		// The oracle needs the same comparator; rebuild it from the spec.
+		earliest := make([]int, g.Len())
+		for _, id := range g.TopoOrder() {
+			e := 0
+			for _, p := range g.Node(id).Preds() {
+				if f := frames[p].ASAP + g.Node(p).Cycles - 1; f > e {
+					e = f
+				}
+			}
+			earliest[id] = e
+		}
+		higher := func(a, b dfg.NodeID) bool {
+			fa, fb := frames[a], frames[b]
+			if fa.ALAP != fb.ALAP {
+				return fa.ALAP < fb.ALAP
+			}
+			na, nb := g.Node(a), g.Node(b)
+			ma, mb := fa.Mobility(), fb.Mobility()
+			if ma != mb {
+				k := na.Cycles
+				if nb.Cycles > k {
+					k = nb.Cycles
+				}
+				d := ma - mb
+				if d < 0 {
+					d = -d
+				}
+				if k > 1 && d < k {
+					return ma > mb
+				}
+				return ma < mb
+			}
+			if earliest[a] != earliest[b] {
+				return earliest[a] < earliest[b]
+			}
+			return a < b
+		}
+		want := priorityOrderScan(g, frames, higher)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("%s: heap order differs from scan oracle", g.Name)
+		}
+	}
+}
+
+// TestPriorityOrderValid checks the structural contract on multicycle
+// graphs (where the scan oracle is not canonical): the order is a
+// permutation of all nodes, topologically consistent, and deterministic.
+func TestPriorityOrderValid(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		g, err := gen.Generate(gen.Config{Nodes: 700, Seed: seed, MulCycles: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames, err := sched.ComputeFrames(g, g.CriticalPathCycles()+3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order := sched.PriorityOrder(g, frames)
+		if len(order) != g.Len() {
+			t.Fatalf("seed %d: %d nodes emitted, want %d", seed, len(order), g.Len())
+		}
+		pos := make([]int, g.Len())
+		for i := range pos {
+			pos[i] = -1
+		}
+		for i, id := range order {
+			if pos[id] != -1 {
+				t.Fatalf("seed %d: node %d emitted twice", seed, id)
+			}
+			pos[id] = i
+		}
+		for _, n := range g.Nodes() {
+			for _, p := range n.Preds() {
+				if pos[p] > pos[n.ID] {
+					t.Fatalf("seed %d: %d before its predecessor %d", seed, n.ID, p)
+				}
+			}
+		}
+		again := sched.PriorityOrder(g, frames)
+		if fmt.Sprint(order) != fmt.Sprint(again) {
+			t.Fatalf("seed %d: order not deterministic", seed)
+		}
+	}
+}
+
+// TestChainAccAtMatchesChainFits replays a chained schedule in priority
+// order and checks the incremental chain accumulator agrees with the
+// full-graph ChainFits walk at every placement decision.
+func TestChainAccAtMatchesChainFits(t *testing.T) {
+	ex := benchmarks.Chained()
+	g := ex.Graph
+	s, err := mfs.Schedule(g, mfs.Options{CS: 4, ClockNs: ex.ClockNs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, err := sched.ComputeFrames(g, s.CS, ex.ClockNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := make([]int, g.Len())
+	acc := make([]float64, g.Len())
+	for _, id := range sched.PriorityOrder(g, frames) {
+		step := s.Placements[id].Step
+		// Probe every step in the node's frame, not just the chosen one.
+		for probe := frames[id].ASAP; probe <= frames[id].ALAP; probe++ {
+			full := sched.ChainFits(g, ex.ClockNs, placed, id, probe)
+			inc := sched.ChainAccAt(g, placed, acc, id, probe) <= ex.ClockNs+1e-9
+			if full != inc {
+				t.Fatalf("node %s at step %d: ChainFits=%v incremental=%v",
+					g.Node(id).Name, probe, full, inc)
+			}
+		}
+		acc[id] = sched.ChainAccAt(g, placed, acc, id, step)
+		placed[id] = step
+	}
+}

@@ -52,31 +52,69 @@ func PriorityOrder(g *dfg.Graph, frames Frames) []dfg.NodeID {
 	// chaining can tie ALAPs across an edge, and committing a consumer
 	// before its producer would let the consumer's placement strand the
 	// producer without a legal chain slot.
+	//
+	// The ready list is a binary heap under higher(), O(N log W) for
+	// ready-width W instead of the historical O(N·W) best-of-list scan.
+	// higher() is antisymmetric with a final ID tie-break, but the §5.3
+	// inverted rule makes it non-transitive across mixed-cycle pairs
+	// (each pair uses its own k = max cycles), so inside that region no
+	// comparison-based order is canonical — the paper breaks such ties
+	// "arbitrarily", and the heap's arbitrary choice may differ from the
+	// scan's. Outside it (equal-ALAP groups of uniform cycle count — in
+	// particular every all-single-cycle graph, and all six paper
+	// benchmarks) higher() is a strict total order and the heap pops
+	// exactly the scan's unique maximum; priority order equivalence is
+	// pinned by TestPriorityOrderMatchesScanOracle.
 	out := make([]dfg.NodeID, 0, len(ids))
 	pending := make([]int, g.Len()) // unprocessed pred count
 	for _, id := range ids {
 		pending[id] = len(g.Node(id).Preds())
 	}
 	ready := make([]dfg.NodeID, 0, len(ids))
+	push := func(id dfg.NodeID) {
+		ready = append(ready, id)
+		for i := len(ready) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !higher(ready[i], ready[p]) {
+				break
+			}
+			ready[i], ready[p] = ready[p], ready[i]
+			i = p
+		}
+	}
+	pop := func() dfg.NodeID {
+		top := ready[0]
+		last := len(ready) - 1
+		ready[0] = ready[last]
+		ready = ready[:last]
+		for i := 0; ; {
+			b, l, r := i, 2*i+1, 2*i+2
+			if l < last && higher(ready[l], ready[b]) {
+				b = l
+			}
+			if r < last && higher(ready[r], ready[b]) {
+				b = r
+			}
+			if b == i {
+				break
+			}
+			ready[i], ready[b] = ready[b], ready[i]
+			i = b
+		}
+		return top
+	}
 	for _, id := range ids {
 		if pending[id] == 0 {
-			ready = append(ready, id)
+			push(id)
 		}
 	}
 	for len(ready) > 0 {
-		best := 0
-		for i := 1; i < len(ready); i++ {
-			if higher(ready[i], ready[best]) {
-				best = i
-			}
-		}
-		id := ready[best]
-		ready = append(ready[:best], ready[best+1:]...)
+		id := pop()
 		out = append(out, id)
 		for _, s := range g.Node(id).Succs() {
 			pending[s]--
 			if pending[s] == 0 {
-				ready = append(ready, s)
+				push(s)
 			}
 		}
 	}

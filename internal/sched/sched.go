@@ -49,6 +49,12 @@ type Schedule struct {
 	// so the Liapunov audit can replay every placement decision; it is
 	// advisory metadata and plays no part in legality.
 	Trace *Trace
+
+	// Frames, when non-nil, holds the ASAP/ALAP frames the schedule was
+	// derived under. Like Trace it is advisory metadata: incremental
+	// re-synthesis (core.Resynthesize) seeds its dirty-cone frame update
+	// from it instead of recomputing both graph passes from scratch.
+	Frames Frames
 }
 
 // NewSchedule returns an empty schedule over g with cs control steps.

@@ -45,6 +45,14 @@ type TraceStep struct {
 	// Candidates lists every alternative the scheduler evaluated,
 	// including the chosen one (MFSA only; nil for MFS).
 	Candidates []TraceCandidate
+
+	// Grown lists the FU types whose running estimate current_j was
+	// incremented while placing this node, in growth order (MFSA may
+	// grow a cheaper unit than the one finally chosen, so the chosen
+	// type and CurrentJ alone cannot reconstruct the growth). Replay
+	// (mfs/mfsa ResumeCtx) applies these increments before re-committing
+	// the recorded decision.
+	Grown []string
 }
 
 // Trace is the recorded move trajectory of one scheduling run. The

@@ -170,25 +170,59 @@ func (s *Schedule) verifyConflicts(report func(diag.Diagnostic)) {
 		}
 		return cells[i].index < cells[j].index
 	})
+	// Bucketing occupants by folded control-step row turns the historical
+	// all-pairs scan (quadratic in a cell's population — ruinous when a
+	// 100k-node schedule funnels thousands of ops through one instance)
+	// into a per-row pass: only ops sharing a row can collide, and a
+	// legal schedule has at most one non-exclusive op per row. The pair
+	// set and its (a, b) sort reproduce the all-pairs report order and
+	// messages exactly.
+	type pair struct{ a, b dfg.NodeID }
+	byRow := make(map[int][]dfg.NodeID)
 	for _, c := range cells {
 		ids := byCell[c]
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for i := 0; i < len(ids); i++ {
-			for j := i + 1; j < len(ids); j++ {
-				a, b := ids[i], ids[j]
-				if !stepsOverlap(s.StepsOf(a), s.StepsOf(b)) {
-					continue
-				}
-				if g.MutuallyExclusive(a, b) {
-					continue
-				}
-				report(diag.Diagnostic{
-					Code: diag.CodeSchedFUConflict,
-					Loc:  fmt.Sprintf("%s%d", c.typ, c.index),
-					Message: fmt.Sprintf("verify %s: %q and %q collide on %s%d",
-						g.Name, g.Node(a).Name, g.Node(b).Name, c.typ, c.index),
-				})
+		for r := range byRow {
+			delete(byRow, r)
+		}
+		for _, id := range ids {
+			for _, r := range s.StepsOf(id) {
+				byRow[r] = append(byRow[r], id)
 			}
+		}
+		seen := make(map[pair]bool)
+		var conflicts []pair
+		for _, row := range byRow {
+			for i := 0; i < len(row); i++ {
+				for j := i + 1; j < len(row); j++ {
+					a, b := row[i], row[j]
+					if a > b {
+						a, b = b, a
+					}
+					if a == b || seen[pair{a, b}] {
+						continue
+					}
+					seen[pair{a, b}] = true
+					if g.MutuallyExclusive(a, b) {
+						continue
+					}
+					conflicts = append(conflicts, pair{a, b})
+				}
+			}
+		}
+		sort.Slice(conflicts, func(i, j int) bool {
+			if conflicts[i].a != conflicts[j].a {
+				return conflicts[i].a < conflicts[j].a
+			}
+			return conflicts[i].b < conflicts[j].b
+		})
+		for _, p := range conflicts {
+			report(diag.Diagnostic{
+				Code: diag.CodeSchedFUConflict,
+				Loc:  fmt.Sprintf("%s%d", c.typ, c.index),
+				Message: fmt.Sprintf("verify %s: %q and %q collide on %s%d",
+					g.Name, g.Node(p.a).Name, g.Node(p.b).Name, c.typ, c.index),
+			})
 		}
 	}
 }
@@ -213,18 +247,4 @@ func (s *Schedule) verifyLimits(limits map[string]int, report func(diag.Diagnost
 			})
 		}
 	}
-}
-
-// stepsOverlap reports whether the two step lists share an element.
-// Occupancy lists are at most a handful of steps (an op's cycle count),
-// so the quadratic scan beats building a set.
-func stepsOverlap(a, b []int) bool {
-	for _, x := range a {
-		for _, y := range b {
-			if x == y {
-				return true
-			}
-		}
-	}
-	return false
 }

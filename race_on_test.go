@@ -1,0 +1,7 @@
+//go:build race
+
+package hls_test
+
+// raceEnabled reports whether the test binary was built with -race;
+// timing bounds scale up under the instrumentation's ~10x slowdown.
+const raceEnabled = true
