@@ -1,0 +1,91 @@
+// Command hlsvet statically enforces the engine's source-level
+// invariants: determinism (maporder, noclock), cancellation discipline
+// (ctxflow), panic-recovery boundaries (guardboundary) and the
+// zero-allocation hot paths (noalloc). See internal/vet for the
+// invariant catalog and DESIGN.md §13 for why each holds.
+//
+// Two modes:
+//
+//	hlsvet ./...                  # standalone, over go list patterns
+//	hlsvet -run maporder ./...    # one analyzer only
+//	hlsvet -json ./...            # findings as typed-diagnostic JSON
+//	go vet -vettool=$(which hlsvet) ./...   # as a go vet tool
+//
+// In vettool mode cmd/go drives one package unit per invocation through
+// the vet.cfg protocol; standalone mode loads the module itself via
+// `go list -export`. Both report the same diagnostics with stable HV
+// codes and exit nonzero when any are found.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cli"
+	"repro/internal/vet"
+)
+
+//hls:guardok the pre-cli.Main calls only speak the go vet driver protocol (-V probe, vet.cfg unit) and must control os.Exit codes themselves; the real synthesis path still routes through cli.Main
+func main() {
+	// The two go vet driver entry points must bypass normal flag
+	// handling: the -V=full probe, and the trailing vet.cfg unit run.
+	if len(os.Args) == 2 && (os.Args[1] == "-V=full" || os.Args[1] == "-V") {
+		vet.PrintVersion(os.Stdout)
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		vet.PrintFlags(os.Stdout)
+		return
+	}
+	if len(os.Args) >= 2 && strings.HasSuffix(os.Args[len(os.Args)-1], ".cfg") {
+		vet.UnitcheckerMain(os.Args[1:])
+	}
+	cli.Main("hlsvet", run)
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hlsvet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (the hlslint diagnostic schema)")
+	runOnly := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("analyzers", false, "list registered analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, a := range vet.Analyzers() {
+			fmt.Fprintf(out, "%-14s %s (%s)\n", a.Name, a.Doc, strings.Join(a.Codes, ", "))
+		}
+		return nil
+	}
+	var names []string
+	if *runOnly != "" {
+		names = strings.Split(*runOnly, ",")
+	}
+	analyzers, err := vet.Select(names)
+	if err != nil {
+		return err
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ds, err := vet.Check(ctx, ".", patterns, analyzers)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		vet.PrintJSON(out, ds)
+	} else {
+		for _, d := range ds {
+			fmt.Fprintln(out, d)
+		}
+	}
+	if len(ds) > 0 {
+		return fmt.Errorf("%d invariant violation(s)", len(ds))
+	}
+	return nil
+}

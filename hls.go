@@ -165,50 +165,58 @@ type (
 // Schedule runs Move Frame Scheduling on a graph: time-constrained when
 // cfg.CS > 0, resource-constrained (minimizing control steps under
 // cfg.Limits) when cfg.CS == 0.
-func ScheduleGraph(g *Graph, cfg Config) (*Design, error) {
+func ScheduleGraph(g *Graph, cfg Config) (d *Design, err error) {
+	defer guard.Recover("hls.ScheduleGraph", &err)
 	return core.ScheduleOnly(g, cfg)
 }
 
 // ScheduleGraphCtx is ScheduleGraph with cancellation: a cancelled or
 // timed-out run (via ctx or cfg.Timeout) returns ctx.Err() promptly.
-func ScheduleGraphCtx(ctx context.Context, g *Graph, cfg Config) (*Design, error) {
+func ScheduleGraphCtx(ctx context.Context, g *Graph, cfg Config) (d *Design, err error) {
+	defer guard.Recover("hls.ScheduleGraph", &err)
 	return core.ScheduleOnlyCtx(ctx, g, cfg)
 }
 
 // Synthesize runs Move Frame Scheduling-Allocation on a graph, producing
 // a schedule, a bound RTL datapath, a controller and a cost breakdown.
-func Synthesize(g *Graph, cfg Config) (*Design, error) {
+func Synthesize(g *Graph, cfg Config) (d *Design, err error) {
+	defer guard.Recover("hls.Synthesize", &err)
 	return core.Synthesize(g, cfg)
 }
 
 // SynthesizeCtx is Synthesize with cancellation: a cancelled or
 // timed-out run (via ctx or cfg.Timeout) returns ctx.Err() within one
 // placement's worth of work, never a partial design.
-func SynthesizeCtx(ctx context.Context, g *Graph, cfg Config) (*Design, error) {
+func SynthesizeCtx(ctx context.Context, g *Graph, cfg Config) (d *Design, err error) {
+	defer guard.Recover("hls.Synthesize", &err)
 	return core.SynthesizeCtx(ctx, g, cfg)
 }
 
 // SynthesizeSource parses a behavioral description (see ParseBehavior
 // for the language) and synthesizes it with MFSA.
-func SynthesizeSource(src string, cfg Config) (*Design, error) {
+func SynthesizeSource(src string, cfg Config) (d *Design, err error) {
+	defer guard.Recover("hls.SynthesizeSource", &err)
 	return core.SynthesizeSource(src, cfg)
 }
 
 // SynthesizeSourceCtx is SynthesizeSource with cancellation.
-func SynthesizeSourceCtx(ctx context.Context, src string, cfg Config) (*Design, error) {
+func SynthesizeSourceCtx(ctx context.Context, src string, cfg Config) (d *Design, err error) {
+	defer guard.Recover("hls.SynthesizeSource", &err)
 	return core.SynthesizeSourceCtx(ctx, src, cfg)
 }
 
 // ScheduleSource parses a behavioral description and schedules it with
 // MFS, folding nested loops per the paper's §5.2.
-func ScheduleSource(src string, cfg Config) (*Design, error) {
-	d, _, err := core.ScheduleSource(src, cfg)
+func ScheduleSource(src string, cfg Config) (d *Design, err error) {
+	defer guard.Recover("hls.ScheduleSource", &err)
+	d, _, err = core.ScheduleSource(src, cfg)
 	return d, err
 }
 
 // ScheduleSourceCtx is ScheduleSource with cancellation.
-func ScheduleSourceCtx(ctx context.Context, src string, cfg Config) (*Design, error) {
-	d, _, err := core.ScheduleSourceCtx(ctx, src, cfg)
+func ScheduleSourceCtx(ctx context.Context, src string, cfg Config) (d *Design, err error) {
+	defer guard.Recover("hls.ScheduleSource", &err)
+	d, _, err = core.ScheduleSourceCtx(ctx, src, cfg)
 	return d, err
 }
 
@@ -267,14 +275,16 @@ type (
 // design must come from Synthesize, ScheduleGraph, the Source variants,
 // or a previous Resynthesize (Allocate results carry no configuration
 // and are rejected).
-func Resynthesize(d *Design, e Edit) (*Design, error) {
+func Resynthesize(d *Design, e Edit) (out *Design, err error) {
+	defer guard.Recover("hls.Resynthesize", &err)
 	return core.Resynthesize(d, e)
 }
 
 // ResynthesizeCtx is Resynthesize with cancellation, the original
 // Config's Timeout and input guards, and the facade's panic-recovery
 // boundary.
-func ResynthesizeCtx(ctx context.Context, d *Design, e Edit) (*Design, error) {
+func ResynthesizeCtx(ctx context.Context, d *Design, e Edit) (out *Design, err error) {
+	defer guard.Recover("hls.Resynthesize", &err)
 	return core.ResynthesizeCtx(ctx, d, e)
 }
 
@@ -286,13 +296,15 @@ type SweepPoint = core.SweepPoint
 // points with the Pareto frontier marked. Points are synthesized
 // concurrently on cfg.Parallelism workers (0 = GOMAXPROCS); results are
 // identical at every parallelism setting.
-func Sweep(g *Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
+func Sweep(g *Graph, cfg Config, csLo, csHi int) (pts []SweepPoint, err error) {
+	defer guard.Recover("hls.Sweep", &err)
 	return core.Sweep(g, cfg, csLo, csHi)
 }
 
 // SweepCtx is Sweep with cancellation: cfg.Timeout bounds the whole
 // sweep, and a cancelled run returns ctx.Err(), never partial points.
-func SweepCtx(ctx context.Context, g *Graph, cfg Config, csLo, csHi int) ([]SweepPoint, error) {
+func SweepCtx(ctx context.Context, g *Graph, cfg Config, csLo, csHi int) (pts []SweepPoint, err error) {
+	defer guard.Recover("hls.Sweep", &err)
 	return core.SweepCtx(ctx, g, cfg, csLo, csHi)
 }
 
@@ -300,12 +312,14 @@ func SweepCtx(ctx context.Context, g *Graph, cfg Config, csLo, csHi int) ([]Swee
 // pool, flattening the graphs × constraints grid into independent
 // synthesis jobs. The result is indexed like gs; each row carries its
 // own Pareto marks and equals the corresponding Sweep call exactly.
-func SweepGraphs(gs []*Graph, cfg Config, csLo, csHi int) ([][]SweepPoint, error) {
+func SweepGraphs(gs []*Graph, cfg Config, csLo, csHi int) (pts [][]SweepPoint, err error) {
+	defer guard.Recover("hls.SweepGraphs", &err)
 	return core.SweepGraphs(gs, cfg, csLo, csHi)
 }
 
 // SweepGraphsCtx is SweepGraphs with cancellation; see SweepCtx.
-func SweepGraphsCtx(ctx context.Context, gs []*Graph, cfg Config, csLo, csHi int) ([][]SweepPoint, error) {
+func SweepGraphsCtx(ctx context.Context, gs []*Graph, cfg Config, csLo, csHi int) (pts [][]SweepPoint, err error) {
+	defer guard.Recover("hls.SweepGraphs", &err)
 	return core.SweepGraphsCtx(ctx, gs, cfg, csLo, csHi)
 }
 
@@ -315,7 +329,8 @@ func SweepGraphsCtx(ctx context.Context, gs []*Graph, cfg Config, csLo, csHi int
 // the usual operators with precedence and parentheses, `@k` multicycle
 // annotations, `if/else` blocks (mutual exclusion), and nested
 // `loop ... cycles k binds ... yields ...` blocks (folded loops).
-func ParseBehavior(src string) (*Graph, map[string]int64, error) {
+func ParseBehavior(src string) (g *Graph, consts map[string]int64, err error) {
+	defer guard.Recover("hls.ParseBehavior", &err)
 	return behav.BuildSource(src)
 }
 
@@ -328,18 +343,21 @@ func RandomInputs(g *Graph, seed int64) map[string]int64 {
 
 // ForceDirected runs HAL-style force-directed scheduling under a time
 // constraint.
-func ForceDirected(g *Graph, cs int) (*Schedule, error) {
+func ForceDirected(g *Graph, cs int) (s *Schedule, err error) {
+	defer guard.Recover("hls.ForceDirected", &err)
 	return baseline.ForceDirected(g, cs)
 }
 
 // ListSchedule runs priority list scheduling under resource limits
 // (op-symbol keyed).
-func ListSchedule(g *Graph, limits map[string]int) (*Schedule, error) {
+func ListSchedule(g *Graph, limits map[string]int) (s *Schedule, err error) {
+	defer guard.Recover("hls.ListSchedule", &err)
 	return baseline.List(g, limits)
 }
 
 // ASAPSchedule returns the as-soon-as-possible schedule.
-func ASAPSchedule(g *Graph) (*Schedule, error) {
+func ASAPSchedule(g *Graph) (s *Schedule, err error) {
+	defer guard.Recover("hls.ASAPSchedule", &err)
 	return baseline.ASAP(g)
 }
 
@@ -368,12 +386,14 @@ const (
 
 // Lint runs the static verification analyzers over a unit; see
 // Design.Lint for the common case of auditing a synthesis result.
-func Lint(u *LintUnit, opts LintOptions) (Diagnostics, error) {
+func Lint(u *LintUnit, opts LintOptions) (ds Diagnostics, err error) {
+	defer guard.Recover("hls.Lint", &err)
 	return lint.Run(u, opts)
 }
 
 // LintCtx is Lint with cancellation.
-func LintCtx(ctx context.Context, u *LintUnit, opts LintOptions) (Diagnostics, error) {
+func LintCtx(ctx context.Context, u *LintUnit, opts LintOptions) (ds Diagnostics, err error) {
+	defer guard.Recover("hls.Lint", &err)
 	return lint.RunCtx(ctx, u, opts)
 }
 
@@ -403,13 +423,15 @@ type (
 // emitted netlist, with counterexamples confirmed against the
 // simulator. See Design.Certify for the common case of certifying a
 // synthesis result.
-func Certify(u *LintUnit) (*Certificate, error) {
+func Certify(u *LintUnit) (c *Certificate, err error) {
+	defer guard.Recover("hls.Certify", &err)
 	return lint.Certify(context.Background(), u)
 }
 
 // CertifyCtx is Certify with cancellation; a cancelled run returns
 // ctx.Err() plus the partial certificate gathered so far.
-func CertifyCtx(ctx context.Context, u *LintUnit) (*Certificate, error) {
+func CertifyCtx(ctx context.Context, u *LintUnit) (c *Certificate, err error) {
+	defer guard.Recover("hls.Certify", &err)
 	return lint.Certify(ctx, u)
 }
 
@@ -420,6 +442,7 @@ func CertifyCtx(ctx context.Context, u *LintUnit) (*Certificate, error) {
 func Mutations() []Mutation { return lint.Mutations() }
 
 // ApplyMutation corrupts a unit in place with the named mutation.
-func ApplyMutation(u *LintUnit, name string) error {
+func ApplyMutation(u *LintUnit, name string) (err error) {
+	defer guard.Recover("hls.ApplyMutation", &err)
 	return lint.ApplyMutation(u, name)
 }

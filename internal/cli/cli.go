@@ -20,6 +20,8 @@ import (
 	"runtime/pprof"
 	"syscall"
 	"time"
+
+	"repro/internal/guard"
 )
 
 // Main is the body of every tool's func main: it builds a context that
@@ -27,9 +29,18 @@ import (
 // os.Stdout, and on error prints "<tool>: <err>" to stderr and exits 1.
 // A cancelled run therefore reports context.Canceled rather than dying
 // mid-write.
+//
+// Main is also the panic-recovery boundary every cmd/ tool relies on
+// (hlsvet's guardboundary analyzer verifies this): a panic anywhere
+// below run is converted into a *guard.InternalError and reported
+// through the ordinary error exit path instead of killing the process
+// with a bare stack trace.
 func Main(tool string, run func(ctx context.Context, args []string, out io.Writer) error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	err := run(ctx, os.Args[1:], os.Stdout)
+	err := func() (err error) {
+		defer guard.Recover(tool, &err)
+		return run(ctx, os.Args[1:], os.Stdout)
+	}()
 	stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, tool+":", err)

@@ -122,6 +122,9 @@ func SweepGraphsCtx(ctx context.Context, gs []*dfg.Graph, cfg Config, csLo, csHi
 	var jobs []job
 	counts := make([]int, len(gs))
 	for gi, g := range gs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if g == nil {
 			return nil, fmt.Errorf("core: sweep graphs: nil graph at %d", gi)
 		}
@@ -157,6 +160,7 @@ func SweepGraphsCtx(ctx context.Context, gs []*dfg.Graph, cfg Config, csLo, csHi
 	}
 	out = make([][]SweepPoint, len(gs))
 	next := 0
+	//hls:ctxok assembles results the pooled workers already computed; O(points) slicing after the cancellable phase is over
 	for gi := range gs {
 		if counts[gi] == 0 {
 			continue

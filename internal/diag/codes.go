@@ -81,6 +81,20 @@ const (
 	CodeEquivNetlist   = "HL0602" // netlist symbolic value diverges from the DFG reference
 	CodeEquivRegister  = "HL0603" // cross-step operand not held by any register over its span
 	CodeEquivStructure = "HL0604" // artifact defect blocks symbolic execution of a value
+
+	// Static source invariants (HV00xx), reported by internal/vet /
+	// cmd/hlsvet against the engine's own Go source rather than against
+	// synthesized artifacts. Same registry discipline as the HL codes:
+	// meanings are frozen, retirement leaves gaps.
+	CodeVetHatchReason = "HV0001" // //hls: escape-hatch annotation carries no justification
+	CodeVetMapOrder    = "HV0002" // map iteration order can reach synthesis results
+	CodeVetWallClock   = "HV0011" // wall-clock read inside a deterministic package
+	CodeVetGlobalRand  = "HV0012" // global math/rand state: results depend on process-wide seeding
+	CodeVetCtxDropped  = "HV0021" // live context discarded for context.Background/TODO
+	CodeVetCtxNoPoll   = "HV0022" // loop in an exported *Ctx entry point never polls cancellation
+	CodeVetNoBoundary  = "HV0031" // facade/cmd entry point lacks a guard.Recover boundary
+	CodeVetAllocOp     = "HV0041" // heap-allocating construct in a //hls:noalloc function
+	CodeVetAllocCall   = "HV0042" // //hls:noalloc function calls an un-vetted callee
 )
 
 // Docs is the code registry: every live code and its contract.
@@ -152,4 +166,14 @@ var Docs = map[string]string{
 	CodeEquivNetlist:   "netlist symbolic value diverges from the DFG reference",
 	CodeEquivRegister:  "cross-step operand not held by any register over its span",
 	CodeEquivStructure: "artifact defect blocks symbolic execution of a value",
+
+	CodeVetHatchReason: "//hls: escape-hatch annotation carries no justification",
+	CodeVetMapOrder:    "map iteration order can reach synthesis results",
+	CodeVetWallClock:   "wall-clock read inside a deterministic package",
+	CodeVetGlobalRand:  "global math/rand state: results depend on process-wide seeding",
+	CodeVetCtxDropped:  "live context discarded for context.Background/TODO",
+	CodeVetCtxNoPoll:   "loop in an exported *Ctx entry point never polls cancellation",
+	CodeVetNoBoundary:  "facade/cmd entry point lacks a guard.Recover boundary",
+	CodeVetAllocOp:     "heap-allocating construct in a //hls:noalloc function",
+	CodeVetAllocCall:   "//hls:noalloc function calls an un-vetted callee",
 }

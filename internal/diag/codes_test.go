@@ -59,7 +59,7 @@ func codeConstants(t *testing.T) map[string]string {
 // carries no orphan entries for codes that no longer exist.
 func TestCodeRegistryComplete(t *testing.T) {
 	codes := codeConstants(t)
-	wellFormed := regexp.MustCompile(`^HL\d{4}$`)
+	wellFormed := regexp.MustCompile(`^H[LV]\d{4}$`)
 	byValue := make(map[string]string, len(codes))
 	for name, v := range codes {
 		if !wellFormed.MatchString(v) {

@@ -126,6 +126,7 @@ func Table1Ctx(ctx context.Context) (*report.Table, error) {
 	t := report.New("Table 1 — MFS results for the six design examples",
 		"Ex", "Cyc", "Feat", "T", "FUs", "FUs (pipelined)")
 	var jobs []exJob
+	//hls:ctxok enumerates the six fixed benchmark examples; the synthesis work below it is cancelled through parRows
 	for _, ex := range benchmarks.All() {
 		for _, cs := range ex.TimeConstraints {
 			jobs = append(jobs, exJob{ex, cs})
@@ -171,6 +172,7 @@ func Table2Ctx(ctx context.Context) (*report.Table, error) {
 		style mfsa.Style
 	}
 	var jobs []styleJob
+	//hls:ctxok enumerates the six fixed benchmark examples; the synthesis work below it is cancelled through parRows
 	for _, ex := range benchmarks.All() {
 		for _, style := range []mfsa.Style{mfsa.Style1, mfsa.Style2} {
 			jobs = append(jobs, styleJob{ex, style})

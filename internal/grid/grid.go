@@ -62,10 +62,13 @@ type Frame struct {
 	words      []uint64
 }
 
+//hls:noalloc
 func wordsPerRow(max int) int { return (max + 63) / 64 }
 
 // maskRange returns a word with bits lo..hi (0-based, inclusive,
 // 0 <= lo <= hi <= 63) set.
+//
+//hls:noalloc
 func maskRange(lo, hi int) uint64 {
 	m := ^uint64(0) << uint(lo)
 	if hi < 63 {
@@ -78,6 +81,8 @@ func maskRange(lo, hi int) uint64 {
 // Bounds below 1 are clamped (positions are 1-based); empty or inverted
 // ranges yield an empty frame. The fill is one masked word row copied to
 // every step — a single allocation regardless of area.
+//
+//hls:noalloc
 func Rect(stepLo, stepHi, idxLo, idxHi int) Frame {
 	if stepLo < 1 {
 		stepLo = 1
@@ -89,6 +94,7 @@ func Rect(stepLo, stepHi, idxLo, idxHi int) Frame {
 		return Frame{}
 	}
 	wpr := wordsPerRow(idxHi)
+	//hls:allocok the result's single backing array, O(1) per call (pinned by TestFrameAlgebraAllocs)
 	f := Frame{steps: stepHi, max: idxHi, words: make([]uint64, stepHi*wpr)}
 	first := (stepLo - 1) * wpr
 	for w := 0; w < wpr; w++ {
@@ -115,6 +121,8 @@ func Rect(stepLo, stepHi, idxLo, idxHi int) Frame {
 // into f. For OR, f's bounding box must contain src's. Word layouts align
 // across different widths because a position's bit offset within its row
 // depends only on its index, never on the frame's max.
+//
+//hls:noalloc
 func (f *Frame) accumulate(src Frame, clear bool) {
 	wpr, swpr := wordsPerRow(f.max), wordsPerRow(src.max)
 	steps, w := src.steps, swpr
@@ -154,6 +162,8 @@ func (f *Frame) accumulate(src Frame, clear bool) {
 }
 
 // Union returns f ∪ o.
+//
+//hls:noalloc
 func (f Frame) Union(o Frame) Frame {
 	steps, max := f.steps, f.max
 	if o.steps > steps {
@@ -165,6 +175,7 @@ func (f Frame) Union(o Frame) Frame {
 	if steps == 0 || max == 0 {
 		return Frame{}
 	}
+	//hls:allocok the result's single backing array, O(1) per call (pinned by TestFrameAlgebraAllocs)
 	out := Frame{steps: steps, max: max, words: make([]uint64, steps*wordsPerRow(max))}
 	out.accumulate(f, false)
 	out.accumulate(o, false)
@@ -172,16 +183,21 @@ func (f Frame) Union(o Frame) Frame {
 }
 
 // Minus returns f − o.
+//
+//hls:noalloc
 func (f Frame) Minus(o Frame) Frame {
 	if f.steps == 0 {
 		return Frame{}
 	}
+	//hls:allocok the result's single backing array, O(1) per call (pinned by TestFrameAlgebraAllocs)
 	out := Frame{steps: f.steps, max: f.max, words: append([]uint64(nil), f.words...)}
 	out.accumulate(o, true)
 	return out
 }
 
 // Contains reports membership.
+//
+//hls:noalloc
 func (f Frame) Contains(p Pos) bool {
 	if p.Step < 1 || p.Step > f.steps || p.Index < 1 || p.Index > f.max {
 		return false
@@ -193,6 +209,8 @@ func (f Frame) Contains(p Pos) bool {
 // Add inserts p, growing the bounding box if needed. Positions below
 // (1,1) are rejected. Add mutates the frame in place (the only Frame
 // operation that does), re-packing the words when the box grows.
+//
+//hls:noalloc
 func (f *Frame) Add(p Pos) {
 	if p.Step < 1 || p.Index < 1 {
 		return
@@ -205,6 +223,7 @@ func (f *Frame) Add(p Pos) {
 		if p.Index > max {
 			max = p.Index
 		}
+		//hls:allocok the grow path re-packs into a wider box; in-bounds Adds never reach it
 		grown := Frame{steps: steps, max: max, words: make([]uint64, steps*wordsPerRow(max))}
 		grown.accumulate(*f, false)
 		*f = grown
@@ -214,6 +233,8 @@ func (f *Frame) Add(p Pos) {
 }
 
 // Empty reports whether the frame has no positions.
+//
+//hls:noalloc
 func (f Frame) Empty() bool {
 	for _, w := range f.words {
 		if w != 0 {
@@ -224,6 +245,8 @@ func (f Frame) Empty() bool {
 }
 
 // Len returns the number of positions in the frame.
+//
+//hls:noalloc
 func (f Frame) Len() int {
 	n := 0
 	for _, w := range f.words {
@@ -253,6 +276,8 @@ func (f Frame) Equal(o Frame) bool {
 // yield returns false, and reports whether the walk ran to completion.
 // For a time-constrained Liapunov function V = x + n·y with n greater
 // than every index, this order is strictly increasing energy.
+//
+//hls:noalloc
 func (f Frame) Scan(yield func(Pos) bool) bool {
 	wpr := wordsPerRow(f.max)
 	for s := 0; s < f.steps; s++ {
@@ -276,6 +301,8 @@ func (f Frame) Scan(yield func(Pos) bool) bool {
 // returns false, and reports whether the walk ran to completion. For a
 // resource-constrained Liapunov function V = cs·x + y with cs greater
 // than every step, this order is strictly increasing energy.
+//
+//hls:noalloc
 func (f Frame) ScanColumns(yield func(Pos) bool) bool {
 	wpr := wordsPerRow(f.max)
 	for i := 0; i < f.max; i++ {
@@ -349,9 +376,13 @@ func (t *Table) Grow(max int) {
 }
 
 // cell returns the dense index of p, which must be in bounds.
+//
+//hls:noalloc
 func (t *Table) cell(p Pos) int { return (p.Index-1)*t.CS + (p.Step - 1) }
 
 // InBounds reports whether p lies on the table.
+//
+//hls:noalloc
 func (t *Table) InBounds(p Pos) bool {
 	return p.Step >= 1 && p.Step <= t.CS && p.Index >= 1 && p.Index <= t.Max
 }
@@ -368,6 +399,8 @@ func (t *Table) At(p Pos) []dfg.NodeID {
 // row returns the folded occupancy row for cycle i of an operation
 // starting at step, honoring structural pipelining and latency folding.
 // Rows beyond CS are returned as-is so callers can reject them.
+//
+//hls:noalloc
 func (t *Table) row(step, i int) int {
 	r := step + i
 	if t.Latency > 0 {
@@ -378,6 +411,8 @@ func (t *Table) row(step, i int) int {
 
 // footRows returns how many rows an operation of the given duration
 // occupies (its conflict footprint).
+//
+//hls:noalloc
 func (t *Table) footRows(cycles int) int {
 	if t.Pipelined {
 		return 1
@@ -389,6 +424,8 @@ func (t *Table) footRows(cycles int) int {
 // graph g) can start at position p: the whole footprint stays on the
 // table and every already-occupied footprint cell holds only operations
 // mutually exclusive with id.
+//
+//hls:noalloc
 func (t *Table) CanPlace(g *dfg.Graph, id dfg.NodeID, p Pos, cycles int) bool {
 	// The completion bound always uses the full duration: even on a
 	// pipelined unit the operation must finish within the schedule.
@@ -398,6 +435,7 @@ func (t *Table) CanPlace(g *dfg.Graph, id dfg.NodeID, p Pos, cycles int) bool {
 	for i := 0; i < t.footRows(cycles); i++ {
 		row := t.row(p.Step, i)
 		for _, occ := range t.cells[(p.Index-1)*t.CS+(row-1)] {
+			//hls:allocok dfg.MutuallyExclusive is two loops over the (tiny) Excl tag slices; it allocates nothing
 			if !g.MutuallyExclusive(id, occ) {
 				return false
 			}

@@ -147,6 +147,7 @@ func RunCtx(ctx context.Context, u *Unit, opts Options) (diag.List, error) {
 		return nil, err
 	}
 	var all diag.List
+	//hls:ctxok stitches analyzer names onto findings the pooled analyzers already produced; nothing here blocks
 	for i, ds := range results {
 		for _, d := range ds {
 			if d.Analyzer == "" {

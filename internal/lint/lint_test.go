@@ -373,7 +373,9 @@ func TestRegistryIsSortedAndDocumented(t *testing.T) {
 			t.Errorf("registry not sorted: %s before %s", as[i-1].Name, a.Name)
 		}
 	}
-	codeRe := regexp.MustCompile(`^HL\d{4}$`)
+	// HL = artifact lint (this package), HV = source invariants
+	// (internal/vet); both live in the shared diag catalog.
+	codeRe := regexp.MustCompile(`^H[LV]\d{4}$`)
 	for code, doc := range diag.Docs {
 		if !codeRe.MatchString(code) {
 			t.Errorf("malformed code %q", code)

@@ -269,6 +269,7 @@ func (s *scheduler) initBounds(extraMax ...int) {
 	for _, n := range s.g.Nodes() {
 		counts[TypeKey(n)]++
 	}
+	//hls:orderok every write is keyed by typ and reads only typ's own entries; iterations are independent
 	for typ, nj := range counts {
 		if lim, ok := s.opt.Limits[typ]; ok {
 			s.maxj[typ] = lim
@@ -324,6 +325,7 @@ func (s *scheduler) concurrency(start func(sched.Frame) int) map[string]int {
 		}
 	}
 	out := make(map[string]int, len(perStep))
+	//hls:orderok per-typ max fold; max is commutative and each key is independent
 	for typ, steps := range perStep {
 		for _, c := range steps {
 			if c > out[typ] {
@@ -344,6 +346,7 @@ func (s *scheduler) initLiapunov() {
 		return
 	}
 	n := 1
+	//hls:orderok max fold over the bound values; commutative
 	for _, m := range s.maxj {
 		if m > n {
 			n = m
@@ -353,6 +356,7 @@ func (s *scheduler) initLiapunov() {
 }
 
 func (s *scheduler) initTables() {
+	//hls:orderok builds one independent table per typ, written keyed; no cross-key state
 	for typ, m := range s.maxj {
 		t := grid.NewTable(typ, s.cs, m)
 		t.Latency = s.opt.Latency

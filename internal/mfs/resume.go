@@ -138,6 +138,7 @@ func intMapsEqual(a, b map[string]int) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	//hls:orderok set-equality test; the verdict is the same whatever order the keys arrive in
 	for k, v := range a {
 		if bv, ok := b[k]; !ok || bv != v {
 			return false

@@ -48,6 +48,9 @@ func AllocateCtx(ctx context.Context, s *sched.Schedule, opt Options) (*Result, 
 	opt.Latency = s.Latency
 	unitsByOp := make(map[op.Kind][]*library.Unit)
 	for _, n := range g.Nodes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if n.IsLoop() {
 			return nil, fmt.Errorf("mfsa: Allocate does not bind loop nodes (node %q)", n.Name)
 		}
@@ -131,6 +134,7 @@ func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
 	for _, u := range units {
 		// Existing instances plus one fresh column per unit type.
 		maxIdx := 0
+		//hls:orderok max fold over instance indexes; commutative
 		for key := range st.alus {
 			if key.unit == u.Name && key.index > maxIdx {
 				maxIdx = key.index

@@ -262,6 +262,8 @@ type lifetime struct {
 // signal occupies a register, mirroring intervals(): no consumer means
 // one boundary of storage; a consumer chained into the birth step means
 // none (hi == lo).
+//
+//hls:noalloc
 func (lt *lifetime) span() (lo, hi int) {
 	d := lt.death
 	if d == 0 {
@@ -665,6 +667,8 @@ var checkRegDelta = false
 // count — and reverted; no interval list is built and nothing allocates.
 // The answer depends only on the step, so it is memoized per candidate
 // evaluation (memoGen).
+//
+//hls:noalloc
 func (s *state) regDelta(n *dfg.Node, step int) int {
 	if s.regMemoGen[step] == s.memoGen {
 		return s.regMemo[step]
@@ -691,6 +695,7 @@ func (s *state) regDelta(n *dfg.Node, step int) int {
 		for i := nt - 1; i >= 0; i-- {
 			s.revert(touched[i], saved[i])
 		}
+		//hls:allocok cold fallback for >4 live args — unreachable with the library's binary ops
 		return s.regDeltaSlow(n, step)
 	}
 	after := s.maxCnt()
@@ -702,6 +707,7 @@ func (s *state) regDelta(n *dfg.Node, step int) int {
 		d = 0
 	}
 	if checkRegDelta {
+		//hls:allocok oracle cross-check, enabled only by the equivalence test
 		if want := s.regDeltaSlow(n, step); want != d {
 			panic(fmt.Sprintf("mfsa: regDelta(%s, %d) = %d, pack-and-diff oracle says %d",
 				n.Name, step, d, want))
@@ -728,6 +734,8 @@ func (s *state) regDeltaSlow(n *dfg.Node, step int) int {
 // consume extends lt's life to a consumer at the given step, updating the
 // overlap counts. A first consumer chained into the birth step shrinks
 // the span: the one-boundary hold of a value nobody read yet disappears.
+//
+//hls:noalloc
 func (s *state) consume(lt *lifetime, step int) {
 	if step <= lt.death {
 		return
@@ -744,6 +752,8 @@ func (s *state) consume(lt *lifetime, step int) {
 }
 
 // revert undoes a consume by restoring the saved death step.
+//
+//hls:noalloc
 func (s *state) revert(lt *lifetime, death int) {
 	_, hi0 := lt.span()
 	lt.death = death
@@ -758,9 +768,12 @@ func (s *state) revert(lt *lifetime, death int) {
 
 // addSpan adds d to every overlap count in [lo, hi), keeping the value
 // histogram behind maxCnt in step.
+//
+//hls:noalloc
 func (s *state) addSpan(lo, hi, d int) {
 	if hi > len(s.cnt) {
 		grow := hi - len(s.cnt)
+		//hls:allocok amortized grow of the overlap-count scratch; steady-state spans stay in place
 		s.cnt = append(s.cnt, make([]int, grow)...)
 		s.hist[0] += grow
 	}
@@ -768,6 +781,7 @@ func (s *state) addSpan(lo, hi, d int) {
 		v := s.cnt[t] + d
 		s.hist[s.cnt[t]]--
 		for v >= len(s.hist) {
+			//hls:allocok amortized grow of the histogram scratch, bounded by the peak register count
 			s.hist = append(s.hist, 0)
 		}
 		s.hist[v]++
@@ -782,6 +796,8 @@ func (s *state) addSpan(lo, hi, d int) {
 // the intervals the counts describe. cntMax only grows eagerly; after
 // decrements it is settled here by walking down the (typically short)
 // empty histogram tail.
+//
+//hls:noalloc
 func (s *state) maxCnt() int {
 	for s.cntMax > 0 && s.hist[s.cntMax] == 0 {
 		s.cntMax--

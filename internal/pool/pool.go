@@ -190,6 +190,7 @@ func SearchMinCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T,
 		}
 		results := make([]probe, w)
 		var wg sync.WaitGroup
+		//hls:ctxok spawns at most `workers` probes; the enclosing window loop polls ctx before and after every window
 		for j := 0; j < w; j++ {
 			wg.Add(1)
 			go func(j int) {

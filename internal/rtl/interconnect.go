@@ -91,6 +91,7 @@ func AnalyzeInterconnect(g *dfg.Graph, s *sched.Schedule, dp *Datapath) (*Interc
 		}
 	}
 
+	//hls:orderok writes are keyed by ALU name, source lists are sorted before use, and the counters are commutative += folds
 	for name, ports := range perPort {
 		var srcs [2][]string
 		for i := 0; i < 2; i++ {

@@ -104,6 +104,7 @@ func (s *Schedule) Utilization() map[string]float64 {
 		busy[p.Type] += cyc
 	}
 	out := make(map[string]float64, len(busy))
+	//hls:orderok each utilization entry is computed from typ's own counters and written keyed
 	for typ, cycles := range busy {
 		inst := s.InstancesPerType()[typ]
 		if inst == 0 || span == 0 {

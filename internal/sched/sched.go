@@ -127,6 +127,7 @@ func (s *Schedule) TypeNames() []string {
 // String renders a compact per-step listing for debugging.
 func (s *Schedule) String() string {
 	byStep := make(map[int][]string)
+	//hls:orderok each step's bucket is sorted before rendering, so the listing is identical across runs
 	for id, p := range s.Placements {
 		n := s.Graph.Node(id)
 		byStep[p.Step] = append(byStep[p.Step],

@@ -154,6 +154,7 @@ func (s *Schedule) verifyConflicts(report func(diag.Diagnostic)) {
 		index int
 	}
 	byCell := make(map[cell][]dfg.NodeID)
+	//hls:orderok occupant lists are sorted per cell before any pair is examined, so report order is map-order free
 	for id := range s.Placements {
 		p := s.Placements[id]
 		c := cell{p.Type, p.Index}

@@ -55,6 +55,7 @@ func RunPipelinedCtx(ctx context.Context, s *sched.Schedule, inputs []map[string
 		if err != nil {
 			return nil, fmt.Errorf("sim: iteration %d reference: %w", k, err)
 		}
+		//hls:ctxok O(nodes) value comparison; the enclosing iteration loop is cancelled through RunCtx
 		for _, n := range s.Graph.Nodes() {
 			if vals[n.Name] != want[n.Name] {
 				return nil, fmt.Errorf("sim: iteration %d: %q = %d, reference %d",

@@ -178,6 +178,7 @@ func CrossCheckCtx(ctx context.Context, s *sched.Schedule, dp *rtl.Datapath, inp
 	if err != nil {
 		return err
 	}
+	//hls:ctxok O(nodes) value comparison after the cancellable simulation already returned
 	for _, n := range s.Graph.Nodes() {
 		if got[n.Name] != want[n.Name] {
 			return fmt.Errorf("sim: %q = %d, reference says %d", n.Name, got[n.Name], want[n.Name])

@@ -1,0 +1,187 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// ctxflow protects the cancellation guarantees of the context plumbing:
+// every entry point answers a cancelled context within one placement's
+// worth of work, which holds only if (a) the context actually flows to
+// the work and (b) the work's loops poll it.
+//
+// Rule 1 (HV0021): inside any function that receives a context.Context,
+// passing context.Background() or context.TODO() to a callee severs the
+// caller's cancellation (and deadline) from the work it requested. The
+// live context — or a child derived from it — must flow instead.
+//
+// Rule 2 (HV0022): in an exported function whose name ends in "Ctx"
+// (the library's naming contract for cancellable entry points), every
+// loop that does real work — calls a function or contains a nested
+// loop — must be able to observe cancellation: some expression of type
+// context.Context must appear inside the loop, either polled directly
+// (ctx.Err(), ctx.Done()) or passed to the callee doing the work.
+// Loops inside function literals are exempt: closures typically run on
+// the worker pool, whose dispatcher owns the polling.
+//
+// Escape hatch: //hls:ctxok <why>.
+var ctxflowAnalyzer = &Analyzer{
+	Name:  "ctxflow",
+	Doc:   "contexts must flow: no Background/TODO where a live ctx exists, no unpolled working loops in *Ctx entry points",
+	Codes: []string{diag.CodeVetCtxDropped, diag.CodeVetCtxNoPoll, diag.CodeVetHatchReason},
+	Run:   runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasContextParam(p.Info, fd.Type) {
+				checkDroppedCtx(p, fd.Body)
+				if fd.Name.IsExported() && strings.HasSuffix(fd.Name.Name, "Ctx") {
+					checkLoopPolls(p, fd)
+				}
+			}
+		}
+	}
+}
+
+func hasContextParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			// A parameter declared as _ cannot flow anywhere; the
+			// function opted out of cancellation explicitly.
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					return true
+				}
+			}
+			if len(field.Names) == 0 {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// checkDroppedCtx flags context.Background()/TODO() calls in a body
+// that already holds a live context. Nested function literals with
+// their own context parameter are skipped — they are their own scope.
+func checkDroppedCtx(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && hasContextParam(p.Info, fl.Type) {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(p.Info, call)
+		name := ""
+		switch {
+		case isPkgFunc(obj, "context", "Background"):
+			name = "Background"
+		case isPkgFunc(obj, "context", "TODO"):
+			name = "TODO"
+		default:
+			return true
+		}
+		if p.Hatched(call, "ctxok") {
+			return true
+		}
+		p.Reportf(call.Pos(), diag.CodeVetCtxDropped,
+			"context.%s() inside a function that already holds a context: the caller's cancellation no longer reaches this work; thread the live ctx (or a child of it), or annotate //hls:ctxok <why>",
+			name)
+		return true
+	})
+}
+
+// checkLoopPolls flags working loops in an exported *Ctx entry point
+// that contain no context-typed expression at all.
+func checkLoopPolls(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if !loopDoesWork(p.Info, body) || loopSeesContext(p.Info, body) {
+			return true
+		}
+		if p.Hatched(n, "ctxok") {
+			return true
+		}
+		p.Reportf(n.Pos(), diag.CodeVetCtxNoPoll,
+			"loop in exported entry point %s does work but never observes its context: poll ctx.Err() (or pass ctx to the callee) so cancellation stays under the latency bar, or annotate //hls:ctxok <why>",
+			fd.Name.Name)
+		return true
+	})
+}
+
+// loopDoesWork reports whether the loop body calls a non-builtin
+// function or contains a nested loop — the shapes whose per-iteration
+// cost is unbounded from the loop's own text.
+func loopDoesWork(info *types.Info, body *ast.BlockStmt) bool {
+	work := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			work = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+					return true
+				}
+			}
+			if _, isConv := info.Types[n.Fun]; isConv && info.Types[n.Fun].IsType() {
+				return true
+			}
+			work = true
+		}
+		return true
+	})
+	return work
+}
+
+// loopSeesContext reports whether any expression of type
+// context.Context appears in the body — a direct poll, a derived
+// sub-context, or a ctx argument to the worker callee all count.
+func loopSeesContext(info *types.Info, body *ast.BlockStmt) bool {
+	seen := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if seen {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if t := info.TypeOf(e); t != nil && isContextType(t) {
+			seen = true
+		}
+		return true
+	})
+	return seen
+}

@@ -1,0 +1,168 @@
+package vet
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+// The fixture harness: an analysistest in miniature. Each unit under
+// testdata/src/<analyzer>/<case>/ is parsed and type-checked against
+// the real module's export data, presented under a chosen import path
+// (so package-sensitive analyzers see the path they key on), and run
+// through exactly one analyzer. Expectations live in the fixtures as
+// `// want "regex"` comments; the harness demands an exact per-line
+// match in both directions — every want satisfied, every diagnostic
+// wanted.
+
+// fixtureUnit maps one fixture directory to the analyzer it exercises
+// and the import path it impersonates.
+type fixtureUnit struct {
+	analyzer string // registry name
+	dir      string // under testdata/src
+	pkgPath  string // presented import path
+}
+
+var fixtureUnits = []fixtureUnit{
+	{"maporder", "maporder/critical", "repro/internal/sched"},
+	{"maporder", "maporder/noncritical", "repro/internal/report"},
+	{"noclock", "noclock/critical", "repro/internal/sched"},
+	{"noclock", "noclock/allowed", "repro/internal/experiments"},
+	{"ctxflow", "ctxflow/flow", "repro/internal/sched"},
+	{"guardboundary", "guardboundary/facade", "repro"},
+	{"guardboundary", "guardboundary/cmdbad", "repro/cmd/fixbad"},
+	{"guardboundary", "guardboundary/cmdgood", "repro/cmd/fixgood"},
+	{"guardboundary", "guardboundary/climain", "repro/internal/cli"},
+	{"noalloc", "noalloc/hot", "repro/internal/grid"},
+}
+
+// wantRe extracts the quoted pattern from a `// want "..."` comment.
+// The quoted part is a Go string literal, so fixtures can escape
+// backquotes and quotes the usual way.
+var wantRe = regexp.MustCompile(`// want ("(?:[^"\\]|\\.)*")`)
+
+// loadModuleExports runs the go list export step once for the whole
+// test binary; every fixture unit type-checks against the same index.
+func loadModuleExports(t *testing.T) map[string]string {
+	t.Helper()
+	_, exports, err := goList("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	return exports
+}
+
+func TestFixtures(t *testing.T) {
+	exports := loadModuleExports(t)
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+
+	for _, fu := range fixtureUnits {
+		fu := fu
+		t.Run(fu.dir, func(t *testing.T) {
+			a, ok := byName[fu.analyzer]
+			if !ok {
+				t.Fatalf("no analyzer named %q in the registry", fu.analyzer)
+			}
+			dir := filepath.Join("testdata", "src", filepath.FromSlash(fu.dir))
+			files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+			if err != nil || len(files) == 0 {
+				t.Fatalf("no fixture files in %s: %v", dir, err)
+			}
+			sort.Strings(files)
+
+			fset := token.NewFileSet()
+			unit, err := checkUnit(fset, exports, fu.pkgPath, fu.pkgPath, files, true)
+			if err != nil {
+				t.Fatalf("type-checking fixture %s as %s: %v", fu.dir, fu.pkgPath, err)
+			}
+			got := RunUnit(fset, unit, []*Analyzer{a})
+
+			wants := collectWants(t, files)
+			checkExpectations(t, wants, got)
+		})
+	}
+}
+
+// wantKey addresses one fixture line.
+type wantKey struct {
+	file string // base name
+	line int
+}
+
+// collectWants scans fixture sources line by line for want comments.
+func collectWants(t *testing.T, files []string) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", name, err)
+		}
+		base := filepath.Base(name)
+		line := 1
+		start := 0
+		for i := 0; i <= len(data); i++ {
+			if i == len(data) || data[i] == '\n' {
+				text := string(data[start:i])
+				for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+					pat, err := strconv.Unquote(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", base, line, m[1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", base, line, pat, err)
+					}
+					k := wantKey{base, line}
+					wants[k] = append(wants[k], re)
+				}
+				line++
+				start = i + 1
+			}
+		}
+	}
+	return wants
+}
+
+// checkExpectations demands a bijection between wants and diagnostics:
+// each diagnostic must satisfy (and consume) a want on its exact line,
+// and every want must be consumed.
+func checkExpectations(t *testing.T, wants map[wantKey][]*regexp.Regexp, got []Diagnostic) {
+	t.Helper()
+	for _, d := range got {
+		k := wantKey{filepath.Base(d.Posn.Filename), d.Posn.Line}
+		rendered := fmt.Sprintf("%s: %s", d.Code, d.Message)
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(rendered) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				if len(wants[k]) == 0 {
+					delete(wants, k)
+				}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", k.file, k.line, rendered)
+		}
+	}
+	var leftover []string
+	for k, res := range wants {
+		for _, re := range res {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: want %q", k.file, k.line, re.String()))
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Errorf("expectation not satisfied: %s", l)
+	}
+}

@@ -1,0 +1,177 @@
+package vet
+
+import (
+	"go/ast"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// guardboundary closes the "new endpoint forgets panic recovery" hole:
+// once the engine runs as a long-lived service, a panic that crosses the
+// public surface kills the host process. The invariant is that every
+// road from outside into internal/ passes a guard.Recover boundary.
+//
+// Three surfaces are checked:
+//
+//   - the hls facade (the module root package): every exported,
+//     error-returning function that calls into a repro/internal package
+//     must itself establish `defer guard.Recover(...)`. Delegating to a
+//     sibling facade function is fine — the sibling is checked too.
+//     Exported functions without an error result (constructors,
+//     accessors) cannot convert a panic and are exempt; they do no
+//     synthesis work.
+//   - cmd/* main functions: main must route through cli.Main (the
+//     sanctioned boundary helper) before touching any other internal
+//     package, or establish its own guard.Recover.
+//   - internal/cli.Main itself must establish the recovery it promises,
+//     so the helper the rule trusts is verified, not assumed.
+//
+// Escape hatch: //hls:guardok <why> on the function declaration.
+var guardboundaryAnalyzer = &Analyzer{
+	Name:  "guardboundary",
+	Doc:   "facade and cmd entry points establish guard.Recover before calling into internal packages",
+	Codes: []string{diag.CodeVetNoBoundary, diag.CodeVetHatchReason},
+	Run:   runGuardboundary,
+}
+
+func runGuardboundary(p *Pass) {
+	base := strings.TrimSuffix(p.PkgPath, "_test")
+	switch {
+	case base == "repro":
+		checkFacade(p)
+	case strings.HasPrefix(base, "repro/cmd/"):
+		checkCmdMain(p)
+	case base == "repro/internal/cli":
+		checkBoundaryHelper(p)
+	}
+}
+
+func checkFacade(p *Pass) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !returnsError(p, fd) {
+				continue
+			}
+			if internalCall := firstInternalCall(p, fd.Body, nil); internalCall != "" &&
+				!hasDeferredRecover(p, fd.Body) && !p.HatchedDecl(fd, "guardok") {
+				p.Reportf(fd.Name.Pos(), diag.CodeVetNoBoundary,
+					"exported facade function %s calls %s without `defer guard.Recover`: a panic below it would crash the host process; add the boundary or annotate //hls:guardok <why>",
+					fd.Name.Name, internalCall)
+			}
+		}
+	}
+}
+
+func checkCmdMain(p *Pass) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil || fd.Name.Name != "main" {
+				continue
+			}
+			// cli.Main is the sanctioned boundary; any other internal
+			// call from main needs its own recovery.
+			allowed := func(path, name string) bool {
+				return path == "repro/internal/cli" && name == "Main"
+			}
+			if internalCall := firstInternalCall(p, fd.Body, allowed); internalCall != "" &&
+				!hasDeferredRecover(p, fd.Body) && !p.HatchedDecl(fd, "guardok") {
+				p.Reportf(fd.Name.Pos(), diag.CodeVetNoBoundary,
+					"func main calls %s outside the cli.Main boundary: route the tool through cli.Main or `defer guard.Recover`, or annotate //hls:guardok <why>",
+					internalCall)
+			}
+		}
+	}
+}
+
+func checkBoundaryHelper(p *Pass) {
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv != nil || fd.Name.Name != "Main" {
+				continue
+			}
+			if !hasDeferredRecover(p, fd.Body) && !p.HatchedDecl(fd, "guardok") {
+				p.Reportf(fd.Name.Pos(), diag.CodeVetNoBoundary,
+					"cli.Main is the boundary helper every cmd trusts but establishes no `defer guard.Recover` itself")
+			}
+		}
+	}
+}
+
+func returnsError(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, field := range fd.Type.Results.List {
+		if t := p.Info.TypeOf(field.Type); t != nil && isErrorType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDeferredRecover reports whether the body (at any depth, including
+// inside function literals — cli.Main wraps its run callback in one)
+// defers a call to guard.Recover.
+func hasDeferredRecover(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(calleeObj(p.Info, ds.Call), "repro/internal/guard", "Recover") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// firstInternalCall returns a printable name of the first call into a
+// repro/internal package in the body ("" if none), skipping callees the
+// allowed filter accepts.
+func firstInternalCall(p *Pass, body *ast.BlockStmt, allowed func(path, name string) bool) string {
+	name := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(p.Info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		path := obj.Pkg().Path()
+		if !strings.HasPrefix(path, "repro/internal/") {
+			return true
+		}
+		if allowed != nil && allowed(path, obj.Name()) {
+			return true
+		}
+		name = path[strings.LastIndex(path, "/")+1:] + "." + obj.Name()
+		return true
+	})
+	return name
+}

@@ -1,0 +1,130 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// Escape hatches. Every analyzer has exactly one annotation key that
+// silences it at one site:
+//
+//	//hls:orderok <why>   — maporder
+//	//hls:clockok <why>   — noclock
+//	//hls:ctxok   <why>   — ctxflow
+//	//hls:guardok <why>   — guardboundary
+//	//hls:allocok <why>   — noalloc
+//
+// The annotation attaches to the line it shares with the flagged
+// construct, to the line immediately above it, or (for function-level
+// findings) to any line of the declaration's doc comment. The
+// justification string is mandatory: a bare annotation suppresses the
+// original finding but reports HV0001 instead, so silencing a check
+// always costs one written sentence of explanation.
+//
+// //hls:noalloc is not a hatch but a marker: it opts a function into the
+// noalloc analyzer (see noalloc.go). It takes no justification.
+
+// buildHatches indexes every //hls: comment by file and line.
+func buildHatches(fset *token.FileSet, files []*ast.File) map[*token.File]map[int]string {
+	out := make(map[*token.File]map[int]string)
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		lines := make(map[int]string)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "hls:") {
+					continue
+				}
+				lines[fset.Position(c.Pos()).Line] = strings.TrimPrefix(text, "hls:")
+			}
+		}
+		if len(lines) > 0 {
+			out[tf] = lines
+		}
+	}
+	return out
+}
+
+// hatchAt returns the //hls:<key> annotation text on the given line of
+// pos's file, with found=false when none is present.
+func (p *Pass) hatchAt(pos token.Pos, line int, key string) (reason string, found bool) {
+	tf := p.Fset.File(pos)
+	if tf == nil {
+		return "", false
+	}
+	text, ok := p.hatches[tf][line]
+	if !ok {
+		return "", false
+	}
+	rest, ok := strings.CutPrefix(text, key)
+	if !ok || (rest != "" && !strings.HasPrefix(rest, " ")) {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// Hatched reports whether node n is silenced by a //hls:<key>
+// annotation on its line or the line above. An annotation with no
+// justification still silences the finding but reports HV0001, so every
+// hatch in the tree carries its reason.
+func (p *Pass) Hatched(n ast.Node, key string) bool {
+	line := p.Fset.Position(n.Pos()).Line
+	for _, l := range [2]int{line, line - 1} {
+		if reason, ok := p.hatchAt(n.Pos(), l, key); ok {
+			if reason == "" {
+				p.Reportf(n.Pos(), diag.CodeVetHatchReason,
+					"//hls:%s needs a justification: say why the %s invariant does not apply here", key, p.Analyzer.Name)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// HatchedDecl is Hatched extended to a declaration's doc comment, for
+// function-granularity findings.
+func (p *Pass) HatchedDecl(d *ast.FuncDecl, key string) bool {
+	if p.Hatched(d, key) {
+		return true
+	}
+	if d.Doc == nil {
+		return false
+	}
+	for _, c := range d.Doc.List {
+		line := p.Fset.Position(c.Pos()).Line
+		if reason, ok := p.hatchAt(c.Pos(), line, key); ok {
+			if reason == "" {
+				p.Reportf(c.Pos(), diag.CodeVetHatchReason,
+					"//hls:%s needs a justification: say why the %s invariant does not apply here", key, p.Analyzer.Name)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// funcMarked reports whether the declaration carries the //hls:<key>
+// marker (same placement rules as a hatch, no justification needed).
+func (p *Pass) funcMarked(d *ast.FuncDecl, key string) bool {
+	line := p.Fset.Position(d.Pos()).Line
+	for _, l := range [2]int{line, line - 1} {
+		if _, ok := p.hatchAt(d.Pos(), l, key); ok {
+			return true
+		}
+	}
+	if d.Doc != nil {
+		for _, c := range d.Doc.List {
+			if _, ok := p.hatchAt(c.Pos(), p.Fset.Position(c.Pos()).Line, key); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,248 @@
+package vet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The standalone loader: `hlsvet ./...` without a go vet driver. It
+// shells out to `go list -deps -test -export -json`, which compiles
+// export data for every dependency through the build cache (no network,
+// no golang.org/x/tools), then type-checks each module package from
+// source against that export data.
+//
+// Each package yields up to three units, mirroring how cmd/go compiles
+// it: the plain package, the package including its in-package _test.go
+// files (reported only for test-file positions, so the overlap never
+// double-reports), and the external _test package.
+
+// Check loads patterns in dir and runs the analyzers over every unit,
+// returning the aggregated, deterministically sorted findings. The
+// context is polled between units so a cancelled run stops promptly.
+func Check(ctx context.Context, dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	units, err := LoadPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, lu := range units {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		all = append(all, RunUnit(lu.Fset, lu.Unit, analyzers)...)
+	}
+	SortDiagnostics(all)
+	return all, nil
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Standard     bool
+	Export       string
+	ForTest      string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Module       *struct{ Path string }
+	Error        *struct{ Err string }
+	DepOnly      bool
+	Incomplete   bool
+	TestImports  []string
+	XTestImports []string
+}
+
+// LoadedUnit pairs a unit with the file set it was parsed into.
+type LoadedUnit struct {
+	Fset *token.FileSet
+	Unit *Unit
+}
+
+// LoadPackages lists patterns in dir, type-checks every module package
+// (plus its test compilations), and returns the units in deterministic
+// order. Hard type-check or list failures abort the load: the invariant
+// suite must never silently skip code it cannot see.
+func LoadPackages(dir string, patterns []string) ([]LoadedUnit, error) {
+	pkgs, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Module packages matching the patterns, plain compilations only:
+	// DepOnly packages are dependencies the caller did not ask about
+	// (and whose test-only imports carry no export data here), and
+	// variants like "p [q.test]" and the synthesized ".test" mains are
+	// skipped — their sources are covered by the units built below.
+	var roots []*listedPackage
+	for _, lp := range pkgs {
+		if lp.DepOnly || lp.Standard || lp.Module == nil || lp.Module.Path != "repro" {
+			continue
+		}
+		if strings.Contains(lp.ImportPath, " [") || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported by hlsvet", lp.ImportPath)
+		}
+		roots = append(roots, lp)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var units []LoadedUnit
+	for _, lp := range roots {
+		plain, err := checkUnit(fset, exports, lp.ImportPath, lp.ImportPath,
+			absFiles(lp.Dir, lp.GoFiles), true)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, LoadedUnit{fset, plain})
+		if len(lp.TestGoFiles) > 0 {
+			t, err := checkUnit(fset, exports, lp.ImportPath, lp.ImportPath,
+				absFiles(lp.Dir, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)), false)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, LoadedUnit{fset, t})
+		}
+		if len(lp.XTestGoFiles) > 0 {
+			x, err := checkUnit(fset, exports, lp.ImportPath+"_test", lp.ImportPath,
+				absFiles(lp.Dir, lp.XTestGoFiles), true)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, LoadedUnit{fset, x})
+		}
+	}
+	return units, nil
+}
+
+// goList runs `go list -e -deps -test -export -json` over patterns in
+// dir and returns the parsed packages plus the gc export-data index
+// keyed by ImportPath — including the "p [q.test]" test variants, which
+// is what lets test-only dependency shapes type-check. The -export flag
+// compiles every dependency through the build cache, so this works
+// fully offline.
+func goList(dir string, patterns []string) ([]*listedPackage, map[string]string, error) {
+	args := append([]string{"list", "-e", "-deps", "-test", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Error != nil && !lp.DepOnly {
+			return nil, nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, exports, nil
+}
+
+func absFiles(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}
+
+// checkUnit parses and type-checks one compilation unit. forTest names
+// the package whose test variant this is; its "[p.test]" export
+// variants take priority so test-only dependency shapes resolve.
+func checkUnit(fset *token.FileSet, exports map[string]string, pkgPath, forTest string, files []string, reportAll bool) (*Unit, error) {
+	parsed, err := ParseFiles(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if f, ok := exports[path+" ["+forTest+".test]"]; ok {
+			return os.Open(f)
+		}
+		if f, ok := exports[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	pkg, info, err := CheckFiles(fset, pkgPath, parsed, lookup)
+	if err != nil {
+		return nil, err
+	}
+	return &Unit{
+		PkgPath:   pkgPath,
+		Files:     parsed,
+		Pkg:       pkg,
+		Info:      info,
+		ReportAll: reportAll,
+	}, nil
+}
+
+// ParseFiles parses sources with comments (the escape hatches live
+// there).
+func ParseFiles(fset *token.FileSet, files []string) ([]*ast.File, error) {
+	parsed := make([]*ast.File, 0, len(files))
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return parsed, nil
+}
+
+// CheckFiles type-checks one unit against gc export data supplied by
+// lookup. Type errors are hard failures: an invariant suite that runs
+// over code it could not fully resolve proves nothing.
+func CheckFiles(fset *token.FileSet, pkgPath string, files []*ast.File, lookup func(string) (io.ReadCloser, error)) (*types.Package, *types.Info, error) {
+	info := NewInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, nil, fmt.Errorf("type-checking %s:\n  %s", pkgPath, strings.Join(msgs, "\n  "))
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %v", pkgPath, err)
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,96 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// noclock keeps synthesis a pure function of (graph, library, config):
+// a cache keyed on those three is unsound the moment a result can
+// depend on the wall clock or on unseeded randomness.
+//
+// Two rules:
+//
+//   - time.Now / time.Since / time.Until are confined to the
+//     measurement allowlist — experiments, gen, sim, cli, the cmd/
+//     tools and test files. Engine packages never read the clock.
+//   - the global math/rand state (rand.Intn, rand.Float64, rand.Seed,
+//     rand.Shuffle, ...) is banned everywhere, tests included: global
+//     draws depend on process-wide sequencing, so a failure seen under
+//     -count=2 or -race does not reproduce from a logged seed. Use
+//     rand.New(rand.NewSource(seed)) and draw from that.
+//
+// Escape hatch: //hls:clockok <why>.
+var noclockAnalyzer = &Analyzer{
+	Name:  "noclock",
+	Doc:   "wall-clock reads outside the measurement allowlist; global math/rand state anywhere",
+	Codes: []string{diag.CodeVetWallClock, diag.CodeVetGlobalRand, diag.CodeVetHatchReason},
+	Run:   runNoclock,
+}
+
+// clockAllowed lists the packages whose job is measurement or seeded
+// generation: wall-clock reads there are the point, not a leak.
+var clockAllowed = map[string]bool{
+	"repro/internal/experiments": true,
+	"repro/internal/gen":         true,
+	"repro/internal/sim":         true,
+	"repro/internal/cli":         true,
+}
+
+func clockAllowedPkg(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	return clockAllowed[path] || strings.HasPrefix(path, "repro/cmd/")
+}
+
+// deterministicRandConstructors are the math/rand entry points that
+// take or build an explicit source, keeping draws reproducible.
+var deterministicRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoclock(p *Pass) {
+	timeOK := clockAllowedPkg(p.PkgPath)
+	for _, f := range p.Files {
+		inTest := p.InTestFile(f.Pos())
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					if timeOK || inTest || p.Hatched(sel, "clockok") {
+						return true
+					}
+					p.Reportf(sel.Pos(), diag.CodeVetWallClock,
+						"time.%s in %s: synthesis must be a pure function of its inputs; measure in experiments/cli or annotate //hls:clockok <why>",
+						fn.Name(), p.PkgPath)
+				}
+			case "math/rand", "math/rand/v2":
+				if deterministicRandConstructors[fn.Name()] {
+					return true
+				}
+				if p.Hatched(sel, "clockok") {
+					return true
+				}
+				p.Reportf(sel.Pos(), diag.CodeVetGlobalRand,
+					"rand.%s draws from the process-global generator; use rand.New(rand.NewSource(seed)) so runs reproduce from the logged seed",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,71 @@
+// Fixture for ctxflow: dropped contexts and unpolled working loops in
+// exported *Ctx entry points.
+package flow
+
+import "context"
+
+func work(i int) int { return i }
+
+func other(ctx context.Context) error { return ctx.Err() }
+
+// Drop severs the caller's cancellation by minting a fresh root context
+// while already holding a live one: flagged.
+func Drop(ctx context.Context) error {
+	return other(context.Background()) // want "HV0021.*context.Background"
+}
+
+// DropTODO does the same through context.TODO: flagged.
+func DropTODO(ctx context.Context) error {
+	return other(context.TODO()) // want "HV0021.*context.TODO"
+}
+
+// RunCtx is an exported cancellable entry point whose working loop never
+// observes the context: flagged.
+func RunCtx(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want "HV0022.*never observes its context"
+		total += work(i)
+	}
+	return total
+}
+
+// PollCtx polls ctx.Err() each iteration: clean.
+func PollCtx(ctx context.Context, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += work(i)
+	}
+	return total, nil
+}
+
+// ThreadCtx passes the context to the worker instead of polling: clean.
+func ThreadCtx(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := other(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// helperCtx is unexported, so the loop-poll contract does not apply.
+func helperCtx(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += work(i)
+	}
+	return total
+}
+
+// HatchCtx is silenced by a justified escape hatch: clean.
+func HatchCtx(ctx context.Context, n int) int {
+	total := 0
+	//hls:ctxok fixture: bounded bookkeeping after the cancellable phase
+	for i := 0; i < n; i++ {
+		total += work(i)
+	}
+	return total
+}

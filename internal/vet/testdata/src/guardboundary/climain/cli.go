@@ -1,0 +1,8 @@
+// Fixture presented under repro/internal/cli: Main is the boundary
+// helper every cmd trusts, so a Main without its own deferred recovery
+// is flagged.
+package cli
+
+func Main(tool string, run func() error) { // want "HV0031.*establishes no `defer guard.Recover` itself"
+	_ = run()
+}

@@ -1,0 +1,14 @@
+// Fixture presented under repro/cmd/fixbad: main bypasses cli.Main and
+// calls internal code with no recovery boundary.
+package main
+
+import (
+	"context"
+
+	"repro/internal/cli"
+)
+
+func main() { // want "HV0031.*outside the cli.Main boundary"
+	_, cancel := cli.WithTimeout(context.Background(), 0)
+	cancel()
+}

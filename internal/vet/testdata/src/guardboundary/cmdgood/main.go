@@ -1,0 +1,18 @@
+// Fixture presented under repro/cmd/fixgood: main routes through
+// cli.Main, the sanctioned boundary helper — clean.
+package main
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/cli"
+)
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	return nil
+}
+
+func main() {
+	cli.Main("fixgood", run)
+}

@@ -1,0 +1,48 @@
+// Fixture presented under the import path "repro" — the hls facade.
+// Exported error-returning functions that call into repro/internal must
+// establish the guard.Recover boundary themselves.
+package hls
+
+import (
+	"context"
+
+	"repro/internal/cli"
+	"repro/internal/guard"
+)
+
+// Unguarded reaches into internal code with no recovery boundary:
+// flagged.
+func Unguarded() error { // want "HV0031.*without `defer guard.Recover`"
+	_, cancel := cli.WithTimeout(context.Background(), 0)
+	cancel()
+	return nil
+}
+
+// Guarded establishes the boundary first: clean.
+func Guarded() (err error) {
+	defer guard.Recover("hls.Guarded", &err)
+	_, cancel := cli.WithTimeout(context.Background(), 0)
+	cancel()
+	return nil
+}
+
+// NoError returns no error, so it cannot convert a panic and is exempt.
+func NoError() int {
+	return 1
+}
+
+// unexported functions are not part of the public surface.
+func unexported() error {
+	_, cancel := cli.WithTimeout(context.Background(), 0)
+	cancel()
+	return nil
+}
+
+// Hatched is silenced by a justified escape hatch: clean.
+//
+//hls:guardok fixture: the helper cannot panic; it only builds a context
+func Hatched() error {
+	_, cancel := cli.WithTimeout(context.Background(), 0)
+	cancel()
+	return nil
+}

@@ -1,0 +1,63 @@
+// Fixture presented to the maporder analyzer under the import path
+// repro/internal/sched — a determinism-critical package.
+package sched
+
+import "sort"
+
+// Keys collects map keys with no sort: the slice order varies per
+// process, so this must be flagged.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "HV0002.*range over map m"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the canonical collect-then-sort idiom: clean.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum is a commutative fold: clean.
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Double writes each iteration to its own key: clean.
+func Double(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = 2 * v
+	}
+	return out
+}
+
+// Hatched is silenced by a justified escape hatch: clean.
+func Hatched(m map[string]int) []string {
+	var out []string
+	//hls:orderok fixture: the order feeds a set union, never a sequence
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// BareHatch is silenced, but the empty justification costs HV0001.
+func BareHatch(m map[string]int) []string {
+	var out []string
+	//hls:orderok
+	for k := range m { // want "HV0001.*needs a justification"
+		out = append(out, k)
+	}
+	return out
+}

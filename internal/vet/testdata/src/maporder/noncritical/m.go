@@ -1,0 +1,11 @@
+// Fixture presented under repro/internal/report — NOT a
+// determinism-critical package, so the same unsorted loop is clean.
+package report
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

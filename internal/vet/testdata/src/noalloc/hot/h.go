@@ -1,0 +1,80 @@
+// Fixture for noalloc: //hls:noalloc-marked functions must contain no
+// heap-allocating construct and call only vetted callees.
+package hot
+
+import "math/bits"
+
+// BadMake allocates: flagged.
+//
+//hls:noalloc
+func BadMake(n int) []int {
+	return make([]int, n) // want "HV0041.*make"
+}
+
+// BadConcat concatenates non-constant strings: flagged.
+//
+//hls:noalloc
+func BadConcat(a, b string) string {
+	return a + b // want "HV0041.*string concatenation"
+}
+
+// BadClosure builds a function literal: flagged.
+//
+//hls:noalloc
+func BadClosure() func() int {
+	return func() int { return 1 } // want "HV0041.*function literal"
+}
+
+// BadBox converts a concrete value to an interface: flagged.
+//
+//hls:noalloc
+func BadBox(v int) any {
+	return any(v) // want "HV0041.*boxing"
+}
+
+func helper(x int) int { return x * 2 }
+
+// BadCall calls an unvetted same-package function: flagged.
+//
+//hls:noalloc
+func BadCall(x int) int {
+	return helper(x) // want "HV0042.*helper"
+}
+
+// leaf is vetted, so calls to it from marked functions are clean.
+//
+//hls:noalloc
+func leaf(x uint64) int { return int(x & 1) }
+
+// Good stays on vetted callees, intrinsics, and arithmetic: clean.
+//
+//hls:noalloc
+func Good(x uint64) int {
+	return bits.OnesCount64(x) + leaf(x)
+}
+
+// GoodYield invokes a caller-supplied function value: the callee's cost
+// is the caller's contract, so this is clean.
+//
+//hls:noalloc
+func GoodYield(n int, yield func(int) bool) bool {
+	for i := 0; i < n; i++ {
+		if !yield(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hatched carries a justified allocok on its one allocation: clean.
+//
+//hls:noalloc
+func Hatched(n int) []int {
+	//hls:allocok fixture: the result's single backing array
+	return make([]int, n)
+}
+
+// unmarked functions are outside the contract entirely.
+func unmarked(n int) []int {
+	return make([]int, n)
+}

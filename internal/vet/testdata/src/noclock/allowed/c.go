@@ -1,0 +1,11 @@
+// Fixture presented under repro/internal/experiments — an allowlisted
+// package (wall time is an experiment's measurement), so time.Now is
+// clean here. Global math/rand state stays forbidden everywhere.
+package experiments
+
+import "time"
+
+func Measure() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

@@ -1,0 +1,36 @@
+// Fixture presented under repro/internal/sched: wall-clock reads and
+// global math/rand state are both forbidden here.
+package sched
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock in deterministic code: flagged.
+func Stamp() time.Time {
+	return time.Now() // want "HV0011.*time.Now"
+}
+
+// Elapsed reads the wall clock through time.Since: flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "HV0011.*time.Since"
+}
+
+// GlobalRand draws from the process-wide generator: flagged.
+func GlobalRand() int {
+	return rand.Intn(8) // want "HV0012.*process-global"
+}
+
+// SeededRand owns its generator, so results depend only on the seed:
+// clean. rand.New and rand.NewSource are the sanctioned constructors.
+func SeededRand() int {
+	r := rand.New(rand.NewSource(7))
+	return r.Intn(8)
+}
+
+// Hatched is silenced by a justified escape hatch: clean.
+func Hatched() time.Time {
+	//hls:clockok fixture: the timestamp decorates a log line, never a result
+	return time.Now()
+}

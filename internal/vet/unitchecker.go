@@ -1,0 +1,195 @@
+package vet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+
+	"repro/internal/diag"
+)
+
+// The `go vet -vettool` driver protocol, reimplemented on the standard
+// library (golang.org/x/tools is deliberately not a dependency).
+//
+// cmd/go speaks to a vet tool in two ways:
+//
+//   - `tool -V=full` must print "<progname> version devel ...
+//     buildID=<hex>" so the build cache can key on the tool's content
+//     (see cmd/go/internal/work.(*Builder).toolID).
+//   - `tool [flags] <objdir>/vet.cfg` runs one package unit: the cfg
+//     JSON carries the unit's files, its import map, and gc export-data
+//     paths for every dependency — everything needed to type-check the
+//     unit without loading anything else. The tool writes VetxOutput
+//     (our analyzers export no facts, so an empty file), prints
+//     findings to stderr, and exits 2 when it found any.
+//
+// Dependency units arrive with VetxOnly=true — cmd/go only wants facts.
+// We have none, so those invocations write the output file and exit
+// immediately, which keeps `go vet -vettool=hlsvet ./...` fast even
+// though cmd/go walks the full dependency graph.
+
+// vetConfig mirrors cmd/go/internal/work.vetConfig.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintFlags implements the -flags probe: cmd/go asks the tool which
+// flags it accepts (as JSON on stdout) so `go vet -vettool=... -json
+// -maporder ./...` can route them through.
+func PrintFlags(w io.Writer) {
+	type flagDesc struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	descs := []flagDesc{{Name: "json", Bool: true, Usage: "emit findings as JSON on stdout"}}
+	for _, a := range Analyzers() {
+		descs = append(descs, flagDesc{Name: a.Name, Bool: true, Usage: "run only the " + a.Name + " analyzer"})
+	}
+	json.NewEncoder(w).Encode(descs)
+}
+
+// PrintVersion implements -V=full.
+func PrintVersion(w io.Writer) {
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n", os.Args[0], h.Sum(nil))
+}
+
+// UnitcheckerMain runs the vettool protocol over args (flags plus the
+// trailing vet.cfg path) and exits; it never returns.
+func UnitcheckerMain(args []string) {
+	fs := flag.NewFlagSet("hlsvet", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	enabled := map[string]*bool{}
+	for _, a := range Analyzers() {
+		enabled[a.Name] = fs.Bool(a.Name, false, "run only the "+a.Name+" analyzer")
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(1)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "hlsvet (vettool mode): expected exactly one vet.cfg argument")
+		os.Exit(1)
+	}
+	var selected []string
+	for name, on := range enabled {
+		if *on {
+			selected = append(selected, name)
+		}
+	}
+	os.Exit(runUnitchecker(fs.Arg(0), selected, *jsonOut, os.Stdout, os.Stderr))
+}
+
+func runUnitchecker(cfgPath string, selected []string, jsonOut bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "hlsvet:", err)
+		return 1
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(stderr, "hlsvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go caches and chains vet runs through this file; our analyzers
+	// produce no facts, so the unit's output is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(stderr, "hlsvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	ds, err := checkVetUnit(cfg, selected)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(stderr, "hlsvet:", err)
+		return 1
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	if jsonOut {
+		PrintJSON(stdout, ds)
+	} else {
+		for _, d := range ds {
+			fmt.Fprintln(stderr, d)
+		}
+	}
+	return 2
+}
+
+func checkVetUnit(cfg *vetConfig, selected []string) ([]Diagnostic, error) {
+	analyzers, err := Select(selected)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	files, err := ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if f, ok := cfg.PackageFile[path]; ok {
+			return os.Open(f)
+		}
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	pkg, info, err := CheckFiles(fset, cfg.ImportPath, files, lookup)
+	if err != nil {
+		return nil, err
+	}
+	u := &Unit{
+		PkgPath:   cfg.ImportPath,
+		Files:     files,
+		Pkg:       pkg,
+		Info:      info,
+		ReportAll: true,
+	}
+	return RunUnit(fset, u, analyzers), nil
+}
+
+// PrintJSON renders findings in the shared typed-diagnostic schema, the
+// same shape hlslint emits.
+func PrintJSON(w io.Writer, ds []Diagnostic) {
+	list := make(diag.List, 0, len(ds))
+	for _, d := range ds {
+		list = append(list, d.AsDiag())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(list)
+}

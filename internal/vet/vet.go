@@ -1,0 +1,304 @@
+// Package vet is the engine's source-level invariant suite: a
+// go/analysis-style analyzer registry that statically enforces the
+// disciplines the synthesis engine's headline guarantees depend on —
+// bit-identical parallel sweeps, replayable traces, <100ms cancellation
+// and the zero-allocation frame algebra — instead of hoping a runtime
+// test happens to hit the violating path.
+//
+// Five analyzers are registered:
+//
+//   - maporder: no `for range` over a map in a determinism-critical
+//     package unless the loop is provably order-insensitive, its output
+//     is sorted afterwards, or the site carries //hls:orderok.
+//   - noclock: no wall-clock reads outside the measurement allowlist and
+//     no global math/rand state anywhere — randomness must flow through
+//     rand.New(rand.NewSource(seed)) so every run reproduces.
+//   - ctxflow: a function holding a context never discards it for
+//     context.Background/TODO, and every working loop in an exported
+//     *Ctx entry point polls cancellation.
+//   - guardboundary: every error-returning exported function of the hls
+//     facade and every cmd main establishes a guard.Recover boundary
+//     before calling into internal packages.
+//   - noalloc: functions marked //hls:noalloc contain no heap-allocating
+//     constructs and call only vetted callees.
+//
+// The suite is built on the standard library alone (go/ast, go/types,
+// export data via `go list -export`), mirrors golang.org/x/tools
+// go/analysis closely enough that analyzers are single-package units,
+// and is driven two ways by cmd/hlsvet: standalone over `./...`, or as
+// a `go vet -vettool` (see unitchecker.go for the cmd/go protocol).
+//
+// Diagnostics carry stable HV codes from the internal/diag registry;
+// every escape hatch (//hls:orderok, //hls:clockok, //hls:ctxok,
+// //hls:guardok, //hls:allocok) requires a justification string, and an
+// empty one is itself a diagnostic (HV0001).
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// Analyzer is one registered invariant check. Analyzers are
+// single-package units: Run sees one type-checked package at a time and
+// never needs cross-package facts, which is what lets the same code run
+// standalone and under the `go vet -vettool` protocol.
+type Analyzer struct {
+	// Name is the pass identifier, unique in the registry, used for
+	// selection (-run, per-analyzer vet flags) and stamped on every
+	// diagnostic the pass reports.
+	Name string
+
+	// Doc is a one-line description of the invariant the pass enforces.
+	Doc string
+
+	// Codes lists every diag HV code the pass can report. The registry
+	// test asserts each has a Docs contract.
+	Codes []string
+
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// registry holds the built-in analyzers.
+var registry = []*Analyzer{
+	ctxflowAnalyzer,
+	guardboundaryAnalyzer,
+	maporderAnalyzer,
+	noallocAnalyzer,
+	noclockAnalyzer,
+}
+
+// Analyzers returns the registered passes sorted by name. The slice is
+// fresh; the Analyzer values are shared.
+func Analyzers() []*Analyzer {
+	out := append([]*Analyzer(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Select resolves analyzer names to registry entries; empty selects all.
+func Select(names []string) ([]*Analyzer, error) {
+	all := Analyzers()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	out := make([]*Analyzer, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("vet: unknown analyzer %q", n)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// Diagnostic is one source-level finding, position-resolved.
+type Diagnostic struct {
+	Posn     token.Position `json:"posn"`
+	Code     string         `json:"code"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Posn, d.Code, d.Message, d.Analyzer)
+}
+
+// AsDiag converts the finding into the shared typed-diagnostic model so
+// hlsvet's -json output speaks the same schema as hlslint's.
+func (d Diagnostic) AsDiag() diag.Diagnostic {
+	return diag.Diagnostic{
+		Code:     d.Code,
+		Severity: diag.Error,
+		Analyzer: d.Analyzer,
+		Artifact: "source",
+		Loc:      d.Posn.String(),
+		Message:  d.Message,
+	}
+}
+
+// Sort orders diagnostics by position, then code, then message, so runs
+// are byte-identical regardless of analyzer scheduling.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Posn.Filename != b.Posn.Filename {
+			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Line != b.Posn.Line {
+			return a.Posn.Line < b.Posn.Line
+		}
+		if a.Posn.Column != b.Posn.Column {
+			return a.Posn.Column < b.Posn.Column
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// PkgPath is the package's plain import path ("repro/internal/sched");
+	// for external test packages it carries the "_test" suffix.
+	PkgPath string
+
+	// report receives every finding; the driver owns filtering (test-unit
+	// deduplication) and aggregation.
+	report func(Diagnostic)
+
+	hatches map[*token.File]map[int]string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, code, format string, args ...any) {
+	p.report(Diagnostic{
+		Posn:     p.Fset.Position(pos),
+		Code:     code,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Unit is one analysis unit: a type-checked package plus the reporting
+// filter that keeps overlapping units (a package and its in-package
+// test compilation) from double-reporting.
+type Unit struct {
+	PkgPath string
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+
+	// ReportAll reports findings in every file; when false only findings
+	// positioned in _test.go files are kept (the unit re-type-checks the
+	// non-test files purely for type information).
+	ReportAll bool
+}
+
+// RunUnit executes the analyzers over one unit and returns the sorted
+// findings.
+func RunUnit(fset *token.FileSet, u *Unit, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	hatches := buildHatches(fset, u.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    u.Files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+			PkgPath:  u.PkgPath,
+			hatches:  hatches,
+		}
+		pass.report = func(d Diagnostic) {
+			if !u.ReportAll && !strings.HasSuffix(d.Posn.Filename, "_test.go") {
+				return
+			}
+			out = append(out, d)
+		}
+		a.Run(pass)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// NewInfo returns a types.Info populated with every map the analyzers
+// consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// calleeObj resolves the object a call expression's function denotes:
+// a package-level function, a method, or nil for func-typed values,
+// builtins handled elsewhere, and type conversions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[f]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[f.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function
+// pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin.
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// contextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// errorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}

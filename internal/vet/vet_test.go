@@ -1,0 +1,245 @@
+package vet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/diag"
+)
+
+// TestRepoClean is the suite's own gate: the repository at head must
+// carry zero hlsvet diagnostics. Every invariant the analyzers enforce
+// is therefore not aspiration but current fact — a regression shows up
+// as a failing tier-1 test, not just a CI vet stage.
+func TestRepoClean(t *testing.T) {
+	ds, err := Check(context.Background(), "../..", []string{"./..."}, Analyzers())
+	if err != nil {
+		t.Fatalf("running hlsvet over the module: %v", err)
+	}
+	for _, d := range ds {
+		t.Errorf("repo not clean: %s", d)
+	}
+}
+
+// TestCodeRegistry pins the two-way contract between the analyzer
+// registry and the shared diag code catalog: every code an analyzer
+// claims is documented, and every HV code in the catalog is claimed by
+// exactly one analyzer (HV0001 is shared infrastructure — the hatch
+// scanner reports it on behalf of whichever analyzer the hatch
+// silences).
+func TestCodeRegistry(t *testing.T) {
+	claimed := map[string]string{}
+	for _, a := range Analyzers() {
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+		for _, code := range a.Codes {
+			if _, ok := diag.Docs[code]; !ok {
+				t.Errorf("analyzer %s claims code %s with no diag.Docs entry", a.Name, code)
+			}
+			if code == diag.CodeVetHatchReason {
+				continue // shared by every analyzer's hatch scanner
+			}
+			if prev, dup := claimed[code]; dup {
+				t.Errorf("code %s claimed by both %s and %s", code, prev, a.Name)
+			}
+			claimed[code] = a.Name
+		}
+	}
+	hv := regexp.MustCompile(`^HV\d{4}$`)
+	for code := range diag.Docs {
+		if !hv.MatchString(code) || code == diag.CodeVetHatchReason {
+			continue
+		}
+		if _, ok := claimed[code]; !ok {
+			t.Errorf("diag code %s is in the catalog but no analyzer can report it", code)
+		}
+	}
+}
+
+// TestUnitcheckerProtocol drives runUnitchecker exactly as cmd/go
+// would: a vet.cfg JSON naming one unit's files, import map, and
+// export map. It pins the three exit codes the driver relies on —
+// 0 for facts-only, 0 for clean, 2 for findings — plus the VetxOutput
+// side effect.
+func TestUnitcheckerProtocol(t *testing.T) {
+	pkgs, exports, err := goList("../..", []string{"./internal/sched"})
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	var sched *listedPackage
+	for _, lp := range pkgs {
+		if lp.ImportPath == "repro/internal/sched" && !strings.Contains(lp.ImportPath, " [") {
+			sched = lp
+			break
+		}
+	}
+	if sched == nil {
+		t.Fatal("go list did not return repro/internal/sched")
+	}
+
+	tmp := t.TempDir()
+	// The unit to check: a fixture file with one injected violation,
+	// presented as repro/internal/sched so maporder fires.
+	src := filepath.Join(tmp, "bad.go")
+	code := "package sched\n\nfunc keys(m map[string]int) []string {\n\tvar out []string\n\tfor k := range m {\n\t\tout = append(out, k)\n\t}\n\treturn out\n}\n"
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	importMap := map[string]string{}
+	packageFile := map[string]string{}
+	for path, exp := range exports {
+		importMap[path] = path
+		packageFile[path] = exp
+	}
+	writeCfg := func(t *testing.T, cfg map[string]any) string {
+		t.Helper()
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), "vet.cfg")
+		if err := os.WriteFile(p, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	t.Run("facts-only", func(t *testing.T) {
+		vetx := filepath.Join(t.TempDir(), "unit.vetx")
+		cfg := writeCfg(t, map[string]any{
+			"ImportPath":  "repro/internal/sched",
+			"GoFiles":     []string{src},
+			"ImportMap":   importMap,
+			"PackageFile": packageFile,
+			"VetxOnly":    true,
+			"VetxOutput":  vetx,
+		})
+		var out, errw strings.Builder
+		if rc := runUnitchecker(cfg, nil, false, &out, &errw); rc != 0 {
+			t.Fatalf("VetxOnly unit: exit %d, stderr:\n%s", rc, errw.String())
+		}
+		if _, err := os.Stat(vetx); err != nil {
+			t.Fatalf("VetxOutput not written: %v", err)
+		}
+	})
+
+	t.Run("findings-exit-2", func(t *testing.T) {
+		cfg := writeCfg(t, map[string]any{
+			"ImportPath":  "repro/internal/sched",
+			"GoFiles":     []string{src},
+			"ImportMap":   importMap,
+			"PackageFile": packageFile,
+			"VetxOutput":  filepath.Join(t.TempDir(), "unit.vetx"),
+		})
+		var out, errw strings.Builder
+		rc := runUnitchecker(cfg, nil, false, &out, &errw)
+		if rc != 2 {
+			t.Fatalf("unit with a violation: exit %d (want 2), stderr:\n%s", rc, errw.String())
+		}
+		if !strings.Contains(errw.String(), "HV0002") {
+			t.Fatalf("stderr does not carry the HV0002 finding:\n%s", errw.String())
+		}
+	})
+
+	t.Run("clean-exit-0", func(t *testing.T) {
+		files := make([]string, 0, len(sched.GoFiles))
+		for _, f := range sched.GoFiles {
+			files = append(files, filepath.Join(sched.Dir, f))
+		}
+		cfg := writeCfg(t, map[string]any{
+			"ImportPath":  "repro/internal/sched",
+			"GoFiles":     files,
+			"ImportMap":   importMap,
+			"PackageFile": packageFile,
+			"VetxOutput":  filepath.Join(t.TempDir(), "unit.vetx"),
+		})
+		var out, errw strings.Builder
+		if rc := runUnitchecker(cfg, nil, false, &out, &errw); rc != 0 {
+			t.Fatalf("clean unit: exit %d, stderr:\n%s", rc, errw.String())
+		}
+	})
+
+	t.Run("json-output", func(t *testing.T) {
+		cfg := writeCfg(t, map[string]any{
+			"ImportPath":  "repro/internal/sched",
+			"GoFiles":     []string{src},
+			"ImportMap":   importMap,
+			"PackageFile": packageFile,
+			"VetxOutput":  filepath.Join(t.TempDir(), "unit.vetx"),
+		})
+		var out, errw strings.Builder
+		if rc := runUnitchecker(cfg, nil, true, &out, &errw); rc != 2 {
+			t.Fatalf("json unit: exit %d, stderr:\n%s", rc, errw.String())
+		}
+		var ds []struct {
+			Code     string `json:"code"`
+			Analyzer string `json:"analyzer"`
+		}
+		if err := json.Unmarshal([]byte(out.String()), &ds); err != nil {
+			t.Fatalf("stdout is not a diag list: %v\n%s", err, out.String())
+		}
+		if len(ds) != 1 || ds[0].Code != diag.CodeVetMapOrder || ds[0].Analyzer != "maporder" {
+			t.Fatalf("want one HV0002 maporder diagnostic, got %+v", ds)
+		}
+	})
+}
+
+// TestVersionAndFlagProbes pins the two stdout probes cmd/go sends a
+// vettool before trusting it with units.
+func TestVersionAndFlagProbes(t *testing.T) {
+	var v strings.Builder
+	PrintVersion(&v)
+	if !regexp.MustCompile(` version devel .*buildID=[0-9a-f]+\n$`).MatchString(v.String()) {
+		t.Errorf("-V=full output malformed: %q", v.String())
+	}
+	var f strings.Builder
+	PrintFlags(&f)
+	var descs []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal([]byte(f.String()), &descs); err != nil {
+		t.Fatalf("-flags output is not JSON: %v\n%s", err, f.String())
+	}
+	names := map[string]bool{}
+	for _, d := range descs {
+		if !d.Bool {
+			t.Errorf("flag %s is not boolean; cmd/go only forwards -flag=value", d.Name)
+		}
+		names[d.Name] = true
+	}
+	for _, a := range Analyzers() {
+		if !names[a.Name] {
+			t.Errorf("-flags output misses the %s selector", a.Name)
+		}
+	}
+	if !names["json"] {
+		t.Error("-flags output misses -json")
+	}
+}
+
+// TestSelect pins analyzer-name resolution, including the failure mode.
+func TestSelect(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select(nil) = %d analyzers, err %v", len(all), err)
+	}
+	one, err := Select([]string{"maporder"})
+	if err != nil || len(one) != 1 || one[0].Name != "maporder" {
+		t.Fatalf("Select(maporder) = %v, err %v", one, err)
+	}
+	if _, err := Select([]string{"nope"}); err == nil {
+		t.Fatal("Select(nope) did not fail")
+	}
+	if fmt.Sprint(err) == "" {
+		t.Fatal("unreachable")
+	}
+}
