@@ -30,7 +30,15 @@
 //	hlsbench -scale -maxnodes 10000       # committed-baseline subset
 //	hlsbench -scale -out fresh.json -compare BENCH_scale.json
 //
-// In either mode -compare prints the full per-metric delta table
+// With -serve it instead load-tests the hlsd daemon in-process: warm
+// every distinct benchmark request, then replay them from a thousand
+// concurrent clients, and write the hit-path latency percentiles, hit
+// rate, and byte-identity verdict to BENCH_serve.json:
+//
+//	hlsbench -serve
+//	hlsbench -serve -out fresh.json -compare BENCH_serve.json
+//
+// In every mode -compare prints the full per-metric delta table
 // (baseline, fresh, slowdown factor) before the verdict, so a passing
 // run still shows where the time is drifting.
 package main
@@ -56,9 +64,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fig := fs.Int("fig", 0, "which figure to print (1 or 2); 0 = per -table selection")
 	jsonOut := fs.Bool("json", false, "measure the perf baseline and write it as JSON to -out")
 	scale := fs.Bool("scale", false, "measure the large-graph scale ladder and write it as JSON to -out")
+	serveBench := fs.Bool("serve", false, "load-test the hlsd daemon in-process and write the snapshot as JSON to -out")
 	maxNodes := fs.Int("maxnodes", 0, "with -scale: skip ladder rungs larger than this many nodes (0 = full ladder)")
-	outPath := fs.String("out", "", "output path for -json or -scale (default BENCH_sweep.json, or BENCH_scale.json with -scale)")
-	compare := fs.String("compare", "", "with -json or -scale: print the per-metric delta table against this committed baseline and fail if any fresh wall time exceeds it by more than -tolerance")
+	outPath := fs.String("out", "", "output path for -json, -scale, or -serve (default BENCH_sweep.json, BENCH_scale.json, or BENCH_serve.json)")
+	compare := fs.String("compare", "", "with -json, -scale, or -serve: print the per-metric delta table against this committed baseline and fail if any fresh wall time exceeds it by more than -tolerance")
 	tolerance := fs.Float64("tolerance", 3, "with -compare: allowed slowdown factor per measurement")
 	timeout := cli.Timeout(fs)
 	prof := cli.Profile(fs)
@@ -73,8 +82,21 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	ctx, cancel := cli.WithTimeout(ctx, *timeout)
 	defer cancel()
 
-	if *jsonOut && *scale {
-		return fmt.Errorf("-json and -scale are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*jsonOut, *scale, *serveBench} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-json, -scale, and -serve are mutually exclusive")
+	}
+	if *serveBench {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_serve.json"
+		}
+		return writeServeBaseline(ctx, out, path, *compare, *tolerance)
 	}
 	if *scale {
 		path := *outPath
@@ -91,7 +113,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return writeBaseline(ctx, out, path, *compare, *tolerance)
 	}
 	if *compare != "" {
-		return fmt.Errorf("-compare requires -json or -scale")
+		return fmt.Errorf("-compare requires -json, -scale, or -serve")
 	}
 	if *fig != 0 {
 		return printFigure(out, *fig)
@@ -197,6 +219,35 @@ func writeScaleBaseline(ctx context.Context, out io.Writer, path, compare string
 	}
 	printDeltas(out, compare, experiments.ScaleDeltas(base, b))
 	return verdict(out, experiments.CompareScale(base, b, tolerance), tolerance, compare)
+}
+
+func writeServeBaseline(ctx context.Context, out io.Writer, path, compare string, tolerance float64) error {
+	b, err := experiments.MeasureServeCtx(ctx)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: %d clients x %d requests over %d designs\n",
+		path, b.Clients, b.Requests/b.Clients, b.Designs)
+	fmt.Fprintf(out, "  warm %.1f ms, replay %.1f ms (%.0f req/s), p50 %.2f ms, p99 %.2f ms\n",
+		b.WarmMs, b.ReplayMs, b.ThroughputRPS, b.P50Ms, b.P99Ms)
+	fmt.Fprintf(out, "  hit rate %.4f, byte-identical %v, sweep burst %d reqs in %d batches\n",
+		b.HitRate, b.ByteIdentical, b.SweepBatchedReqs, b.SweepBatches)
+	if compare == "" {
+		return nil
+	}
+	base, err := experiments.LoadServeBaseline(compare)
+	if err != nil {
+		return err
+	}
+	printDeltas(out, compare, experiments.ServeDeltas(base, b))
+	return verdict(out, experiments.CompareServe(base, b, tolerance), tolerance, compare)
 }
 
 // printDeltas renders the full per-metric comparison, pass or fail —

@@ -1,0 +1,89 @@
+// Command hlsd is the synthesis daemon: it serves the internal/serve
+// HTTP/JSON API (POST /synthesize, /sweep, /certify; GET /metrics) with
+// a content-addressed result cache, so a fleet of clients can share one
+// warm synthesis service.
+//
+// Usage:
+//
+//	hlsd                             # listen on :8821, default knobs
+//	hlsd -addr 127.0.0.1:0           # ephemeral port (printed on start)
+//	hlsd -workers 8 -queue 128       # concurrency and admission bounds
+//	hlsd -cache-entries 4096 -cache-bytes 256000000
+//
+// The daemon drains on SIGINT/SIGTERM: the listener closes, queued
+// requests fail fast with 503, and in-flight synthesis is cancelled
+// through its context.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/serve"
+)
+
+func main() { cli.Main("hlsd", run) }
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hlsd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8821", "listen address (host:port; port 0 = ephemeral)")
+	workers := fs.Int("workers", 0, "concurrent synthesis bound (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "waiting requests admitted before 503 (0 = default 64)")
+	cacheEntries := fs.Int("cache-entries", 0, "result cache entry cap (0 = default 1024, negative = unbounded)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "result cache byte cap (0 = default 64 MiB, negative = unbounded)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request synthesis deadline (0 = default 60s)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: hlsd [flags]")
+	}
+
+	s := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
+		DefaultTimeout: *reqTimeout,
+	})
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hlsd: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler: s.Handler(),
+		// Requests observe daemon shutdown through their own contexts.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		// SIGINT/SIGTERM: cancel queued and in-flight work first (the
+		// <100ms drain path), then close the listener and let in-flight
+		// responses finish writing.
+		s.Close()
+		//hls:ctxok the live ctx is already done here; the shutdown grace period needs a fresh deadline
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		fmt.Fprintln(out, "hlsd: drained")
+		return nil
+	}
+}

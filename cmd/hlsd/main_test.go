@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the tool body on an ephemeral port and returns the
+// base URL, a cancel func (the SIGINT stand-in), and the completion
+// channel carrying run's error.
+func startDaemon(t *testing.T, args ...string) (string, context.CancelFunc, chan error, *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out)
+	}()
+
+	// The listen line is printed before serving starts; poll for it.
+	re := regexp.MustCompile(`listening on (\S+)`)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], cancel, done, out
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v (output %q)", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	url, cancel, done, out := startDaemon(t)
+
+	// The daemon answers: synthesize a small behavioral design.
+	body := `{"source": "design d\ninput a, b\ny = a + b\n", "config": {"cs": 2}}`
+	resp, err := http.Post(url+"/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", mresp.StatusCode)
+	}
+
+	// SIGINT stand-in: cancel drains and run returns nil.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("output %q does not report the drain", out.String())
+	}
+}
+
+func TestDaemonFlagErrors(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr"}, &bytes.Buffer{}); err == nil {
+		t.Error("dangling flag accepted")
+	}
+	if err := run(context.Background(), []string{"positional"}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), "usage") {
+		t.Errorf("positional arg: err = %v, want usage error", err)
+	}
+}
+
+func TestDaemonQueueKnobs(t *testing.T) {
+	url, cancel, done, _ := startDaemon(t, "-workers", "1", "-queue", "1", "-cache-entries", "4")
+	defer func() { cancel(); <-done }()
+
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d: %s", resp.StatusCode, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"requests"`) {
+		t.Errorf("metrics body %q lacks request counters", buf.String())
+	}
+}

@@ -60,7 +60,9 @@ import (
 //   - *LimitError: an input exceeded a resource guard (Config.MaxNodes,
 //     Config.MaxCSteps, or the simulator's step budget).
 //   - *RangeError: a malformed [lo, hi] control-step range was passed to
-//     Sweep or SweepGraphs.
+//     Sweep or SweepGraphs, or a well-formed range lies entirely below a
+//     graph's critical path (the error names the path length), so the
+//     sweep has no feasible point.
 //
 // Cancelled or timed-out runs return ctx.Err() — context.Canceled or
 // context.DeadlineExceeded — unwrapped, so errors.Is works as usual.
@@ -70,7 +72,8 @@ type (
 	InternalError = guard.InternalError
 	// LimitError reports an input that exceeds a configured resource cap.
 	LimitError = guard.LimitError
-	// RangeError reports a malformed control-step range.
+	// RangeError reports a malformed control-step range, or one lying
+	// entirely below a graph's critical path.
 	RangeError = guard.RangeError
 )
 

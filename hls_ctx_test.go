@@ -33,7 +33,7 @@ func TestSweepGraphsCtxPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	points, err := hls.SweepGraphsCtx(ctx, benchGraphs(), hls.Config{}, 1, 16)
+	points, err := hls.SweepGraphsCtx(ctx, benchGraphs(), hls.Config{}, 1, 21)
 	if d := time.Since(start); d > 100*time.Millisecond {
 		t.Fatalf("pre-cancelled sweep took %v, want < 100ms", d)
 	}
@@ -53,7 +53,10 @@ func TestSweepGraphsCtxMidFlightCancel(t *testing.T) {
 	}
 	done := make(chan result, 1)
 	go func() {
-		p, err := hls.SweepGraphsCtx(ctx, benchGraphs(), hls.Config{}, 1, 16)
+		// The range must reach EWF's 17-cycle critical path: a range no
+		// graph can meet is now a typed *hls.RangeError before any work
+		// starts, which would win the race against the cancel below.
+		p, err := hls.SweepGraphsCtx(ctx, benchGraphs(), hls.Config{}, 1, 21)
 		done <- result{p, err}
 	}()
 	// Let the sweep get airborne, then pull the plug.

@@ -68,7 +68,16 @@ func SweepCtx(ctx context.Context, g *dfg.Graph, cfg Config, csLo, csHi int) (po
 		// letting every design point rebuild it.
 		cfg.Lib = library.NCRLike()
 	}
+	// The clamp below never silently empties the range: a request whose
+	// whole [csLo, csHi] sits under the critical path used to reach
+	// pool.MapCtx with n <= 0 and return zero points with a nil error — a
+	// success-shaped failure. It is now a typed *guard.RangeError naming
+	// the critical path.
 	if cp := g.CriticalPathCycles(); csLo < cp {
+		if cp > csHi {
+			return nil, fmt.Errorf("core: sweep %s: %w", g.Name,
+				&guard.RangeError{Lo: csLo, Hi: csHi, CriticalPath: cp, Graph: g.Name})
+		}
 		csLo = cp
 	}
 	points, err = pool.MapCtx(ctx, pool.Size(cfg.Parallelism), csHi-csLo+1,
@@ -133,6 +142,14 @@ func SweepGraphsCtx(ctx context.Context, gs []*dfg.Graph, cfg Config, csLo, csHi
 		}
 		lo := csLo
 		if cp := g.CriticalPathCycles(); lo < cp {
+			// Same fix as SweepCtx's clamp: a graph whose critical path
+			// exceeds csHi would contribute zero jobs (counts[gi] == 0) and
+			// come back as a silently empty row; fail the request instead,
+			// naming the graph so a batched caller can drop it and retry.
+			if cp > csHi {
+				return nil, fmt.Errorf("core: sweep graphs: %w",
+					&guard.RangeError{Lo: csLo, Hi: csHi, CriticalPath: cp, Graph: g.Name})
+			}
 			lo = cp
 		}
 		for cs := lo; cs <= csHi; cs++ {

@@ -1,12 +1,16 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/benchmarks"
 	"repro/internal/dfg"
+	"repro/internal/guard"
+	"repro/internal/op"
 	"repro/internal/rtl"
 )
 
@@ -170,5 +174,67 @@ func TestSweepRangeClampedToCriticalPath(t *testing.T) {
 	}
 	if len(points) != 1 || points[0].CS != 4 {
 		t.Errorf("points = %+v, want single cs=4", points)
+	}
+}
+
+// TestSweepBelowCriticalPath pins the clamp fix: a well-formed range
+// lying entirely below the graph's critical path used to come back as
+// zero points with a nil error (pool.MapCtx saw n <= 0); it is now a
+// typed *guard.RangeError naming the critical path.
+func TestSweepBelowCriticalPath(t *testing.T) {
+	ex := benchmarks.Facet() // critical path 4
+	points, err := Sweep(ex.Graph, Config{}, 1, 3)
+	if points != nil {
+		t.Errorf("points = %+v, want none", points)
+	}
+	var re *guard.RangeError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *guard.RangeError", err)
+	}
+	if re.Lo != 1 || re.Hi != 3 || re.CriticalPath != 4 || re.Graph != ex.Graph.Name {
+		t.Errorf("RangeError = %+v, want {Lo:1 Hi:3 CriticalPath:4 Graph:%q}", re, ex.Graph.Name)
+	}
+	if got := err.Error(); !strings.Contains(got, "critical path") || !strings.Contains(got, "4") {
+		t.Errorf("error %q does not name the critical path", got)
+	}
+}
+
+// TestSweepGraphsBelowCriticalPath applies the same contract to the
+// per-graph clamp of the multi-design entry point: one infeasible graph
+// fails the request with a typed error naming that graph, instead of
+// returning a silently empty row (counts[gi] == 0).
+func TestSweepGraphsBelowCriticalPath(t *testing.T) {
+	shallow := dfg.New("shallow") // critical path 1: inside [1, 3]
+	if err := shallow.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := shallow.AddInput("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shallow.AddOp("s", op.Add, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	deep := benchmarks.Facet().Graph // critical path 4: outside [1, 3]
+
+	out, err := SweepGraphs([]*dfg.Graph{shallow, deep}, Config{}, 1, 3)
+	if out != nil {
+		t.Errorf("rows = %+v, want none", out)
+	}
+	var re *guard.RangeError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *guard.RangeError", err)
+	}
+	if re.Graph != deep.Name || re.CriticalPath != 4 || re.Lo != 1 || re.Hi != 3 {
+		t.Errorf("RangeError = %+v, want {Lo:1 Hi:3 CriticalPath:4 Graph:%q}", re, deep.Name)
+	}
+
+	// The same graphs under a feasible range still sweep fine — the fix
+	// only rejects ranges with no feasible point for some graph.
+	rows, err := SweepGraphs([]*dfg.Graph{shallow, deep}, Config{}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(rows[0]) != 4 || len(rows[1]) != 1 {
+		t.Errorf("feasible sweep rows = %d/%d points, want 4/1", len(rows[0]), len(rows[1]))
 	}
 }

@@ -177,6 +177,14 @@ func (r PerfRegression) String() string {
 	if strings.HasSuffix(r.Name, "/identical_results") {
 		return r.Name + ": incremental re-synthesis no longer matches the from-scratch result"
 	}
+	switch r.Name {
+	case "serve/hit_rate":
+		return fmt.Sprintf("serve/hit_rate: %.4f, baseline %.4f — replayed requests are re-synthesizing instead of hitting the cache", r.NewMs, r.OldMs)
+	case "serve/byte_identical":
+		return "serve/byte_identical: a cache hit returned different bytes than the miss that filled it"
+	case "serve/sweep_batching":
+		return fmt.Sprintf("serve/sweep_batching: %.0f batches for the burst (baseline %.0f) — concurrent sweeps no longer coalesce", r.NewMs, r.OldMs)
+	}
 	return fmt.Sprintf("%s: %.2f ms, baseline %.2f ms (limit %.2f ms)", r.Name, r.NewMs, r.OldMs, r.LimitMs)
 }
 

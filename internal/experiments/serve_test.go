@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMeasureServeSmallFleet runs the full harness with a small fleet —
+// the identical code path hlsbench -serve takes, scaled so the test
+// stays fast. The correctness verdicts (hit rate, byte identity,
+// batching) must hold at any fleet size.
+func TestMeasureServeSmallFleet(t *testing.T) {
+	b, err := measureServe(context.Background(), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SchemaVersion != 1 {
+		t.Errorf("schema version %d, want 1", b.SchemaVersion)
+	}
+	if b.Clients != 8 || b.Requests != 16 {
+		t.Errorf("fleet shape %d x %d, want 8 clients / 16 requests", b.Clients, b.Requests)
+	}
+	if b.Designs == 0 {
+		t.Error("no designs warmed")
+	}
+	if b.HitRate != 1 {
+		t.Errorf("hit rate %v, want 1.0 — replayed requests must all hit", b.HitRate)
+	}
+	if !b.ByteIdentical {
+		t.Error("replayed responses not byte-identical to the warm bodies")
+	}
+	if b.SweepBatchedReqs == 0 || b.SweepBatches >= b.SweepBatchedReqs {
+		t.Errorf("sweep burst: %d requests in %d batches, want coalescing", b.SweepBatchedReqs, b.SweepBatches)
+	}
+	if b.WarmMs <= 0 || b.ReplayMs <= 0 || b.P99Ms < b.P50Ms {
+		t.Errorf("implausible timings: warm %v replay %v p50 %v p99 %v", b.WarmMs, b.ReplayMs, b.P50Ms, b.P99Ms)
+	}
+}
+
+func TestMeasureServeCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := measureServe(ctx, 2, 1); err == nil {
+		t.Error("cancelled measurement returned nil error")
+	}
+}
+
+func TestLoadServeBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := LoadServeBaseline(filepath.Join(dir, "missing.json")); err == nil ||
+		!strings.Contains(err.Error(), "hlsbench -serve") {
+		t.Errorf("missing file: err = %v, want regenerate hint", err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema_version": 99}`), 0o644)
+	if _, err := LoadServeBaseline(bad); err == nil ||
+		!strings.Contains(err.Error(), "schema version 99") {
+		t.Errorf("bad schema: err = %v, want version complaint", err)
+	}
+
+	good := filepath.Join(dir, "good.json")
+	data, _ := json.Marshal(&ServeBaseline{SchemaVersion: 1, Clients: 3, HitRate: 1})
+	os.WriteFile(good, data, 0o644)
+	b, err := LoadServeBaseline(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Clients != 3 || b.HitRate != 1 {
+		t.Errorf("round trip lost fields: %+v", b)
+	}
+}
+
+func TestCompareServe(t *testing.T) {
+	base := &ServeBaseline{
+		WarmMs: 100, ReplayMs: 1000, P50Ms: 2, P99Ms: 10,
+		HitRate: 1, ByteIdentical: true,
+		SweepBatches: 3, SweepBatchedReqs: 16,
+	}
+	ok := &ServeBaseline{
+		WarmMs: 150, ReplayMs: 2000, P50Ms: 4, P99Ms: 20,
+		HitRate: 1, ByteIdentical: true,
+		SweepBatches: 4, SweepBatchedReqs: 16,
+	}
+	if regs := CompareServe(base, ok, 3); len(regs) != 0 {
+		t.Errorf("within-tolerance run flagged: %v", regs)
+	}
+
+	slow := &ServeBaseline{
+		WarmMs: 100, ReplayMs: 5000, P50Ms: 2, P99Ms: 10,
+		HitRate: 1, ByteIdentical: true,
+		SweepBatches: 3, SweepBatchedReqs: 16,
+	}
+	regs := CompareServe(base, slow, 3)
+	if len(regs) != 1 || regs[0].Name != "serve/replay" {
+		t.Errorf("slow replay: regs = %v, want serve/replay alone", regs)
+	}
+
+	broken := &ServeBaseline{
+		WarmMs: 100, ReplayMs: 1000, P50Ms: 2, P99Ms: 10,
+		HitRate: 0.5, ByteIdentical: false,
+		SweepBatches: 16, SweepBatchedReqs: 16,
+	}
+	regs = CompareServe(base, broken, 3)
+	names := make(map[string]bool, len(regs))
+	for _, r := range regs {
+		names[r.Name] = true
+		if r.String() == "" {
+			t.Errorf("%s: empty String()", r.Name)
+		}
+	}
+	for _, want := range []string{"serve/hit_rate", "serve/byte_identical", "serve/sweep_batching"} {
+		if !names[want] {
+			t.Errorf("broken run: missing regression %s (got %v)", want, regs)
+		}
+	}
+}
+
+func TestServeDeltas(t *testing.T) {
+	base := &ServeBaseline{WarmMs: 10, ReplayMs: 100, P50Ms: 1, P99Ms: 5}
+	fresh := &ServeBaseline{WarmMs: 20, ReplayMs: 150, P50Ms: 2, P99Ms: 10}
+	ds := ServeDeltas(base, fresh)
+	if len(ds) != 4 {
+		t.Fatalf("%d deltas, want 4", len(ds))
+	}
+	if ds[0].Name != "serve/warm" || ds[0].OldMs != 10 || ds[0].NewMs != 20 {
+		t.Errorf("warm delta = %+v", ds[0])
+	}
+	if ds[1].Factor() != 1.5 {
+		t.Errorf("replay factor = %v, want 1.5", ds[1].Factor())
+	}
+}

@@ -101,12 +101,32 @@ func (e *LimitError) Error() string {
 	return fmt.Sprintf("%s %d exceeds the limit of %d", e.What, e.Got, e.Max)
 }
 
-// RangeError reports an invalid [Lo, Hi] constraint range handed to a
-// design-space sweep: Lo < 1 or Lo > Hi.
+// RangeError reports a control-step constraint range a design-space
+// sweep cannot satisfy: either the range itself is malformed (Lo < 1 or
+// Lo > Hi), or it is well-formed but lies entirely below the graph's
+// critical path, so no constraint in it admits a schedule. The second
+// form carries the critical path (and, in multi-graph sweeps, the
+// offending graph's name) so a caller can retry with a feasible range.
 type RangeError struct {
 	Lo, Hi int
+
+	// CriticalPath, when positive, is the critical-path cycle count that
+	// exceeds Hi: every cs in [Lo, Hi] is infeasible for the graph.
+	CriticalPath int
+
+	// Graph names the offending graph in multi-graph sweeps; empty for
+	// single-graph sweeps and malformed ranges.
+	Graph string
 }
 
 func (e *RangeError) Error() string {
+	if e.CriticalPath > 0 {
+		of := ""
+		if e.Graph != "" {
+			of = fmt.Sprintf(" of graph %q", e.Graph)
+		}
+		return fmt.Sprintf("control-step range [%d, %d] lies below the critical path%s (%d cycles): no feasible constraint",
+			e.Lo, e.Hi, of, e.CriticalPath)
+	}
 	return fmt.Sprintf("invalid control-step range [%d, %d]: need 1 <= lo <= hi", e.Lo, e.Hi)
 }

@@ -23,12 +23,28 @@ package pool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/guard"
 )
+
+// EmptySearchError reports a SearchMin or SearchMinCtx call over an
+// empty candidate range (n <= 0): no candidate was ever probed, so
+// there is no committed index and no last probe error to surface.
+// Before this type existed the call returned (-1, zero, nil) — a
+// success-shaped failure whose nil error masked that the search never
+// ran, and whose -1 index crashed callers that indexed with it.
+type EmptySearchError struct {
+	// N is the candidate count the search was asked to cover.
+	N int
+}
+
+func (e *EmptySearchError) Error() string {
+	return fmt.Sprintf("search over %d candidates: no candidate was probed", e.N)
+}
 
 // Size resolves a parallelism setting to a worker count: n > 0 is used
 // as given, anything else selects runtime.GOMAXPROCS(0). Callers thread
@@ -148,6 +164,13 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 // candidate is returned, again matching the sequential loop. Probes
 // above the committed index are wasted work, never observable state:
 // fn must be side-effect free and safe for concurrent use.
+//
+// The error contract: a success returns (i, v, nil) with 0 <= i < n;
+// every failure returns index -1 with a non-nil error — the last
+// candidate's error when all n probes failed, ctx.Err() on
+// cancellation, and a *EmptySearchError when n <= 0 (no candidate
+// exists to probe, so no probe error can stand in for the failure).
+// The index is never -1 alongside a nil error.
 func SearchMin[T any](workers, n int, fn func(i int) (T, error)) (int, T, error) {
 	return SearchMinCtx(context.Background(), workers, n, fn)
 }
@@ -159,6 +182,16 @@ func SearchMin[T any](workers, n int, fn func(i int) (T, error)) (int, T, error)
 func SearchMinCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) (int, T, error) {
 	var zero T
 	var lastErr error
+	if n <= 0 {
+		// Checked on both the sequential and windowed paths' behalf:
+		// neither loop body runs for n <= 0, and without this the call
+		// would fall through to `return -1, zero, lastErr` with lastErr
+		// never assigned — the success-shaped (-1, zero, nil) failure.
+		if err := ctx.Err(); err != nil {
+			return -1, zero, err
+		}
+		return -1, zero, &EmptySearchError{N: n}
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

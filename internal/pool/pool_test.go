@@ -1,6 +1,8 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -116,5 +118,55 @@ func TestSearchMinMatchesSequential(t *testing.T) {
 				t.Errorf("pred %d workers %d: err = %v, want %v", pi, workers, err, wantErr)
 			}
 		}
+	}
+}
+
+// TestSearchMinEmpty pins the empty-search contract: n <= 0 means no
+// candidate was ever probed, so the call must fail with a typed
+// *EmptySearchError instead of the success-shaped (-1, zero, nil) it
+// used to return. The table covers both the sequential (workers <= 1)
+// and windowed (workers > 1) paths.
+func TestSearchMinEmpty(t *testing.T) {
+	for _, tc := range []struct {
+		name       string
+		workers, n int
+	}{
+		{"sequential/zero", 1, 0},
+		{"sequential/negative", 1, -3},
+		{"windowed/zero", 8, 0},
+		{"windowed/negative", 8, -3},
+		{"resolved-default/zero", Size(0), 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			called := false
+			idx, v, err := SearchMin(tc.workers, tc.n, func(i int) (string, error) {
+				called = true
+				return "never", nil
+			})
+			if called {
+				t.Error("fn was called for an empty candidate range")
+			}
+			if idx != -1 || v != "" {
+				t.Errorf("got (%d, %q), want (-1, \"\")", idx, v)
+			}
+			var ese *EmptySearchError
+			if !errors.As(err, &ese) {
+				t.Fatalf("err = %v, want *EmptySearchError", err)
+			}
+			if ese.N != tc.n {
+				t.Errorf("EmptySearchError.N = %d, want %d", ese.N, tc.n)
+			}
+		})
+	}
+}
+
+// TestSearchMinEmptyCancelled: cancellation still dominates the empty
+// range, matching every other Ctx path in the package.
+func TestSearchMinEmptyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	idx, _, err := SearchMinCtx(ctx, 4, 0, func(i int) (int, error) { return 0, nil })
+	if idx != -1 || !errors.Is(err, context.Canceled) {
+		t.Errorf("got (%d, %v), want (-1, context.Canceled)", idx, err)
 	}
 }

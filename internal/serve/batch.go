@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hls "repro"
+	"repro/internal/core"
+	"repro/internal/dfg"
+)
+
+// batcher coalesces queued /sweep requests that share a config and a
+// [lo, hi] range into one hls.SweepGraphsCtx fan-out: the multi-graph
+// entry point amortizes the per-call setup and schedules all points of
+// all graphs onto one worker pool, which beats running each request's
+// sweep alone whenever sweeps arrive in bursts (the elliptic-filter
+// replay pattern). The first request of a batch opens a short window
+// (Options.BatchWindow) for companions to join; the batch runs when the
+// window closes or BatchMax graphs have gathered, whichever is first,
+// occupying a single worker slot.
+type batcher struct {
+	s       *Server
+	mu      sync.Mutex
+	pending map[string]*batch
+
+	batches atomic.Uint64 // fan-outs run
+	joined  atomic.Uint64 // requests carried by those fan-outs
+}
+
+// batch is one pending fan-out: the graphs gathered so far and the
+// result channel of each waiting request.
+type batch struct {
+	key     string
+	cfg     core.Config
+	lo, hi  int
+	graphs  []*dfg.Graph
+	chans   []chan batchResult
+	timer   *time.Timer
+	flushed bool
+}
+
+type batchResult struct {
+	points []core.SweepPoint
+	err    error
+}
+
+func newBatcher(s *Server) *batcher {
+	return &batcher{s: s, pending: make(map[string]*batch)}
+}
+
+// batchKeyOf groups requests that one SweepGraphsCtx call can serve:
+// identical wire config (json.Marshal is deterministic — struct field
+// order, sorted map keys) and identical range.
+func batchKeyOf(cj ConfigJSON, lo, hi int) (string, error) {
+	b, err := json.Marshal(cj)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d:%d:%s", lo, hi, b), nil
+}
+
+// submit enqueues one graph and waits for its row of the batched
+// fan-out. The wait is bounded by ctx (client disconnect, deadline,
+// server Close); an abandoned request leaves the batch to complete for
+// the others.
+func (b *batcher) submit(ctx context.Context, d *decoded, lo, hi int, cj ConfigJSON) ([]core.SweepPoint, error) {
+	s := b.s
+	// Waiters count against the same admission bound as /synthesize.
+	if s.queued.Add(1) > int64(s.opts.QueueDepth) {
+		s.queued.Add(-1)
+		return nil, ErrQueueFull
+	}
+	defer s.queued.Add(-1)
+
+	key, err := batchKeyOf(cj, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan batchResult, 1)
+
+	b.mu.Lock()
+	bt := b.pending[key]
+	if bt == nil {
+		bt = &batch{key: key, cfg: d.cfg, lo: lo, hi: hi}
+		bt.timer = time.AfterFunc(s.opts.BatchWindow, func() { b.flush(bt) })
+		b.pending[key] = bt
+	}
+	bt.graphs = append(bt.graphs, d.graph)
+	bt.chans = append(bt.chans, ch)
+	full := len(bt.graphs) >= s.opts.BatchMax
+	b.mu.Unlock()
+	if full {
+		b.flush(bt)
+	}
+
+	select {
+	case res := <-ch:
+		return res.points, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// flush runs the batch exactly once (timer and the BatchMax trigger can
+// race; the flushed flag arbitrates) on one worker slot, under the
+// server context so Close cancels the fan-out itself, and distributes
+// each graph's row — or the shared error — to every waiter.
+func (b *batcher) flush(bt *batch) {
+	b.mu.Lock()
+	if bt.flushed {
+		b.mu.Unlock()
+		return
+	}
+	bt.flushed = true
+	bt.timer.Stop()
+	if b.pending[bt.key] == bt {
+		delete(b.pending, bt.key)
+	}
+	graphs, chans := bt.graphs, bt.chans
+	b.mu.Unlock()
+
+	b.batches.Add(1)
+	b.joined.Add(uint64(len(graphs)))
+
+	fail := func(err error) {
+		for _, ch := range chans {
+			ch <- batchResult{err: err}
+		}
+	}
+	release, err := b.s.acquireSlot(b.s.ctx)
+	if err != nil {
+		fail(err)
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(b.s.ctx, b.s.opts.DefaultTimeout)
+	defer cancel()
+
+	cfg := bt.cfg
+	cfg.Parallelism = 0 // the batch owns its slot; fan out on the machine
+	rows, err := hls.SweepGraphsCtx(ctx, graphs, cfg, bt.lo, bt.hi)
+	if err != nil {
+		fail(err)
+		return
+	}
+	for i, ch := range chans {
+		ch <- batchResult{points: rows[i]}
+	}
+}

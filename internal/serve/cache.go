@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/canon"
+)
+
+// cacheKey identifies one cached response: the canonical bucket the
+// request falls into plus the strict entry key (fingerprint mixed with
+// the endpoint and its response-shaping options). Isomorphic requests
+// share a bucket; only byte-identical requests share an entry.
+type cacheKey struct {
+	bucket canon.Hash
+	entry  canon.Hash
+}
+
+// cacheEntry is one stored response body on the LRU list.
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+	elem *list.Element
+}
+
+// CacheStats is the cache section of the /metrics report.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Buckets   int    `json:"buckets"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// cache is the bounded LRU result cache. Both knobs evict from the cold
+// end: MaxEntries caps the entry count, MaxBytes the sum of stored body
+// sizes. A zero knob means that dimension is unbounded (the server
+// always sets at least one).
+type cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+
+	ll      *list.List // *cacheEntry; front = most recently used
+	entries map[cacheKey]*cacheEntry
+	buckets map[canon.Hash]int // live entries per canonical bucket
+
+	bytes                   int64
+	hits, misses, evictions uint64
+}
+
+func newCache(maxEntries int, maxBytes int64) *cache {
+	return &cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		entries:    make(map[cacheKey]*cacheEntry),
+		buckets:    make(map[canon.Hash]int),
+	}
+}
+
+// get returns the stored body for key and marks it most recently used.
+// The returned slice is the stored one; callers must not mutate it.
+func (c *cache) get(key cacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(e.elem)
+	return e.body, true
+}
+
+// put stores body under key, replacing any previous entry, and evicts
+// from the cold end until both knobs are satisfied. A body larger than
+// MaxBytes on its own is not cached at all.
+func (c *cache) put(key cacheKey, body []byte) {
+	if c.maxBytes > 0 && int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		c.ll.MoveToFront(e.elem)
+	} else {
+		e := &cacheEntry{key: key, body: body}
+		e.elem = c.ll.PushFront(e)
+		c.entries[key] = e
+		c.buckets[key.bucket]++
+		c.bytes += int64(len(body))
+	}
+	for (c.maxEntries > 0 && len(c.entries) > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		c.evictOldest()
+	}
+}
+
+// evictOldest drops the least recently used entry. Caller holds c.mu.
+func (c *cache) evictOldest() {
+	back := c.ll.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*cacheEntry)
+	c.ll.Remove(back)
+	delete(c.entries, e.key)
+	c.bytes -= int64(len(e.body))
+	c.buckets[e.key.bucket]--
+	if c.buckets[e.key.bucket] == 0 {
+		delete(c.buckets, e.key.bucket)
+	}
+	c.evictions++
+}
+
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Buckets:   len(c.buckets),
+		Bytes:     c.bytes,
+	}
+}

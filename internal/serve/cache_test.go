@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/canon"
+)
+
+func key(bucket, entry byte) cacheKey {
+	var k cacheKey
+	k.bucket[0] = bucket
+	k.entry[0] = entry
+	return k
+}
+
+func TestCacheLRUByEntries(t *testing.T) {
+	c := newCache(2, 0)
+	c.put(key(1, 1), []byte("a"))
+	c.put(key(2, 1), []byte("b"))
+	if _, ok := c.get(key(1, 1)); !ok { // touch 1: now 2 is coldest
+		t.Fatal("entry 1 missing")
+	}
+	c.put(key(3, 1), []byte("c")) // evicts 2
+	if _, ok := c.get(key(2, 1)); ok {
+		t.Error("coldest entry not evicted")
+	}
+	if _, ok := c.get(key(1, 1)); !ok {
+		t.Error("recently used entry evicted")
+	}
+	st := c.stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 1 eviction", st)
+	}
+}
+
+func TestCacheLRUByBytes(t *testing.T) {
+	c := newCache(0, 10)
+	c.put(key(1, 1), []byte("aaaa"))
+	c.put(key(2, 1), []byte("bbbb"))
+	c.put(key(3, 1), []byte("cccc")) // 12 bytes > 10: evicts key 1
+	if _, ok := c.get(key(1, 1)); ok {
+		t.Error("byte cap did not evict the coldest entry")
+	}
+	if st := c.stats(); st.Bytes != 8 {
+		t.Errorf("bytes = %d, want 8", st.Bytes)
+	}
+
+	// A body that alone exceeds the cap is not admitted at all.
+	c.put(key(4, 1), bytes.Repeat([]byte("x"), 11))
+	if _, ok := c.get(key(4, 1)); ok {
+		t.Error("oversized body admitted")
+	}
+}
+
+func TestCacheBucketAccounting(t *testing.T) {
+	c := newCache(8, 0)
+	// Two entries in one bucket (same canonical hash, different
+	// fingerprints — the isomorphic-rename case), one in another.
+	c.put(key(1, 1), []byte("a"))
+	c.put(key(1, 2), []byte("b"))
+	c.put(key(2, 1), []byte("c"))
+	st := c.stats()
+	if st.Entries != 3 || st.Buckets != 2 {
+		t.Errorf("stats = %+v, want 3 entries in 2 buckets", st)
+	}
+
+	// Replacing an entry must not double-count.
+	c.put(key(1, 1), []byte("aa"))
+	st = c.stats()
+	if st.Entries != 3 || st.Buckets != 2 || st.Bytes != 4 {
+		t.Errorf("after replace: stats = %+v, want 3 entries, 2 buckets, 4 bytes", st)
+	}
+}
+
+func TestCacheReplaceUpdatesBody(t *testing.T) {
+	c := newCache(4, 0)
+	c.put(key(1, 1), []byte("old"))
+	c.put(key(1, 1), []byte("new"))
+	got, ok := c.get(key(1, 1))
+	if !ok || string(got) != "new" {
+		t.Errorf("got %q, %v; want new", got, ok)
+	}
+}
+
+func TestCacheKeysDistinct(t *testing.T) {
+	// mixKey must separate endpoints and options for the same
+	// fingerprint, and stay deterministic.
+	var fp canon.Hash
+	fp[0] = 7
+	seen := map[canon.Hash]string{}
+	for _, tc := range []struct {
+		name  string
+		parts [][]byte
+	}{
+		{"synthesize", [][]byte{[]byte("synthesize"), u64bytes(0, 0)}},
+		{"synthesize+netlist", [][]byte{[]byte("synthesize"), u64bytes(1, 0)}},
+		{"sweep", [][]byte{[]byte("sweep"), u64bytes(1, 8)}},
+		{"certify", [][]byte{[]byte("certify")}},
+	} {
+		k := mixKey(fp, tc.parts...)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %s and %s", prev, tc.name)
+		}
+		seen[k] = tc.name
+		if again := mixKey(fp, tc.parts...); again != k {
+			t.Errorf("%s: mixKey not deterministic", tc.name)
+		}
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newCache(64, 0)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := key(byte(i%16), byte(w))
+				c.put(k, []byte(fmt.Sprintf("%d-%d", w, i)))
+				c.get(k)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if st := c.stats(); st.Entries > 64 {
+		t.Errorf("entries = %d, want <= 64", st.Entries)
+	}
+}

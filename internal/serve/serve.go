@@ -1,0 +1,758 @@
+// Package serve is the synthesis-as-a-service daemon behind cmd/hlsd:
+// an HTTP/JSON front end over the public hls façade with a
+// content-addressed result cache, so identical — or isomorphic —
+// requests are answered from memory instead of re-synthesized.
+//
+// Endpoints:
+//
+//   - POST /synthesize — one graph (dfgio JSON) or behavioral source,
+//     synthesized under the request config; optional netlist/schedule
+//     in the response.
+//   - POST /sweep — one graph plus a [cs_lo, cs_hi] range; queued
+//     requests with the same config and range are coalesced into a
+//     single hls.SweepGraphsCtx fan-out (see batch.go).
+//   - POST /certify — synthesize, then run the translation-validation
+//     pass and return the lint certificate.
+//   - GET /metrics — request, cache, queue, and latency counters.
+//
+// Caching: requests are bucketed by canon.Canonical (name- and
+// order-insensitive, so isomorphic graphs share a bucket) and stored
+// under canon.Fingerprint mixed with the endpoint and its
+// response-shaping options (strict byte identity — responses embed
+// names, so only requests that would produce the very same bytes share
+// an entry). A hit is served from the stored bytes with no synthesis
+// work; the X-Hlsd-Cache response header says "hit" or "miss" so the
+// body itself stays byte-identical either way. Eviction is LRU with
+// entry-count and total-byte knobs.
+//
+// Bounded work: at most Options.Workers requests synthesize at once; up
+// to Options.QueueDepth more wait in line, and everything beyond that
+// is refused immediately with 503. Every handler runs under
+// guard.Recover, and every unit of work runs under a context that is
+// cancelled by client disconnect, the per-request deadline, or server
+// Close — in-queue requests observe Close within milliseconds.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hls "repro"
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/dfg"
+	"repro/internal/dfgio"
+	"repro/internal/guard"
+	"repro/internal/pool"
+)
+
+// Options configures a Server. The zero value selects the defaults
+// noted on each field.
+type Options struct {
+	// Workers bounds concurrent synthesis work (default: pool.Size(0),
+	// the machine's GOMAXPROCS). A /sweep batch occupies one worker and
+	// fans out internally on the request parallelism.
+	Workers int
+
+	// QueueDepth bounds how many requests may wait for a worker before
+	// new arrivals are refused with 503 (default 64).
+	QueueDepth int
+
+	// CacheEntries and CacheBytes are the LRU eviction knobs
+	// (defaults 1024 entries, 64 MiB). Zero selects the default;
+	// negative disables that knob.
+	CacheEntries int
+	CacheBytes   int64
+
+	// DefaultTimeout bounds each request's synthesis work when the
+	// request config carries no timeout of its own (default 60s).
+	DefaultTimeout time.Duration
+
+	// BatchWindow is how long the first /sweep request of a batch waits
+	// for companions before the batch runs (default 2ms); BatchMax
+	// flushes a batch early once it holds that many graphs (default 16).
+	BatchWindow time.Duration
+	BatchMax    int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = pool.Size(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 1024
+	} else if o.CacheEntries < 0 {
+		o.CacheEntries = 0 // unbounded
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 64 << 20
+	} else if o.CacheBytes < 0 {
+		o.CacheBytes = 0 // unbounded
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 16
+	}
+	return o
+}
+
+// ErrQueueFull is returned (as a 503) when a request arrives while
+// QueueDepth requests are already waiting for a worker.
+var ErrQueueFull = errors.New("serve: request queue full")
+
+// Server is the daemon state: cache, worker slots, sweep batcher, and
+// counters. Create with New, mount Handler on an http.Server, and call
+// Close to drain.
+type Server struct {
+	opts    Options
+	ctx     context.Context // done when Close is called
+	cancel  context.CancelFunc
+	sem     chan struct{} // worker slots
+	queued  atomic.Int64
+	inFlight atomic.Int64
+	cache   *cache
+	batcher *batcher
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	requests map[string]uint64
+	errs     map[string]uint64
+	lat      []float64 // latency ring, milliseconds
+	latNext  int
+	latCount uint64
+}
+
+// latRing bounds the latency sample buffer the percentiles are computed
+// over; older samples are overwritten.
+const latRing = 8192
+
+// New builds a Server with opts resolved to their defaults.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:     opts,
+		ctx:      ctx,
+		cancel:   cancel,
+		sem:      make(chan struct{}, opts.Workers),
+		cache:    newCache(opts.CacheEntries, opts.CacheBytes),
+		requests: make(map[string]uint64),
+		errs:     make(map[string]uint64),
+		lat:      make([]float64, 0, latRing),
+	}
+	s.batcher = newBatcher(s)
+	mux := http.NewServeMux()
+	mux.Handle("/synthesize", s.endpoint("synthesize", http.MethodPost, s.handleSynthesize))
+	mux.Handle("/sweep", s.endpoint("sweep", http.MethodPost, s.handleSweep))
+	mux.Handle("/certify", s.endpoint("certify", http.MethodPost, s.handleCertify))
+	mux.Handle("/metrics", s.endpoint("metrics", http.MethodGet, s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's HTTP handler, ready to mount on an
+// http.Server (or httptest.Server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close cancels every queued and in-flight request's context. Requests
+// waiting for a worker return immediately with 503; in-flight synthesis
+// unwinds at its next cancellation poll. Close is idempotent.
+func (s *Server) Close() { s.cancel() }
+
+// --- request plumbing -------------------------------------------------
+
+// httpError pins a status code onto an error at the point where the
+// failure is classified (e.g. a malformed request body is a 400 no
+// matter what text it carries).
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func badRequest(err error) error {
+	return &httpError{code: http.StatusBadRequest, err: err}
+}
+
+// endpoint wraps a handler with the shared per-request discipline:
+// method check, panic recovery (guard.Recover, so a handler bug is a
+// 500, not a dead daemon), error-to-status mapping, and request/latency
+// accounting.
+func (s *Server) endpoint(name, method string, fn func(w http.ResponseWriter, r *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.count(s.requests, name)
+		err := func() (err error) {
+			defer guard.Recover("serve "+name, &err)
+			if r.Method != method {
+				return &httpError{code: http.StatusMethodNotAllowed,
+					err: fmt.Errorf("method %s not allowed; use %s", r.Method, method)}
+			}
+			return fn(w, r)
+		}()
+		if err != nil {
+			s.count(s.errs, name)
+			writeError(w, err)
+		}
+		s.observe(time.Since(start))
+	})
+}
+
+// writeError maps a handler error onto a status code and a JSON body.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	var re *guard.RangeError
+	var le *guard.LimitError
+	switch {
+	case errors.As(err, &he):
+		code = he.code
+	case errors.As(err, &re), errors.As(err, &le):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled):
+		code = http.StatusServiceUnavailable // shutdown or client gone
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+// requestCtx derives the context one request's work runs under: child
+// of the request context (cancelled on client disconnect), cancelled by
+// server Close, and bounded by the default deadline. Request configs
+// with their own Timeout tighten this further inside core.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.ctx, cancel)
+	ctx, cancelT := context.WithTimeout(ctx, s.opts.DefaultTimeout)
+	return ctx, func() { stop(); cancelT(); cancel() }
+}
+
+// acquire claims a worker slot, waiting in the bounded queue. It fails
+// fast with ErrQueueFull when the queue is at capacity, and returns the
+// context error as soon as ctx or the server is done — a queued request
+// never outlives Close.
+func (s *Server) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case s.sem <- struct{}{}: // free slot: no queueing at all
+		s.inFlight.Add(1)
+		return func() { s.inFlight.Add(-1); <-s.sem }, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.opts.QueueDepth) {
+		s.queued.Add(-1)
+		return nil, ErrQueueFull
+	}
+	defer s.queued.Add(-1)
+	release, err = s.acquireSlot(ctx)
+	return release, err
+}
+
+// acquireSlot is acquire without the queue-depth gate; the sweep
+// batcher uses it directly so a batch (already representing admitted
+// requests) cannot be refused by the queue its own members fill.
+func (s *Server) acquireSlot(ctx context.Context) (func(), error) {
+	select {
+	case s.sem <- struct{}{}:
+		s.inFlight.Add(1)
+		return func() { s.inFlight.Add(-1); <-s.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.ctx.Done():
+		return nil, s.ctx.Err()
+	}
+}
+
+func (s *Server) count(m map[string]uint64, name string) {
+	s.mu.Lock()
+	m[name]++
+	s.mu.Unlock()
+}
+
+func (s *Server) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	s.mu.Lock()
+	if len(s.lat) < latRing {
+		s.lat = append(s.lat, ms)
+	} else {
+		s.lat[s.latNext] = ms
+		s.latNext = (s.latNext + 1) % latRing
+	}
+	s.latCount++
+	s.mu.Unlock()
+}
+
+// --- wire types -------------------------------------------------------
+
+// ConfigJSON is the wire form of core.Config. Parallelism is absent by
+// design — the server owns its concurrency budget — and Timeout is a
+// millisecond count so configs stay plain JSON numbers.
+type ConfigJSON struct {
+	CS             int            `json:"cs,omitempty"`
+	Limits         map[string]int `json:"limits,omitempty"`
+	ClockNs        float64        `json:"clock_ns,omitempty"`
+	Latency        int            `json:"latency,omitempty"`
+	PipelinedOps   []string       `json:"pipelined_ops,omitempty"`
+	Style          int            `json:"style,omitempty"`
+	Weights        []float64      `json:"weights,omitempty"`
+	RegisterInputs bool           `json:"register_inputs,omitempty"`
+	Optimize       bool           `json:"optimize,omitempty"`
+	Lint           bool           `json:"lint,omitempty"`
+	NoTrace        bool           `json:"no_trace,omitempty"`
+	TimeoutMs      int            `json:"timeout_ms,omitempty"`
+	MaxNodes       int            `json:"max_nodes,omitempty"`
+	MaxCSteps      int            `json:"max_csteps,omitempty"`
+}
+
+func (c ConfigJSON) toCore() (core.Config, error) {
+	if len(c.Weights) > 4 {
+		return core.Config{}, badRequest(fmt.Errorf("config: %d weights, want at most 4", len(c.Weights)))
+	}
+	var w [4]float64
+	copy(w[:], c.Weights)
+	return core.Config{
+		CS:             c.CS,
+		Limits:         c.Limits,
+		ClockNs:        c.ClockNs,
+		Latency:        c.Latency,
+		PipelinedOps:   c.PipelinedOps,
+		Style:          c.Style,
+		Weights:        w,
+		RegisterInputs: c.RegisterInputs,
+		Optimize:       c.Optimize,
+		Lint:           c.Lint,
+		NoTrace:        c.NoTrace,
+		Timeout:        time.Duration(c.TimeoutMs) * time.Millisecond,
+		MaxNodes:       c.MaxNodes,
+		MaxCSteps:      c.MaxCSteps,
+		Parallelism:    1, // one worker slot = one sequential synthesis
+	}, nil
+}
+
+// CostJSON is the wire form of rtl.Cost.
+type CostJSON struct {
+	ALUArea      float64 `json:"alu_area"`
+	MuxArea      float64 `json:"mux_area"`
+	RegArea      float64 `json:"reg_area"`
+	Total        float64 `json:"total"`
+	NumALUs      int     `json:"num_alus"`
+	NumRegs      int     `json:"num_regs"`
+	NumMux       int     `json:"num_mux"`
+	NumMuxInputs int     `json:"num_mux_inputs"`
+}
+
+func costJSON(c hls.Cost) CostJSON {
+	return CostJSON{
+		ALUArea: c.ALUArea, MuxArea: c.MuxArea, RegArea: c.RegArea, Total: c.Total,
+		NumALUs: c.NumALUs, NumRegs: c.NumRegs, NumMux: c.NumMux, NumMuxInputs: c.NumMuxInputs,
+	}
+}
+
+// SynthesizeRequest is the /synthesize (and /certify) request body:
+// exactly one of Graph (dfgio graph JSON) or Source (behavioral text).
+type SynthesizeRequest struct {
+	Graph    json.RawMessage `json:"graph,omitempty"`
+	Source   string          `json:"source,omitempty"`
+	Config   ConfigJSON      `json:"config"`
+	Netlist  bool            `json:"netlist,omitempty"`
+	Schedule bool            `json:"schedule,omitempty"`
+}
+
+// SynthesizeResponse is the /synthesize response body.
+type SynthesizeResponse struct {
+	Hash        string          `json:"hash"`
+	Fingerprint string          `json:"fingerprint"`
+	Design      string          `json:"design"`
+	CS          int             `json:"cs"`
+	Cost        CostJSON        `json:"cost"`
+	Netlist     string          `json:"netlist,omitempty"`
+	Schedule    json.RawMessage `json:"schedule,omitempty"`
+}
+
+// SweepRequest is the /sweep request body: one graph, one range.
+// Requests sharing config and range are batched server-side.
+type SweepRequest struct {
+	Graph  json.RawMessage `json:"graph"`
+	CsLo   int             `json:"cs_lo"`
+	CsHi   int             `json:"cs_hi"`
+	Config ConfigJSON      `json:"config"`
+}
+
+// SweepPointJSON is one design point of a /sweep response.
+type SweepPointJSON struct {
+	CS     int      `json:"cs"`
+	Cost   CostJSON `json:"cost"`
+	ALUs   string   `json:"alus,omitempty"`
+	Pareto bool     `json:"pareto"`
+}
+
+// SweepResponse is the /sweep response body.
+type SweepResponse struct {
+	Hash   string           `json:"hash"`
+	Design string           `json:"design"`
+	Points []SweepPointJSON `json:"points"`
+}
+
+// CertifyResponse is the /certify response body; the certificate is
+// lint.Certificate's own JSON form.
+type CertifyResponse struct {
+	Hash        string          `json:"hash"`
+	Certificate json.RawMessage `json:"certificate"`
+}
+
+// Metrics is the /metrics response body.
+type Metrics struct {
+	Requests     map[string]uint64 `json:"requests"`
+	Errors       map[string]uint64 `json:"errors"`
+	Cache        CacheStats        `json:"cache"`
+	InFlight     int64             `json:"in_flight"`
+	Queued       int64             `json:"queued"`
+	Batches      uint64            `json:"batches"`
+	BatchedReqs  uint64            `json:"batched_requests"`
+	LatencyP50Ms float64           `json:"latency_p50_ms"`
+	LatencyP99Ms float64           `json:"latency_p99_ms"`
+	Served       uint64            `json:"served"`
+}
+
+// --- request keys -----------------------------------------------------
+
+// decoded is a parsed request payload: the graph plus its cache
+// coordinates.
+type decoded struct {
+	graph  *dfg.Graph
+	cfg    core.Config
+	bucket canon.Hash // canonical: isomorphic requests collide here
+	strict canon.Hash // fingerprint basis for the entry key
+}
+
+// decodeRequest parses the graph-or-source payload and computes its
+// cache coordinates. For source requests the strict key hashes the
+// source text itself (the built graph embeds interned literals whose
+// values the graph fingerprint alone would not cover).
+func (s *Server) decodeRequest(graphJSON json.RawMessage, source string, cj ConfigJSON) (*decoded, error) {
+	cfg, err := cj.toCore()
+	if err != nil {
+		return nil, err
+	}
+	var g *dfg.Graph
+	var strict canon.Hash
+	switch {
+	case len(graphJSON) > 0 && source != "":
+		return nil, badRequest(errors.New("request carries both graph and source; send one"))
+	case len(graphJSON) > 0:
+		g, err = dfgio.DecodeGraph(graphJSON)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		strict, err = canon.Fingerprint(g, cfg.Lib, cfg)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+	case source != "":
+		g, _, err = hls.ParseBehavior(source)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		fp, err := canon.Fingerprint(g, cfg.Lib, cfg)
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		strict = mixKey(fp, []byte("source"), []byte(source))
+	default:
+		return nil, badRequest(errors.New("request carries neither graph nor source"))
+	}
+	bucket, err := canon.Canonical(g, cfg.Lib, cfg)
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return &decoded{graph: g, cfg: cfg, bucket: bucket, strict: strict}, nil
+}
+
+// mixKey derives an entry key from the strict fingerprint plus the
+// endpoint- and option-specific parts that shape the response bytes.
+func mixKey(fp canon.Hash, parts ...[]byte) canon.Hash {
+	h := sha256.New()
+	h.Write(fp[:])
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	var out canon.Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func u64bytes(vs ...uint64) []byte {
+	b := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		b = binary.BigEndian.AppendUint64(b, v)
+	}
+	return b
+}
+
+// --- handlers ---------------------------------------------------------
+
+// serveCached answers from the cache when possible; on a miss it runs
+// produce (under a worker slot), stores the exact bytes written, and
+// answers with them. The X-Hlsd-Cache header carries the verdict so hit
+// and miss bodies stay byte-identical.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key cacheKey,
+	produce func(ctx context.Context) (any, error)) error {
+	if body, ok := s.cache.get(key); ok {
+		w.Header().Set("X-Hlsd-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		return nil
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	resp, err := func() (any, error) {
+		defer release()
+		return produce(ctx)
+	}()
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	s.cache.put(key, body)
+	w.Header().Set("X-Hlsd-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	return nil
+}
+
+func decodeBody[T any](r *http.Request) (*T, error) {
+	var req T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest(fmt.Errorf("request body: %w", err))
+	}
+	return &req, nil
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) error {
+	req, err := decodeBody[SynthesizeRequest](r)
+	if err != nil {
+		return err
+	}
+	d, err := s.decodeRequest(req.Graph, req.Source, req.Config)
+	if err != nil {
+		return err
+	}
+	key := cacheKey{
+		bucket: d.bucket,
+		entry:  mixKey(d.strict, []byte("synthesize"), u64bytes(b2u(req.Netlist), b2u(req.Schedule))),
+	}
+	return s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		design, err := hls.SynthesizeCtx(ctx, d.graph, d.cfg)
+		if err != nil {
+			return nil, err
+		}
+		resp := &SynthesizeResponse{
+			Hash:        d.bucket.String(),
+			Fingerprint: d.strict.String(),
+			Design:      design.Graph.Name,
+			CS:          design.Schedule.CS,
+			Cost:        costJSON(design.Cost),
+		}
+		if req.Netlist {
+			nl, err := design.Netlist()
+			if err != nil {
+				return nil, err
+			}
+			resp.Netlist = nl
+		}
+		if req.Schedule {
+			sj, err := dfgio.EncodeSchedule(design.Schedule)
+			if err != nil {
+				return nil, err
+			}
+			resp.Schedule = sj
+		}
+		return resp, nil
+	})
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) error {
+	req, err := decodeBody[SweepRequest](r)
+	if err != nil {
+		return err
+	}
+	d, err := s.decodeRequest(req.Graph, "", req.Config)
+	if err != nil {
+		return err
+	}
+	if req.CsLo < 1 || req.CsLo > req.CsHi {
+		return badRequest(&guard.RangeError{Lo: req.CsLo, Hi: req.CsHi})
+	}
+	// Infeasible ranges are rejected before batching, so one bad graph
+	// fails alone instead of poisoning the whole fan-out.
+	if cp := d.graph.CriticalPathCycles(); cp > req.CsHi {
+		return badRequest(&guard.RangeError{
+			Lo: req.CsLo, Hi: req.CsHi, CriticalPath: cp, Graph: d.graph.Name,
+		})
+	}
+	key := cacheKey{
+		bucket: d.bucket,
+		entry:  mixKey(d.strict, []byte("sweep"), u64bytes(uint64(req.CsLo), uint64(req.CsHi))),
+	}
+	if body, ok := s.cache.get(key); ok {
+		w.Header().Set("X-Hlsd-Cache", "hit")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		return nil
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	points, err := s.batcher.submit(ctx, d, req.CsLo, req.CsHi, req.Config)
+	if err != nil {
+		return err
+	}
+	resp := &SweepResponse{
+		Hash:   d.bucket.String(),
+		Design: d.graph.Name,
+		Points: make([]SweepPointJSON, len(points)),
+	}
+	for i, p := range points {
+		resp.Points[i] = SweepPointJSON{CS: p.CS, Cost: costJSON(p.Cost), ALUs: p.ALUs, Pareto: p.Pareto}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return err
+	}
+	s.cache.put(key, body)
+	w.Header().Set("X-Hlsd-Cache", "miss")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	return nil
+}
+
+func (s *Server) handleCertify(w http.ResponseWriter, r *http.Request) error {
+	req, err := decodeBody[SynthesizeRequest](r)
+	if err != nil {
+		return err
+	}
+	d, err := s.decodeRequest(req.Graph, req.Source, req.Config)
+	if err != nil {
+		return err
+	}
+	key := cacheKey{bucket: d.bucket, entry: mixKey(d.strict, []byte("certify"))}
+	return s.serveCached(w, r, key, func(ctx context.Context) (any, error) {
+		design, err := hls.SynthesizeCtx(ctx, d.graph, d.cfg)
+		if err != nil {
+			return nil, err
+		}
+		cert, err := hls.CertifyCtx(ctx, design.LintUnit())
+		if err != nil {
+			return nil, err
+		}
+		cj, err := json.Marshal(cert)
+		if err != nil {
+			return nil, err
+		}
+		return &CertifyResponse{Hash: d.bucket.String(), Certificate: cj}, nil
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, s.Metrics())
+	return nil
+}
+
+// Metrics snapshots the server counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	reqs := make(map[string]uint64, len(s.requests))
+	for k, v := range s.requests {
+		reqs[k] = v
+	}
+	errs := make(map[string]uint64, len(s.errs))
+	for k, v := range s.errs {
+		errs[k] = v
+	}
+	lat := append([]float64(nil), s.lat...)
+	served := s.latCount
+	s.mu.Unlock()
+	sort.Float64s(lat)
+	m := Metrics{
+		Requests:    reqs,
+		Errors:      errs,
+		Cache:       s.cache.stats(),
+		InFlight:    s.inFlight.Load(),
+		Queued:      s.queued.Load(),
+		Batches:     s.batcher.batches.Load(),
+		BatchedReqs: s.batcher.joined.Load(),
+		Served:      served,
+	}
+	if len(lat) > 0 {
+		m.LatencyP50Ms = percentile(lat, 50)
+		m.LatencyP99Ms = percentile(lat, 99)
+	}
+	return m
+}
+
+// percentile reads the p-th percentile from an ascending sample slice
+// (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p / 100 * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func b2u(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	hls "repro"
+	"repro/internal/benchmarks"
+	"repro/internal/core"
+	"repro/internal/dfgio"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func graphJSON(t *testing.T, ex *benchmarks.Example) json.RawMessage {
+	t.Helper()
+	b, err := dfgio.EncodeGraph(ex.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func post(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestSynthesizeEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	ex := benchmarks.Facet()
+	req := SynthesizeRequest{
+		Graph:   graphJSON(t, ex),
+		Config:  ConfigJSON{CS: ex.TimeConstraints[0]},
+		Netlist: true,
+	}
+
+	resp, body := post(t, ts.URL+"/synthesize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Hlsd-Cache"); got != "miss" {
+		t.Errorf("first request cache header = %q, want miss", got)
+	}
+	var sr SynthesizeResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.CS != ex.TimeConstraints[0] || sr.Cost.Total <= 0 || sr.Cost.NumALUs <= 0 {
+		t.Errorf("implausible response: %+v", sr)
+	}
+	if sr.Netlist == "" {
+		t.Error("netlist requested but absent")
+	}
+	if sr.Hash == "" || sr.Fingerprint == "" {
+		t.Error("hashes missing from response")
+	}
+
+	// Same request again: a hit, served byte-identically.
+	resp2, body2 := post(t, ts.URL+"/synthesize", req)
+	if got := resp2.Header.Get("X-Hlsd-Cache"); got != "hit" {
+		t.Errorf("second request cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cache hit body differs from fresh synthesis body")
+	}
+
+	// Different response shaping must not share the cached bytes.
+	req.Netlist = false
+	resp3, body3 := post(t, ts.URL+"/synthesize", req)
+	if got := resp3.Header.Get("X-Hlsd-Cache"); got != "miss" {
+		t.Errorf("reshaped request cache header = %q, want miss", got)
+	}
+	if bytes.Equal(body, body3) {
+		t.Error("netlist-free response shares bytes with netlist response")
+	}
+}
+
+// TestCacheHitsByteIdentical32Clients is the concurrency contract under
+// -race: after one cold synthesis, 32 concurrent clients replaying the
+// same request must all receive bytes identical to the fresh response,
+// and the cache must have served them without re-synthesis.
+func TestCacheHitsByteIdentical32Clients(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	ex := benchmarks.Diffeq()
+	req := SynthesizeRequest{
+		Graph:    graphJSON(t, ex),
+		Config:   ConfigJSON{CS: ex.TimeConstraints[0]},
+		Schedule: true,
+	}
+	resp, fresh := post(t, ts.URL+"/synthesize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold request: status %d: %s", resp.StatusCode, fresh)
+	}
+	misses := s.Metrics().Cache.Misses
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := json.Marshal(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err := http.Post(ts.URL+"/synthesize", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			var out bytes.Buffer
+			if _, err := out.ReadFrom(resp.Body); err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, out.Bytes())
+				return
+			}
+			if hdr := resp.Header.Get("X-Hlsd-Cache"); hdr != "hit" {
+				errs <- fmt.Errorf("cache header = %q, want hit", hdr)
+				return
+			}
+			if !bytes.Equal(out.Bytes(), fresh) {
+				errs <- fmt.Errorf("response bytes differ from fresh synthesis")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	m := s.Metrics()
+	if m.Cache.Hits < clients {
+		t.Errorf("cache hits = %d, want >= %d", m.Cache.Hits, clients)
+	}
+	if m.Cache.Misses != misses {
+		t.Errorf("cache misses grew from %d to %d during the replay", misses, m.Cache.Misses)
+	}
+}
+
+// TestIsomorphicRequestsShareBucket: a renamed copy of a cached graph
+// reports the same canonical hash (same bucket) but is served by fresh
+// synthesis — its response embeds its own names.
+func TestIsomorphicRequestsShareBucket(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	ex := benchmarks.Facet()
+	cfg := ConfigJSON{CS: ex.TimeConstraints[0]}
+
+	_, body1 := post(t, ts.URL+"/synthesize", SynthesizeRequest{Graph: graphJSON(t, ex), Config: cfg})
+
+	// Rename every primary input (quoted whole tokens, so the JSON keys
+	// and the arg references stay consistent).
+	renamed := graphJSON(t, ex)
+	for i := 1; i <= 8; i++ {
+		renamed = bytes.ReplaceAll(renamed,
+			[]byte(fmt.Sprintf(`"i%d"`, i)), []byte(fmt.Sprintf(`"z%d"`, i)))
+	}
+	if bytes.Equal(renamed, graphJSON(t, ex)) {
+		t.Fatal("rename had no effect")
+	}
+	resp2, body2 := post(t, ts.URL+"/synthesize", SynthesizeRequest{Graph: renamed, Config: cfg})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("renamed request: status %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Hlsd-Cache"); got != "miss" {
+		t.Errorf("renamed request cache header = %q, want miss (names differ)", got)
+	}
+	var r1, r2 SynthesizeResponse
+	if err := json.Unmarshal(body1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Hash != r2.Hash {
+		t.Errorf("isomorphic graphs in different buckets: %s != %s", r1.Hash, r2.Hash)
+	}
+	if r1.Fingerprint == r2.Fingerprint {
+		t.Error("renamed graph shares a fingerprint with the original")
+	}
+	if r1.Cost != r2.Cost {
+		t.Errorf("isomorphic graphs cost differently: %+v != %+v", r1.Cost, r2.Cost)
+	}
+}
+
+// TestSweepBatching: concurrent /sweep requests over the same config
+// and range coalesce into fewer SweepGraphsCtx fan-outs, and every
+// client's points match a direct hls.Sweep of its graph.
+func TestSweepBatching(t *testing.T) {
+	s, ts := newTestServer(t, Options{BatchWindow: 20 * time.Millisecond})
+	exs := []*benchmarks.Example{benchmarks.Facet(), benchmarks.Diffeq(), benchmarks.ARLattice()}
+	const lo, hi = 1, 8
+
+	type result struct {
+		ex   *benchmarks.Example
+		body []byte
+		code int
+	}
+	results := make(chan result, 3*len(exs))
+	var wg sync.WaitGroup
+	for round := 0; round < 3; round++ {
+		for _, ex := range exs {
+			wg.Add(1)
+			go func(ex *benchmarks.Example) {
+				defer wg.Done()
+				req := SweepRequest{Graph: graphJSON(t, ex), CsLo: lo, CsHi: hi}
+				b, _ := json.Marshal(req)
+				resp, err := http.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(b))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer resp.Body.Close()
+				var out bytes.Buffer
+				out.ReadFrom(resp.Body)
+				results <- result{ex, out.Bytes(), resp.StatusCode}
+			}(ex)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	for res := range results {
+		if res.code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", res.ex.Name, res.code, res.body)
+		}
+		var sr SweepResponse
+		if err := json.Unmarshal(res.body, &sr); err != nil {
+			t.Fatal(err)
+		}
+		want, err := hls.Sweep(res.ex.Graph, core.Config{}, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sr.Points) != len(want) {
+			t.Fatalf("%s: %d points, want %d", res.ex.Name, len(sr.Points), len(want))
+		}
+		for i, p := range sr.Points {
+			w := want[i]
+			if p.CS != w.CS || p.Cost.Total != w.Cost.Total || p.Pareto != w.Pareto {
+				t.Errorf("%s point %d: got %+v, want %+v", res.ex.Name, i, p, w)
+			}
+		}
+	}
+
+	m := s.Metrics()
+	if m.BatchedReqs == 0 {
+		t.Fatal("no requests went through the batcher")
+	}
+	if m.Batches >= m.BatchedReqs {
+		t.Errorf("no coalescing: %d batches for %d batched requests (cache absorbed the rest)",
+			m.Batches, m.BatchedReqs)
+	}
+}
+
+func TestSweepInfeasibleRangeRejectedAlone(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	ex := benchmarks.Facet() // critical path 4
+	req := SweepRequest{Graph: graphJSON(t, ex), CsLo: 1, CsHi: 3}
+	resp, body := post(t, ts.URL+"/sweep", req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "critical path") {
+		t.Errorf("error body %q does not name the critical path", body)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	ex := benchmarks.Facet()
+	cases := []struct {
+		name string
+		req  SynthesizeRequest
+	}{
+		{"neither graph nor source", SynthesizeRequest{Config: ConfigJSON{CS: 4}}},
+		{"both graph and source", SynthesizeRequest{
+			Graph: graphJSON(t, ex), Source: "out y\ny = a + b\n", Config: ConfigJSON{CS: 4}}},
+		{"malformed graph", SynthesizeRequest{Graph: json.RawMessage(`{"nodes": 3}`), Config: ConfigJSON{CS: 4}}},
+		{"too many weights", SynthesizeRequest{
+			Graph: graphJSON(t, ex), Config: ConfigJSON{CS: 4, Weights: []float64{1, 2, 3, 4, 5}}}},
+	}
+	for _, tc := range cases {
+		resp, body := post(t, ts.URL+"/synthesize", tc.req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, body)
+		}
+	}
+
+	getResp, err := http.Get(ts.URL + "/synthesize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /synthesize: status %d, want 405", getResp.StatusCode)
+	}
+}
+
+func TestSynthesizeFromSource(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	src := "design fromsrc\ninput a, b, c\ny = a * b + c\n"
+	req := SynthesizeRequest{Source: src, Config: ConfigJSON{CS: 4}}
+	resp, body := post(t, ts.URL+"/synthesize", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	resp2, body2 := post(t, ts.URL+"/synthesize", req)
+	if got := resp2.Header.Get("X-Hlsd-Cache"); got != "hit" {
+		t.Errorf("repeat source request cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("source-request hit bytes differ")
+	}
+}
+
+func TestCertifyEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	ex := benchmarks.Facet()
+	req := SynthesizeRequest{Graph: graphJSON(t, ex), Config: ConfigJSON{CS: ex.TimeConstraints[0]}}
+	resp, body := post(t, ts.URL+"/certify", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var cr CertifyResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	var cert struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(cr.Certificate, &cert); err != nil {
+		t.Fatal(err)
+	}
+	if cert.Status != "certified" {
+		t.Errorf("certificate status = %q, want certified (%s)", cert.Status, cr.Certificate)
+	}
+}
+
+// TestQueueBounds exercises the admission control directly: with one
+// worker slot held, one request may wait, and the next is refused.
+func TestQueueBounds(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+
+	release, err := s.acquireSlot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	waited := make(chan error, 1)
+	go func() {
+		// Occupies the single queue space until the slot frees.
+		rel, err := s.acquire(context.Background())
+		if err == nil {
+			rel()
+		}
+		waited <- err
+	}()
+
+	// Give the waiter time to enter the queue, then overflow it.
+	deadline := time.Now().Add(time.Second)
+	for s.queued.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow acquire: err = %v, want ErrQueueFull", err)
+	}
+
+	release()
+	if err := <-waited; err != nil {
+		t.Fatalf("queued acquire failed after slot freed: %v", err)
+	}
+}
+
+// TestShutdownCancelsQueued is the drain criterion: a request waiting
+// in the queue observes Close and fails out in well under 100ms.
+func TestShutdownCancelsQueued(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 4})
+	release, err := s.acquireSlot(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	waited := make(chan error, 1)
+	go func() {
+		_, err := s.acquire(context.Background())
+		waited <- err
+	}()
+	deadline := time.Now().Add(time.Second)
+	for s.queued.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	s.Close()
+	select {
+	case err := <-waited:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("queued request err = %v, want context.Canceled", err)
+		}
+		if d := time.Since(start); d > 100*time.Millisecond {
+			t.Errorf("queued request took %v to observe Close, want < 100ms", d)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued request never observed Close")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	ex := benchmarks.Facet()
+	post(t, ts.URL+"/synthesize", SynthesizeRequest{
+		Graph: graphJSON(t, ex), Config: ConfigJSON{CS: ex.TimeConstraints[0]}})
+
+	resp, body := func() (*http.Response, []byte) {
+		r, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var out bytes.Buffer
+		out.ReadFrom(r.Body)
+		return r, out.Bytes()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var m Metrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests["synthesize"] != 1 {
+		t.Errorf("synthesize requests = %d, want 1", m.Requests["synthesize"])
+	}
+	if m.Cache.Misses != 1 || m.Cache.Entries != 1 {
+		t.Errorf("cache stats = %+v, want 1 miss / 1 entry", m.Cache)
+	}
+	if m.Served == 0 {
+		t.Error("latency sample count is zero after a served request")
+	}
+}

@@ -47,6 +47,9 @@ var criticalPkgs = map[string]bool{
 	"repro/internal/liapunov": true,
 	"repro/internal/symb":     true,
 	"repro/internal/core":     true,
+	// canon's hashes are cache keys shared across processes: any
+	// order-dependence would split identical requests across buckets.
+	"repro/internal/canon": true,
 }
 
 func runMaporder(p *Pass) {
