@@ -38,6 +38,13 @@
 //	hlsbench -serve
 //	hlsbench -serve -out fresh.json -compare BENCH_serve.json
 //
+// With -vet it instead times the full hlsvet analyzer suite over the
+// module — sequential versus parallel, asserting byte-identical output
+// — and writes the snapshot to BENCH_vet.json:
+//
+//	hlsbench -vet
+//	hlsbench -vet -out fresh.json -compare BENCH_vet.json
+//
 // In every mode -compare prints the full per-metric delta table
 // (baseline, fresh, slowdown factor) before the verdict, so a passing
 // run still shows where the time is drifting.
@@ -65,6 +72,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	jsonOut := fs.Bool("json", false, "measure the perf baseline and write it as JSON to -out")
 	scale := fs.Bool("scale", false, "measure the large-graph scale ladder and write it as JSON to -out")
 	serveBench := fs.Bool("serve", false, "load-test the hlsd daemon in-process and write the snapshot as JSON to -out")
+	vetBench := fs.Bool("vet", false, "time the hlsvet analyzer suite over the module and write the snapshot as JSON to -out")
 	maxNodes := fs.Int("maxnodes", 0, "with -scale: skip ladder rungs larger than this many nodes (0 = full ladder)")
 	outPath := fs.String("out", "", "output path for -json, -scale, or -serve (default BENCH_sweep.json, BENCH_scale.json, or BENCH_serve.json)")
 	compare := fs.String("compare", "", "with -json, -scale, or -serve: print the per-metric delta table against this committed baseline and fail if any fresh wall time exceeds it by more than -tolerance")
@@ -83,13 +91,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	defer cancel()
 
 	modes := 0
-	for _, on := range []bool{*jsonOut, *scale, *serveBench} {
+	for _, on := range []bool{*jsonOut, *scale, *serveBench, *vetBench} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-json, -scale, and -serve are mutually exclusive")
+		return fmt.Errorf("-json, -scale, -serve, and -vet are mutually exclusive")
+	}
+	if *vetBench {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_vet.json"
+		}
+		return writeVetBaseline(ctx, out, path, *compare, *tolerance)
 	}
 	if *serveBench {
 		path := *outPath
@@ -113,7 +128,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return writeBaseline(ctx, out, path, *compare, *tolerance)
 	}
 	if *compare != "" {
-		return fmt.Errorf("-compare requires -json, -scale, or -serve")
+		return fmt.Errorf("-compare requires -json, -scale, -serve, or -vet")
 	}
 	if *fig != 0 {
 		return printFigure(out, *fig)
@@ -219,6 +234,31 @@ func writeScaleBaseline(ctx context.Context, out io.Writer, path, compare string
 	}
 	printDeltas(out, compare, experiments.ScaleDeltas(base, b))
 	return verdict(out, experiments.CompareScale(base, b, tolerance), tolerance, compare)
+}
+
+func writeVetBaseline(ctx context.Context, out io.Writer, path, compare string, tolerance float64) error {
+	b, err := experiments.MeasureVetCtx(ctx, ".")
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: %d analyzers, %d findings, %.1f ms sequential, %.1f ms parallel (%.2fx on %d procs, identical=%v)\n",
+		path, b.Analyzers, b.Findings, b.SequentialMs, b.ParallelMs, b.Speedup, b.GOMAXPROCS, b.Identical)
+	if compare == "" {
+		return nil
+	}
+	base, err := experiments.LoadVetBaseline(compare)
+	if err != nil {
+		return err
+	}
+	printDeltas(out, compare, experiments.VetDeltas(base, b))
+	return verdict(out, experiments.CompareVet(base, b, tolerance), tolerance, compare)
 }
 
 func writeServeBaseline(ctx context.Context, out io.Writer, path, compare string, tolerance float64) error {

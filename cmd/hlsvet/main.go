@@ -1,7 +1,10 @@
 // Command hlsvet statically enforces the engine's source-level
 // invariants: determinism (maporder, noclock), cancellation discipline
-// (ctxflow), panic-recovery boundaries (guardboundary) and the
-// zero-allocation hot paths (noalloc). See internal/vet for the
+// (ctxflow), panic-recovery boundaries (guardboundary), the
+// zero-allocation hot paths (noalloc), the read-only graph/library
+// sharing contract of the parallel engine (sharedro, via
+// interprocedural mutation summaries), and error discipline in the
+// determinism-critical packages (errflow). See internal/vet for the
 // invariant catalog and DESIGN.md §13 for why each holds.
 //
 // Two modes:

@@ -278,6 +278,8 @@ type (
 // design must come from Synthesize, ScheduleGraph, the Source variants,
 // or a previous Resynthesize (Allocate results carry no configuration
 // and are rejected).
+//
+//hls:sharedok the edit is applied to Edit.apply's private Clone of d.Graph; the input design is only read
 func Resynthesize(d *Design, e Edit) (out *Design, err error) {
 	defer guard.Recover("hls.Resynthesize", &err)
 	return core.Resynthesize(d, e)
@@ -286,6 +288,8 @@ func Resynthesize(d *Design, e Edit) (out *Design, err error) {
 // ResynthesizeCtx is Resynthesize with cancellation, the original
 // Config's Timeout and input guards, and the facade's panic-recovery
 // boundary.
+//
+//hls:sharedok the edit is applied to Edit.apply's private Clone of d.Graph; the input design is only read
 func ResynthesizeCtx(ctx context.Context, d *Design, e Edit) (out *Design, err error) {
 	defer guard.Recover("hls.Resynthesize", &err)
 	return core.ResynthesizeCtx(ctx, d, e)

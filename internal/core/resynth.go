@@ -212,12 +212,16 @@ func remapFrames(newG, oldG *dfg.Graph, old sched.Frames) sched.Frames {
 // Designs assembled by other means (hls.Allocate) are rejected. A design
 // synthesized with Config.NoTrace has no trajectory to replay; the call
 // still succeeds by falling back to a full run.
+//
+//hls:sharedok Edit.apply mutates only its own Clone of d.Graph (loop bodies are re-cloned before reuse); d is read-only here
 func Resynthesize(d *Design, e Edit) (*Design, error) {
 	return ResynthesizeCtx(context.Background(), d, e)
 }
 
 // ResynthesizeCtx is Resynthesize with cancellation, the original
 // Config's Timeout, input-size guards, and the panic-recovery boundary.
+//
+//hls:sharedok Edit.apply mutates only its own Clone of d.Graph (loop bodies are re-cloned before reuse); d is read-only here
 func ResynthesizeCtx(ctx context.Context, d *Design, e Edit) (out *Design, err error) {
 	defer guard.Recover("core.Resynthesize", &err)
 	if d == nil || d.Graph == nil || d.Schedule == nil {

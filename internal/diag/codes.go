@@ -95,6 +95,10 @@ const (
 	CodeVetNoBoundary  = "HV0031" // facade/cmd entry point lacks a guard.Recover boundary
 	CodeVetAllocOp     = "HV0041" // heap-allocating construct in a //hls:noalloc function
 	CodeVetAllocCall   = "HV0042" // //hls:noalloc function calls an un-vetted callee
+	CodeVetSharedMut   = "HV0051" // graph/library argument reaches a mutating position of a parallel entry point
+	CodeVetForeignMut  = "HV0052" // function outside dfg/library mutates graph/library storage reached from a parameter
+	CodeVetErrDropped  = "HV0061" // error result discarded in a determinism-critical package
+	CodeVetErrShadow   = "HV0062" // short variable declaration shadows a live err in a determinism-critical package
 )
 
 // Docs is the code registry: every live code and its contract.
@@ -176,4 +180,8 @@ var Docs = map[string]string{
 	CodeVetNoBoundary:  "facade/cmd entry point lacks a guard.Recover boundary",
 	CodeVetAllocOp:     "heap-allocating construct in a //hls:noalloc function",
 	CodeVetAllocCall:   "//hls:noalloc function calls an un-vetted callee",
+	CodeVetSharedMut:   "graph/library argument reaches a mutating position of a parallel entry point",
+	CodeVetForeignMut:  "function outside dfg/library mutates graph/library storage reached from a parameter",
+	CodeVetErrDropped:  "error result discarded in a determinism-critical package",
+	CodeVetErrShadow:   "short variable declaration shadows a live err in a determinism-critical package",
 }

@@ -174,6 +174,9 @@ func (r PerfRegression) String() string {
 	if r.Name == "sweep/identical_results" {
 		return "sweep/identical_results: parallel sweep no longer matches the sequential results"
 	}
+	if r.Name == "vet/identical_results" {
+		return "vet/identical_results: parallel hlsvet output no longer matches the sequential run byte-for-byte"
+	}
 	if strings.HasSuffix(r.Name, "/identical_results") {
 		return r.Name + ": incremental re-synthesis no longer matches the from-scratch result"
 	}

@@ -67,6 +67,8 @@ func ScheduleLoopsCtx(ctx context.Context, g *dfg.Graph, opt Options) (*LoopDesi
 // of the iteration counter input and of the bound input, it adds
 // counter+1 and a counter+1 < bound comparison, returning the names of
 // the two new signals. Both inputs must already exist in the body.
+//
+//hls:sharedok construction-phase API: body is the caller's under-construction loop graph, documented to be extended in place, never a scheduled shared input
 func AddLoopControl(body *dfg.Graph, counter, bound string) (next, cont string, err error) {
 	next = counter + "_next"
 	cont = counter + "_cont"

@@ -352,6 +352,8 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames, unitsByOp map[op.K
 // gratuitous early-step purchase. ok is false when some node has no
 // capable unit at all (possible only for a graph the caller did not
 // validate against this library, e.g. a resume source from another run).
+//
+//hls:sharedok unitsByOp is the run's own lazily-filled candidate cache (made in prepare); its slices are fresh candidateUnits appends, never library storage
 func instanceBounds(g *dfg.Graph, opt Options, unitsByOp map[op.Kind][]*library.Unit) (maxInst, current map[string]int, ok bool) {
 	span := opt.CS
 	if opt.Latency > 0 && opt.Latency < span {

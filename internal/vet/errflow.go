@@ -1,0 +1,302 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// errflow guards error discipline in the determinism-critical packages
+// (maporder.criticalPkgs): a silently dropped or shadowed error there
+// does not crash — it lets a half-built schedule or a stale table flow
+// into results that are hashed, cached, and compared bit-for-bit.
+//
+//   - HV0061: a discarded error — `_ = f()` where the value is
+//     error-typed, or a bare expression-statement call whose results
+//     include an error. Writers that are documented to never fail
+//     (strings.Builder, bytes.Buffer, hash.Hash and the crypto digests,
+//     and fmt.Fprint* into those sinks) are allowed.
+//   - HV0062: `:=` re-declaring err in an inner scope while an
+//     error-typed err is already in scope — the classic shadow that
+//     makes a later `if err != nil` check the wrong variable. The
+//     scoped forms `if err := f(); ...` / `for err := ...;` are the
+//     canonical idiom and exempt.
+//
+// The escape hatch is //hls:errok <why>; test files are exempt.
+var errflowAnalyzer = &Analyzer{
+	Name:  "errflow",
+	Doc:   "no discarded or shadowed errors in determinism-critical packages",
+	Codes: []string{diag.CodeVetErrDropped, diag.CodeVetErrShadow, diag.CodeVetHatchReason},
+	Run:   runErrflow,
+}
+
+func runErrflow(p *Pass) {
+	if !criticalPkgs[normPkgPath(p.PkgPath)] {
+		return
+	}
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrflowFunc(p, fd)
+		}
+	}
+}
+
+// errFuncCtx is the per-function context the shadow rule consults: where
+// closures are, where `err` objects are read, and where naked returns
+// (which read every named result) sit.
+type errFuncCtx struct {
+	lits         []*ast.FuncLit
+	uses         map[types.Object][]token.Pos
+	nakedReturns []token.Pos
+	namedErr     types.Object // result parameter named err, if any
+}
+
+// enclosingLit returns the innermost FuncLit containing pos.
+func (c *errFuncCtx) enclosingLit(pos token.Pos) *ast.FuncLit {
+	var best *ast.FuncLit
+	for _, lit := range c.lits {
+		if pos < lit.Pos() || pos > lit.End() {
+			continue
+		}
+		if best == nil || (lit.Pos() > best.Pos() && lit.End() < best.End()) {
+			best = lit
+		}
+	}
+	return best
+}
+
+// readAfter reports whether obj is read at any position after end — by
+// an explicit mention, or by a naked return when obj is the function's
+// named error result.
+func (c *errFuncCtx) readAfter(obj types.Object, end token.Pos) bool {
+	for _, pos := range c.uses[obj] {
+		if pos > end {
+			return true
+		}
+	}
+	if obj == c.namedErr && c.namedErr != nil {
+		for _, pos := range c.nakedReturns {
+			if pos > end {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkErrflowFunc(p *Pass, fd *ast.FuncDecl) {
+	body := fd.Body
+	// The init clause of if/for/switch scopes its err to the statement —
+	// the idiomatic non-shadow.
+	scoped := map[ast.Stmt]bool{}
+	fctx := &errFuncCtx{uses: map[types.Object][]token.Pos{}}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if name.Name == "err" {
+					fctx.namedErr = p.Info.Defs[name]
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			scoped[n.Init] = true
+		case *ast.ForStmt:
+			scoped[n.Init] = true
+		case *ast.SwitchStmt:
+			scoped[n.Init] = true
+		case *ast.TypeSwitchStmt:
+			scoped[n.Init] = true
+		case *ast.FuncLit:
+			fctx.lits = append(fctx.lits, n)
+		case *ast.ReturnStmt:
+			if n.Results == nil {
+				fctx.nakedReturns = append(fctx.nakedReturns, n.Pos())
+			}
+		case *ast.Ident:
+			if n.Name == "err" {
+				if obj := p.Info.Uses[n]; obj != nil {
+					fctx.uses[obj] = append(fctx.uses[obj], n.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok || !callReturnsError(p.Info, call) || neverFails(p.Info, call) {
+				return true
+			}
+			if p.Hatched(n, "errok") {
+				return true
+			}
+			p.Reportf(n.Pos(), diag.CodeVetErrDropped,
+				"result of %s includes an error that is silently dropped: a swallowed failure here corrupts deterministic synthesis results; handle it or annotate //hls:errok <why>",
+				exprString(call))
+		case *ast.AssignStmt:
+			checkErrAssign(p, n, scoped[n], fctx)
+		}
+		return true
+	})
+}
+
+func checkErrAssign(p *Pass, as *ast.AssignStmt, scopedInit bool, fctx *errFuncCtx) {
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		// `_ = expr` discarding an error value.
+		if id.Name == "_" && as.Tok != token.DEFINE {
+			if t := assignedType(p.Info, as, i); t != nil && isErrorType(t) {
+				var rhs ast.Expr
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				} else {
+					rhs = as.Rhs[0]
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && neverFails(p.Info, call) {
+					continue
+				}
+				if !p.Hatched(as, "errok") {
+					p.Reportf(as.Pos(), diag.CodeVetErrDropped,
+						"error assigned to _: a swallowed failure here corrupts deterministic synthesis results; handle it or annotate //hls:errok <why>")
+				}
+			}
+			continue
+		}
+		// `err := ...` shadowing an outer error-typed err.
+		if id.Name != "err" || as.Tok != token.DEFINE || scopedInit {
+			continue
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil || obj.Parent() == nil || obj.Parent().Parent() == nil {
+			continue // reused, not redeclared (or no enclosing scope)
+		}
+		if t := obj.Type(); t == nil || !isErrorType(t) {
+			continue
+		}
+		_, outer := obj.Parent().Parent().LookupParent("err", obj.Pos())
+		if v, ok := outer.(*types.Var); ok && isErrorType(v.Type()) {
+			// A shadow inside a closure the outer err lives outside of is
+			// the pool-job idiom (`d, err := work(i)` in the worker): the
+			// closure cannot naked-return the outer err, so the classic
+			// wrong-variable check cannot happen across the boundary.
+			if lit := fctx.enclosingLit(obj.Pos()); lit != nil &&
+				(v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+				continue
+			}
+			// Harmless shadow: the outer err is never read again after
+			// the inner scope closes, so no later check can pick the
+			// wrong variable. Naked returns count as reads of a named
+			// err result.
+			if obj.Parent() != nil && !fctx.readAfter(v, obj.Parent().End()) {
+				continue
+			}
+			if !p.Hatched(as, "errok") {
+				p.Reportf(id.Pos(), diag.CodeVetErrShadow,
+					"err := shadows the err declared at %s: a later `if err != nil` checks the wrong variable; reuse `err =` or rename, or annotate //hls:errok <why>",
+					p.Fset.Position(v.Pos()))
+			}
+		}
+	}
+}
+
+// assignedType resolves the type flowing into position i of the
+// assignment: the matching rhs, or the i-th result of a multi-value
+// call/receive/assertion.
+func assignedType(info *types.Info, as *ast.AssignStmt, i int) types.Type {
+	if len(as.Rhs) == len(as.Lhs) {
+		return info.TypeOf(as.Rhs[i])
+	}
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	t := info.TypeOf(as.Rhs[0])
+	if tup, ok := t.(*types.Tuple); ok && i < tup.Len() {
+		return tup.At(i).Type()
+	}
+	if i == 1 {
+		// v, ok := m[k] / x.(T) / <-ch: position 1 is the untyped bool.
+		return types.Typ[types.Bool]
+	}
+	return t
+}
+
+// callReturnsError reports whether any result of the call is
+// error-typed.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// neverFails recognizes the error-returning callees whose contract says
+// the error is always nil: the in-memory writers and digests, and
+// fmt.Fprint* into them.
+func neverFails(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeObj(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if neverFailsWriter(sig.Recv().Type()) {
+			return true
+		}
+		// An embedded-interface method resolves to its declaring
+		// interface (hash.Hash's Write is (io.Writer).Write), so also
+		// judge the receiver expression's static type.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return neverFailsWriter(info.TypeOf(sel.X))
+		}
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") && len(call.Args) > 0 {
+		return neverFailsWriter(info.TypeOf(call.Args[0]))
+	}
+	return false
+}
+
+func neverFailsWriter(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	switch {
+	case path == "strings" && name == "Builder":
+		return true
+	case path == "bytes" && name == "Buffer":
+		return true
+	case path == "hash" || strings.HasPrefix(path, "hash/") || strings.HasPrefix(path, "crypto/"):
+		// hash.Hash's Write contract: never returns an error.
+		return true
+	}
+	return false
+}

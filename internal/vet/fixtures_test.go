@@ -1,6 +1,7 @@
 package vet
 
 import (
+	"bytes"
 	"fmt"
 	"go/token"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"sync"
 	"testing"
 )
 
@@ -21,24 +23,33 @@ import (
 // wanted.
 
 // fixtureUnit maps one fixture directory to the analyzer it exercises
-// and the import path it impersonates.
+// and the import path it impersonates. needsStore marks analyzers that
+// consume the cross-package mutation-summary store (sharedro): the
+// harness builds the real module's store once and shares it.
 type fixtureUnit struct {
-	analyzer string // registry name
-	dir      string // under testdata/src
-	pkgPath  string // presented import path
+	analyzer   string // registry name
+	dir        string // under testdata/src
+	pkgPath    string // presented import path
+	needsStore bool
 }
 
 var fixtureUnits = []fixtureUnit{
-	{"maporder", "maporder/critical", "repro/internal/sched"},
-	{"maporder", "maporder/noncritical", "repro/internal/report"},
-	{"noclock", "noclock/critical", "repro/internal/sched"},
-	{"noclock", "noclock/allowed", "repro/internal/experiments"},
-	{"ctxflow", "ctxflow/flow", "repro/internal/sched"},
-	{"guardboundary", "guardboundary/facade", "repro"},
-	{"guardboundary", "guardboundary/cmdbad", "repro/cmd/fixbad"},
-	{"guardboundary", "guardboundary/cmdgood", "repro/cmd/fixgood"},
-	{"guardboundary", "guardboundary/climain", "repro/internal/cli"},
-	{"noalloc", "noalloc/hot", "repro/internal/grid"},
+	{"maporder", "maporder/critical", "repro/internal/sched", false},
+	{"maporder", "maporder/noncritical", "repro/internal/report", false},
+	{"noclock", "noclock/critical", "repro/internal/sched", false},
+	{"noclock", "noclock/allowed", "repro/internal/experiments", false},
+	{"ctxflow", "ctxflow/flow", "repro/internal/sched", false},
+	{"guardboundary", "guardboundary/facade", "repro", false},
+	{"guardboundary", "guardboundary/cmdbad", "repro/cmd/fixbad", false},
+	{"guardboundary", "guardboundary/cmdgood", "repro/cmd/fixgood", false},
+	{"guardboundary", "guardboundary/climain", "repro/internal/cli", false},
+	{"noalloc", "noalloc/hot", "repro/internal/grid", false},
+	{"sharedro", "sharedro/entry", "repro/internal/mfs", true},
+	{"sharedro", "sharedro/foreign", "repro/internal/canon", true},
+	{"sharedro", "sharedro/pooljob", "repro/internal/core", true},
+	{"sharedro", "sharedro/owner", "repro/internal/dfg", true},
+	{"errflow", "errflow/critical", "repro/internal/sched", false},
+	{"errflow", "errflow/noncritical", "repro/internal/report", false},
 }
 
 // wantRe extracts the quoted pattern from a `// want "..."` comment.
@@ -55,6 +66,53 @@ func loadModuleExports(t *testing.T) map[string]string {
 		t.Fatalf("loading module export data: %v", err)
 	}
 	return exports
+}
+
+// moduleStore builds the real module's mutation-summary store once per
+// test binary: every module package type-checked from source and run
+// through the summary fixpoint in bottom-up import order, exactly the
+// standalone driver's summary phase.
+var moduleStoreCache struct {
+	once  sync.Once
+	store *Summaries
+	err   error
+}
+
+func moduleStore(t *testing.T) *Summaries {
+	t.Helper()
+	c := &moduleStoreCache
+	c.once.Do(func() {
+		c.store, c.err = buildModuleStore()
+	})
+	if c.err != nil {
+		t.Fatalf("building module summary store: %v", c.err)
+	}
+	return c.store
+}
+
+// buildModuleStore runs the standalone driver's summary phase from
+// scratch: every module package type-checked from source, summaries
+// computed bottom-up over the import graph.
+func buildModuleStore() (*Summaries, error) {
+	pkgs, exports, err := goList("../..", []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoOrder(modulePackages(pkgs))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	store := NewSummaries()
+	for _, lp := range order {
+		u, err := checkUnit(fset, exports, lp.ImportPath, lp.ImportPath,
+			absFiles(lp.Dir, lp.GoFiles), true)
+		if err != nil {
+			return nil, err
+		}
+		ComputePackageSummaries(u.Files, u.Info, store)
+	}
+	return store, nil
 }
 
 func TestFixtures(t *testing.T) {
@@ -83,11 +141,67 @@ func TestFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatalf("type-checking fixture %s as %s: %v", fu.dir, fu.pkgPath, err)
 			}
-			got := RunUnit(fset, unit, []*Analyzer{a})
+			var store *Summaries
+			if fu.needsStore {
+				store = moduleStore(t)
+			}
+			got := RunUnit(fset, unit, []*Analyzer{a}, store)
 
 			wants := collectWants(t, files)
 			checkExpectations(t, wants, got)
 		})
+	}
+}
+
+// TestJSONByteStable runs the entire fixture corpus through the suite
+// twice — independent parses, type-checks, and summary stores — and
+// demands the two JSON renderings be byte-identical. This pins the
+// (file, offset, code, analyzer, message) total order end to end: any
+// map-iteration or scheduling nondeterminism sneaking into an analyzer,
+// the summary fixpoint, or the aggregation shows up here as a diff.
+func TestJSONByteStable(t *testing.T) {
+	exports := loadModuleExports(t)
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	round := func() []byte {
+		store, err := buildModuleStore()
+		if err != nil {
+			t.Fatalf("building module summary store: %v", err)
+		}
+		var all []Diagnostic
+		for _, fu := range fixtureUnits {
+			dir := filepath.Join("testdata", "src", filepath.FromSlash(fu.dir))
+			files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+			if err != nil || len(files) == 0 {
+				t.Fatalf("no fixture files in %s: %v", dir, err)
+			}
+			sort.Strings(files)
+			fset := token.NewFileSet()
+			unit, err := checkUnit(fset, exports, fu.pkgPath, fu.pkgPath, files, true)
+			if err != nil {
+				t.Fatalf("type-checking fixture %s as %s: %v", fu.dir, fu.pkgPath, err)
+			}
+			var s *Summaries
+			if fu.needsStore {
+				s = store
+			}
+			all = append(all, RunUnit(fset, unit, []*Analyzer{byName[fu.analyzer]}, s)...)
+		}
+		SortDiagnostics(all)
+		var buf bytes.Buffer
+		PrintJSON(&buf, all)
+		return buf.Bytes()
+	}
+	first, second := round(), round()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two identical runs rendered different JSON:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	// Guard against vacuous success: the corpus must actually produce
+	// findings, including the store-backed sharedro ones.
+	if !bytes.Contains(first, []byte("HV0051")) || !bytes.Contains(first, []byte("HV0061")) {
+		t.Fatalf("fixture corpus lost its sharedro/errflow findings; the stability check is vacuous:\n%s", first)
 	}
 }
 

@@ -1,0 +1,229 @@
+package vet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The hatch scanner's placement and justification rules, exercised at
+// the edges: annotations on the wrong line, several annotations
+// sharing a line, justifications that themselves contain `//`, and the
+// layering between the scanner (which indexes every file) and the
+// analyzers (which exempt test files).
+
+// hatchHarness parses src, indexes its hatches, and returns a Pass
+// whose reports accumulate into the returned slice.
+func hatchHarness(t *testing.T, src string) (*Pass, *ast.File, *[]Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "hatch_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing hatch fixture: %v", err)
+	}
+	var got []Diagnostic
+	p := &Pass{
+		Analyzer: maporderAnalyzer,
+		Fset:     fset,
+		Files:    []*ast.File{f},
+		hatches:  buildHatches(fset, []*ast.File{f}),
+	}
+	p.report = func(d Diagnostic) { got = append(got, d) }
+	return p, f, &got
+}
+
+// stmtOnLine returns the first statement of the sole function body that
+// starts on the given line.
+func stmtOnLine(t *testing.T, p *Pass, f *ast.File, line int) ast.Stmt {
+	t.Helper()
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		for _, st := range fd.Body.List {
+			if p.Fset.Position(st.Pos()).Line == line {
+				return st
+			}
+		}
+	}
+	t.Fatalf("no statement on line %d", line)
+	return nil
+}
+
+func TestHatchPlacement(t *testing.T) {
+	src := `package x
+
+func f() {
+	//hls:orderok same-line-above applies
+
+	a()
+	//hls:orderok wrong line: two above the site
+
+	b()
+	c() //hls:orderok on the line itself
+	d()
+}
+
+func a() {}
+func b() {}
+func c() {}
+func d() {}
+`
+	p, f, got := hatchHarness(t, src)
+	cases := []struct {
+		line    int
+		hatched bool
+		why     string
+	}{
+		{6, false, "annotation two lines above must not silence (blank line between)"},
+		{9, false, "annotation two lines above must not silence"},
+		{10, true, "annotation on the site's own line silences"},
+		// The line-above rule is purely positional: a trailing same-line
+		// annotation also covers the next line. Pinned here so a change
+		// to that (documented) behavior is a conscious one.
+		{11, true, "an annotation on the previous line covers this line, even written after code"},
+	}
+	for _, c := range cases {
+		st := stmtOnLine(t, p, f, c.line)
+		if h := p.Hatched(st, "orderok"); h != c.hatched {
+			t.Errorf("line %d: Hatched=%v, want %v — %s", c.line, h, c.hatched, c.why)
+		}
+	}
+	if len(*got) != 0 {
+		t.Errorf("justified hatches must not report, got %v", *got)
+	}
+}
+
+func TestHatchKeyMatching(t *testing.T) {
+	src := `package x
+
+func f() {
+	//hls:clockok a different analyzer's key
+	a()
+	//hls:orderokextra key must match on a word boundary
+	b()
+	//hls:orderok justification containing // a comment marker and a URL https://example.com/why
+	c()
+}
+
+func a() {}
+func b() {}
+func c() {}
+`
+	p, f, got := hatchHarness(t, src)
+	if p.Hatched(stmtOnLine(t, p, f, 5), "orderok") {
+		t.Error("a clockok annotation must not satisfy an orderok lookup")
+	}
+	if !p.Hatched(stmtOnLine(t, p, f, 5), "clockok") {
+		t.Error("the clockok annotation itself must be found")
+	}
+	if p.Hatched(stmtOnLine(t, p, f, 7), "orderok") {
+		t.Error("hls:orderokextra must not match key orderok (word boundary)")
+	}
+	if !p.Hatched(stmtOnLine(t, p, f, 9), "orderok") {
+		t.Error("a justification containing // must still count as a justified hatch")
+	}
+	if len(*got) != 0 {
+		t.Errorf("all hatches above carry justifications, yet HV0001 was reported: %v", *got)
+	}
+}
+
+func TestHatchEmptyJustification(t *testing.T) {
+	src := `package x
+
+func f() {
+	//hls:orderok
+	a()
+}
+
+//hls:orderok
+func g() {
+	a()
+}
+
+func a() {}
+`
+	p, f, got := hatchHarness(t, src)
+	if !p.Hatched(stmtOnLine(t, p, f, 5), "orderok") {
+		t.Fatal("a bare annotation must still silence the original finding")
+	}
+	var gDecl *ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "g" {
+			gDecl = fd
+		}
+	}
+	if !p.HatchedDecl(gDecl, "orderok") {
+		t.Fatal("a bare doc-comment annotation must still silence the finding")
+	}
+	if len(*got) != 2 {
+		t.Fatalf("want two HV0001 reports (site + decl), got %d: %v", len(*got), *got)
+	}
+	for _, d := range *got {
+		if d.Code != "HV0001" || !strings.Contains(d.Message, "justification") {
+			t.Errorf("bare hatch must report HV0001 asking for a justification, got %v", d)
+		}
+	}
+}
+
+func TestHatchMultiplePerLine(t *testing.T) {
+	// A line comment runs to end of line, so two annotations written on
+	// one line are a single comment: the first key wins, the rest is
+	// justification text. The scanner must not invent a second hatch.
+	src := `package x
+
+func f() {
+	a() //hls:orderok first key wins //hls:clockok swallowed into the justification
+}
+
+func a() {}
+`
+	p, f, got := hatchHarness(t, src)
+	st := stmtOnLine(t, p, f, 4)
+	if !p.Hatched(st, "orderok") {
+		t.Error("the leading annotation must hatch its key")
+	}
+	if p.Hatched(st, "clockok") {
+		t.Error("an annotation inside another annotation's justification must not hatch")
+	}
+	if len(*got) != 0 {
+		t.Errorf("unexpected reports: %v", *got)
+	}
+}
+
+// TestHatchInTestFile pins the layering: the scanner indexes hatches in
+// every file — the test-file exemption lives in the analyzers (which
+// skip _test.go entirely), not in the hatch lookup. A hatch written in
+// a test file therefore still resolves, it is just never needed.
+func TestHatchInTestFile(t *testing.T) {
+	src := `package x
+
+func f() {
+	//hls:orderok hatches resolve in test files too
+	a()
+}
+
+func a() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	var got []Diagnostic
+	p := &Pass{Analyzer: maporderAnalyzer, Fset: fset, Files: []*ast.File{f},
+		hatches: buildHatches(fset, []*ast.File{f})}
+	p.report = func(d Diagnostic) { got = append(got, d) }
+	if !p.InTestFile(f.Pos()) {
+		t.Fatal("fixture_test.go must be recognized as a test file")
+	}
+	if !p.Hatched(stmtOnLine(t, p, f, 5), "orderok") {
+		t.Error("hatch lookup must work in test files; the exemption is the analyzer's")
+	}
+	if len(got) != 0 {
+		t.Errorf("unexpected reports: %v", got)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/pool"
 )
 
 // The standalone loader: `hlsvet ./...` without a go vet driver. It
@@ -28,24 +30,212 @@ import (
 // it: the plain package, the package including its in-package _test.go
 // files (reported only for test-file positions, so the overlap never
 // double-reports), and the external _test package.
+//
+// The pipeline runs on internal/pool — the same worker substrate it
+// vets: parse/type-check fans out per unit (token.FileSet and the gc
+// importer are safe for concurrent use), the sharedro summary fixpoint
+// runs sequentially in bottom-up import order, analysis fans out per
+// unit again, and aggregation is by fixed unit index followed by a
+// total-order sort, so the output is byte-identical run-to-run.
 
 // Check loads patterns in dir and runs the analyzers over every unit,
 // returning the aggregated, deterministically sorted findings. The
-// context is polled between units so a cancelled run stops promptly.
+// context is threaded through the pool so a cancelled run stops
+// promptly.
 func Check(ctx context.Context, dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	units, err := LoadPackages(dir, patterns)
+	return CheckParallel(ctx, dir, patterns, analyzers, 0)
+}
+
+// CheckParallel is Check with an explicit worker count for the
+// parse/type-check and analysis fan-outs (<=0 means GOMAXPROCS). The
+// findings are identical for every worker count — hlsbench's vet
+// baseline measures both ends and asserts exactly that.
+func CheckParallel(ctx context.Context, dir string, patterns []string, analyzers []*Analyzer, workers int) ([]Diagnostic, error) {
+	pkgs, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	roots, err := rootPackages(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	workers = pool.Size(workers)
+
+	// sharedro needs mutation summaries for the whole module slice under
+	// the requested packages: type-check every module dependency and run
+	// the summary fixpoint bottom-up over the import graph.
+	var store *Summaries
+	preChecked := map[string]*Unit{}
+	if analyzersNeedSummaries(analyzers) {
+		mods := modulePackages(pkgs)
+		order, err := topoOrder(mods)
+		if err != nil {
+			return nil, err
+		}
+		units, err := pool.MapCtx(ctx, workers, len(order), func(i int) (*Unit, error) {
+			lp := order[i]
+			return checkUnit(fset, exports, lp.ImportPath, lp.ImportPath,
+				absFiles(lp.Dir, lp.GoFiles), true)
+		})
+		if err != nil {
+			return nil, err
+		}
+		store = NewSummaries()
+		for i, u := range units {
+			ComputePackageSummaries(u.Files, u.Info, store)
+			preChecked[order[i].ImportPath] = u
+		}
+	}
+
+	// Build the unit jobs in deterministic order; plain units already
+	// type-checked by the summary phase are reused as-is.
+	type unitJob struct {
+		pkgPath, forTest string
+		files            []string
+		reportAll        bool
+		pre              *Unit
+	}
+	var jobs []unitJob
+	for _, lp := range roots {
+		jobs = append(jobs, unitJob{lp.ImportPath, lp.ImportPath,
+			absFiles(lp.Dir, lp.GoFiles), true, preChecked[lp.ImportPath]})
+		if len(lp.TestGoFiles) > 0 {
+			jobs = append(jobs, unitJob{lp.ImportPath, lp.ImportPath,
+				absFiles(lp.Dir, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)), false, nil})
+		}
+		if len(lp.XTestGoFiles) > 0 {
+			jobs = append(jobs, unitJob{lp.ImportPath + "_test", lp.ImportPath,
+				absFiles(lp.Dir, lp.XTestGoFiles), true, nil})
+		}
+	}
+	units, err := pool.MapCtx(ctx, workers, len(jobs), func(i int) (*Unit, error) {
+		j := jobs[i]
+		if j.pre != nil {
+			return j.pre, nil
+		}
+		return checkUnit(fset, exports, j.pkgPath, j.forTest, j.files, j.reportAll)
+	})
+	if err != nil {
+		return nil, err
+	}
+	results, err := pool.MapCtx(ctx, workers, len(units), func(i int) ([]Diagnostic, error) {
+		return RunUnit(fset, units[i], analyzers, store), nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	var all []Diagnostic
-	for _, lu := range units {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		all = append(all, RunUnit(lu.Fset, lu.Unit, analyzers)...)
+	for _, ds := range results {
+		all = append(all, ds...)
 	}
 	SortDiagnostics(all)
 	return all, nil
+}
+
+// analyzersNeedSummaries reports whether the selection includes an
+// analyzer consuming the cross-package mutation-summary store.
+func analyzersNeedSummaries(analyzers []*Analyzer) bool {
+	for _, a := range analyzers {
+		if a.Name == sharedroAnalyzer.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// rootPackages filters the listing to the requested module packages
+// (plain compilations), sorted by import path.
+func rootPackages(pkgs []*listedPackage) ([]*listedPackage, error) {
+	var roots []*listedPackage
+	for _, lp := range pkgs {
+		if lp.DepOnly || lp.Standard || lp.Module == nil || lp.Module.Path != "repro" {
+			continue
+		}
+		if strings.Contains(lp.ImportPath, " [") || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported by hlsvet", lp.ImportPath)
+		}
+		roots = append(roots, lp)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	return roots, nil
+}
+
+// modulePackages returns every module package in the listing — roots
+// and dependencies alike, plain compilations only — sorted by path.
+// `go list -deps` supplies Dir and GoFiles for DepOnly packages, so
+// narrow patterns like ./internal/mfs still see the sources of dfg.
+func modulePackages(pkgs []*listedPackage) []*listedPackage {
+	var mods []*listedPackage
+	seen := map[string]bool{}
+	for _, lp := range pkgs {
+		if lp.Standard || lp.Module == nil || lp.Module.Path != "repro" {
+			continue
+		}
+		if strings.Contains(lp.ImportPath, " [") || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if seen[lp.ImportPath] {
+			continue
+		}
+		seen[lp.ImportPath] = true
+		mods = append(mods, lp)
+	}
+	sort.Slice(mods, func(i, j int) bool { return mods[i].ImportPath < mods[j].ImportPath })
+	return mods
+}
+
+// topoOrder sorts module packages bottom-up by imports (callees before
+// callers) with lexicographic tie-breaking, so the summary fixpoint
+// always sees its dependencies' results. Go forbids import cycles, so
+// a leftover package is a listing inconsistency, not an SCC.
+func topoOrder(mods []*listedPackage) ([]*listedPackage, error) {
+	member := map[string]*listedPackage{}
+	for _, lp := range mods {
+		member[lp.ImportPath] = lp
+	}
+	indeg := map[string]int{}
+	rdeps := map[string][]string{}
+	for _, lp := range mods {
+		for _, imp := range lp.Imports {
+			if member[imp] == nil {
+				continue
+			}
+			indeg[lp.ImportPath]++
+			rdeps[imp] = append(rdeps[imp], lp.ImportPath)
+		}
+	}
+	ready := make([]string, 0, len(mods))
+	for _, lp := range mods {
+		if indeg[lp.ImportPath] == 0 {
+			ready = append(ready, lp.ImportPath)
+		}
+	}
+	sort.Strings(ready)
+	var order []*listedPackage
+	for len(ready) > 0 {
+		p := ready[0]
+		ready = ready[1:]
+		order = append(order, member[p])
+		changed := false
+		for _, r := range rdeps[p] {
+			indeg[r]--
+			if indeg[r] == 0 {
+				ready = append(ready, r)
+				changed = true
+			}
+		}
+		if changed {
+			sort.Strings(ready)
+		}
+	}
+	if len(order) != len(mods) {
+		return nil, fmt.Errorf("vet: import graph did not topo-sort (%d of %d packages)", len(order), len(mods))
+	}
+	return order, nil
 }
 
 // listedPackage is the subset of `go list -json` output the loader
@@ -64,6 +254,7 @@ type listedPackage struct {
 	Error        *struct{ Err string }
 	DepOnly      bool
 	Incomplete   bool
+	Imports      []string
 	TestImports  []string
 	XTestImports []string
 }
@@ -83,26 +274,14 @@ func LoadPackages(dir string, patterns []string) ([]LoadedUnit, error) {
 	if err != nil {
 		return nil, err
 	}
-
 	// Module packages matching the patterns, plain compilations only:
-	// DepOnly packages are dependencies the caller did not ask about
-	// (and whose test-only imports carry no export data here), and
-	// variants like "p [q.test]" and the synthesized ".test" mains are
-	// skipped — their sources are covered by the units built below.
-	var roots []*listedPackage
-	for _, lp := range pkgs {
-		if lp.DepOnly || lp.Standard || lp.Module == nil || lp.Module.Path != "repro" {
-			continue
-		}
-		if strings.Contains(lp.ImportPath, " [") || strings.HasSuffix(lp.ImportPath, ".test") {
-			continue
-		}
-		if len(lp.CgoFiles) > 0 {
-			return nil, fmt.Errorf("%s: cgo packages are not supported by hlsvet", lp.ImportPath)
-		}
-		roots = append(roots, lp)
+	// DepOnly packages are dependencies the caller did not ask about,
+	// and variants like "p [q.test]" and the synthesized ".test" mains
+	// are skipped — their sources are covered by the units built below.
+	roots, err := rootPackages(pkgs)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
 
 	fset := token.NewFileSet()
 	var units []LoadedUnit

@@ -1,0 +1,226 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/diag"
+)
+
+// sharedro statically proves the read-only sharing contract the
+// parallel engine stands on: sweeps, speculative search, and the hlsd
+// cache hand one *dfg.Graph and one *library.Library to many
+// goroutines at once, so scheduling must never write to them. The
+// -race stress test samples executions; this analyzer decides the
+// property for all of them, using the interprocedural mutation
+// summaries from summary.go/summarize.go.
+//
+// Two contracts are enforced:
+//
+//   - HV0051 — shared-input mutation on a parallel path. An exported
+//     entry point of the scheduling/serving surface (repro, core, mfs,
+//     mfsa, serve — plus serve's handle* methods) whose summary mutates
+//     protected storage reached from a parameter or receiver, or a
+//     pool job closure (an argument to pool.Map/MapCtx/SearchMin*)
+//     that mutates captured graph/library storage.
+//   - HV0052 — foreign mutation. Any module package other than
+//     internal/dfg and internal/library mutating graph/library storage
+//     reached from a parameter, receiver, or capture. The owning
+//     packages keep their constructors and builders; everyone else
+//     copies (dfg.Clone, fresh slices) before writing.
+//
+// The escape hatch is //hls:sharedok <why> on the mutation site, the
+// line above it, or the declaration's doc comment; an empty
+// justification reports HV0001. Test files are exempt: tests may build
+// and perturb graphs freely, the contract protects production sharing.
+var sharedroAnalyzer = &Analyzer{
+	Name:  "sharedro",
+	Doc:   "interprocedural proof that scheduling shares graphs and libraries read-only",
+	Codes: []string{diag.CodeVetSharedMut, diag.CodeVetForeignMut, diag.CodeVetHatchReason},
+	Run:   runSharedro,
+}
+
+// sharedEntryPkgs are the packages whose exported functions sit on a
+// parallel path: every sweep worker, speculative probe, and daemon
+// handler funnels through them with a shared graph/library in hand.
+var sharedEntryPkgs = map[string]bool{
+	"repro":                true,
+	"repro/internal/core":  true,
+	"repro/internal/mfs":   true,
+	"repro/internal/mfsa":  true,
+	"repro/internal/serve": true,
+}
+
+// mutatorPkgs own the protected types and may mutate them.
+var mutatorPkgs = map[string]bool{
+	dfgPath: true,
+	libPath: true,
+}
+
+func runSharedro(p *Pass) {
+	if p.Summaries == nil {
+		// No store means no dependency summaries: the driver did not set
+		// the analysis up (RunUnit called directly); stay silent rather
+		// than flood with conservative assumptions.
+		return
+	}
+	pkgPath := normPkgPath(p.PkgPath)
+	_, s := computeLocalSummaries(p.Files, p.Info, p.Summaries)
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSharedroFunc(p, s, fd, pkgPath)
+		}
+	}
+}
+
+func checkSharedroFunc(p *Pass, s *summarizer, fd *ast.FuncDecl, pkgPath string) {
+	fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	// Re-walk against the converged tables with site collection on. The
+	// summary copy keeps the collection pass from perturbing the table.
+	base := s.local[fn]
+	cp := *base
+	cp.ParamMut = append([]uint8(nil), base.ParamMut...)
+	fr, _ := s.converge(fd, &cp, true)
+
+	declHatched := false
+	checkDeclHatch := func() bool {
+		if !declHatched {
+			declHatched = p.HatchedDecl(fd, "sharedok")
+		}
+		return declHatched
+	}
+
+	// HV0052: a *direct* mutation of protected storage reached from a
+	// root, outside the owning packages — a primitive write (field,
+	// element, map entry, append/copy into spare capacity) or an opaque
+	// external callee (sort.Slice), either of which bypasses the owning
+	// package's API and its invariants. Mutations inherited through
+	// summarized module callees are not re-reported here: the callee's
+	// own package answers for its primitive writes, and entry points of
+	// the sharing surface answer for the whole chain under HV0051. One
+	// report per root — the first site names the write, the hatch goes
+	// on the site or the declaration.
+	if !mutatorPkgs[pkgPath] {
+		total := map[int]int{}
+		for _, site := range fr.sites {
+			if site.direct {
+				total[site.root]++
+			}
+		}
+		seen := map[int]bool{}
+		for _, site := range fr.sites {
+			if !site.direct || seen[site.root] {
+				continue
+			}
+			seen[site.root] = true
+			if p.Hatched(site.node, "sharedok") || checkDeclHatch() {
+				continue
+			}
+			more := ""
+			if n := total[site.root] - 1; n > 0 {
+				more = " (and " + strconv.Itoa(n) + " more site(s) in this function)"
+			}
+			p.Reportf(site.node.Pos(), diag.CodeVetForeignMut,
+				"%s mutates shared graph/library storage reached from %s (write to %s)%s: only internal/dfg and internal/library may mutate these types; copy before writing (dfg Clone, fresh slices) or annotate //hls:sharedok <why>",
+				fd.Name.Name, fr.roots[site.root].name, site.what, more)
+		}
+	}
+
+	// HV0051 (entry contract): an exported scheduling/serving entry
+	// point whose summary mutates a parameter's or receiver's protected
+	// storage. Reported at the declaration — the contract is about the
+	// signature's promise, not one site.
+	if sharedEntryPkgs[pkgPath] && isSharedEntry(pkgPath, fd.Name.Name) {
+		for _, rv := range fr.roots {
+			var mask uint8
+			if rv.param == -1 {
+				mask = cp.RecvMut
+			} else if rv.param < len(cp.ParamMut) {
+				mask = cp.ParamMut[rv.param]
+			}
+			if mask == 0 {
+				continue
+			}
+			if checkDeclHatch() {
+				break
+			}
+			p.Reportf(fd.Name.Pos(), diag.CodeVetSharedMut,
+				"entry point %s may mutate shared graph/library storage through %s: parallel sweeps and the hlsd cache hand one graph/library to many goroutines — schedule against a copy or annotate //hls:sharedok <why>",
+				fd.Name.Name, rv.name)
+		}
+	}
+
+	// HV0051 (pool contract): a job closure handed to the worker pool
+	// mutates captured graph/library storage — the pool runs it
+	// concurrently, so even a function-local graph becomes shared state.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolFanout(p.Info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit := resolveFuncLit(p.Info, fr, arg)
+			if lit == nil {
+				continue
+			}
+			for _, cs := range fr.litMuts[lit] {
+				if p.Hatched(cs.node, "sharedok") {
+					continue
+				}
+				p.Reportf(cs.node.Pos(), diag.CodeVetSharedMut,
+					"parallel job closure mutates captured graph/library storage (%s): pool workers run this concurrently; move the mutation outside the job or annotate //hls:sharedok <why>",
+					cs.what)
+			}
+		}
+		return true
+	})
+}
+
+// isSharedEntry reports whether the function name is on the enforced
+// entry surface: exported, or serve's unexported handle* methods (they
+// are http.HandlerFunc targets — every request is a goroutine).
+func isSharedEntry(pkgPath, name string) bool {
+	if ast.IsExported(name) {
+		return true
+	}
+	return pkgPath == "repro/internal/serve" && strings.HasPrefix(name, "handle")
+}
+
+// isPoolFanout matches the worker-pool fan-out entry points.
+func isPoolFanout(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeObj(info, call)
+	for _, name := range [...]string{"Map", "MapCtx", "SearchMin", "SearchMinCtx"} {
+		if isPkgFunc(obj, "repro/internal/pool", name) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveFuncLit resolves an argument to the closure literal it
+// denotes: the literal itself, or an identifier bound to one.
+func resolveFuncLit(info *types.Info, fr *frame, arg ast.Expr) *ast.FuncLit {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return a
+	case *ast.Ident:
+		if obj := info.Uses[a]; obj != nil {
+			if b := fr.bind[obj]; b != nil {
+				return b.lit
+			}
+		}
+	}
+	return nil
+}

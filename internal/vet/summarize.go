@@ -1,0 +1,1105 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Per-function abstract interpretation for the mutation-summary engine
+// (see summary.go for the abstraction). One frame analyzes one
+// top-level FuncDecl, including every FuncLit nested in it: closures
+// share the frame's variable table, so a mutation of a captured
+// parameter inside a closure is attributed to the enclosing function
+// unconditionally — the closure may run.
+
+// rootSet maps root index → level bits describing at which level the
+// root regards some storage.
+type rootSet map[int]uint8
+
+func (s rootSet) clone() rootSet {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make(rootSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *rootSet) merge(o rootSet) bool {
+	changed := false
+	for k, v := range o {
+		if *s == nil {
+			*s = rootSet{}
+		}
+		if (*s)[k]|v != (*s)[k] {
+			(*s)[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// aval is one abstract value: the roots whose protected storage it
+// directly references (stor) or can reach (reach).
+type aval struct {
+	stor  rootSet
+	reach rootSet
+}
+
+func (v aval) empty() bool { return len(v.stor) == 0 && len(v.reach) == 0 }
+
+func (v *aval) merge(o aval) bool {
+	c1 := v.stor.merge(o.stor)
+	c2 := v.reach.merge(o.reach)
+	return c1 || c2
+}
+
+// rootVar is one tracked root of a frame: the receiver (param == -1) or
+// a declared parameter.
+type rootVar struct {
+	obj   types.Object
+	param int
+	name  string
+}
+
+// mutSite is one recorded mutation of root-reachable storage, kept only
+// on the final (collecting) pass for the analyzer to report. direct
+// distinguishes a primitive write in this very function (field/element
+// store, append/copy, an opaque external callee like sort.Slice) from a
+// mutation inherited through a summarized module callee — the latter is
+// reported inside the callee, where the primitive write lives.
+type mutSite struct {
+	node   ast.Node
+	root   int
+	bits   uint8
+	direct bool
+	what   string // short description of the mutated expression
+}
+
+// capMutSite is a mutation of protected storage through a variable
+// captured from outside a FuncLit — the raw material of the HV0051
+// parallel-job rule. Unlike mutSite it does not require the storage to
+// be root-reachable: a closure mutating a fresh local graph is still a
+// data race once pool workers run it concurrently.
+type capMutSite struct {
+	node ast.Node
+	what string
+}
+
+// summarizer carries the package-level analysis state shared by all
+// frames of one package.
+type summarizer struct {
+	info  *types.Info
+	tc    *typeClasses
+	store *Summaries
+	// local maps this package's function objects to their summaries
+	// being built; consulted before the store so in-package recursion
+	// reaches the current fixpoint iterate.
+	local map[*types.Func]*FuncSummary
+}
+
+// frame is the per-FuncDecl walker state.
+type frame struct {
+	s      *summarizer
+	sum    *FuncSummary
+	roots  []rootVar
+	rootOf map[types.Object]int
+	vars   map[types.Object]aval
+	// bind tracks func-typed locals whose callee is statically known: a
+	// FuncLit, or a method value with its receiver's abstract value.
+	bind map[types.Object]*funcBinding
+
+	collect bool
+	sites   []mutSite
+	// litStack / litMuts record, per FuncLit, mutations of captured
+	// protected storage (for the pool-closure rule).
+	litStack []*ast.FuncLit
+	litMuts  map[*ast.FuncLit][]capMutSite
+
+	// varsChanged tracks growth of the frame's local value table (drives
+	// the per-function inner fixpoint); sumChanged tracks growth of the
+	// persistent summary (drives the package-level outer fixpoint).
+	varsChanged bool
+	sumChanged  bool
+}
+
+type funcBinding struct {
+	lit      *ast.FuncLit // a locally-defined closure, or
+	sum      *FuncSummary // a bound method summary...
+	recvAV   aval         // ...with this receiver value
+	variadic bool
+}
+
+// newFrame builds the root table for fd.
+func (s *summarizer) newFrame(fd *ast.FuncDecl, sum *FuncSummary) *frame {
+	f := &frame{
+		s:      s,
+		sum:    sum,
+		rootOf: map[types.Object]int{},
+		vars:   map[types.Object]aval{},
+		bind:   map[types.Object]*funcBinding{},
+	}
+	addRoot := func(field *ast.Field, param int) {
+		for _, name := range field.Names {
+			obj := s.info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			f.rootOf[obj] = len(f.roots)
+			f.roots = append(f.roots, rootVar{obj: obj, param: param, name: name.Name})
+			if param >= 0 {
+				param++
+			}
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		addRoot(fd.Recv.List[0], -1)
+	}
+	if fd.Type.Params != nil {
+		n := 0
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				n++ // unnamed parameter still occupies a position
+				continue
+			}
+			for _, name := range field.Names {
+				obj := s.info.Defs[name]
+				if obj != nil {
+					f.rootOf[obj] = len(f.roots)
+					f.roots = append(f.roots, rootVar{obj: obj, param: n, name: name.Name})
+				}
+				n++
+			}
+		}
+		sum.NP = n
+	}
+	return f
+}
+
+// rootAV is the fixed abstract value of root r, derived from its type.
+func (f *frame) rootAV(r int) aval {
+	t := f.roots[r].obj.Type()
+	var v aval
+	if f.s.tc.immediateProtected(t) {
+		v.stor = rootSet{r: levelStor}
+	}
+	if f.s.tc.canReachProtected(t) {
+		v.reach = rootSet{r: levelReach}
+	}
+	return v
+}
+
+// mark records a mutation of the storage described by set.
+func (f *frame) mark(n ast.Node, set rootSet, what string, direct bool) {
+	for r, bits := range set {
+		if f.sum.mark(f.roots[r].param, bits) {
+			f.sumChanged = true
+		}
+		if f.collect {
+			f.sites = append(f.sites, mutSite{node: n, root: r, bits: bits, direct: direct, what: what})
+		}
+	}
+}
+
+// markCapture records a closure-side mutation of captured protected
+// storage when the walker is inside a FuncLit and the mutated
+// expression roots at a variable declared outside it.
+func (f *frame) markCapture(n ast.Node, base ast.Expr, what string) {
+	if !f.collect || len(f.litStack) == 0 {
+		return
+	}
+	obj := rootObj(f.s.info, base)
+	if obj == nil {
+		return
+	}
+	lit := f.litStack[len(f.litStack)-1]
+	if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+		return // declared inside the closure: private storage
+	}
+	if f.litMuts == nil {
+		f.litMuts = map[*ast.FuncLit][]capMutSite{}
+	}
+	f.litMuts[lit] = append(f.litMuts[lit], capMutSite{node: n, what: what})
+}
+
+// joinVar merges v into the abstract value of obj.
+func (f *frame) joinVar(obj types.Object, v aval) {
+	if obj == nil || v.empty() {
+		return
+	}
+	cur := f.vars[obj]
+	if cur.merge(v) {
+		f.vars[obj] = cur
+		f.varsChanged = true
+	}
+}
+
+// ---- expression evaluation ----------------------------------------------
+
+// eval computes the abstract value of e, applying call effects along
+// the way. Every expression in a statement is evaluated exactly once
+// per walk pass.
+func (f *frame) eval(e ast.Expr) aval {
+	switch e := e.(type) {
+	case nil:
+		return aval{}
+	case *ast.ParenExpr:
+		return f.eval(e.X)
+	case *ast.Ident:
+		obj := f.s.info.Uses[e]
+		if obj == nil {
+			obj = f.s.info.Defs[e]
+		}
+		if obj == nil {
+			return aval{}
+		}
+		if r, ok := f.rootOf[obj]; ok {
+			// A root's fixed view, plus anything reassigned into it.
+			v := f.rootAV(r)
+			v.merge(f.vars[obj])
+			return v
+		}
+		return f.vars[obj]
+	case *ast.SelectorExpr:
+		// Qualified identifier (pkg.Name)?
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := f.s.info.Uses[id].(*types.PkgName); isPkg {
+				return aval{} // package-level var/func: untracked
+			}
+		}
+		if sel, ok := f.s.info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			return aval{} // bare method value; bindings handled at assignment
+		}
+		return f.load(f.eval(e.X), f.s.info.TypeOf(e.X), f.s.info.TypeOf(e))
+	case *ast.IndexExpr:
+		// Generic instantiation (f[int]) shows up as IndexExpr too.
+		if _, isSig := f.s.info.TypeOf(e).(*types.Signature); isSig {
+			f.eval(e.X)
+			return aval{}
+		}
+		f.eval(e.Index)
+		return f.load(f.eval(e.X), f.s.info.TypeOf(e.X), f.s.info.TypeOf(e))
+	case *ast.IndexListExpr:
+		return aval{}
+	case *ast.SliceExpr:
+		f.eval(e.Low)
+		f.eval(e.High)
+		f.eval(e.Max)
+		// Slicing aliases the same backing storage: same stor and reach.
+		return f.eval(e.X)
+	case *ast.StarExpr:
+		return f.load(f.eval(e.X), f.s.info.TypeOf(e.X), f.s.info.TypeOf(e))
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// &x: the result's referent IS x's storage.
+			inner := f.eval(e.X)
+			owner := f.storageOwner(e.X)
+			var v aval
+			v.stor = owner.clone()
+			v.reach = owner.clone()
+			v.reach.merge(inner.stor)
+			v.reach.merge(inner.reach)
+			return v
+		}
+		if e.Op == token.ARROW { // <-ch
+			return f.load(f.eval(e.X), f.s.info.TypeOf(e.X), f.s.info.TypeOf(e))
+		}
+		f.eval(e.X)
+		return aval{}
+	case *ast.BinaryExpr:
+		f.eval(e.X)
+		f.eval(e.Y)
+		return aval{}
+	case *ast.CallExpr:
+		return f.evalCall(e)
+	case *ast.CompositeLit:
+		var v aval
+		for _, el := range e.Elts {
+			ev := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				f.eval(kv.Key)
+				ev = kv.Value
+			}
+			av := f.eval(ev)
+			v.reach.merge(av.stor)
+			v.reach.merge(av.reach)
+		}
+		return v // fresh storage: stor = ∅
+	case *ast.FuncLit:
+		f.walkLit(e)
+		return aval{}
+	case *ast.TypeAssertExpr:
+		f.eval(e.X)
+		return aval{} // interfaces: documented cut
+	case *ast.KeyValueExpr:
+		f.eval(e.Key)
+		return f.eval(e.Value)
+	case *ast.Ellipsis, *ast.BasicLit, *ast.ArrayType, *ast.MapType,
+		*ast.StructType, *ast.InterfaceType, *ast.ChanType, *ast.FuncType:
+		return aval{}
+	}
+	return aval{}
+}
+
+// load applies the field/element/deref load rule. The result's referent
+// may BE protected storage of base's roots in exactly two shapes:
+//
+//   - the loaded value refers directly to a protected object (*dfg.Node
+//     out of any container, however deep — base.reach carries roots
+//     through non-protected intermediaries), or
+//   - the load reads a field/element OF a protected object (baseType is
+//     Graph/Node/Library/Unit or a pointer to one): interior containers
+//     like Node.Args share the node's storage even though []string is
+//     not a protected type.
+//
+// A container that merely points INTO protected storage (a scheduler's
+// own map[Op][]*Unit) yields reach, not stor: writing the container is
+// the holder's business; writing through its elements is not. The cost
+// is a documented cut — if a package stores a graph-owned slice in its
+// own struct and later writes elements through that field, the backing
+// write is missed (pointer-chain mutations are still caught, because
+// the final deref re-enters the first shape via reach).
+func (f *frame) load(base aval, baseType, t types.Type) aval {
+	if t == nil || base.empty() {
+		return aval{}
+	}
+	var v aval
+	if protectedReferent(t) {
+		v.stor.merge(base.reach)
+		v.stor.merge(base.stor)
+	} else if isRefType(t) && baseType != nil && protectedReferent(baseType) {
+		// The slot lives in the base object's own storage; base.reach
+		// describes deeper objects that cannot be this object's slots
+		// (anything reached *through* a chain re-enters via the first
+		// branch, whose stor already absorbed reach at the final deref).
+		v.stor.merge(base.stor)
+	}
+	if f.s.tc.canReachProtected(t) || isRefType(t) {
+		v.reach.merge(base.stor)
+		v.reach.merge(base.reach)
+	}
+	return v
+}
+
+// storageOwner resolves an lvalue (or addressed expression) to the
+// roots owning the storage a write to it would touch. Plain locals own
+// their own storage (∅).
+func (f *frame) storageOwner(e ast.Expr) rootSet {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return f.storageOwner(e.X)
+	case *ast.Ident:
+		return nil
+	case *ast.StarExpr:
+		return f.eval(e.X).stor
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := f.s.info.Uses[id].(*types.PkgName); isPkg {
+				return nil // package-level variable: untracked
+			}
+		}
+		if t := f.s.info.TypeOf(e.X); t != nil {
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				return f.eval(e.X).stor
+			}
+		}
+		// Value base: the field slot lives in the base's own storage —
+		// a local struct copy's field write is local even when the
+		// copy's interior references point into protected storage.
+		return f.storageOwner(e.X)
+	case *ast.IndexExpr:
+		if t := f.s.info.TypeOf(e.X); t != nil {
+			if _, isArr := t.Underlying().(*types.Array); isArr {
+				return f.storageOwner(e.X)
+			}
+		}
+		return f.eval(e.X).stor
+	case *ast.SliceExpr:
+		return f.eval(e.X).stor
+	}
+	return f.eval(e).stor
+}
+
+// capturedProtectedWrite reports whether the written lvalue touches
+// protected storage *by type*: some base along the selector/index chain
+// is (or directly references) a protected named type. This is the
+// type-level test behind the pool-closure rule, independent of
+// root-reachability.
+func (f *frame) capturedProtectedWrite(e ast.Expr) (ast.Expr, bool) {
+	base := e
+	prot := false
+	for {
+		switch x := ast.Unparen(base).(type) {
+		case *ast.SelectorExpr:
+			if t := f.s.info.TypeOf(x.X); t != nil && f.s.tc.immediateProtected(t) {
+				prot = true
+			}
+			base = x.X
+		case *ast.IndexExpr:
+			if t := f.s.info.TypeOf(x.X); t != nil && f.s.tc.immediateProtected(t) {
+				prot = true
+			}
+			base = x.X
+		case *ast.StarExpr:
+			if t := f.s.info.TypeOf(x.X); t != nil && f.s.tc.immediateProtected(t) {
+				prot = true
+			}
+			base = x.X
+		case *ast.SliceExpr:
+			base = x.X
+		case *ast.CallExpr:
+			// A method call's result may expose its receiver's own
+			// storage (g.Nodes() returns the graph's node slice), so keep
+			// walking toward the receiver: the captured variable the
+			// pool-closure rule needs to resolve sits behind the call.
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && f.s.info.Selections[sel] != nil {
+				base = sel.X
+				continue
+			}
+			return base, prot
+		default:
+			return base, prot
+		}
+	}
+}
+
+// assignTo handles a write to lvalue lhs of value rv.
+func (f *frame) assignTo(n ast.Node, lhs ast.Expr, rv aval) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := f.s.info.Defs[id]
+		if obj == nil {
+			obj = f.s.info.Uses[id]
+		}
+		// Reassigned roots keep their fixed view (eval merges vars on
+		// top), so mutations through the new value still reach the root:
+		// a conservative but sound treatment of `g = other`.
+		f.joinVar(obj, rv)
+		return
+	}
+	owner := f.storageOwner(lhs)
+	if len(owner) > 0 {
+		f.mark(n, owner, exprString(lhs), true)
+	}
+	if base, prot := f.capturedProtectedWrite(lhs); prot {
+		f.markCapture(n, base, exprString(lhs))
+	}
+	// Escape-to-local: storing a tracked value into a local structure
+	// (`b.g = g`) makes the structure reach the value's storage, so a
+	// later load through it re-discovers the aliasing.
+	if !rv.empty() {
+		if obj := rootObj(f.s.info, lhs); obj != nil {
+			var taint aval
+			taint.reach.merge(rv.stor)
+			taint.reach.merge(rv.reach)
+			f.joinVar(obj, taint)
+		}
+	}
+}
+
+// ---- calls ---------------------------------------------------------------
+
+// evalCall resolves the callee, applies its mutation summary to the
+// arguments, and returns the result's abstract value.
+func (f *frame) evalCall(call *ast.CallExpr) aval {
+	// Builtins and conversions first.
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := f.s.info.Uses[id].(*types.Builtin); ok {
+			return f.evalBuiltin(call, b.Name())
+		}
+	}
+	if tv, ok := f.s.info.Types[fun]; ok && tv.IsType() {
+		// Conversion: pass the operand's value through.
+		if len(call.Args) == 1 {
+			return f.eval(call.Args[0])
+		}
+		return aval{}
+	}
+
+	// Receiver value for method calls.
+	var recvAV aval
+	var recvExpr ast.Expr
+	callee := calleeObj(f.s.info, call)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := f.s.info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recvExpr = sel.X
+			recvAV = f.eval(sel.X)
+		} else {
+			f.eval(sel.X)
+		}
+	}
+
+	argAVs := make([]aval, len(call.Args))
+	for i, a := range call.Args {
+		argAVs[i] = f.eval(a)
+	}
+
+	var sum *FuncSummary
+	variadic := false
+	switch fn := callee.(type) {
+	case *types.Func:
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			variadic = sig.Variadic()
+			if sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+				if fn.Pkg() == nil || !isModulePath(fn.Pkg().Path()) {
+					// A method of an interface declared outside the module
+					// (error.Error, fmt.Stringer.String, sort.Interface...).
+					// Model it like every other external call: the store's
+					// implementer set varies with which packages happen to be
+					// loaded (a vettool unit sees only its dependencies), so
+					// joining it here would make summaries depend on the
+					// driver. A module method reached through such an
+					// interface still has its primitive writes checked in
+					// its own package.
+					sum = externalSummary(fn, sig)
+				} else {
+					// Module interface call: join all concrete implementers
+					// known to the store; none known → conservative.
+					sum = f.s.store.implementers(fn.Name(), sig.Params().Len())
+					if sum == nil {
+						sum = conservativeSummary(sig.Params().Len(), true)
+					}
+				}
+			} else {
+				sum = f.lookupFunc(fn)
+			}
+		}
+	default:
+		// Func-typed value: a bound closure/method value if we know one;
+		// otherwise a parameter or unknown value, whose effects were
+		// attributed at its definition site (see package comment). Its
+		// result may still alias the arguments.
+		if id, ok := fun.(*ast.Ident); ok {
+			if obj := f.s.info.Uses[id]; obj != nil {
+				if b := f.bind[obj]; b != nil {
+					if b.lit != nil {
+						// Closure effects already attributed at walkLit.
+						return f.resultOfUnknown(argAVs)
+					}
+					if b.sum != nil {
+						return f.apply(call, b.sum, b.recvAV, nil, argAVs, b.variadic)
+					}
+				}
+			}
+		}
+		return f.resultOfUnknown(argAVs)
+	}
+	if sum == nil {
+		return f.resultOfUnknown(argAVs)
+	}
+	return f.apply(call, sum, recvAV, recvExpr, argAVs, variadic)
+}
+
+// resultOfUnknown: an unknown func value may return any of its
+// arguments (identity-style callbacks), so the result conservatively
+// aliases them all; it mutates nothing (effects are attributed at
+// definition sites).
+func (f *frame) resultOfUnknown(argAVs []aval) aval {
+	var v aval
+	for _, a := range argAVs {
+		v.stor.merge(a.stor)
+		v.reach.merge(a.stor)
+		v.reach.merge(a.reach)
+	}
+	return v
+}
+
+// apply marks the arguments per the callee summary and computes the
+// result value from the summary's aliasing records.
+func (f *frame) apply(call *ast.CallExpr, sum *FuncSummary, recvAV aval, recvExpr ast.Expr, argAVs []aval, variadic bool) aval {
+	what := exprString(call.Fun) + "(...)"
+	markLevels := func(av aval, mask uint8, arg ast.Expr) {
+		if mask&levelStor != 0 && len(av.stor) > 0 {
+			f.mark(call, av.stor, what, sum.Opaque)
+		}
+		if mask&levelReach != 0 && len(av.reach) > 0 {
+			f.mark(call, av.reach, what, sum.Opaque)
+		}
+		if mask != 0 && arg != nil {
+			if t := f.s.info.TypeOf(arg); t != nil && f.s.tc.immediateProtected(t) {
+				f.markCapture(call, arg, what)
+			}
+		}
+	}
+	if sum.RecvMut != 0 {
+		markLevels(recvAV, sum.RecvMut, recvExpr)
+	}
+	for i, av := range argAVs {
+		markLevels(av, sum.paramMask(i, variadic), call.Args[i])
+	}
+	avOf := func(p int) aval {
+		if p == -1 {
+			return recvAV
+		}
+		if p >= 0 && p < len(argAVs) {
+			return argAVs[p]
+		}
+		return aval{}
+	}
+	var out aval
+	for _, ref := range sum.ResStor {
+		src := avOf(ref.Param)
+		if ref.Bits&levelStor != 0 {
+			out.stor.merge(src.stor)
+		}
+		if ref.Bits&levelReach != 0 {
+			out.stor.merge(src.reach)
+		}
+	}
+	for _, ref := range sum.ResReach {
+		src := avOf(ref.Param)
+		if ref.Bits&levelStor != 0 {
+			out.reach.merge(src.stor)
+		}
+		if ref.Bits&levelReach != 0 {
+			out.reach.merge(src.reach)
+		}
+	}
+	out.reach.merge(out.stor)
+	return out
+}
+
+// lookupFunc resolves a static callee to its summary: this package's
+// in-progress table, the cross-package store, a known-stdlib model, or
+// the conservative worst case for unknown module code.
+func (f *frame) lookupFunc(fn *types.Func) *FuncSummary {
+	fn = fn.Origin()
+	if s, ok := f.s.local[fn]; ok {
+		return s
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	np := 0
+	hasRecv := false
+	if sig != nil {
+		np = sig.Params().Len()
+		hasRecv = sig.Recv() != nil
+	}
+	if fn.Pkg() == nil {
+		return &FuncSummary{NP: np} // error.Error etc.
+	}
+	path := fn.Pkg().Path()
+	if isModulePath(path) {
+		if s, ok := f.s.store.funcs[funcKey(fn)]; ok {
+			return s
+		}
+		// Module function without a summary: facts are missing (partial
+		// vettool run) — assume the worst, never silently the best.
+		return conservativeSummary(np, hasRecv)
+	}
+	return externalSummary(fn, sig)
+}
+
+// evalBuiltin models the storage effects of the mutating builtins.
+func (f *frame) evalBuiltin(call *ast.CallExpr, name string) aval {
+	argAVs := make([]aval, len(call.Args))
+	for i, a := range call.Args {
+		argAVs[i] = f.eval(a)
+	}
+	capture := func(i int) {
+		if i < len(call.Args) {
+			if base, prot := f.capturedProtectedWrite(call.Args[i]); prot {
+				f.markCapture(call, base, name+"("+exprString(call.Args[i])+")")
+			} else if t := f.s.info.TypeOf(call.Args[i]); t != nil && f.s.tc.immediateProtected(t) {
+				f.markCapture(call, call.Args[i], name+"("+exprString(call.Args[i])+")")
+			}
+		}
+	}
+	switch name {
+	case "append":
+		if len(argAVs) == 0 {
+			return aval{}
+		}
+		// Appending may write into the first argument's spare capacity.
+		if len(argAVs[0].stor) > 0 {
+			f.mark(call, argAVs[0].stor, "append("+exprString(call.Args[0])+", ...)", true)
+		}
+		capture(0)
+		var v aval
+		v.stor.merge(argAVs[0].stor) // result may share arg0's backing
+		for _, a := range argAVs {
+			v.reach.merge(a.stor)
+			v.reach.merge(a.reach)
+		}
+		return v
+	case "copy":
+		if len(argAVs) > 0 && len(argAVs[0].stor) > 0 {
+			f.mark(call, argAVs[0].stor, "copy("+exprString(call.Args[0])+", ...)", true)
+		}
+		capture(0)
+	case "delete", "clear":
+		if len(argAVs) > 0 && len(argAVs[0].stor) > 0 {
+			f.mark(call, argAVs[0].stor, name+"("+exprString(call.Args[0])+")", true)
+		}
+		capture(0)
+	}
+	return aval{}
+}
+
+// externalSummary models non-module callees: read-only by default with
+// results reaching the arguments, plus a denylist of standard-library
+// mutators. Sound for the engine's actual import surface; reflect is
+// treated as mutate-everything.
+func externalSummary(fn *types.Func, sig *types.Signature) *FuncSummary {
+	np := 0
+	if sig != nil {
+		np = sig.Params().Len()
+	}
+	s := &FuncSummary{NP: np, Opaque: true}
+	mutArg := func(i int, bits uint8) {
+		for len(s.ParamMut) <= i {
+			s.ParamMut = append(s.ParamMut, 0)
+		}
+		s.ParamMut[i] |= bits
+	}
+	name := fn.Name()
+	pkgPath := ""
+	if fn.Pkg() != nil { // nil for universe methods (error.Error)
+		pkgPath = fn.Pkg().Path()
+	}
+	switch pkgPath {
+	case "sort":
+		switch name {
+		case "Slice", "SliceStable", "Strings", "Ints", "Float64s":
+			mutArg(0, levelStor)
+		case "Sort", "Stable", "Reverse":
+			mutArg(0, levelStor|levelReach)
+		}
+	case "slices":
+		if strings.HasPrefix(name, "Sort") || name == "Reverse" ||
+			strings.HasPrefix(name, "Compact") || strings.HasPrefix(name, "Delete") ||
+			strings.HasPrefix(name, "Insert") || name == "Replace" {
+			mutArg(0, levelStor)
+		}
+	case "encoding/json":
+		if name == "Unmarshal" {
+			mutArg(1, levelStor|levelReach)
+		}
+		if name == "Decode" { // (*Decoder).Decode
+			mutArg(0, levelStor|levelReach)
+		}
+	case "encoding/gob", "encoding/xml":
+		if name == "Decode" || name == "DecodeValue" || name == "Unmarshal" {
+			mutArg(np-1, levelStor|levelReach)
+		}
+	case "math/rand", "math/rand/v2":
+		if name == "Shuffle" {
+			// The swap callback mutates; its effects are attributed at
+			// its definition, but the slice it closes over is typically
+			// the argument of a surrounding call — keep the model empty.
+			_ = name
+		}
+	case "reflect":
+		return conservativeSummary(np, sig != nil && sig.Recv() != nil)
+	}
+	// Results of external calls may expose the arguments (bytes.Split
+	// etc.); record reach-level aliasing for every reference parameter.
+	for i := 0; i < np; i++ {
+		s.ResReach, _ = addRef(s.ResReach, i, levelStor|levelReach)
+	}
+	if sig != nil && sig.Recv() != nil {
+		s.ResReach, _ = addRef(s.ResReach, -1, levelStor|levelReach)
+	}
+	return s
+}
+
+// ---- statements ----------------------------------------------------------
+
+func (f *frame) walkBody(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	for _, st := range body.List {
+		f.walkStmt(st)
+	}
+}
+
+func (f *frame) walkStmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		f.walkBody(st)
+	case *ast.ExprStmt:
+		f.eval(st.X)
+	case *ast.AssignStmt:
+		f.walkAssign(st)
+	case *ast.IncDecStmt:
+		owner := f.storageOwner(st.X)
+		if len(owner) > 0 {
+			f.mark(st, owner, exprString(st.X), true)
+		}
+		if base, prot := f.capturedProtectedWrite(st.X); prot {
+			f.markCapture(st, base, exprString(st.X))
+		}
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			f.recordResult(f.eval(r))
+		}
+	case *ast.IfStmt:
+		f.walkStmt(st.Init)
+		f.eval(st.Cond)
+		f.walkBody(st.Body)
+		f.walkStmt(st.Else)
+	case *ast.ForStmt:
+		f.walkStmt(st.Init)
+		f.eval(st.Cond)
+		f.walkStmt(st.Post)
+		f.walkBody(st.Body)
+	case *ast.RangeStmt:
+		xv := f.eval(st.X)
+		if st.Key != nil {
+			if t := f.s.info.TypeOf(st.Key); t != nil {
+				f.assignRangeVar(st.Key, f.load(xv, f.s.info.TypeOf(st.X), t))
+			}
+		}
+		if st.Value != nil {
+			if t := f.s.info.TypeOf(st.Value); t != nil {
+				f.assignRangeVar(st.Value, f.load(xv, f.s.info.TypeOf(st.X), t))
+			}
+		}
+		f.walkBody(st.Body)
+	case *ast.SwitchStmt:
+		f.walkStmt(st.Init)
+		f.eval(st.Tag)
+		f.walkBody(st.Body)
+	case *ast.TypeSwitchStmt:
+		f.walkStmt(st.Init)
+		f.walkStmt(st.Assign)
+		f.walkBody(st.Body)
+	case *ast.CaseClause:
+		for _, e := range st.List {
+			f.eval(e)
+		}
+		for _, s := range st.Body {
+			f.walkStmt(s)
+		}
+	case *ast.SelectStmt:
+		f.walkBody(st.Body)
+	case *ast.CommClause:
+		f.walkStmt(st.Comm)
+		for _, s := range st.Body {
+			f.walkStmt(s)
+		}
+	case *ast.SendStmt:
+		f.eval(st.Chan)
+		f.eval(st.Value) // escape into channels: documented cut
+	case *ast.DeferStmt:
+		f.eval(st.Call) // deferred effects still happen
+	case *ast.GoStmt:
+		f.eval(st.Call)
+	case *ast.LabeledStmt:
+		f.walkStmt(st.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rv aval
+					if i < len(vs.Values) {
+						rv = f.eval(vs.Values[i])
+						f.bindFunc(name, vs.Values[i])
+					} else if len(vs.Values) == 1 && i > 0 {
+						rv = f.eval(vs.Values[0])
+					}
+					if obj := f.s.info.Defs[name]; obj != nil {
+						f.joinVar(obj, rv)
+					}
+				}
+			}
+		}
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+func (f *frame) assignRangeVar(lhs ast.Expr, v aval) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		obj := f.s.info.Defs[id]
+		if obj == nil {
+			obj = f.s.info.Uses[id]
+		}
+		f.joinVar(obj, v)
+		return
+	}
+	f.assignTo(lhs, lhs, v)
+}
+
+// bindFunc records a statically-known callee for a func-typed variable:
+// a FuncLit or a method value.
+func (f *frame) bindFunc(lhs *ast.Ident, rhs ast.Expr) {
+	obj := f.s.info.Defs[lhs]
+	if obj == nil {
+		obj = f.s.info.Uses[lhs]
+	}
+	if obj == nil {
+		return
+	}
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.FuncLit:
+		f.bind[obj] = &funcBinding{lit: rhs}
+	case *ast.SelectorExpr:
+		if sel, ok := f.s.info.Selections[rhs]; ok && sel.Kind() == types.MethodVal {
+			if m, ok := sel.Obj().(*types.Func); ok {
+				sig, _ := m.Type().(*types.Signature)
+				f.bind[obj] = &funcBinding{
+					sum:      f.lookupFunc(m),
+					recvAV:   f.eval(rhs.X),
+					variadic: sig != nil && sig.Variadic(),
+				}
+			}
+		}
+	}
+}
+
+func (f *frame) walkAssign(st *ast.AssignStmt) {
+	// Evaluate RHS first.
+	switch {
+	case len(st.Rhs) == len(st.Lhs):
+		for i := range st.Lhs {
+			rv := f.eval(st.Rhs[i])
+			if st.Tok == token.DEFINE || st.Tok == token.ASSIGN {
+				f.assignTo(st, st.Lhs[i], rv)
+				if id, ok := ast.Unparen(st.Lhs[i]).(*ast.Ident); ok {
+					f.bindFunc(id, st.Rhs[i])
+				}
+			} else {
+				// Compound assignment (+= etc.): a write to the lvalue.
+				f.assignTo(st, st.Lhs[i], rv)
+			}
+		}
+	case len(st.Rhs) == 1:
+		rv := f.eval(st.Rhs[0])
+		for _, lhs := range st.Lhs {
+			// Multi-value: each lhs may receive a tracked component.
+			f.assignTo(st, lhs, rv)
+		}
+	}
+}
+
+// recordResult folds a returned value into the summary's aliasing
+// records. Only receiver/parameter roots are expressible.
+func (f *frame) recordResult(v aval) {
+	for r, bits := range v.stor {
+		var ch bool
+		f.sum.ResStor, ch = addRef(f.sum.ResStor, f.roots[r].param, bits)
+		f.sumChanged = f.sumChanged || ch
+	}
+	for r, bits := range v.reach {
+		var ch bool
+		f.sum.ResReach, ch = addRef(f.sum.ResReach, f.roots[r].param, bits)
+		f.sumChanged = f.sumChanged || ch
+	}
+}
+
+// walkLit analyzes a closure body inside the enclosing frame: captured
+// variables resolve through the shared tables, so mutations of captured
+// roots land in the enclosing summary; mutations of captured protected
+// locals are recorded per-lit for the pool-closure rule.
+func (f *frame) walkLit(lit *ast.FuncLit) {
+	f.litStack = append(f.litStack, lit)
+	f.walkBody(lit.Body)
+	f.litStack = f.litStack[:len(f.litStack)-1]
+}
+
+// ---- package driver ------------------------------------------------------
+
+// converge walks the declaration until the frame's local value table
+// stops growing, then (optionally) runs one final collecting walk
+// against the converged values. Returns whether the summary grew.
+func (s *summarizer) converge(fd *ast.FuncDecl, sum *FuncSummary, collect bool) (*frame, bool) {
+	fr := s.newFrame(fd, sum)
+	grew := false
+	for i := 0; ; i++ {
+		fr.varsChanged = false
+		fr.walkBody(fd.Body)
+		grew = grew || fr.sumChanged
+		fr.sumChanged = false
+		if !fr.varsChanged || i > 64 {
+			break
+		}
+	}
+	if collect {
+		fr.collect = true
+		fr.walkBody(fd.Body)
+	}
+	return fr, grew
+}
+
+// packageDecls pairs every analyzable FuncDecl with its object, in
+// declaration order (deterministic: files arrive sorted by path).
+type declEntry struct {
+	fd *ast.FuncDecl
+	fn *types.Func
+}
+
+func packageDecls(files []*ast.File, info *types.Info) []declEntry {
+	var decls []declEntry
+	for _, file := range files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, declEntry{fd, fn})
+		}
+	}
+	sort.Slice(decls, func(i, j int) bool { return decls[i].fd.Pos() < decls[j].fd.Pos() })
+	return decls
+}
+
+// computeLocalSummaries runs the in-package fixpoint for mutual
+// recursion: every function is re-walked until no summary grows. The
+// result is deterministic — declaration order, monotone joins over a
+// finite lattice.
+func computeLocalSummaries(files []*ast.File, info *types.Info, store *Summaries) (map[*types.Func]*FuncSummary, *summarizer) {
+	s := &summarizer{
+		info:  info,
+		tc:    newTypeClasses(),
+		store: store,
+		local: map[*types.Func]*FuncSummary{},
+	}
+	decls := packageDecls(files, info)
+	for _, d := range decls {
+		s.local[d.fn] = &FuncSummary{}
+	}
+	for pass := 0; ; pass++ {
+		changed := false
+		for _, d := range decls {
+			_, grew := s.converge(d.fd, s.local[d.fn], false)
+			changed = changed || grew
+		}
+		if !changed || pass > 64 {
+			break
+		}
+	}
+	return s.local, s
+}
+
+// ComputePackageSummaries runs the in-package fixpoint and registers
+// the converged summaries in the store. Must be called in bottom-up
+// import order so callee packages are already present.
+func ComputePackageSummaries(files []*ast.File, info *types.Info, store *Summaries) {
+	local, _ := computeLocalSummaries(files, info, store)
+	fns := make([]*types.Func, 0, len(local))
+	for fn := range local {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return funcKey(fns[i]) < funcKey(fns[j]) })
+	for _, fn := range fns {
+		store.add(funcKey(fn), local[fn])
+	}
+}

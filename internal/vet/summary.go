@@ -1,0 +1,458 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The interprocedural mutation-summary engine behind the sharedro
+// analyzer. For every function in the module it computes which of the
+// function's roots — receiver and parameters — can have *protected
+// storage* reached from them mutated when the function runs. Protected
+// storage is anything owned by the shared synthesis inputs: dfg.Graph,
+// dfg.Node, library.Library, library.Unit. The parallel engine
+// (pool-backed sweeps, the hlsd cache) hands one graph and one library
+// to many goroutines at once, so "scheduling never writes to them" is
+// the invariant every other concurrency guarantee stands on.
+//
+// The abstraction is deliberately two-level. An abstract value carries
+// two root sets:
+//
+//   - stor: roots whose protected storage the value's *own referent*
+//     may be. Writing through the value (field store, element store,
+//     map write, append into spare capacity) mutates that storage.
+//   - reach: roots whose protected storage is reachable from the value
+//     through further pointers. stor ⊆ reach.
+//
+// The split is what keeps the canonical read-only idioms clean without
+// weakening soundness: `units := append([]*library.Unit(nil),
+// lib.Units()...); sort.Slice(units, ...)` sorts a fresh backing array
+// (stor = ∅) even though the *Unit pointees are still the library's
+// (reach ≠ ∅), while `sort.Slice(g.Nodes(), ...)` reorders the graph's
+// own slice (stor = {g}) and is flagged. Likewise `c := g.Clone()` is
+// clean because Clone's summary records that its result aliases nothing
+// of the receiver — the deep copy is built from a fresh dfg.New.
+//
+// Summaries are computed per package in bottom-up dependency order
+// (imports first — Go forbids import cycles, so the package graph's
+// SCCs are single packages), with an in-package fixpoint for mutual
+// recursion: every function body is re-walked until no summary grows.
+// The walk is flow-insensitive — one monotone set of abstract values
+// per variable — which is sound for a mutation analysis and converges
+// because the lattice is finite (roots × two levels).
+//
+// Known, documented over- and under-approximations:
+//
+//   - Interface method calls join the summaries of every concrete
+//     method in the store with the same name and arity; if none is
+//     known the callee is assumed to mutate everything it can reach.
+//   - Calling a func-typed parameter is a no-op for summaries: every
+//     FuncLit's effects are attributed to its *defining* function
+//     unconditionally (the closure may run), so the effects of any
+//     module-defined callback are already accounted for at its
+//     definition site regardless of who invokes it.
+//   - Values escaping into channels or package-level variables are not
+//     tracked; noclock/guard discipline keeps shared mutable globals
+//     out of the engine, and the hot paths use pool, not raw channels.
+//   - Interfaces are treated as unable to *reach* protected storage
+//     (boxing a *Graph in an any and mutating through a type assertion
+//     is invisible); the engine's data flow never does this.
+
+// Protected type universe: the shared synthesis inputs.
+const (
+	dfgPath = "repro/internal/dfg"
+	libPath = "repro/internal/library"
+)
+
+// level bits for root-set entries and mutation masks.
+const (
+	levelStor  uint8 = 1 << iota // the root's directly-referenced storage
+	levelReach                   // storage reachable through deeper pointers
+)
+
+// SumRef records that a function result may alias (or reach) the
+// storage referenced by one of its roots. Param -1 is the receiver.
+type SumRef struct {
+	Param int   `json:"p"`
+	Bits  uint8 `json:"b"`
+}
+
+// FuncSummary is the per-function mutation summary, serialized into
+// vetx facts files under the `go vet -vettool` protocol.
+type FuncSummary struct {
+	// NP is the declared parameter count (for interface-call matching).
+	NP int `json:"n"`
+	// RecvMut / ParamMut are levelStor|levelReach masks: which storage
+	// referenced from the receiver / each parameter the function may
+	// mutate, directly or through callees.
+	RecvMut  uint8   `json:"r,omitempty"`
+	ParamMut []uint8 `json:"p,omitempty"`
+	// ResStor / ResReach describe what the function's results alias:
+	// the storage directly referenced by a result (ResStor) or merely
+	// reachable from it (ResReach), expressed as root references.
+	ResStor  []SumRef `json:"rs,omitempty"`
+	ResReach []SumRef `json:"rr,omitempty"`
+	// CapMut is set when the function is a method whose receiver or a
+	// closure context mutates protected storage reachable from roots.
+	// (Reserved: closures never enter the store.)
+	CapMut bool `json:"c,omitempty"`
+
+	// Opaque marks summaries the analyzer cannot descend into — stdlib
+	// models (sort.Slice) and conservative stand-ins for missing module
+	// facts. A mutation applied through an opaque callee is reported at
+	// the call site (the deepest visible frame); one applied through a
+	// summarized module callee is reported inside the callee instead,
+	// where the primitive write actually is. Never serialized: a summary
+	// read back from a vetx file is by definition not opaque.
+	Opaque bool `json:"-"`
+}
+
+func (s *FuncSummary) paramMask(i int, variadic bool) uint8 {
+	if i < len(s.ParamMut) {
+		return s.ParamMut[i]
+	}
+	if variadic && len(s.ParamMut) > 0 && i >= s.NP-1 {
+		return s.ParamMut[len(s.ParamMut)-1]
+	}
+	return 0
+}
+
+// mark merges bits into the mask for root index r (with the frame's
+// root table mapping r to recv/param position). Returns true on growth.
+func (s *FuncSummary) mark(param int, bits uint8) bool {
+	if param == -1 {
+		if s.RecvMut|bits != s.RecvMut {
+			s.RecvMut |= bits
+			return true
+		}
+		return false
+	}
+	for len(s.ParamMut) <= param {
+		s.ParamMut = append(s.ParamMut, 0)
+	}
+	if s.ParamMut[param]|bits != s.ParamMut[param] {
+		s.ParamMut[param] |= bits
+		return true
+	}
+	return false
+}
+
+func addRef(refs []SumRef, param int, bits uint8) ([]SumRef, bool) {
+	for i := range refs {
+		if refs[i].Param == param {
+			if refs[i].Bits|bits != refs[i].Bits {
+				refs[i].Bits |= bits
+				return refs, true
+			}
+			return refs, false
+		}
+	}
+	return append(refs, SumRef{param, bits}), true
+}
+
+// mutatesAnything reports whether the summary records any mutation of
+// root-reachable protected storage.
+func (s *FuncSummary) mutatesAnything() bool {
+	if s.RecvMut != 0 {
+		return true
+	}
+	for _, m := range s.ParamMut {
+		if m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// conservativeSummary assumes the worst about an unknown callee: every
+// root is mutated at both levels and results alias everything.
+func conservativeSummary(np int, hasRecv bool) *FuncSummary {
+	s := &FuncSummary{NP: np, ParamMut: make([]uint8, np), Opaque: true}
+	all := levelStor | levelReach
+	for i := range s.ParamMut {
+		s.ParamMut[i] = all
+		s.ResStor, _ = addRef(s.ResStor, i, all)
+		s.ResReach, _ = addRef(s.ResReach, i, all)
+	}
+	if hasRecv {
+		s.RecvMut = all
+		s.ResStor, _ = addRef(s.ResStor, -1, all)
+		s.ResReach, _ = addRef(s.ResReach, -1, all)
+	}
+	return s
+}
+
+// Summaries is the cross-package summary store. It is built once per
+// run — bottom-up over the module's package graph in the standalone
+// driver, or merged from dependency vetx facts in vettool mode — and
+// then read concurrently by the analysis passes.
+type Summaries struct {
+	funcs map[string]*FuncSummary
+	// methods indexes method summaries by "name/arity" for the sound
+	// interface-call join over all concrete implementers in the store.
+	methods map[string][]*FuncSummary
+}
+
+// NewSummaries returns an empty store.
+func NewSummaries() *Summaries {
+	return &Summaries{
+		funcs:   map[string]*FuncSummary{},
+		methods: map[string][]*FuncSummary{},
+	}
+}
+
+// funcKey names a function uniquely across the module:
+// "path.Name" for package functions, "path.(T).Name" for methods.
+func funcKey(fn *types.Func) string {
+	fn = fn.Origin()
+	sig, _ := fn.Type().(*types.Signature)
+	path := ""
+	if fn.Pkg() != nil {
+		path = fn.Pkg().Path()
+	}
+	if sig != nil && sig.Recv() != nil {
+		if rn := namedOf(sig.Recv().Type()); rn != nil {
+			return path + ".(" + rn.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return path + "." + fn.Name()
+}
+
+func (st *Summaries) add(key string, s *FuncSummary) {
+	st.funcs[key] = s
+	if i := strings.Index(key, ".("); i >= 0 {
+		if j := strings.LastIndex(key, "."); j > i {
+			st.methods[fmt.Sprintf("%s/%d", key[j+1:], s.NP)] = append(st.methods[fmt.Sprintf("%s/%d", key[j+1:], s.NP)], s)
+		}
+	}
+}
+
+// implementers returns the joined summary of every stored method with
+// the given name and arity, or nil when none is known.
+func (st *Summaries) implementers(name string, np int) *FuncSummary {
+	impls := st.methods[fmt.Sprintf("%s/%d", name, np)]
+	if len(impls) == 0 {
+		return nil
+	}
+	join := &FuncSummary{NP: np, ParamMut: make([]uint8, np)}
+	for _, s := range impls {
+		join.RecvMut |= s.RecvMut
+		for i, m := range s.ParamMut {
+			if i < np {
+				join.ParamMut[i] |= m
+			}
+		}
+		for _, r := range s.ResStor {
+			join.ResStor, _ = addRef(join.ResStor, r.Param, r.Bits)
+		}
+		for _, r := range s.ResReach {
+			join.ResReach, _ = addRef(join.ResReach, r.Param, r.Bits)
+		}
+	}
+	return join
+}
+
+// summaryFile is the vetx facts payload: the full transitive store for
+// a module package (each unit re-exports its dependencies' entries, so
+// a single PackageVetx read closes over the import graph).
+type summaryFile struct {
+	Funcs map[string]*FuncSummary `json:"funcs"`
+}
+
+// EncodeSummaries serializes the store with a deterministic key order.
+func EncodeSummaries(st *Summaries) ([]byte, error) {
+	return json.Marshal(summaryFile{Funcs: st.funcs})
+}
+
+// MergeSummaries decodes data (a summaryFile) into the store.
+func MergeSummaries(st *Summaries, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var f summaryFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(f.Funcs))
+	for k := range f.Funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, ok := st.funcs[k]; !ok {
+			st.add(k, f.Funcs[k])
+		}
+	}
+	return nil
+}
+
+// isModulePath reports whether path belongs to this module.
+func isModulePath(path string) bool {
+	return path == "repro" || strings.HasPrefix(path, "repro/")
+}
+
+// normPkgPath strips vettool test-variant decorations:
+// "p [q.test]" → "p", "p_test" → "p".
+func normPkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return strings.TrimSuffix(path, "_test")
+}
+
+// ---- type classification -------------------------------------------------
+
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Named:
+			return x
+		case *types.Alias:
+			t = types.Unalias(t)
+		case *types.Pointer:
+			t = x.Elem()
+		default:
+			return nil
+		}
+	}
+}
+
+// isProtectedNamed reports whether t (not dereferenced) is one of the
+// shared synthesis-input types.
+func isProtectedNamed(t types.Type) bool {
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case dfgPath:
+		return obj.Name() == "Graph" || obj.Name() == "Node"
+	case libPath:
+		return obj.Name() == "Library" || obj.Name() == "Unit"
+	}
+	return false
+}
+
+// protectedReferent reports whether a value of type t refers *directly*
+// to a protected object: the named types themselves and pointers to
+// them. Unlike immediateProtected this excludes containers — a
+// map[Op][]*library.Unit built by a scheduler points INTO library
+// storage but is not itself library storage, so writing the map is the
+// scheduler's own business while writing through a *Unit is not.
+func protectedReferent(t types.Type) bool {
+	if isProtectedNamed(t) {
+		return true
+	}
+	if p, ok := types.Unalias(t).Underlying().(*types.Pointer); ok {
+		return isProtectedNamed(p.Elem())
+	}
+	return false
+}
+
+// typeClasses memoizes immediateProtected / canReachProtected per type.
+type typeClasses struct {
+	imm   map[types.Type]bool
+	reach map[types.Type]int8 // 0 unknown/in-progress, 1 yes, -1 no
+}
+
+func newTypeClasses() *typeClasses {
+	return &typeClasses{imm: map[types.Type]bool{}, reach: map[types.Type]int8{}}
+}
+
+// immediateProtected reports whether a value of type t *directly
+// references* protected storage: the protected named types themselves,
+// pointers to them, and containers whose elements do (a []*dfg.Node
+// shares the graph's node storage; a []string does not — unless it was
+// loaded out of protected storage, which the load rule handles).
+func (tc *typeClasses) immediateProtected(t types.Type) bool {
+	if v, ok := tc.imm[t]; ok {
+		return v
+	}
+	tc.imm[t] = false // cycle guard
+	v := tc.immProt(t)
+	tc.imm[t] = v
+	return v
+}
+
+func (tc *typeClasses) immProt(t types.Type) bool {
+	if isProtectedNamed(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return tc.immediateProtected(u.Elem())
+	case *types.Slice:
+		return tc.immediateProtected(u.Elem())
+	case *types.Array:
+		return tc.immediateProtected(u.Elem())
+	case *types.Map:
+		return tc.immediateProtected(u.Elem()) || tc.immediateProtected(u.Key())
+	}
+	return false
+}
+
+// canReachProtected reports whether protected storage is reachable from
+// a value of type t through any chain of pointers, containers, and
+// struct fields. Type parameters are conservatively reachable;
+// interfaces are not (documented unsoundness above).
+func (tc *typeClasses) canReachProtected(t types.Type) bool {
+	switch tc.reach[t] {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	tc.reach[t] = -1 // provisional, for recursive types
+	v := tc.canReach(t)
+	if v {
+		tc.reach[t] = 1
+	}
+	return v
+}
+
+func (tc *typeClasses) canReach(t types.Type) bool {
+	if isProtectedNamed(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return tc.canReachProtected(u.Elem())
+	case *types.Slice:
+		return tc.canReachProtected(u.Elem())
+	case *types.Array:
+		return tc.canReachProtected(u.Elem())
+	case *types.Map:
+		return tc.canReachProtected(u.Key()) || tc.canReachProtected(u.Elem())
+	case *types.Chan:
+		return tc.canReachProtected(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if tc.canReachProtected(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	case *types.TypeParam, *types.Interface:
+		_, isTP := u.(*types.TypeParam)
+		return isTP // type params: conservative; interfaces: documented cut
+	}
+	return false
+}
+
+// isRefType reports whether writes through a value of type t land in
+// storage the value references (pointer, slice, map) rather than in the
+// variable itself.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,110 @@
+// Fixture: presented as repro/internal/sched — a determinism-critical
+// package where dropped and shadowed errors are findings.
+package sched
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+func work() error { return errors.New("x") }
+
+func tweak() error { return nil }
+
+// drop discards errors both ways.
+func drop() {
+	work()     // want "HV0061: result of work"
+	_ = work() // want "HV0061: error assigned to _"
+	err := work()
+	_ = err // want "HV0061: error assigned to _"
+}
+
+// allowed uses the writers whose contract says the error is always nil.
+func allowed() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	h := sha256.New()
+	h.Write([]byte("x")) // hash.Hash's Write never fails (resolves to io.Writer's method)
+	return b.String()
+}
+
+// hatched is allowed by annotation.
+func hatched() {
+	//hls:errok fixture: best-effort cleanup, failure is not a result
+	work()
+}
+
+// shadowBad re-declares err in an inner scope and then reads the outer
+// one: the classic wrong-variable check.
+func shadowBad(r io.Reader) error {
+	buf := make([]byte, 4)
+	_, err := r.Read(buf)
+	if err == nil {
+		err := tweak() // want "HV0062: err := shadows the err declared at"
+		if err != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// shadowNaked shadows a named err result with a naked return after the
+// inner scope: the naked return reads the outer (still nil) err.
+func shadowNaked(cond bool) (err error) {
+	if cond {
+		err := work() // want "HV0062: err := shadows the err declared at"
+		if err != nil {
+			return err
+		}
+	}
+	return
+}
+
+// shadowScoped uses the statement-scoped idiom: exempt.
+func shadowScoped() error {
+	_, err := strconv.Atoi("4")
+	if err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return err
+	}
+	return err
+}
+
+// shadowClosure shadows inside a closure: a different execution
+// context, the outer err cannot be misread across the boundary.
+func shadowClosure() error {
+	_, err := strconv.Atoi("4")
+	f := func() int {
+		v, err := strconv.Atoi("5")
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+	_ = f()
+	return err
+}
+
+// shadowHarmless shadows, but the outer err is never read after the
+// inner scope closes: no later check can pick the wrong variable.
+func shadowHarmless(xs []string) int {
+	_, err := strconv.Atoi("4")
+	if err != nil {
+		return 0
+	}
+	if len(xs) > 0 {
+		n, err := strconv.Atoi(xs[0])
+		if err != nil {
+			return 0
+		}
+		return n
+	}
+	return 1
+}

@@ -1,0 +1,20 @@
+// Fixture: presented as repro/internal/report — outside the
+// determinism-critical set, errflow stays silent.
+package report
+
+import "errors"
+
+func work() error { return errors.New("x") }
+
+func drop() error {
+	work()
+	_ = work()
+	_, err := partial()
+	if err == nil {
+		err := work()
+		_ = err
+	}
+	return err
+}
+
+func partial() (int, error) { return 0, nil }

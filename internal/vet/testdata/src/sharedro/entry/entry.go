@@ -1,0 +1,63 @@
+// Fixture: presented as repro/internal/mfs — an entry package of the
+// parallel sharing surface. Exported functions whose summaries mutate a
+// parameter's protected storage violate the entry contract (HV0051);
+// primitive writes additionally violate the foreign-write rule
+// (HV0052), which reports at the site of the write.
+package mfs
+
+import (
+	"sort"
+
+	"repro/internal/dfg"
+	"repro/internal/library"
+)
+
+// Perturb writes a node field of its input graph directly.
+func Perturb(g *dfg.Graph) { // want "HV0051: entry point Perturb may mutate shared graph/library storage through g"
+	g.Nodes()[0].Cycles++ // want "HV0052: Perturb mutates shared graph/library storage reached from g"
+}
+
+// SortsInPlace reorders the graph's own node slice through an opaque
+// stdlib callee: the backing array is graph storage.
+func SortsInPlace(g *dfg.Graph) { // want "HV0051: entry point SortsInPlace may mutate shared graph/library storage through g"
+	sort.Slice(g.Nodes(), func(i, j int) bool { // want "HV0052: SortsInPlace mutates shared graph/library storage reached from g"
+		return g.Nodes()[i].Name < g.Nodes()[j].Name
+	})
+}
+
+// bump is unexported: no entry contract, but the primitive write is
+// still a foreign mutation.
+func bump(n *dfg.Node) {
+	n.Cycles = 3 // want "HV0052: bump mutates shared graph/library storage reached from n"
+}
+
+// Chain inherits bump's mutation interprocedurally: the entry contract
+// fires at the declaration, while the foreign-write report stays with
+// bump's primitive write — the call itself is not re-reported.
+func Chain(g *dfg.Graph) { // want "HV0051: entry point Chain may mutate shared graph/library storage through g"
+	bump(g.Nodes()[0])
+}
+
+// ReadOnly sorts a fresh copy of the library's unit list: the backing
+// array is this function's own, only the pointees are shared.
+func ReadOnly(lib *library.Library) []*library.Unit {
+	us := append([]*library.Unit(nil), lib.Units()...)
+	sort.Slice(us, func(i, j int) bool { return us[i].Name < us[j].Name })
+	return us
+}
+
+// Fresh builds and mutates its own graph: nothing shared is touched.
+func Fresh() *dfg.Graph {
+	g := dfg.New("fresh")
+	if err := g.AddInput("a"); err != nil {
+		return nil
+	}
+	return g
+}
+
+// Annotated is allowed by a justified hatch on the declaration.
+//
+//hls:sharedok fixture: documented in-place builder, callers own the graph
+func Annotated(g *dfg.Graph) {
+	g.Nodes()[0].Cycles = 2
+}

@@ -1,0 +1,33 @@
+// Fixture: presented as repro/internal/canon — a module package that is
+// neither an owner of the protected types nor on the parallel entry
+// surface. Primitive writes to graph/library storage fire HV0052; the
+// entry contract (HV0051) never does.
+package canon
+
+import "repro/internal/dfg"
+
+// scrub writes a node field directly.
+func scrub(n *dfg.Node) {
+	n.Name = "x" // want "HV0052: scrub mutates shared graph/library storage reached from n"
+}
+
+// Rewrite writes an element of a node's interior container: the Args
+// backing array is the node's own storage.
+func Rewrite(g *dfg.Graph) {
+	g.Nodes()[0].Args[0] = "y" // want "HV0052: Rewrite mutates shared graph/library storage reached from g"
+}
+
+// grow appends into the graph's own node slice: spare capacity of the
+// shared backing array may be written.
+func grow(g *dfg.Graph) {
+	ns := g.Nodes()
+	_ = append(ns, nil) // want "HV0052: grow mutates shared graph/library storage reached from g"
+}
+
+// copies is clean: a fresh backing array is this function's own even
+// though the pointees are still the graph's nodes.
+func copies(g *dfg.Graph) []*dfg.Node {
+	ns := append([]*dfg.Node(nil), g.Nodes()...)
+	ns[0] = nil
+	return ns
+}

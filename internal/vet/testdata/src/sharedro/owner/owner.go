@@ -1,0 +1,25 @@
+// Fixture: presented as repro/internal/dfg — an owning package. The
+// protected types are defined locally under the owner's import path, so
+// isProtectedNamed treats them as the real thing; the owner may mutate
+// them freely and nothing fires.
+package dfg
+
+type Graph struct {
+	Name  string
+	nodes []*Node
+}
+
+type Node struct {
+	Name   string
+	Cycles int
+}
+
+// bump mutates a node in place: owners may.
+func (g *Graph) bump() {
+	g.nodes[0].Cycles++
+}
+
+// Rename writes through a parameter: still the owner's privilege.
+func Rename(n *Node, name string) {
+	n.Name = name
+}

@@ -1,0 +1,64 @@
+// Fixture: presented as repro/internal/core — the pool-closure rule.
+// A job closure handed to the worker pool runs on many goroutines at
+// once, so mutating captured graph/library storage inside one is a data
+// race even when the graph is function-local.
+package core
+
+import (
+	"context"
+
+	"repro/internal/dfg"
+	"repro/internal/pool"
+)
+
+// sweep mutates the shared input graph inside a pool job: the closure
+// rule and the foreign-write rule both fire at the write.
+func sweep(ctx context.Context, g *dfg.Graph) error {
+	_, err := pool.MapCtx(ctx, 4, 8, func(i int) (int, error) {
+		g.Nodes()[i].Cycles = i // want "HV0051: parallel job closure mutates captured graph/library storage" // want "HV0052: sweep mutates shared graph/library storage reached from g"
+		return i, nil
+	})
+	return err
+}
+
+// speculative mutates a fresh local graph inside a pool job: no root is
+// reached (no HV0052), but the closure still races against itself.
+func speculative(ctx context.Context) error {
+	g := dfg.New("scratch")
+	_, err := pool.MapCtx(ctx, 4, 8, func(i int) (int, error) {
+		err := g.AddInput("x") // want "HV0051: parallel job closure mutates captured graph/library storage"
+		return i, err
+	})
+	return err
+}
+
+// bound resolves a job bound to a local variable before the fan-out.
+func bound(ctx context.Context) error {
+	g := dfg.New("scratch")
+	job := func(i int) (int, error) {
+		err := g.AddInput("y") // want "HV0051: parallel job closure mutates captured graph/library storage"
+		return i, err
+	}
+	_, err := pool.MapCtx(ctx, 4, 8, job)
+	return err
+}
+
+// private is clean: the graph is created inside the job, so each worker
+// owns its own.
+func private(ctx context.Context) error {
+	_, err := pool.MapCtx(ctx, 4, 8, func(i int) (int, error) {
+		g := dfg.New("worker")
+		return len(g.Nodes()), g.AddInput("x")
+	})
+	return err
+}
+
+// annotated is allowed by a justified hatch on the mutation site.
+func annotated(ctx context.Context, g *dfg.Graph) error {
+	_, err := pool.MapCtx(ctx, 4, 8, func(i int) (int, error) {
+		//hls:sharedok fixture: workers touch disjoint nodes by index
+		g.Nodes()[i].Cycles = i
+		return i, nil
+	})
+	return err
+}

@@ -8,6 +8,7 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/diag"
 )
@@ -23,14 +24,17 @@ import (
 //   - `tool [flags] <objdir>/vet.cfg` runs one package unit: the cfg
 //     JSON carries the unit's files, its import map, and gc export-data
 //     paths for every dependency — everything needed to type-check the
-//     unit without loading anything else. The tool writes VetxOutput
-//     (our analyzers export no facts, so an empty file), prints
-//     findings to stderr, and exits 2 when it found any.
+//     unit without loading anything else. The tool writes VetxOutput,
+//     prints findings to stderr, and exits 2 when it found any.
 //
 // Dependency units arrive with VetxOnly=true — cmd/go only wants facts.
-// We have none, so those invocations write the output file and exit
-// immediately, which keeps `go vet -vettool=hlsvet ./...` fast even
-// though cmd/go walks the full dependency graph.
+// sharedro's facts are the mutation summaries: for module packages the
+// unit is type-checked, its summaries are computed, merged with every
+// entry read from PackageVetx (each vetx re-exports its dependencies,
+// so one level of reads closes over the import graph), and the union is
+// written to VetxOutput as JSON. Non-module units write an empty file
+// and return immediately, which keeps `go vet -vettool=hlsvet ./...`
+// fast even though cmd/go walks the full dependency graph.
 
 // vetConfig mirrors cmd/go/internal/work.vetConfig.
 type vetConfig struct {
@@ -117,24 +121,96 @@ func runUnitchecker(cfgPath string, selected []string, jsonOut bool, stdout, std
 		fmt.Fprintf(stderr, "hlsvet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// cmd/go caches and chains vet runs through this file; our analyzers
-	// produce no facts, so the unit's output is always empty.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	analyzers, err := Select(selected)
+	if err != nil {
+		fmt.Fprintln(stderr, "hlsvet:", err)
+		return 1
+	}
+
+	// Facts. Only module units carry sharedro summaries; everything else
+	// chains an empty file through cmd/go's cache. Summary computation
+	// needs the unit type-checked, so for module VetxOnly units the
+	// type-check happens here too.
+	vetx := []byte(nil)
+	var store *Summaries
+	moduleUnit := isModulePath(normPkgPath(cfg.ImportPath))
+	if moduleUnit && analyzersNeedSummaries(analyzers) {
+		store = NewSummaries()
+		keys := make([]string, 0, len(cfg.PackageVetx))
+		for path := range cfg.PackageVetx {
+			keys = append(keys, path)
+		}
+		sort.Strings(keys)
+		for _, path := range keys {
+			if !isModulePath(normPkgPath(path)) {
+				continue
+			}
+			data, err := os.ReadFile(cfg.PackageVetx[path])
+			if err != nil {
+				fmt.Fprintln(stderr, "hlsvet:", err)
+				return 1
+			}
+			if err := MergeSummaries(store, data); err != nil {
+				fmt.Fprintf(stderr, "hlsvet: facts for %s: %v\n", path, err)
+				return 1
+			}
+		}
+	}
+
+	run := func() ([]Diagnostic, error) {
+		fset := token.NewFileSet()
+		files, err := ParseFiles(fset, cfg.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		lookup := func(path string) (io.ReadCloser, error) {
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			if f, ok := cfg.PackageFile[path]; ok {
+				return os.Open(f)
+			}
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		pkg, info, err := CheckFiles(fset, cfg.ImportPath, files, lookup)
+		if err != nil {
+			return nil, err
+		}
+		if store != nil {
+			ComputePackageSummaries(files, info, store)
+			if vetx, err = EncodeSummaries(store); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.VetxOnly {
+			return nil, nil
+		}
+		u := &Unit{
+			PkgPath:   cfg.ImportPath,
+			Files:     files,
+			Pkg:       pkg,
+			Info:      info,
+			ReportAll: true,
+		}
+		return RunUnit(fset, u, analyzers, store), nil
+	}
+
+	var ds []Diagnostic
+	if !cfg.VetxOnly || store != nil {
+		ds, err = run()
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
 			fmt.Fprintln(stderr, "hlsvet:", err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly {
-		return 0
-	}
-	ds, err := checkVetUnit(cfg, selected)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, vetx, 0o666); err != nil {
+			fmt.Fprintln(stderr, "hlsvet:", err)
+			return 1
 		}
-		fmt.Fprintln(stderr, "hlsvet:", err)
-		return 1
 	}
 	if len(ds) == 0 {
 		return 0
@@ -147,39 +223,6 @@ func runUnitchecker(cfgPath string, selected []string, jsonOut bool, stdout, std
 		}
 	}
 	return 2
-}
-
-func checkVetUnit(cfg *vetConfig, selected []string) ([]Diagnostic, error) {
-	analyzers, err := Select(selected)
-	if err != nil {
-		return nil, err
-	}
-	fset := token.NewFileSet()
-	files, err := ParseFiles(fset, cfg.GoFiles)
-	if err != nil {
-		return nil, err
-	}
-	lookup := func(path string) (io.ReadCloser, error) {
-		if mapped, ok := cfg.ImportMap[path]; ok {
-			path = mapped
-		}
-		if f, ok := cfg.PackageFile[path]; ok {
-			return os.Open(f)
-		}
-		return nil, fmt.Errorf("no export data for %q", path)
-	}
-	pkg, info, err := CheckFiles(fset, cfg.ImportPath, files, lookup)
-	if err != nil {
-		return nil, err
-	}
-	u := &Unit{
-		PkgPath:   cfg.ImportPath,
-		Files:     files,
-		Pkg:       pkg,
-		Info:      info,
-		ReportAll: true,
-	}
-	return RunUnit(fset, u, analyzers), nil
 }
 
 // PrintJSON renders findings in the shared typed-diagnostic schema, the

@@ -5,7 +5,7 @@
 // and the zero-allocation frame algebra — instead of hoping a runtime
 // test happens to hit the violating path.
 //
-// Five analyzers are registered:
+// Seven analyzers are registered:
 //
 //   - maporder: no `for range` over a map in a determinism-critical
 //     package unless the loop is provably order-insensitive, its output
@@ -21,17 +21,28 @@
 //     before calling into internal packages.
 //   - noalloc: functions marked //hls:noalloc contain no heap-allocating
 //     constructs and call only vetted callees.
+//   - sharedro: interprocedural mutation summaries prove the parallel
+//     engine's read-only sharing contract — no scheduling/serving path
+//     mutates a shared *dfg.Graph or *library.Library (HV0051), and
+//     only internal/dfg and internal/library mutate those types at all
+//     (HV0052). See summary.go for the analysis.
+//   - errflow: no silently dropped or shadowed errors inside the
+//     determinism-critical packages.
 //
 // The suite is built on the standard library alone (go/ast, go/types,
 // export data via `go list -export`), mirrors golang.org/x/tools
-// go/analysis closely enough that analyzers are single-package units,
-// and is driven two ways by cmd/hlsvet: standalone over `./...`, or as
-// a `go vet -vettool` (see unitchecker.go for the cmd/go protocol).
+// go/analysis closely enough that analyzers are single-package units —
+// except sharedro, which consumes cross-package mutation summaries
+// carried by the load pipeline (standalone: bottom-up over the module
+// graph; vettool: vetx facts files) — and is driven two ways by
+// cmd/hlsvet: standalone over `./...`, or as a `go vet -vettool` (see
+// unitchecker.go for the cmd/go protocol).
 //
 // Diagnostics carry stable HV codes from the internal/diag registry;
 // every escape hatch (//hls:orderok, //hls:clockok, //hls:ctxok,
-// //hls:guardok, //hls:allocok) requires a justification string, and an
-// empty one is itself a diagnostic (HV0001).
+// //hls:guardok, //hls:allocok, //hls:sharedok, //hls:errok) requires a
+// justification string, and an empty one is itself a diagnostic
+// (HV0001).
 package vet
 
 import (
@@ -69,10 +80,12 @@ type Analyzer struct {
 // registry holds the built-in analyzers.
 var registry = []*Analyzer{
 	ctxflowAnalyzer,
+	errflowAnalyzer,
 	guardboundaryAnalyzer,
 	maporderAnalyzer,
 	noallocAnalyzer,
 	noclockAnalyzer,
+	sharedroAnalyzer,
 }
 
 // Analyzers returns the registered passes sorted by name. The slice is
@@ -133,13 +146,18 @@ func (d Diagnostic) AsDiag() diag.Diagnostic {
 	}
 }
 
-// Sort orders diagnostics by position, then code, then message, so runs
-// are byte-identical regardless of analyzer scheduling.
+// Sort orders diagnostics by (file, byte offset, code, analyzer,
+// message), a total order over everything the structs carry, so
+// aggregated output is byte-identical run-to-run regardless of analyzer
+// or unit scheduling.
 func SortDiagnostics(ds []Diagnostic) {
 	sort.Slice(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
 		if a.Posn.Filename != b.Posn.Filename {
 			return a.Posn.Filename < b.Posn.Filename
+		}
+		if a.Posn.Offset != b.Posn.Offset {
+			return a.Posn.Offset < b.Posn.Offset
 		}
 		if a.Posn.Line != b.Posn.Line {
 			return a.Posn.Line < b.Posn.Line
@@ -149,6 +167,9 @@ func SortDiagnostics(ds []Diagnostic) {
 		}
 		if a.Code != b.Code {
 			return a.Code < b.Code
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
 		}
 		return a.Message < b.Message
 	})
@@ -165,6 +186,10 @@ type Pass struct {
 	// PkgPath is the package's plain import path ("repro/internal/sched");
 	// for external test packages it carries the "_test" suffix.
 	PkgPath string
+
+	// Summaries is the cross-package mutation-summary store consumed by
+	// sharedro; nil when the driver did not load dependency summaries.
+	Summaries *Summaries
 
 	// report receives every finding; the driver owns filtering (test-unit
 	// deduplication) and aggregation.
@@ -204,19 +229,21 @@ type Unit struct {
 }
 
 // RunUnit executes the analyzers over one unit and returns the sorted
-// findings.
-func RunUnit(fset *token.FileSet, u *Unit, analyzers []*Analyzer) []Diagnostic {
+// findings. summaries may be nil; analyzers that need cross-package
+// facts (sharedro) stay silent without them.
+func RunUnit(fset *token.FileSet, u *Unit, analyzers []*Analyzer, summaries *Summaries) []Diagnostic {
 	var out []Diagnostic
 	hatches := buildHatches(fset, u.Files)
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     fset,
-			Files:    u.Files,
-			Pkg:      u.Pkg,
-			Info:     u.Info,
-			PkgPath:  u.PkgPath,
-			hatches:  hatches,
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			Info:      u.Info,
+			PkgPath:   u.PkgPath,
+			Summaries: summaries,
+			hatches:   hatches,
 		}
 		pass.report = func(d Diagnostic) {
 			if !u.ReportAll && !strings.HasSuffix(d.Posn.Filename, "_test.go") {

@@ -150,6 +150,42 @@ func TestUnitcheckerProtocol(t *testing.T) {
 	})
 
 	t.Run("clean-exit-0", func(t *testing.T) {
+		// sharedro judges sched's calls into dfg by their summaries, so
+		// the unit needs its dependency facts: chain VetxOnly units over
+		// sched's module dependencies bottom-up — exactly the PackageVetx
+		// relay cmd/go performs — before checking sched itself. Without
+		// the chain every dfg callee gets a conservative opaque summary
+		// and read-only accessors look like mutations.
+		mods, err := topoOrder(modulePackages(pkgs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vetxDir := t.TempDir()
+		packageVetx := map[string]string{}
+		for _, lp := range mods {
+			if lp.ImportPath == "repro/internal/sched" {
+				continue
+			}
+			depFiles := make([]string, 0, len(lp.GoFiles))
+			for _, f := range lp.GoFiles {
+				depFiles = append(depFiles, filepath.Join(lp.Dir, f))
+			}
+			vetx := filepath.Join(vetxDir, strings.ReplaceAll(lp.ImportPath, "/", "_")+".vetx")
+			cfg := writeCfg(t, map[string]any{
+				"ImportPath":  lp.ImportPath,
+				"GoFiles":     depFiles,
+				"ImportMap":   importMap,
+				"PackageFile": packageFile,
+				"PackageVetx": packageVetx,
+				"VetxOnly":    true,
+				"VetxOutput":  vetx,
+			})
+			var out, errw strings.Builder
+			if rc := runUnitchecker(cfg, nil, false, &out, &errw); rc != 0 {
+				t.Fatalf("VetxOnly %s: exit %d, stderr:\n%s", lp.ImportPath, rc, errw.String())
+			}
+			packageVetx[lp.ImportPath] = vetx
+		}
 		files := make([]string, 0, len(sched.GoFiles))
 		for _, f := range sched.GoFiles {
 			files = append(files, filepath.Join(sched.Dir, f))
@@ -159,6 +195,7 @@ func TestUnitcheckerProtocol(t *testing.T) {
 			"GoFiles":     files,
 			"ImportMap":   importMap,
 			"PackageFile": packageFile,
+			"PackageVetx": packageVetx,
 			"VetxOutput":  filepath.Join(t.TempDir(), "unit.vetx"),
 		})
 		var out, errw strings.Builder
