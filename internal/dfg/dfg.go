@@ -335,6 +335,23 @@ func (g *Graph) MutuallyExclusive(a, b NodeID) bool {
 	return false
 }
 
+// HasExclusions reports whether any node carries a mutual-exclusion tag
+// — i.e. whether MutuallyExclusive can ever return true on this graph.
+// When it cannot, an occupied grid cell is provably illegal for every
+// operation, which lets the schedulers' window walks skip occupied cells
+// straight from grid.Table's occupancy index without consulting the
+// occupant lists. The scan is O(nodes); callers that probe it per
+// placement should cache the answer for the duration of one run (tags
+// are set at graph-construction time, before scheduling starts).
+func (g *Graph) HasExclusions() bool {
+	for _, n := range g.nodes {
+		if len(n.Excl) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // TopoOrder returns node IDs in a deterministic topological order
 // (dependencies first; ties broken by ID). Graphs are acyclic by
 // construction, so this always succeeds.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/benchmarks"
 	"repro/internal/core"
+	"repro/internal/grid"
 	"repro/internal/report"
 )
 
@@ -24,6 +25,11 @@ type PerfBaseline struct {
 	SchemaVersion int    `json:"schema_version"`
 	GoVersion     string `json:"go_version"`
 	GOMAXPROCS    int    `json:"gomaxprocs"`
+
+	// NoIndex records whether the run disabled the grid occupancy index
+	// (`hlsbench -noindex`), so an A/B snapshot can never be mistaken for
+	// the indexed baseline it is compared against.
+	NoIndex bool `json:"noindex,omitempty"`
 
 	// Tables is the wall time of one regeneration of each evaluation
 	// table, in hlsbench's print order.
@@ -83,7 +89,7 @@ func MeasurePerfCtx(ctx context.Context) (*PerfBaseline, error) {
 	p := &PerfBaseline{
 		SchemaVersion: 1,
 		GoVersion:     runtime.Version(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NoIndex:       grid.DisableIndex,
 	}
 	tables := []struct {
 		name string
@@ -137,6 +143,10 @@ func MeasurePerfCtx(ctx context.Context) (*PerfBaseline, error) {
 		ParallelPointsPerSec: float64(len(parPoints)) / (parMs / 1000),
 		Identical:            reflect.DeepEqual(seqPoints, parPoints),
 	}
+	// Recorded after the timed work, not at construction: the snapshot
+	// must state the parallelism the measurements actually ran under,
+	// even if something resized GOMAXPROCS mid-run.
+	p.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	return p, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/benchmarks"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/grid"
 	"repro/internal/library"
 	"repro/internal/op"
 )
@@ -26,6 +27,11 @@ type ScaleBaseline struct {
 	SchemaVersion int    `json:"schema_version"`
 	GoVersion     string `json:"go_version"`
 	GOMAXPROCS    int    `json:"gomaxprocs"`
+
+	// NoIndex records whether the run disabled the grid occupancy index
+	// (`hlsbench -scale -noindex`), so the nightly A/B rung's snapshot
+	// is self-describing.
+	NoIndex bool `json:"noindex,omitempty"`
 
 	// MaxNodes is the ladder cap the snapshot was measured under
 	// (0 = full ladder). The committed baseline stops at 10k so
@@ -89,7 +95,7 @@ func MeasureScaleCtx(ctx context.Context, maxNodes int) (*ScaleBaseline, error) 
 	b := &ScaleBaseline{
 		SchemaVersion: 1,
 		GoVersion:     runtime.Version(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NoIndex:       grid.DisableIndex,
 		MaxNodes:      maxNodes,
 	}
 	// The incremental points run first: the big ladder rungs leave a
@@ -115,6 +121,10 @@ func MeasureScaleCtx(ctx context.Context, maxNodes int) (*ScaleBaseline, error) 
 		}
 		b.Rungs = append(b.Rungs, p)
 	}
+	// Recorded after the timed work, not at construction: the snapshot
+	// must state the parallelism the measurements actually ran under,
+	// even if something resized GOMAXPROCS mid-run.
+	b.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	return b, nil
 }
 

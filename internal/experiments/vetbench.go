@@ -49,7 +49,6 @@ func MeasureVetCtx(ctx context.Context, dir string) (*VetBaseline, error) {
 	b := &VetBaseline{
 		SchemaVersion: 1,
 		GoVersion:     runtime.Version(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Analyzers:     len(analyzers),
 	}
 	run := func(workers int) ([]byte, int, float64, error) {
@@ -85,6 +84,10 @@ func MeasureVetCtx(ctx context.Context, dir string) (*VetBaseline, error) {
 	b.ParallelMs = parMs
 	b.Speedup = seqMs / parMs
 	b.Identical = bytes.Equal(seqJSON, parJSON)
+	// Recorded after the timed work, not at construction: the snapshot
+	// must state the parallelism the measurements actually ran under,
+	// even if something resized GOMAXPROCS mid-run.
+	b.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	return b, nil
 }
 

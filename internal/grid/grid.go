@@ -354,7 +354,31 @@ type Table struct {
 	// relaying existing occupancy. A nil/empty slice is a free cell.
 	// More than one occupant only for mutually exclusive operations.
 	cells [][]dfg.NodeID
+
+	// The occupancy index: two mirrored word-level bitsets with bit
+	// (step, index) set iff cells[(index-1)·CS+(step-1)] is non-empty,
+	// maintained by Place/Remove/Grow. occRow is row-major (one
+	// rowWords-word group per control step, bit (i-1)%64 of word
+	// (s-1)·rowWords+(i-1)/64), matching the RowMajor walk order; occCol
+	// is column-major (one colWords-word group per instance column, bit
+	// (s-1)%64 of word (i-1)·colWords+(s-1)/64), matching ColMajor.
+	// ScanPlaceable masks a move window into these words and finds free
+	// footprints with bits.TrailingZeros64 instead of probing cells one
+	// by one — O(window/64) instead of O(window) for the common case of
+	// a graph without mutual-exclusion tags.
+	occRow   []uint64
+	occCol   []uint64
+	rowWords int // ⌈Max/64⌉
+	colWords int // ⌈CS/64⌉
 }
+
+// DisableIndex, when set before any tables are used, makes ScanPlaceable
+// take its naive per-cell CanPlace path instead of the word-scan fast
+// path. The placements are identical either way — the knob exists for
+// the A/B measurement (`hlsbench -noindex`) and for the bit-identity
+// cross-check tests, in the mold of mfs's disableOrderedWalk. It is not
+// safe to flip concurrently with running schedulers.
+var DisableIndex = false
 
 // NewTable returns an empty cs × max table for the given FU type.
 // Callers that discover their instance count as they go (MFSA's local
@@ -362,7 +386,14 @@ type Table struct {
 // allocation is proportional to the columns actually opened, which on
 // large graphs is orders of magnitude below the worst-case bound.
 func NewTable(typ string, cs, max int) *Table {
-	return &Table{Type: typ, CS: cs, Max: max, cells: make([][]dfg.NodeID, cs*max)}
+	return &Table{
+		Type: typ, CS: cs, Max: max,
+		cells:    make([][]dfg.NodeID, cs*max),
+		rowWords: wordsPerRow(max),
+		colWords: wordsPerRow(cs),
+		occRow:   make([]uint64, cs*wordsPerRow(max)),
+		occCol:   make([]uint64, max*wordsPerRow(cs)),
+	}
 }
 
 // Grow widens the table to max instance columns, keeping existing
@@ -372,7 +403,37 @@ func (t *Table) Grow(max int) {
 		return
 	}
 	t.cells = append(t.cells, make([][]dfg.NodeID, (max-t.Max)*t.CS)...)
+	// occCol gains one zeroed colWords-word group per new column. occRow
+	// only re-packs when the new width crosses a 64-column word boundary;
+	// bits past Max inside the last word are never set, so within a word
+	// width the existing rows are already correct.
+	t.occCol = append(t.occCol, make([]uint64, (max-t.Max)*t.colWords)...)
+	if wpr := wordsPerRow(max); wpr != t.rowWords {
+		grown := make([]uint64, t.CS*wpr)
+		for s := 0; s < t.CS; s++ {
+			copy(grown[s*wpr:], t.occRow[s*t.rowWords:(s+1)*t.rowWords])
+		}
+		t.occRow, t.rowWords = grown, wpr
+	}
 	t.Max = max
+}
+
+// setOcc marks the cell at (folded) row step, column index occupied in
+// both index bitsets. The caller has already bounds-checked.
+//
+//hls:noalloc
+func (t *Table) setOcc(step, index int) {
+	t.occRow[(step-1)*t.rowWords+(index-1)/64] |= uint64(1) << uint((index-1)%64)
+	t.occCol[(index-1)*t.colWords+(step-1)/64] |= uint64(1) << uint((step-1)%64)
+}
+
+// clearOcc marks the cell at (folded) row step, column index free in
+// both index bitsets. The caller has already bounds-checked.
+//
+//hls:noalloc
+func (t *Table) clearOcc(step, index int) {
+	t.occRow[(step-1)*t.rowWords+(index-1)/64] &^= uint64(1) << uint((index-1)%64)
+	t.occCol[(index-1)*t.colWords+(step-1)/64] &^= uint64(1) << uint((step-1)%64)
 }
 
 // cell returns the dense index of p, which must be in bounds.
@@ -451,8 +512,12 @@ func (t *Table) Place(g *dfg.Graph, id dfg.NodeID, p Pos, cycles int) error {
 		return fmt.Errorf("grid %s: cannot place node %d at %v", t.Type, id, p)
 	}
 	for i := 0; i < t.footRows(cycles); i++ {
-		c := (p.Index-1)*t.CS + (t.row(p.Step, i) - 1)
+		row := t.row(p.Step, i)
+		c := (p.Index-1)*t.CS + (row - 1)
 		t.cells[c] = append(t.cells[c], id)
+		if len(t.cells[c]) == 1 {
+			t.setOcc(row, p.Index)
+		}
 	}
 	return nil
 }
@@ -469,6 +534,9 @@ func (t *Table) Remove(id dfg.NodeID, p Pos, cycles int) {
 		for j, x := range occ {
 			if x == id {
 				t.cells[c] = append(occ[:j], occ[j+1:]...)
+				if len(t.cells[c]) == 0 {
+					t.clearOcc(row, p.Index)
+				}
 				break
 			}
 		}
@@ -488,6 +556,198 @@ func (t *Table) UsedColumns() int {
 		}
 	}
 	return max
+}
+
+// walkIndexed reports whether ScanPlaceable may use the word-scan index
+// for the given order and duration, or must take the naive per-cell
+// path. The decision is a pure function of table shape so tests can pin
+// which path a configuration runs (TestIndexPathSelection):
+//
+//   - DisableIndex forces the naive path (the -noindex A/B knob);
+//   - ColMajor with Latency folding is unindexed — folding wraps an
+//     op's footprint across row words, which breaks the shifted-mask
+//     busy-start trick (and never occurs via the paper's standard
+//     Liapunov functions: MFS functional pipelining implies the
+//     time-constrained, row-major walk);
+//   - Latency > CS would fold footprint rows past the table edge, a
+//     corner CanPlace resolves by its raw cell arithmetic, so the index
+//     defers to it;
+//   - footprints of 64+ rows exceed the shifted-mask width.
+//
+//hls:noalloc
+func (t *Table) walkIndexed(ord Order, cycles int) bool {
+	if DisableIndex {
+		return false
+	}
+	if t.Latency > 0 && (ord == ColMajor || t.Latency > t.CS) {
+		return false
+	}
+	return t.footRows(cycles) < 64
+}
+
+// ScanPlaceable visits, in the given walk order, exactly the positions p
+// in the window [stepLo..stepHi] × [1..idxHi] where CanPlace(g, id, p,
+// cycles) holds, stopping early when yield returns false (and reporting
+// whether the walk ran to completion). It is semantically a window loop
+// over CanPlace — the schedulers' move-frame walk — but when the index
+// is usable it masks the window into the occupancy words and jumps
+// between free footprints with bits.TrailingZeros64: on a graph with no
+// mutual-exclusion tags (excl=false) an occupied bit is provably illegal
+// and is skipped without touching cells; with exclusion tags (excl=true)
+// free bits still fast-accept, and only occupied bits fall back to the
+// per-occupant CanPlace walk. Multicycle footprints AND the shifted
+// occupancy of footRows consecutive rows into one mask (one row for
+// Pipelined types); Latency folding ORs the folded rows' words.
+//
+//hls:noalloc
+func (t *Table) ScanPlaceable(g *dfg.Graph, id dfg.NodeID, excl bool, ord Order, stepLo, stepHi, idxHi, cycles int, yield func(Pos) bool) bool {
+	if stepLo < 1 {
+		stepLo = 1
+	}
+	if hi := t.CS - cycles + 1; stepHi > hi {
+		stepHi = hi // CanPlace's completion bound: the op must finish by CS
+	}
+	if idxHi > t.Max {
+		idxHi = t.Max
+	}
+	if stepLo > stepHi || idxHi < 1 {
+		return true
+	}
+	if !t.walkIndexed(ord, cycles) {
+		return t.scanNaive(g, id, ord, stepLo, stepHi, idxHi, cycles, yield)
+	}
+	if ord == RowMajor {
+		return t.scanRowMajor(g, id, excl, stepLo, stepHi, idxHi, cycles, yield)
+	}
+	return t.scanColMajor(g, id, excl, stepLo, stepHi, idxHi, cycles, yield)
+}
+
+// scanNaive is ScanPlaceable's reference path: the pre-index window walk,
+// one CanPlace per cell.
+//
+//hls:noalloc
+func (t *Table) scanNaive(g *dfg.Graph, id dfg.NodeID, ord Order, stepLo, stepHi, idxHi, cycles int, yield func(Pos) bool) bool {
+	if ord == RowMajor {
+		for s := stepLo; s <= stepHi; s++ {
+			for i := 1; i <= idxHi; i++ {
+				p := Pos{Step: s, Index: i}
+				if t.CanPlace(g, id, p, cycles) && !yield(p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := 1; i <= idxHi; i++ {
+		for s := stepLo; s <= stepHi; s++ {
+			p := Pos{Step: s, Index: i}
+			if t.CanPlace(g, id, p, cycles) && !yield(p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scanRowMajor walks the window by ascending (step, index). For each
+// step it ORs the footprint rows' occupancy words (folded modulo Latency
+// by t.row, exactly as CanPlace folds them) into one busy mask per
+// 64-column word and iterates the free bits.
+//
+//hls:noalloc
+func (t *Table) scanRowMajor(g *dfg.Graph, id dfg.NodeID, excl bool, stepLo, stepHi, idxHi, cycles int, yield func(Pos) bool) bool {
+	f := t.footRows(cycles)
+	words := wordsPerRow(idxHi)
+	for s := stepLo; s <= stepHi; s++ {
+		for w := 0; w < words; w++ {
+			var busy uint64
+			for i := 0; i < f; i++ {
+				busy |= t.occRow[(t.row(s, i)-1)*t.rowWords+w]
+			}
+			hi := idxHi - 1 - w*64
+			if hi > 63 {
+				hi = 63
+			}
+			win := maskRange(0, hi)
+			if excl {
+				for m := win; m != 0; m &= m - 1 {
+					b := bits.TrailingZeros64(m)
+					p := Pos{Step: s, Index: w*64 + b + 1}
+					if busy&(uint64(1)<<uint(b)) != 0 && !t.CanPlace(g, id, p, cycles) {
+						continue
+					}
+					if !yield(p) {
+						return false
+					}
+				}
+				continue
+			}
+			for free := ^busy & win; free != 0; free &= free - 1 {
+				b := bits.TrailingZeros64(free)
+				if !yield(Pos{Step: s, Index: w*64 + b + 1}) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// scanColMajor walks the window by ascending (index, step). For each
+// column it builds a busy-start mask — bit s set iff any of the
+// footprint rows s..s+f-1 is occupied — by ORing the column words
+// shifted down by each footprint offset (the bitboard AND-of-shifted-
+// masks trick, complemented), then iterates the free start bits. Only
+// reached with Latency == 0 (walkIndexed), so footprint rows are the
+// raw consecutive rows.
+//
+//hls:noalloc
+func (t *Table) scanColMajor(g *dfg.Graph, id dfg.NodeID, excl bool, stepLo, stepHi, idxHi, cycles int, yield func(Pos) bool) bool {
+	f := t.footRows(cycles)
+	words := wordsPerRow(stepHi)
+	for i := 1; i <= idxHi; i++ {
+		base := (i - 1) * t.colWords
+		for w := 0; w < words; w++ {
+			busy := t.occCol[base+w]
+			for j := 1; j < f; j++ {
+				busy |= t.occCol[base+w] >> uint(j)
+				if w+1 < t.colWords {
+					busy |= t.occCol[base+w+1] << uint(64-j)
+				}
+			}
+			lo, hi := stepLo-1-w*64, stepHi-1-w*64
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > 63 {
+				hi = 63
+			}
+			if lo > hi {
+				continue
+			}
+			win := maskRange(lo, hi)
+			if excl {
+				for m := win; m != 0; m &= m - 1 {
+					b := bits.TrailingZeros64(m)
+					p := Pos{Step: w*64 + b + 1, Index: i}
+					if busy&(uint64(1)<<uint(b)) != 0 && !t.CanPlace(g, id, p, cycles) {
+						continue
+					}
+					if !yield(p) {
+						return false
+					}
+				}
+				continue
+			}
+			for free := ^busy & win; free != 0; free &= free - 1 {
+				b := bits.TrailingZeros64(free)
+				if !yield(Pos{Step: w*64 + b + 1, Index: i}) {
+					return false
+				}
+			}
+		}
+	}
+	return true
 }
 
 // OccupiedFrame returns every cell holding at least one operation that is

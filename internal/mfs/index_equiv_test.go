@@ -1,0 +1,76 @@
+package mfs
+
+import (
+	"testing"
+
+	"repro/internal/dfg"
+	"repro/internal/grid"
+	"repro/internal/op"
+	"repro/internal/sched"
+)
+
+// TestIndexedWalkMatchesDisabledIndex is the tentpole's cross-check at
+// the MFS layer, in the mold of TestOrderedWalkMatchesSortedFallback:
+// disabling the occupancy index (grid.DisableIndex) must reproduce the
+// indexed engine's schedule AND its recorded trace bit for bit on every
+// benchmark × constraint × chaining/pipelining variant, plus the
+// exclusion-sharing graph that exercises the CanPlace fallback.
+func TestIndexedWalkMatchesDisabledIndex(t *testing.T) {
+	type caseT struct {
+		name string
+		g    *dfg.Graph
+		opt  Options
+	}
+	var cases []caseT
+	for _, tc := range equivCases(t) {
+		cases = append(cases, caseT{name: tc.name, g: tc.ex.Graph, opt: tc.opt})
+	}
+	mg := dfg.New("mx-idx")
+	if err := mg.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := mg.AddOp("x", op.Mul, "a", "a")
+	y, _ := mg.AddOp("y", op.Mul, "a", "a")
+	mg.AddOp("ux", op.Add, "x", "a")
+	mg.AddOp("uy", op.Sub, "y", "a")
+	mg.Tag(x, dfg.CondTag{Cond: 1, Branch: 0})
+	mg.Tag(y, dfg.CondTag{Cond: 1, Branch: 1})
+	cases = append(cases, caseT{name: "mx/T=2/exclusion", g: mg, opt: Options{CS: 2}})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fast, err := Schedule(tc.g, tc.opt)
+			if err != nil {
+				t.Fatalf("indexed: %v", err)
+			}
+			grid.DisableIndex = true
+			defer func() { grid.DisableIndex = false }()
+			slow, err := Schedule(tc.g, tc.opt)
+			grid.DisableIndex = false
+			if err != nil {
+				t.Fatalf("index disabled: %v", err)
+			}
+			comparePlacements(t, tc.name, fast, slow)
+			compareTraces(t, tc.name, fast.Trace, slow.Trace)
+		})
+	}
+}
+
+func compareTraces(t *testing.T, name string, a, b *sched.Trace) {
+	t.Helper()
+	if a.Equal(b) {
+		return
+	}
+	if a == nil || b == nil || len(a.Steps) != len(b.Steps) {
+		t.Fatalf("%s: traces differ in length", name)
+	}
+	for i := range a.Steps {
+		if !a.Steps[i].Equal(&b.Steps[i]) {
+			t.Fatalf("%s: trace step %d diverges: (%d %s %v %g) vs (%d %s %v %g)",
+				name, i,
+				a.Steps[i].Node, a.Steps[i].Type, a.Steps[i].Pos, a.Steps[i].Energy,
+				b.Steps[i].Node, b.Steps[i].Type, b.Steps[i].Pos, b.Steps[i].Energy)
+		}
+	}
+	t.Fatalf("%s: traces differ", name)
+}

@@ -191,6 +191,15 @@ type scheduler struct {
 	tables  map[string]*grid.Table
 	maxj    map[string]int
 	current map[string]int
+	// excl caches g.HasExclusions() for the run: when false, the window
+	// walk can treat every occupied index bit as illegal without
+	// consulting the occupant lists (grid.Table.ScanPlaceable).
+	excl bool
+	// sortScratch reuses the generic sorted path's position and value
+	// buffers across placements — custom Liapunov ablations take that
+	// path for every operation, and a fresh slice plus sort.SliceStable
+	// per placement dominated the ablation-weights table time.
+	sortScratch posSorter
 	// placed and steps are indexed by dfg.NodeID (dense from 0);
 	// Step == 0 / steps[id] == 0 means unplaced (steps are 1-based).
 	// steps duplicates placed[id].Step so the chain filter gets its
@@ -217,6 +226,7 @@ func newScheduler(g *dfg.Graph, cs int, opt Options, resource bool, frames sched
 		current: make(map[string]int),
 		placed:  make([]sched.Placement, g.Len()),
 		steps:   make([]int, g.Len()),
+		excl:    g.HasExclusions(),
 	}
 	if !opt.NoTrace {
 		// One step per node; sized up front so the per-commit append
@@ -436,9 +446,10 @@ var disableOrderedWalk = false
 //
 // Fast path: when the guiding function certifies (liapunov.Ordered) that
 // one of the grid scan orders visits positions in strictly increasing
-// energy over this table, the window is walked in that order and the
-// first legal position wins. Otherwise the generic path enumerates the
-// window's positions and sorts by (energy, step, index), the historical
+// energy over this table, the window is walked in that order via the
+// table's occupancy index (grid.Table.ScanPlaceable) and the first legal
+// position wins. Otherwise the generic path enumerates the window's
+// positions and sorts by (energy, step, index), the historical
 // semantics; the two paths agree exactly wherever the capability holds,
 // because a strict scan order with the (step, index) tie-break is
 // precisely the sorted order.
@@ -446,57 +457,64 @@ func (s *scheduler) bestPosition(table *grid.Table, id dfg.NodeID, cycles, lo, h
 	if lo < 1 {
 		lo = 1 // Rect clamped identically; ASAP ≥ 1 makes this a no-op
 	}
-	legal := func(p grid.Pos) bool {
-		return table.CanPlace(s.g, id, p, cycles) &&
-			(s.opt.ClockNs <= 0 || s.chainOK(id, p.Step))
-	}
 	if of, ok := s.lf.(liapunov.Ordered); ok && !disableOrderedWalk {
 		if ord, ok := of.GridOrder(s.cs, table.Max); ok {
-			if ord == grid.RowMajor {
-				for step := lo; step <= hi; step++ {
-					for idx := 1; idx <= cur; idx++ {
-						if p := (grid.Pos{Step: step, Index: idx}); legal(p) {
-							return p, true
-						}
-					}
+			var best grid.Pos
+			found := false
+			table.ScanPlaceable(s.g, id, s.excl, ord, lo, hi, cur, cycles, func(p grid.Pos) bool {
+				if s.opt.ClockNs > 0 && !s.chainOK(id, p.Step) {
+					return true // placeable but the chain overflows; keep walking
 				}
-			} else {
-				for idx := 1; idx <= cur; idx++ {
-					for step := lo; step <= hi; step++ {
-						if p := (grid.Pos{Step: step, Index: idx}); legal(p) {
-							return p, true
-						}
-					}
-				}
-			}
-			return grid.Pos{}, false
+				best, found = p, true
+				return false
+			})
+			return best, found
 		}
 	}
-	var positions []grid.Pos
-	if hi >= lo && cur >= 1 {
-		positions = make([]grid.Pos, 0, (hi-lo+1)*cur)
-		for step := lo; step <= hi; step++ { // row-major, as Frame.Positions emitted
-			for idx := 1; idx <= cur; idx++ {
-				positions = append(positions, grid.Pos{Step: step, Index: idx})
-			}
+	sc := &s.sortScratch
+	sc.pos, sc.val = sc.pos[:0], sc.val[:0]
+	for step := lo; step <= hi; step++ { // row-major, as Frame.Positions emitted
+		for idx := 1; idx <= cur; idx++ {
+			p := grid.Pos{Step: step, Index: idx}
+			sc.pos = append(sc.pos, p)
+			sc.val = append(sc.val, s.lf.Value(p))
 		}
 	}
-	sort.SliceStable(positions, func(i, j int) bool {
-		vi, vj := s.lf.Value(positions[i]), s.lf.Value(positions[j])
-		if vi != vj {
-			return vi < vj
-		}
-		if positions[i].Step != positions[j].Step {
-			return positions[i].Step < positions[j].Step
-		}
-		return positions[i].Index < positions[j].Index
-	})
-	for _, p := range positions {
-		if legal(p) {
+	sort.Stable(sc)
+	for _, p := range sc.pos {
+		if table.CanPlace(s.g, id, p, cycles) && (s.opt.ClockNs <= 0 || s.chainOK(id, p.Step)) {
 			return p, true
 		}
 	}
 	return grid.Pos{}, false
+}
+
+// posSorter sorts the generic path's candidate positions by (energy,
+// step, index) — the historical sort.SliceStable semantics — over
+// buffers that persist on the scheduler, with energies computed once per
+// position instead of once per comparison. A concrete sort.Interface on
+// a pointer the scheduler already holds keeps the sort allocation-free
+// (sort.SliceStable builds a reflect-based swapper per call).
+type posSorter struct {
+	pos []grid.Pos
+	val []float64
+}
+
+func (ps *posSorter) Len() int { return len(ps.pos) }
+
+func (ps *posSorter) Less(i, j int) bool {
+	if ps.val[i] != ps.val[j] {
+		return ps.val[i] < ps.val[j]
+	}
+	if ps.pos[i].Step != ps.pos[j].Step {
+		return ps.pos[i].Step < ps.pos[j].Step
+	}
+	return ps.pos[i].Index < ps.pos[j].Index
+}
+
+func (ps *posSorter) Swap(i, j int) {
+	ps.pos[i], ps.pos[j] = ps.pos[j], ps.pos[i]
+	ps.val[i], ps.val[j] = ps.val[j], ps.val[i]
 }
 
 // windowOf computes an operation's move window against the current

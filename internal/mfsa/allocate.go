@@ -150,6 +150,7 @@ func (st *state) bindOne(s *sched.Schedule, id dfg.NodeID) error {
 		if limit >= 1 {
 			st.tableOf(u).Grow(limit) // consider probes indexes 1..limit
 		}
+		st.beginUnitEval(limit) // value()'s column-term memo scope
 		for idx := 1; idx <= limit; idx++ {
 			consider(u, idx)
 		}

@@ -246,9 +246,35 @@ type state struct {
 	regMemoGen []int
 	memoGen    int
 
+	// Column-term memo for the current (node, unit) evaluation scope
+	// (beginUnitEval): f^ALU, f^MUX and the commutative-swap flag depend
+	// only on the column — the ALU instance and its input lists, frozen
+	// until commit — never on the step, so within one unit's position
+	// walk each column's terms are computed once instead of once per
+	// (step, column) candidate. The memoized values are the exact floats
+	// the direct evaluation produces (same muxAfter call, reused), so
+	// value()'s combined energy is bit-identical.
+	colMemoGen []int
+	colALU     []float64
+	colMux     []float64
+	colSwap    []bool
+	colGen     int
+
+	// boundCols[unit][idx] mirrors "an ALU exists at (unit, idx)" — the
+	// alus map keyed for the per-position fresh-column test, which a map
+	// probe per candidate made one of the hottest lines on large graphs.
+	// Maintained alongside alus by commit; ALUs are never removed.
+	boundCols map[string][]bool
+
+	// excl caches g.HasExclusions() for the run: when false, the window
+	// walk can treat every occupied index bit as illegal without
+	// consulting the occupant lists (grid.Table.ScanPlaceable).
+	excl bool
+
 	unitsByOp map[op.Kind][]*library.Unit // candidateUnits cache
 	posBuf    []grid.Pos                  // movePositions scratch
 	candBuf   []sched.TraceCandidate      // candidate-evaluation scratch; commit copies
+	muxMemo   []float64                   // muxArea's Lib.MuxArea prefix cache
 }
 
 // lifetime is one committed signal's storage life: born at the end of
@@ -298,8 +324,10 @@ func newState(g *dfg.Graph, opt Options, frames sched.Frames, unitsByOp map[op.K
 		steps:     make([]int, g.Len()),
 		dp:        rtl.NewDatapath(opt.Lib),
 		alus:      make(map[cell]*rtl.ALU),
+		boundCols: make(map[string][]bool),
 		life:      make(map[string]*lifetime, g.Len()),
 		unitsByOp: unitsByOp,
+		excl:      g.HasExclusions(),
 	}
 	if !opt.NoTrace {
 		// One step per node; sized up front so the per-commit append
@@ -491,6 +519,8 @@ func (s *state) bestCandidate(n *dfg.Node, units []*library.Unit) (candidate, []
 		table := s.tableOf(u)
 		cur := s.current[u.Name]
 		table.Grow(cur) // movePositions probes indexes 1..cur
+		s.beginUnitEval(cur)
+		bc := s.boundCols[u.Name]
 		// Fresh-column dedup: a column with no ALU instance yet has never
 		// been placed into, so every fresh column of this unit is an empty,
 		// interchangeable copy — same occupancy, same f^ALU (full unit
@@ -500,7 +530,7 @@ func (s *state) bestCandidate(n *dfg.Node, units []*library.Unit) (candidate, []
 		// column per step is evaluated; the rest are skipped losslessly.
 		freshStep := -1
 		for _, p := range s.movePositions(table, n, lo, hi, cur) {
-			if _, exists := s.alus[cell{u.Name, p.Index}]; !exists {
+			if p.Index >= len(bc) || !bc[p.Index] {
 				if p.Step == freshStep {
 					continue
 				}
@@ -562,24 +592,56 @@ func (s *state) window(n *dfg.Node) (int, int) {
 }
 
 // movePositions lists the free positions of the unit's move frame
-// MF = PF − RF (FF is folded into the window's lower bound). The nested
-// loops emit positions in (step, index) order by construction, so the
-// list is already deterministically sorted — no post-sort needed.
+// MF = PF − RF (FF is folded into the window's lower bound). The walk
+// (grid.Table.ScanPlaceable, row-major) emits positions in (step, index)
+// order by construction — the historical nested CanPlace loops' order —
+// so the list is already deterministically sorted; the occupancy index
+// just skips the provably-occupied cells in O(window/64) word scans.
 func (s *state) movePositions(table *grid.Table, n *dfg.Node, lo, hi, cur int) []grid.Pos {
-	if cur > table.Max {
-		cur = table.Max
-	}
 	out := s.posBuf[:0] // callers consume the list before the next call
-	for step := lo; step <= hi; step++ {
-		for idx := 1; idx <= cur; idx++ {
-			p := grid.Pos{Step: step, Index: idx}
-			if table.CanPlace(s.g, n.ID, p, n.Cycles) {
-				out = append(out, p)
-			}
-		}
-	}
+	table.ScanPlaceable(s.g, n.ID, s.excl, grid.RowMajor, lo, hi, cur, n.Cycles, func(p grid.Pos) bool {
+		out = append(out, p)
+		return true
+	})
 	s.posBuf = out
 	return out
+}
+
+// beginUnitEval opens a (node, unit) evaluation scope for the column-term
+// memo, invalidating the previous scope's entries and sizing the memo for
+// columns 1..cur.
+func (s *state) beginUnitEval(cur int) {
+	s.colGen++
+	if len(s.colMemoGen) <= cur {
+		grow := cur + 1 - len(s.colMemoGen)
+		s.colMemoGen = append(s.colMemoGen, make([]int, grow)...)
+		s.colALU = append(s.colALU, make([]float64, grow)...)
+		s.colMux = append(s.colMux, make([]float64, grow)...)
+		s.colSwap = append(s.colSwap, make([]bool, grow)...)
+	}
+}
+
+// colTerms returns the step-independent terms of value() for a column of
+// the current evaluation scope's unit — f^ALU, f^MUX and the swap flag —
+// computing them on first touch and replaying the memo after: the ALU
+// instance set and every input list are frozen between commits, so the
+// terms cannot change within one scope.
+func (s *state) colTerms(n *dfg.Node, u *library.Unit, idx int) (fALU, fMux float64, swapped bool) {
+	if s.colMemoGen[idx] == s.colGen {
+		return s.colALU[idx], s.colMux[idx], s.colSwap[idx]
+	}
+	if a, exists := s.alus[cell{u.Name, idx}]; exists {
+		before := s.muxArea(len(a.L1)) + s.muxArea(len(a.L2))
+		g1, sw := s.muxAfter(a, n)
+		fMux = g1 - before
+		swapped = sw
+	} else {
+		// A fresh ALU: full unit area, and no mux yet (one source per port).
+		fALU = u.Area
+	}
+	s.colALU[idx], s.colMux[idx], s.colSwap[idx] = fALU, fMux, swapped
+	s.colMemoGen[idx] = s.colGen
+	return fALU, fMux, swapped
 }
 
 // neighborsOnALU reports whether the ALU instance already executes a
@@ -603,32 +665,34 @@ func (s *state) neighborsOnALU(n *dfg.Node, c cell) bool {
 }
 
 // value evaluates the weighted dynamic Liapunov function for one
-// candidate position.
+// candidate position. The column terms come from the colTerms memo and
+// the step term from the regDelta memo; the combining expression is the
+// historical one, verbatim, so the energies are bit-identical to the
+// unmemoized evaluation.
 func (s *state) value(n *dfg.Node, u *library.Unit, p grid.Pos) (float64, bool) {
 	fTime := s.c * float64(p.Step)
-
-	fALU := 0.0
-	a, exists := s.alus[cell{u.Name, p.Index}]
-	if !exists {
-		fALU = u.Area
-	}
-
-	fMux := 0.0
-	swapped := false
-	if exists {
-		before := s.opt.Lib.MuxArea(len(a.L1)) + s.opt.Lib.MuxArea(len(a.L2))
-		g1, sw := s.muxAfter(a, n)
-		fMux = g1 - before
-		swapped = sw
-	} else {
-		// A fresh ALU: ports have one source each, so no mux yet.
-		fMux = 0
-	}
-
+	fALU, fMux, swapped := s.colTerms(n, u, p.Index)
 	fReg := float64(s.regDelta(n, p.Step)) * s.opt.Lib.RegArea
 
 	v := s.w.Time*fTime + s.w.ALU*fALU + s.w.Mux*fMux + s.w.Reg*fReg
 	return v, swapped
+}
+
+// muxArea is Lib.MuxArea behind a per-run prefix cache. The library
+// evaluates MuxArea(n) by summing increments 3..n on every call — O(n)
+// per probe, against input lists that grow with the design, which made
+// it the dominant cost of large syntheses. Each cache entry is filled by
+// that same direct evaluation, so every returned float is bit-identical
+// to an uncached call; the fill is a one-time O(max²) over the widest
+// list ever probed, noise next to the O(n) per candidate it replaces.
+func (s *state) muxArea(n int) float64 {
+	if n < len(s.muxMemo) {
+		return s.muxMemo[n]
+	}
+	for r := len(s.muxMemo); r <= n; r++ {
+		s.muxMemo = append(s.muxMemo, s.opt.Lib.MuxArea(r))
+	}
+	return s.muxMemo[n]
 }
 
 // muxAfter returns the two-port mux area after adding n to ALU a with the
@@ -645,13 +709,13 @@ func (s *state) muxAfter(a *rtl.ALU, n *dfg.Node) (area float64, swapped bool) {
 		return 1
 	}
 	if len(args) == 1 {
-		return s.opt.Lib.MuxArea(l1+count(a.InL1(args[0]))) + s.opt.Lib.MuxArea(l2), false
+		return s.muxArea(l1+count(a.InL1(args[0]))) + s.muxArea(l2), false
 	}
-	direct := s.opt.Lib.MuxArea(l1+count(a.InL1(args[0]))) + s.opt.Lib.MuxArea(l2+count(a.InL2(args[1])))
+	direct := s.muxArea(l1+count(a.InL1(args[0]))) + s.muxArea(l2+count(a.InL2(args[1])))
 	if !n.Op.Commutative() {
 		return direct, false
 	}
-	crossed := s.opt.Lib.MuxArea(l1+count(a.InL1(args[1]))) + s.opt.Lib.MuxArea(l2+count(a.InL2(args[0])))
+	crossed := s.muxArea(l1+count(a.InL1(args[1]))) + s.muxArea(l2+count(a.InL2(args[0])))
 	if crossed < direct {
 		return crossed, true
 	}
@@ -879,6 +943,12 @@ func (s *state) commit(n *dfg.Node, c candidate, evaluated []sched.TraceCandidat
 	if !ok {
 		a = s.dp.AddALU(c.unit)
 		s.alus[key] = a
+		bc := s.boundCols[c.unit.Name]
+		for len(bc) <= c.pos.Index {
+			bc = append(bc, false)
+		}
+		bc[c.pos.Index] = true
+		s.boundCols[c.unit.Name] = bc
 	}
 	a.Bind(n, n.Args, c.pos.Step)
 	s.placed[n.ID] = sched.Placement{Step: c.pos.Step, Type: c.unit.Name, Index: c.pos.Index}

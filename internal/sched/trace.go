@@ -70,6 +70,54 @@ type Trace struct {
 	Steps []TraceStep
 }
 
+// Equal reports whether two traces record the identical trajectory:
+// same step sequence, and per step the same node, type, position,
+// energy (exact float equality — the trajectories must be bit-identical,
+// not merely close), frames, FU estimates, candidate sets and growth
+// lists. It backs the engine invariance cross-checks (ordered walk
+// on/off, occupancy index on/off): any divergence in what a scheduler
+// saw or chose shows up here even when the final placements agree.
+func (t *Trace) Equal(o *Trace) bool {
+	if t == nil || o == nil {
+		return t == o
+	}
+	if len(t.Steps) != len(o.Steps) {
+		return false
+	}
+	for i := range t.Steps {
+		if !t.Steps[i].Equal(&o.Steps[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two trace steps record the identical decision.
+func (s *TraceStep) Equal(o *TraceStep) bool {
+	if s.Node != o.Node || s.Type != o.Type ||
+		s.Pos != o.Pos || s.Energy != o.Energy ||
+		s.CurrentJ != o.CurrentJ || s.MaxJ != o.MaxJ {
+		return false
+	}
+	if !s.PF.Equal(o.PF) || !s.RF.Equal(o.RF) || !s.FF.Equal(o.FF) || !s.MF.Equal(o.MF) {
+		return false
+	}
+	if len(s.Candidates) != len(o.Candidates) || len(s.Grown) != len(o.Grown) {
+		return false
+	}
+	for i, c := range s.Candidates {
+		if c != o.Candidates[i] {
+			return false
+		}
+	}
+	for i, g := range s.Grown {
+		if g != o.Grown[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // StepFor returns the trace step that committed node id, if recorded.
 func (t *Trace) StepFor(id dfg.NodeID) (*TraceStep, bool) {
 	if t == nil {
